@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper against the
+canonical six-year dataset and prints a paper-vs-measured table.  The
+dataset build is paid once per session; each benchmark times the
+*analysis* (the paper's pipeline step), not the simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import WindowSynthesizer
+from repro.simulation.datasets import canonical_dataset
+
+
+@pytest.fixture(scope="session")
+def canonical():
+    """The canonical six-year realization (built once per session)."""
+    return canonical_dataset()
+
+
+@pytest.fixture(scope="session")
+def canonical_windows(canonical):
+    """(positive, negative) 300 s lead-up windows for the full study."""
+    synthesizer = WindowSynthesizer(canonical)
+    positives = synthesizer.positive_windows()
+    negatives = synthesizer.negative_windows(len(positives))
+    return positives, negatives

@@ -1,0 +1,58 @@
+"""Ablation: CMF *location* prediction (the paper's stated follow-up).
+
+Section VI-B: "operationally it will be even more useful to have a
+predictor which even predicts the location of an impending CMF from
+the overall coolant telemetry of the datacenter."  This benchmark
+trains the localizer on the first half of the canonical failures and
+reports top-k localization accuracy over held-out floor snapshots.
+"""
+
+import numpy as np
+
+from repro.core.prediction import build_dataset
+from repro.core.report import ReportRow, format_table
+from repro.ml.network import NeuralNetwork
+from repro.ml.train import TrainConfig, train_classifier
+from repro.monitoring.localization import CmfLocalizer, evaluate_localization
+
+
+def _train_and_evaluate(positives, negatives):
+    half = len(positives) // 2
+    dataset = build_dataset(positives[:half], negatives[:half], lead_h=2.0)
+    rng = np.random.default_rng(11)
+    network = NeuralNetwork.mlp(dataset.features.shape[1], (12, 12, 6), rng=rng)
+    model = train_classifier(
+        network, dataset.features, dataset.labels,
+        config=TrainConfig(epochs=50), rng=rng,
+    )
+    localizer = CmfLocalizer(model)
+    holdout_pos, holdout_neg = positives[half:], negatives[half:]
+    return [
+        evaluate_localization(localizer, holdout_pos, holdout_neg, lead_h=lead)
+        for lead in (6.0, 2.0, 0.5)
+    ]
+
+
+def test_ablation_localization(benchmark, canonical_windows):
+    positives, negatives = canonical_windows
+    reports = benchmark.pedantic(
+        _train_and_evaluate, args=(positives, negatives), rounds=1, iterations=1
+    )
+
+    print()
+    for report in reports:
+        print("  " + report.as_row())
+    by_lead = {r.lead_h: r for r in reports}
+    rows = [
+        ReportRow("Sec VI-B", "top-1 localization accuracy at 2 h lead",
+                  0.8, by_lead[2.0].top1_accuracy),
+        ReportRow("Sec VI-B", "top-3 localization accuracy at 2 h lead",
+                  0.95, by_lead[2.0].top3_accuracy),
+        ReportRow("Sec VI-B", "mean reciprocal rank at 2 h lead",
+                  0.85, by_lead[2.0].mean_reciprocal_rank),
+    ]
+    print("\n" + format_table(rows, "Ablation — CMF localization"))
+
+    assert by_lead[2.0].top1_accuracy > 0.6
+    assert by_lead[2.0].top3_accuracy > 0.8
+    assert by_lead[0.5].top1_accuracy >= by_lead[6.0].top1_accuracy - 0.05

@@ -1,0 +1,28 @@
+"""Fig 2: six-year power and utilization trends with linear fits."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.trends import yearly_trends
+
+
+def test_fig02_yearly_power_util(benchmark, canonical):
+    trends = benchmark(yearly_trends, canonical.database)
+
+    rows = [
+        ReportRow("Fig 2a", "system power at start of 2014",
+                  constants.POWER_2014_MW, trends.power_start_mw, "MW"),
+        ReportRow("Fig 2a", "system power at end of 2019",
+                  constants.POWER_2019_MW, trends.power_end_mw, "MW"),
+        ReportRow("Fig 2b", "utilization at start of 2014",
+                  constants.UTILIZATION_2014, trends.utilization_start),
+        ReportRow("Fig 2b", "utilization at end of 2019",
+                  constants.UTILIZATION_2019, trends.utilization_end),
+    ]
+    print("\n" + format_table(rows, "Fig 2 — year-over-year trends"))
+
+    assert trends.power_fit.slope_per_year > 0.0
+    assert trends.utilization_fit.slope_per_year > 0.0
+    assert abs(trends.power_start_mw - constants.POWER_2014_MW) < 0.2
+    assert abs(trends.power_end_mw - constants.POWER_2019_MW) < 0.2
+    assert abs(trends.utilization_start - constants.UTILIZATION_2014) < 0.05
+    assert abs(trends.utilization_end - constants.UTILIZATION_2019) < 0.05

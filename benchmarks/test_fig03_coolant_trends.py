@@ -1,0 +1,35 @@
+"""Fig 3: coolant flow rate and temperatures, 2014-2019."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.trends import coolant_trends
+
+
+def test_fig03_coolant_trends(benchmark, canonical):
+    trends = benchmark(coolant_trends, canonical.database)
+
+    rows = [
+        ReportRow("Fig 3a", "total flow before Theta",
+                  constants.FLOW_PRE_THETA_GPM, trends.flow_pre_theta_gpm, "GPM"),
+        ReportRow("Fig 3a", "total flow after Theta",
+                  constants.FLOW_POST_THETA_GPM, trends.flow_post_theta_gpm, "GPM"),
+        ReportRow("Fig 3a", "flow overall std",
+                  constants.FLOW_STD_GPM, trends.flow_std_gpm, "GPM"),
+        ReportRow("Fig 3b", "inlet coolant mean",
+                  constants.INLET_TEMP_F, trends.inlet_mean_f, "F"),
+        ReportRow("Fig 3b", "inlet overall std",
+                  constants.INLET_TEMP_STD_F, trends.inlet_std_f, "F"),
+        ReportRow("Fig 3c", "outlet coolant mean",
+                  constants.OUTLET_TEMP_F, trends.outlet_mean_f, "F"),
+        ReportRow("Fig 3c", "outlet overall std",
+                  constants.OUTLET_TEMP_STD_F, trends.outlet_std_f, "F"),
+        ReportRow("Fig 3b", "inlet mean during Theta testing window",
+                  constants.INLET_TEMP_F + 1.8, trends.inlet_theta_window_f, "F"),
+    ]
+    print("\n" + format_table(rows, "Fig 3 — coolant trends"))
+
+    assert abs(trends.flow_pre_theta_gpm - constants.FLOW_PRE_THETA_GPM) < 30
+    assert abs(trends.flow_post_theta_gpm - constants.FLOW_POST_THETA_GPM) < 30
+    assert abs(trends.inlet_mean_f - constants.INLET_TEMP_F) < 1.5
+    assert abs(trends.outlet_mean_f - constants.OUTLET_TEMP_F) < 2.0
+    assert trends.inlet_theta_window_f > trends.inlet_outside_theta_f

@@ -1,0 +1,45 @@
+"""Fig 4: monthly medians of power, utilization, and coolant channels."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.trends import monthly_profile
+from repro.telemetry.records import Channel
+
+
+def _all_profiles(database):
+    return {
+        "power": monthly_profile(database),
+        "utilization": monthly_profile(database, Channel.UTILIZATION),
+        "flow": monthly_profile(database, Channel.FLOW),
+        "inlet": monthly_profile(database, Channel.INLET_TEMPERATURE),
+        "outlet": monthly_profile(database, Channel.OUTLET_TEMPERATURE),
+    }
+
+
+def test_fig04_monthly(benchmark, canonical):
+    profiles = benchmark(_all_profiles, canonical.database)
+
+    rows = [
+        ReportRow("Fig 4a", "power H2/H1 ratio (paper: visibly > 1)",
+                  1.04, profiles["power"].second_half_ratio),
+        ReportRow("Fig 4b", "utilization H2/H1 ratio",
+                  1.02, profiles["utilization"].second_half_ratio),
+        ReportRow("Fig 4c", "flow max change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  profiles["flow"].max_change_from_january),
+        ReportRow("Fig 4d", "inlet max change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  profiles["inlet"].max_change_from_january),
+        ReportRow("Fig 4e", "outlet max change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  profiles["outlet"].max_change_from_january),
+    ]
+    print("\n" + format_table(rows, "Fig 4 — monthly medians"))
+    print("power by month:",
+          {m: round(v, 2) for m, v in sorted(profiles["power"].by_month.items())})
+
+    assert profiles["power"].second_half_ratio > 1.0
+    assert profiles["utilization"].second_half_ratio > 1.0
+    assert profiles["power"].peak_month in (10, 11, 12)
+    for name in ("flow", "inlet", "outlet"):
+        assert profiles[name].max_change_from_january < 0.04

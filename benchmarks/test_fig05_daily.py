@@ -1,0 +1,44 @@
+"""Fig 5: day-of-week profiles and the Monday maintenance signature."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.trends import weekday_profile
+from repro.telemetry.records import Channel
+
+
+def _all_profiles(database):
+    return {
+        "power": weekday_profile(database),
+        "utilization": weekday_profile(database, Channel.UTILIZATION),
+        "flow": weekday_profile(database, Channel.FLOW),
+        "inlet": weekday_profile(database, Channel.INLET_TEMPERATURE),
+        "outlet": weekday_profile(database, Channel.OUTLET_TEMPERATURE),
+    }
+
+
+def test_fig05_daily(benchmark, canonical):
+    profiles = benchmark(_all_profiles, canonical.database)
+
+    rows = [
+        ReportRow("Fig 5a", "non-Monday power increase",
+                  constants.NON_MONDAY_POWER_INCREASE,
+                  profiles["power"].non_monday_increase),
+        ReportRow("Fig 5b", "non-Monday utilization increase",
+                  constants.NON_MONDAY_UTILIZATION_INCREASE,
+                  profiles["utilization"].non_monday_increase),
+        ReportRow("Fig 5c", "non-Monday flow change (paper: none)",
+                  0.0, profiles["flow"].non_monday_increase),
+        ReportRow("Fig 5d", "non-Monday inlet change (paper: none)",
+                  0.0, profiles["inlet"].non_monday_increase),
+        ReportRow("Fig 5e", "non-Monday outlet increase",
+                  constants.NON_MONDAY_OUTLET_INCREASE,
+                  profiles["outlet"].non_monday_increase),
+    ]
+    print("\n" + format_table(rows, "Fig 5 — weekday profiles"))
+
+    assert profiles["power"].minimum_weekday == constants.MAINTENANCE_WEEKDAY
+    assert 0.02 < profiles["power"].non_monday_increase < 0.12
+    assert 0.0 < profiles["utilization"].non_monday_increase < 0.05
+    assert 0.0 < profiles["outlet"].non_monday_increase < 0.05
+    assert abs(profiles["flow"].non_monday_increase) < 0.01
+    assert abs(profiles["inlet"].non_monday_increase) < 0.01

@@ -1,0 +1,32 @@
+"""Fig 6: rack-level power and utilization."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.spatial import rack_power_profile
+from repro.facility.topology import RackId
+
+
+def test_fig06_rack_power_util(benchmark, canonical):
+    profile = benchmark(rack_power_profile, canonical.database)
+
+    rows = [
+        ReportRow("Fig 6a", "rack power spread (max-min)/min",
+                  constants.RACK_POWER_SPREAD, profile.power_spread),
+        ReportRow("Fig 6", "corr(rack power, rack utilization)",
+                  constants.POWER_UTILIZATION_CORRELATION,
+                  profile.power_utilization_correlation),
+    ]
+    print("\n" + format_table(rows, "Fig 6 — rack power & utilization"))
+    print(f"highest power rack       : {profile.highest_power_rack} (paper: (0, D))")
+    print(f"highest utilization rack : {profile.highest_utilization_rack} (paper: (0, A))")
+    print(f"lowest utilization rack  : {profile.lowest_utilization_rack} (paper: (2, D))")
+    print(f"highest rows             : power={profile.highest_power_row} "
+          f"util={profile.highest_utilization_row} (paper: row 0)")
+
+    assert profile.highest_power_rack == RackId(*constants.HIGHEST_POWER_RACK)
+    assert profile.highest_utilization_rack == RackId(
+        *constants.HIGHEST_UTILIZATION_RACK
+    )
+    assert profile.lowest_utilization_rack == RackId(2, 0xD)
+    assert profile.highest_utilization_row == 0
+    assert 0.2 < profile.power_utilization_correlation < 0.75

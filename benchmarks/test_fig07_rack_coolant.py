@@ -1,0 +1,26 @@
+"""Fig 7: rack-level coolant flow and temperatures."""
+
+from repro import constants
+from repro.core.report import ReportRow, format_table
+from repro.core.spatial import rack_coolant_profile
+
+
+def test_fig07_rack_coolant(benchmark, canonical):
+    profile = benchmark(rack_coolant_profile, canonical.database)
+
+    rows = [
+        ReportRow("Fig 7a", "rack flow spread",
+                  constants.RACK_FLOW_SPREAD, profile.flow_spread),
+        ReportRow("Fig 7b", "rack inlet spread",
+                  constants.RACK_INLET_SPREAD, profile.inlet_spread),
+        ReportRow("Fig 7c", "rack outlet spread",
+                  constants.RACK_OUTLET_SPREAD, profile.outlet_spread),
+        ReportRow("Fig 7a", "mean per-rack flow", 26.0,
+                  profile.mean_flow_per_rack_gpm, "GPM"),
+    ]
+    print("\n" + format_table(rows, "Fig 7 — rack coolant telemetry"))
+
+    assert 0.05 < profile.flow_spread < 0.18
+    assert profile.inlet_spread < 0.02
+    assert profile.inlet_spread < profile.outlet_spread < profile.flow_spread
+    assert 24.0 < profile.mean_flow_per_rack_gpm < 29.0

@@ -1,0 +1,31 @@
+"""Fig 8: ambient data-center temperature and humidity over six years."""
+
+from repro import constants
+from repro.core.environment import ambient_trends
+from repro.core.report import ReportRow, format_table
+
+
+def test_fig08_ambient_trends(benchmark, canonical):
+    trends = benchmark(ambient_trends, canonical.database)
+
+    rows = [
+        ReportRow("Fig 8a", "DC temperature min",
+                  constants.DC_TEMP_MIN_F, trends.temperature_min_f, "F"),
+        ReportRow("Fig 8a", "DC temperature max",
+                  constants.DC_TEMP_MAX_F, trends.temperature_max_f, "F"),
+        ReportRow("Fig 8a", "DC temperature std",
+                  constants.DC_TEMP_STD_F, trends.temperature_std_f, "F"),
+        ReportRow("Fig 8b", "DC humidity min",
+                  constants.DC_HUMIDITY_MIN_RH, trends.humidity_min_rh, "%RH"),
+        ReportRow("Fig 8b", "DC humidity max",
+                  constants.DC_HUMIDITY_MAX_RH, trends.humidity_max_rh, "%RH"),
+        ReportRow("Fig 8b", "DC humidity std",
+                  constants.DC_HUMIDITY_STD_RH, trends.humidity_std_rh, "%RH"),
+        ReportRow("Fig 8b", "summer - winter humidity", 5.0,
+                  trends.summer_humidity - trends.winter_humidity, "%RH"),
+    ]
+    print("\n" + format_table(rows, "Fig 8 — ambient trends"))
+
+    assert trends.humidity_is_summer_seasonal
+    assert abs(trends.temperature_std_f - constants.DC_TEMP_STD_F) < 1.3
+    assert abs(trends.humidity_std_rh - constants.DC_HUMIDITY_STD_RH) < 1.5

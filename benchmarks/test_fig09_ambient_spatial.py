@@ -1,0 +1,28 @@
+"""Fig 9: rack-to-rack ambient temperature and humidity variation."""
+
+from repro import constants
+from repro.core.environment import ambient_spatial
+from repro.core.report import ReportRow, format_table
+from repro.facility.topology import RackId
+
+
+def test_fig09_ambient_spatial(benchmark, canonical):
+    spatial = benchmark(ambient_spatial, canonical.database)
+
+    temp_delta, humidity_delta = spatial.row_end_effect()
+    rows = [
+        ReportRow("Fig 9a", "rack DC-temperature spread",
+                  constants.RACK_DC_TEMP_SPREAD, spatial.temperature_spread),
+        ReportRow("Fig 9b", "rack DC-humidity spread",
+                  constants.RACK_DC_HUMIDITY_SPREAD, spatial.humidity_spread),
+        ReportRow("Sec V", "row-end temperature excess", 2.0, temp_delta, "F"),
+        ReportRow("Sec V", "row-end humidity deficit", -3.0, humidity_delta, "%RH"),
+    ]
+    print("\n" + format_table(rows, "Fig 9 — ambient spatial variation"))
+    print("hotspots:", [r.label for r in spatial.hotspots()], "(paper: (1, 8))")
+
+    assert abs(spatial.humidity_spread - constants.RACK_DC_HUMIDITY_SPREAD) < 0.12
+    assert abs(spatial.temperature_spread - constants.RACK_DC_TEMP_SPREAD) < 0.06
+    assert temp_delta > 0.5
+    assert humidity_delta < -0.5
+    assert RackId(*constants.HUMIDITY_HOTSPOT_RACK) in spatial.hotspots()

@@ -1,0 +1,34 @@
+"""Fig 10: the six-year CMF timeline (dedup + yearly histogram)."""
+
+import numpy as np
+
+from repro import constants
+from repro.core.failure_analysis import analyze_cmfs
+from repro.core.hazard import bathtub_verdict
+from repro.core.report import ReportRow, format_table
+
+
+def test_fig10_cmf_timeline(benchmark, canonical):
+    analysis = benchmark(analyze_cmfs, canonical.ras_log, canonical.database)
+
+    rows = [
+        ReportRow("Fig 10", "total CMFs over six years",
+                  constants.TOTAL_CMFS, analysis.total),
+        ReportRow("Fig 10", "fraction of CMFs in 2016",
+                  constants.CMF_2016_FRACTION, analysis.fraction_2016),
+        ReportRow("Fig 10", "longest quiet gap (paper: > 2 years)",
+                  730.0, analysis.longest_quiet_gap_days, "days"),
+        ReportRow("Fig 10", "raw storm messages deduplicated",
+                  constants.STORM_MESSAGE_SCALE, analysis.failures.raw_count),
+    ]
+    print("\n" + format_table(rows, "Fig 10 — CMF timeline"))
+    print("per-year counts:", dict(sorted(analysis.yearly.items())))
+    verdict = bathtub_verdict(analysis.failures.times())
+    print(f"bathtub (edge-mass test)? {analysis.is_bathtub()} (paper: not bathtub)")
+    print(f"bathtub (Weibull hazard): {verdict.summary()}")
+
+    assert analysis.total == constants.TOTAL_CMFS
+    assert abs(analysis.fraction_2016 - constants.CMF_2016_FRACTION) < 0.08
+    assert analysis.longest_quiet_gap_days > 365
+    assert not analysis.is_bathtub()
+    assert not verdict.is_bathtub

@@ -1,0 +1,41 @@
+"""Fig 11: per-rack CMF counts and their (non-)correlations."""
+
+from repro import constants
+from repro.core.failure_analysis import analyze_cmfs
+from repro.core.report import ReportRow, format_table
+from repro.facility.topology import RackId
+
+
+def test_fig11_cmf_per_rack(benchmark, canonical):
+    analysis = benchmark(analyze_cmfs, canonical.ras_log, canonical.database)
+
+    rows = [
+        ReportRow("Fig 11", "max CMFs on one rack",
+                  constants.MOST_CMF_COUNT, analysis.max_rack_count),
+        ReportRow("Fig 11", "min CMFs on one rack",
+                  constants.FEWEST_CMF_COUNT, analysis.min_rack_count),
+        ReportRow("Fig 11", "second-highest rack count (paper: <= 9)",
+                  constants.OTHER_RACK_MAX_CMFS, analysis.second_max_rack_count),
+        ReportRow("Sec VI-A", "corr(CMFs, utilization)",
+                  constants.CMF_UTILIZATION_CORRELATION,
+                  analysis.utilization_correlation),
+        ReportRow("Sec VI-A", "corr(CMFs, outlet temperature)",
+                  constants.CMF_OUTLET_TEMP_CORRELATION,
+                  analysis.outlet_correlation),
+        ReportRow("Sec VI-A", "corr(CMFs, humidity)",
+                  constants.CMF_HUMIDITY_CORRELATION,
+                  analysis.humidity_correlation),
+    ]
+    print("\n" + format_table(rows, "Fig 11 — per-rack CMF distribution"))
+    print(f"most-failing rack : {analysis.most_failing_rack} (paper: (1, 8))")
+    print(f"least-failing rack: {analysis.least_failing_rack} (paper: (2, 7))")
+
+    assert analysis.most_failing_rack == RackId(*constants.MOST_CMF_RACK)
+    assert analysis.least_failing_rack == RackId(*constants.FEWEST_CMF_RACK)
+    assert analysis.max_rack_count == constants.MOST_CMF_COUNT
+    assert analysis.min_rack_count == constants.FEWEST_CMF_COUNT
+    assert analysis.second_max_rack_count <= constants.OTHER_RACK_MAX_CMFS
+    # The markers are useless for prediction — correlations are weak.
+    assert abs(analysis.utilization_correlation) < 0.40
+    assert abs(analysis.outlet_correlation) < 0.40
+    assert abs(analysis.humidity_correlation) < 0.40

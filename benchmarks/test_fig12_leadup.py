@@ -1,0 +1,33 @@
+"""Fig 12: coolant telemetry in the six hours before a CMF."""
+
+from repro import constants
+from repro.core.leadup import aggregate_leadup
+from repro.core.report import ReportRow, format_table
+from repro.telemetry.records import Channel
+
+
+def test_fig12_leadup(benchmark, canonical_windows):
+    positives, _ = canonical_windows
+    aggregate = benchmark(aggregate_leadup, positives)
+
+    rows = [
+        ReportRow("Fig 12b", "deepest inlet sag",
+                  -constants.LEADUP_INLET_DROP, aggregate.inlet_min_change),
+        ReportRow("Fig 12b", "inlet change at the failure",
+                  constants.LEADUP_INLET_RISE, aggregate.inlet_final_change),
+        ReportRow("Fig 12c", "deepest outlet sag",
+                  -constants.LEADUP_OUTLET_DROP, aggregate.outlet_min_change),
+        ReportRow("Fig 12a", "flow stable until (h before CMF)",
+                  constants.LEADUP_FLOW_COLLAPSE_HOURS,
+                  aggregate.flow_stable_until_h, "h"),
+        ReportRow("Fig 12a", "flow change at the failure", -0.65,
+                  aggregate.change_at(Channel.FLOW, 0.0)),
+    ]
+    print("\n" + format_table(rows, "Fig 12 — the lead-up to a CMF"))
+    print(f"windows aggregated: {aggregate.windows_used}")
+
+    assert -0.09 < aggregate.inlet_min_change < -0.02
+    assert 0.02 < aggregate.inlet_final_change < 0.12
+    assert -0.09 < aggregate.outlet_min_change < -0.02
+    assert aggregate.flow_stable_until_h <= 0.5
+    assert aggregate.change_at(Channel.FLOW, 0.0) < -0.3

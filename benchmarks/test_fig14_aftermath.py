@@ -1,0 +1,37 @@
+"""Fig 14: post-CMF non-CMF failure rates and type distribution."""
+
+from repro import constants
+from repro.core.aftermath import analyze_aftermath
+from repro.core.report import ReportRow, format_table
+
+
+def test_fig14_aftermath(benchmark, canonical):
+    analysis = benchmark(analyze_aftermath, canonical.ras_log)
+
+    rows = [
+        ReportRow("Fig 14a", "rate at 6 h / rate at 3 h (paper: < 0.75)",
+                  constants.AFTERMATH_RATE_6H, analysis.rate_6h),
+        ReportRow("Fig 14a", "rate at 48 h / rate at 3 h",
+                  constants.AFTERMATH_RATE_48H, analysis.rate_48h),
+        ReportRow("Fig 14b", "AC-to-DC power share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["ac_dc_power"],
+                  analysis.category_mix.get("ac_dc_power", 0.0)),
+        ReportRow("Fig 14b", "BQC share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["bqc"],
+                  analysis.category_mix.get("bqc", 0.0)),
+        ReportRow("Fig 14b", "BQL share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["bql"],
+                  analysis.category_mix.get("bql", 0.0)),
+        ReportRow("Fig 14b", "process share (paper: < 2 %)",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["process"],
+                  analysis.category_mix.get("process", 0.0)),
+    ]
+    print("\n" + format_table(rows, "Fig 14 — the aftermath of a CMF"))
+    print("relative rates:",
+          {h: round(v, 3) for h, v in sorted(analysis.relative_rates.items())})
+
+    assert analysis.rate_6h < 0.9
+    assert analysis.rate_48h < 0.3
+    assert analysis.dominant_category == "ac_dc_power"
+    assert abs(analysis.category_mix["ac_dc_power"] - 0.5) < 0.12
+    assert analysis.category_mix.get("process", 0.0) < 0.06

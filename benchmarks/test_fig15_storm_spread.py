@@ -1,0 +1,32 @@
+"""Fig 15: post-CMF failures land anywhere, not near the epicenter."""
+
+from repro import timeutil
+from repro.core.aftermath import analyze_aftermath
+from repro.core.report import ReportRow, format_table
+
+
+def test_fig15_storm_spread(benchmark, canonical):
+    analysis = benchmark(analyze_aftermath, canonical.ras_log)
+
+    print("\nFig 15 — example storms:")
+    for example in analysis.examples:
+        when = timeutil.from_epoch(example.cmf_epoch_s).date()
+        followers = ", ".join(r.label for r in example.follower_racks[:8])
+        print(
+            f"  {when}  epicenter {example.epicenter.label} -> "
+            f"{len(example.follower_racks)} followers: {followers}"
+            f"{'...' if len(example.follower_racks) > 8 else ''} "
+            f"(max distance {example.max_distance():.1f})"
+        )
+
+    rows = [
+        ReportRow("Fig 15", "example storms extracted", 3, len(analysis.examples)),
+        ReportRow("Fig 15", "fraction of storms with non-local followers",
+                  1.0, analysis.nonlocal_fraction()),
+    ]
+    print("\n" + format_table(rows, "Fig 15 — storm spread"))
+
+    assert len(analysis.examples) == 3
+    for example in analysis.examples:
+        assert len(example.follower_racks) >= 3
+    assert analysis.nonlocal_fraction() > 0.5

@@ -1,0 +1,119 @@
+"""The CMF predictor: Figs 12-13 plus the threshold-baseline ablation.
+
+Reproduces the machine-learning half of the paper:
+
+1. synthesizes 300 s lead-up windows around every CMF (and matched
+   no-failure windows),
+2. aggregates the Fig 12 precursor curves,
+3. Bayesian-optimizes the MLP architecture (the paper lands on
+   12-12-6),
+4. sweeps prediction leads from 6 h down to 30 min with 5-fold CV
+   (Fig 13), and
+5. compares against the conventional threshold-alarm detector and a
+   logistic-regression baseline (the Section VI-D discussion).
+
+Run with::
+
+    python examples/cmf_prediction.py
+"""
+
+import numpy as np
+
+from repro import constants
+from repro.core.leadup import aggregate_leadup
+from repro.core.prediction import (
+    build_dataset,
+    evaluate_at_leads,
+    tune_architecture,
+    window_features,
+    window_level_features,
+)
+from repro.core.report import ReportRow, format_table
+from repro.ml.baselines import LogisticRegression, ThresholdAlarmDetector
+from repro.ml.metrics import evaluate_binary
+from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
+from repro.telemetry.records import Channel
+
+
+def main() -> None:
+    print("Simulating two years of facility telemetry with failures...")
+    result = FacilityEngine(MiraScenario.demo(days=730, seed=5)).run()
+    print(f"CMF events in the period: {len(result.schedule.events)}")
+
+    synthesizer = WindowSynthesizer(result)
+    positives = synthesizer.positive_windows()
+    negatives = synthesizer.negative_windows(len(positives))
+    print(f"Lead-up windows: {len(positives)} positive / {len(negatives)} negative")
+
+    # ---- Fig 12: what the telemetry does before a CMF -------------------
+    aggregate = aggregate_leadup(positives)
+    rows = [
+        ReportRow("Fig 12b", "deepest inlet sag", -constants.LEADUP_INLET_DROP,
+                  aggregate.inlet_min_change),
+        ReportRow("Fig 12b", "inlet change at the failure",
+                  constants.LEADUP_INLET_RISE, aggregate.inlet_final_change),
+        ReportRow("Fig 12c", "deepest outlet sag", -constants.LEADUP_OUTLET_DROP,
+                  aggregate.outlet_min_change),
+        ReportRow("Fig 12a", "flow stable until (h before CMF)",
+                  constants.LEADUP_FLOW_COLLAPSE_HOURS,
+                  aggregate.flow_stable_until_h, "h"),
+    ]
+    print("\n" + format_table(rows, "Fig 12 — the lead-up to a CMF"))
+
+    # ---- Bayesian optimization of the architecture ------------------------
+    print("\nBayesian-optimizing the hidden layers (paper: 12-12-6)...")
+    dataset = build_dataset(positives, negatives, lead_h=3.0)
+    hidden, score = tune_architecture(dataset, budget=8, epochs=30)
+    print(f"best architecture found: {hidden} (validation accuracy {score:.3f})")
+
+    # ---- Fig 13: the lead sweep -------------------------------------------
+    print("\nSweeping prediction leads with 5-fold cross-validation...")
+    evaluations = evaluate_at_leads(positives, negatives)
+    print(f"{'lead':>6}  {'accuracy':>8}  {'precision':>9}  {'recall':>7}  "
+          f"{'F1':>6}  {'FPR':>6}")
+    for evaluation in evaluations:
+        report = evaluation.report
+        print(
+            f"{evaluation.lead_h:>5.1f}h  {report.accuracy:>8.3f}  "
+            f"{report.precision:>9.3f}  {report.recall:>7.3f}  "
+            f"{report.f1:>6.3f}  {report.false_positive_rate:>6.3f}"
+        )
+    by_lead = {e.lead_h: e.report for e in evaluations}
+    rows = [
+        ReportRow("Fig 13", "accuracy at 6 h lead",
+                  constants.PREDICTOR_ACCURACY_6H, by_lead[6.0].accuracy),
+        ReportRow("Fig 13", "accuracy at 30 min lead",
+                  constants.PREDICTOR_ACCURACY_30MIN, by_lead[0.5].accuracy),
+        ReportRow("Sec VI-B", "FPR at 6 h lead", constants.PREDICTOR_FPR_6H,
+                  by_lead[6.0].false_positive_rate),
+        ReportRow("Sec VI-B", "FPR at 30 min lead", constants.PREDICTOR_FPR_30MIN,
+                  by_lead[0.5].false_positive_rate),
+    ]
+    print("\n" + format_table(rows, "Fig 13 — predictor headline numbers"))
+
+    # ---- Section VI-D ablation: thresholds vs change features ----------------
+    print("\nAblation: conventional threshold alarm vs the change-feature NN")
+    lead_h = 4.0
+    change_ds = build_dataset(positives, negatives, lead_h)
+    level_ds = build_dataset(
+        positives, negatives, lead_h, feature_fn=window_level_features
+    )
+    healthy = level_ds.features[level_ds.labels == 0]
+    detector = ThresholdAlarmDetector(k_sigma=3.0).fit(healthy)
+    threshold_report = evaluate_binary(level_ds.labels, detector.predict(level_ds.features))
+    logistic = LogisticRegression().fit(change_ds.features, change_ds.labels)
+    logistic_report = evaluate_binary(
+        change_ds.labels, logistic.predict(change_ds.features)
+    )
+    nn_report = evaluate_at_leads(positives, negatives, leads_h=(lead_h,))[0].report
+    print(f"  threshold alarm (levels)     : {threshold_report.as_row()}")
+    print(f"  logistic regression (changes): {logistic_report.as_row()}")
+    print(f"  MLP (changes, 5-fold CV)     : {nn_report.as_row()}")
+    print(
+        "\nThe threshold detector misses the change-shaped precursors "
+        "(Section VI-D: 'threshold-based monitoring not always sufficient')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Efficiency measures: free cooling and flow-setpoint what-ifs.
+
+The paper's title promises "efficiency measures": the waterside
+economizer that lets Chicago winters cool the machine for free
+(17,820 kWh/day at full displacement), and the operators' practice of
+conservatively over-provisioning coolant flow.  This example uses the
+plant/loop models directly to quantify both:
+
+1. the free-cooling energy avoided per month of a simulated year,
+2. what a warmer/colder economizer changeover threshold would do, and
+3. the thermal headroom cost of trimming the flow setpoint (the
+   Section IV-B opportunity: operators raise flow "to be on the safe
+   side").
+
+Run with::
+
+    python examples/efficiency_measures.py
+"""
+
+import datetime as dt
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.cooling.loops import CoolingLoop
+from repro.cooling.plant import ChilledWaterPlant
+from repro.simulation import FacilityEngine, MiraScenario
+from repro.telemetry.records import Channel
+from repro.weather.chicago import ChicagoWeather
+
+
+def main() -> None:
+    print("Simulating one production year (2015) for the heat-load profile...")
+    result = FacilityEngine(MiraScenario.single_year(2015)).run()
+    db = result.database
+    power = db.channel(Channel.POWER)
+    heat_load_kw = np.nansum(power.values, axis=1)  # facility heat to water
+    epochs = power.epoch_s
+
+    weather = result.weather
+    plant = ChilledWaterPlant(weather)
+
+    # ---- 1. monthly free-cooling savings ---------------------------------
+    print("\nFree-cooling savings by month (chiller energy avoided):")
+    months = timeutil.months(epochs)
+    total = 0.0
+    for month in range(1, 13):
+        mask = months == month
+        savings = plant.free_cooling_savings_kwh(
+            epochs[mask], heat_load_kw[mask], dt_s=result.config.dt_s
+        )
+        total += savings
+        bar = "#" * int(savings / 12_000)
+        print(f"  {dt.date(2015, month, 1):%b}  {savings:>10,.0f} kWh  {bar}")
+    print(f"  total: {total:,.0f} kWh avoided "
+          f"(paper's design ceiling: {constants.FREE_COOLING_KWH_PER_SEASON:,} kWh "
+          f"over Dec-Mar at 100 % displacement)")
+
+    # ---- 2. economizer threshold sweep --------------------------------------
+    print("\nEconomizer changeover threshold sweep (annual chiller energy):")
+    for threshold in (44.0, 48.0, 52.0, 56.0, 60.0):
+        swept = ChilledWaterPlant(weather, no_free_cooling_above_f=threshold)
+        chiller_kwh = float(
+            np.sum(swept.chiller_power_kw(epochs, heat_load_kw))
+            * result.config.dt_s
+            / 3600.0
+        )
+        supply_excess = float(
+            np.mean(swept.supply_temperature_f(epochs)) - swept.supply_setpoint_f
+        )
+        print(
+            f"  changeover at {threshold:4.0f} F: chillers use {chiller_kwh:>10,.0f} kWh, "
+            f"mean supply runs {supply_excess:+.2f} F off setpoint"
+        )
+    print("  -> a warmer changeover saves chiller energy but warms the inlet"
+          " (the paper's winter-inlet signature, Fig 4d).")
+
+    # ---- 3. flow-setpoint trim ------------------------------------------------
+    print("\nFlow-setpoint trim: thermal headroom vs pumped flow")
+    loop = CoolingLoop(rng=np.random.default_rng(1))
+    rack_heat = np.nanmean(power.values, axis=0)  # mean per-rack heat, kW
+    inlet = loop.rack_inlet_temperatures_f(constants.INLET_TEMP_F)
+    for setpoint in (1100.0, 1175.0, 1250.0, 1325.0):
+        flows = loop.rack_flows_gpm(setpoint)
+        outlet = loop.rack_outlet_temperatures_f(inlet, rack_heat, flows)
+        worst = float(outlet.max())
+        headroom = 95.0 - worst  # the monitor's fatal outlet threshold
+        print(
+            f"  setpoint {setpoint:6.0f} GPM: hottest rack outlet {worst:5.1f} F, "
+            f"{headroom:4.1f} F below the fatal threshold"
+        )
+    print(
+        "  -> trimming ~10 % of flow keeps double-digit headroom; the paper's"
+        " operators over-provision because per-rack flow is uneven (Fig 7a)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: simulate a month of the liquid-cooled facility.
+
+Runs a 30-day simulation of the Mira-like facility, then prints the
+telemetry a data-center operator would look at first: system power,
+utilization, coolant temperatures, and any coolant monitor failures.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.report import sparkline
+from repro.simulation import FacilityEngine, MiraScenario
+from repro.telemetry.records import Channel
+
+
+def main() -> None:
+    print("Simulating 30 days of the facility (48 liquid-cooled racks)...")
+    config = MiraScenario.demo(days=30, seed=42)
+    result = FacilityEngine(config).run()
+    db = result.database
+
+    power = db.system_power_mw()
+    utilization = db.system_utilization()
+    inlet = db.channel(Channel.INLET_TEMPERATURE).across_racks()
+    outlet = db.channel(Channel.OUTLET_TEMPERATURE).across_racks()
+    flow = db.total_flow_gpm()
+
+    print(f"\nSamples collected : {db.num_samples} x {db.num_racks} racks")
+    print(f"Jobs completed    : {result.jobs_completed}")
+    print(f"Jobs killed       : {result.jobs_killed}")
+
+    print("\nChannel summary (mean over the month):")
+    print(f"  system power      {power.overall_mean():8.2f} MW    {sparkline(power.values)}")
+    print(f"  utilization       {utilization.overall_mean():8.3f}       {sparkline(utilization.values)}")
+    print(f"  total flow        {flow.overall_mean():8.0f} GPM   {sparkline(flow.values)}")
+    print(f"  inlet coolant     {inlet.overall_mean():8.1f} F     {sparkline(inlet.values)}")
+    print(f"  outlet coolant    {outlet.overall_mean():8.1f} F     {sparkline(outlet.values)}")
+
+    if result.schedule is not None and result.schedule.events:
+        print(f"\nCoolant monitor failures in the month: {len(result.schedule.events)}")
+        for event in result.schedule.events[:5]:
+            print(
+                f"  rack {event.rack_id.label}  reason={event.reason}  "
+                f"severity={event.severity:.2f}"
+            )
+        print(f"Raw RAS messages logged (storms!): {len(result.ras_log)}")
+    else:
+        print("\nNo coolant monitor failures in this window.")
+
+    print("\nDone.  See examples/six_year_study.py for the full paper reproduction.")
+
+
+if __name__ == "__main__":
+    main()

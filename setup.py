@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Metadata lives here (rather than only in pyproject.toml) so that
+editable installs work in offline environments whose pip cannot build
+PEP 517 wheels (no `wheel` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Operating Liquid-Cooled Large-Scale Systems' "
+        "(HPCA 2021): synthetic Mira facility simulator, telemetry store, "
+        "failure models, and the paper's analysis/prediction pipeline"
+    ),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

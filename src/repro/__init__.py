@@ -1,0 +1,26 @@
+"""repro: a reproduction of "Operating Liquid-Cooled Large-Scale Systems"
+(HPCA 2021).
+
+The package has two halves:
+
+* a **facility simulator** substituting for the proprietary Mira
+  telemetry (:mod:`repro.facility`, :mod:`repro.cooling`,
+  :mod:`repro.weather`, :mod:`repro.scheduler`, :mod:`repro.failures`,
+  :mod:`repro.telemetry`, :mod:`repro.simulation`), and
+* the **paper's analyses** (:mod:`repro.core`) plus the from-scratch ML
+  stack behind the CMF predictor (:mod:`repro.ml`).
+
+Quickstart::
+
+    from repro.simulation import MiraScenario, FacilityEngine
+
+    result = FacilityEngine(MiraScenario.demo(days=30)).run()
+    power = result.database.system_power_mw()
+    print(power.overall_mean(), "MW")
+"""
+
+from repro import constants, timeutil, units
+
+__version__ = "1.0.0"
+
+__all__ = ["constants", "timeutil", "units", "__version__"]

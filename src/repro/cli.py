@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+Four subcommands, mirroring how the package is used:
+
+* ``simulate`` — run the facility simulator and export the telemetry
+  CSV and RAS JSONL,
+* ``report`` — print the paper-vs-measured tables for the core
+  figures,
+* ``predict`` — train and evaluate the CMF predictor (Fig 13),
+* ``experiments`` — regenerate EXPERIMENTS.md from the canonical
+  six-year dataset.
+
+Invoke as ``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Operating Liquid-Cooled Large-Scale Systems' "
+            "(HPCA 2021): synthetic Mira facility simulation and analyses"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the facility simulator and export telemetry"
+    )
+    simulate.add_argument("--days", type=int, default=60, help="simulated days")
+    simulate.add_argument("--seed", type=int, default=7, help="master seed")
+    simulate.add_argument(
+        "--dt", type=float, default=1800.0, help="engine step in seconds"
+    )
+    simulate.add_argument(
+        "--out", type=Path, default=Path("repro-out"), help="output directory"
+    )
+    simulate.add_argument(
+        "--full-study",
+        action="store_true",
+        help="simulate the whole 2014-2019 production period (hourly)",
+    )
+
+    report = commands.add_parser(
+        "report", help="print paper-vs-measured tables for the core figures"
+    )
+    report.add_argument("--days", type=int, default=365, help="simulated days")
+    report.add_argument("--seed", type=int, default=7, help="master seed")
+    report.add_argument(
+        "--full-study",
+        action="store_true",
+        help="use the canonical six-year dataset (slower, exact paper scope)",
+    )
+
+    predict = commands.add_parser(
+        "predict", help="train and evaluate the CMF predictor (Fig 13)"
+    )
+    predict.add_argument("--days", type=int, default=730, help="simulated days")
+    predict.add_argument("--seed", type=int, default=5, help="master seed")
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate EXPERIMENTS.md from the canonical dataset"
+    )
+    experiments.add_argument(
+        "--out", type=Path, default=Path("EXPERIMENTS.md"), help="output file"
+    )
+
+    validate = commands.add_parser(
+        "validate", help="run physics/bookkeeping consistency checks"
+    )
+    validate.add_argument("--days", type=int, default=180, help="simulated days")
+    validate.add_argument("--seed", type=int, default=7, help="master seed")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation import FacilityEngine, MiraScenario
+    from repro.telemetry.export import export_ras_jsonl, export_telemetry_csv
+
+    if args.full_study:
+        config = MiraScenario.full_study(seed=args.seed)
+    else:
+        config = MiraScenario.demo(days=args.days, seed=args.seed, dt_s=args.dt)
+    print(f"simulating {config.start} .. {config.end} at dt={config.dt_s:.0f}s ...")
+    result = FacilityEngine(config).run()
+    args.out.mkdir(parents=True, exist_ok=True)
+    telemetry_path = args.out / "telemetry.csv"
+    ras_path = args.out / "ras.jsonl"
+    rows = export_telemetry_csv(result.database, telemetry_path)
+    events = export_ras_jsonl(result.ras_log, ras_path)
+    print(f"wrote {rows} telemetry rows to {telemetry_path}")
+    print(f"wrote {events} RAS events to {ras_path}")
+    failures = len(result.schedule.events) if result.schedule else 0
+    print(
+        f"summary: {result.jobs_completed} jobs completed, "
+        f"{result.jobs_killed} killed, {failures} CMF events"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.experiments import full_report
+    from repro.core.report import format_table
+    from repro.simulation import FacilityEngine, MiraScenario
+    from repro.simulation.datasets import canonical_dataset
+
+    if args.full_study:
+        print("building the canonical six-year dataset ...")
+        result = canonical_dataset()
+    else:
+        print(f"simulating {args.days} days (seed {args.seed}) ...")
+        result = FacilityEngine(
+            MiraScenario.demo(days=args.days, seed=args.seed)
+        ).run()
+    for title, rows in full_report(result).items():
+        print("\n" + format_table(rows, title))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.prediction import evaluate_at_leads
+    from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
+
+    print(f"simulating {args.days} days (seed {args.seed}) ...")
+    result = FacilityEngine(MiraScenario.demo(days=args.days, seed=args.seed)).run()
+    if result.schedule is None or not result.schedule.events:
+        print("no CMF events in the simulated period; try more days")
+        return 1
+    synthesizer = WindowSynthesizer(result)
+    positives = synthesizer.positive_windows()
+    negatives = synthesizer.negative_windows(len(positives))
+    print(f"{len(positives)} failures; training and sweeping leads ...")
+    print(f"\n{'lead':>6}  {'accuracy':>8}  {'precision':>9}  {'recall':>7}  "
+          f"{'F1':>6}  {'FPR':>6}")
+    for evaluation in evaluate_at_leads(positives, negatives):
+        report = evaluation.report
+        print(
+            f"{evaluation.lead_h:>5.1f}h  {report.accuracy:>8.3f}  "
+            f"{report.precision:>9.3f}  {report.recall:>7.3f}  "
+            f"{report.f1:>6.3f}  {report.false_positive_rate:>6.3f}"
+        )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.tools.experiments import write_experiments_md
+
+    path = write_experiments_md(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import validate_result
+    from repro.simulation import FacilityEngine, MiraScenario
+
+    print(f"simulating {args.days} days (seed {args.seed}) ...")
+    result = FacilityEngine(MiraScenario.demo(days=args.days, seed=args.seed)).run()
+    scorecard = validate_result(result)
+    print(scorecard.summary())
+    return 0 if scorecard.passed else 1
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "predict": _cmd_predict,
+    "experiments": _cmd_experiments,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

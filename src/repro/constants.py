@@ -1,0 +1,297 @@
+"""Facts and calibration targets from the paper.
+
+Every number the paper states about Mira, its cooling plant, or its
+measured behaviour is recorded here so that the simulator, the analyses,
+and the benchmarks all calibrate against a single source of truth.
+
+The constants are grouped as:
+
+* **Machine facts** (Section II): topology counts, clock rates, power
+  plant sizing.
+* **Operational facts** (Sections III-V): flow rates, temperature
+  setpoints, measured standard deviations and spreads.
+* **Failure facts** (Section VI): CMF counts, per-rack extremes,
+  correlation coefficients, predictor performance curve.
+
+Nothing in this module is tunable; tunable knobs live in
+:mod:`repro.simulation.config`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+# ---------------------------------------------------------------------------
+# Machine facts (Section II)
+# ---------------------------------------------------------------------------
+
+#: Number of rack rows on the Mira floor.
+NUM_ROWS = 3
+
+#: Compute racks per row.
+RACKS_PER_ROW = 16
+
+#: Total compute racks (3 rows x 16 racks).
+NUM_RACKS = NUM_ROWS * RACKS_PER_ROW
+
+#: Midplanes per rack.
+MIDPLANES_PER_RACK = 2
+
+#: Node boards per midplane.
+NODE_BOARDS_PER_MIDPLANE = 16
+
+#: Compute cards (nodes) per node board.
+NODES_PER_BOARD = 32
+
+#: Nodes per rack (2 midplanes x 16 boards x 32 cards).
+NODES_PER_RACK = MIDPLANES_PER_RACK * NODE_BOARDS_PER_MIDPLANE * NODES_PER_BOARD
+
+#: Total compute nodes in Mira.
+TOTAL_NODES = NUM_RACKS * NODES_PER_RACK
+
+#: Cores per PowerPC A2 processor usable for computation.
+COMPUTE_CORES_PER_NODE = 16
+
+#: Total active compute cores (786,432).
+TOTAL_COMPUTE_CORES = TOTAL_NODES * COMPUTE_CORES_PER_NODE
+
+#: Processor clock in MHz.
+CPU_CLOCK_MHZ = 1600
+
+#: Memory per node in GB (DDR3).
+MEMORY_PER_NODE_GB = 16
+
+#: Peak performance in PFlops.
+PEAK_PFLOPS = 10.0
+
+#: ION (I/O forwarding node) racks per row; these are air-cooled.
+ION_RACKS_PER_ROW = 2
+
+#: Machine floor area in square feet.
+FLOOR_AREA_SQFT = 1632
+
+#: Maximum supported facility power draw in MW.
+MAX_POWER_MW = 6.0
+
+#: Typical average facility load in MW.
+AVG_POWER_MW = 4.0
+
+#: Bulk power module line cords per rack (480 V three-phase, 60 A).
+BPM_LINE_CORDS_PER_RACK = 4
+
+#: Substation voltage feeding the BPM distribution, in kV.
+SUBSTATION_KV = 13.2
+
+#: Production period covered by the study (inclusive start, exclusive end).
+PRODUCTION_START = _dt.datetime(2014, 1, 1)
+PRODUCTION_END = _dt.datetime(2020, 1, 1)
+
+#: Coolant monitor sampling period in seconds.
+MONITOR_SAMPLE_PERIOD_S = 300
+
+# ---------------------------------------------------------------------------
+# Cooling plant facts (Section II)
+# ---------------------------------------------------------------------------
+
+#: Chiller tower capacity at the Chilled Water Plant, in tons, each.
+CHILLER_TONS = 1500
+
+#: Number of chiller towers built for Mira.
+NUM_CHILLERS = 2
+
+#: Daily energy saved if free cooling covers 100% of CWP capacity (kWh).
+FREE_COOLING_KWH_PER_DAY = 17_820
+
+#: Seasonal energy saving from free cooling over Dec-Mar (kWh).
+FREE_COOLING_KWH_PER_SEASON = 2_174_040
+
+#: Months in which the waterside economizer can fully displace the
+#: chillers in Chicago (December through March).
+FREE_COOLING_MONTHS = (12, 1, 2, 3)
+
+# ---------------------------------------------------------------------------
+# Operational calibration targets (Sections III-V)
+# ---------------------------------------------------------------------------
+
+#: System power at the beginning of 2014, MW (Fig 2a).
+POWER_2014_MW = 2.5
+
+#: System power near the end of 2019, MW (Fig 2a).
+POWER_2019_MW = 2.9
+
+#: System utilization at the beginning of 2014 (fraction; Fig 2b).
+UTILIZATION_2014 = 0.80
+
+#: System utilization near the end of 2019 (fraction; Fig 2b).
+UTILIZATION_2019 = 0.93
+
+#: Total coolant flow before the Theta addition, GPM (Fig 3a).
+FLOW_PRE_THETA_GPM = 1250.0
+
+#: Total coolant flow after the Theta addition, GPM (Fig 3a).
+FLOW_POST_THETA_GPM = 1300.0
+
+#: Date at which Theta joined Mira's water loop and the flow was raised.
+THETA_ADDITION_DATE = _dt.datetime(2016, 7, 1)
+
+#: Date by which Theta's early-testing heat load subsided (early 2017);
+#: between THETA_ADDITION_DATE and this date the inlet/outlet coolant
+#: temperatures ran high (Fig 3b/3c).
+THETA_SETTLED_DATE = _dt.datetime(2017, 2, 1)
+
+#: Long-run inlet coolant temperature, degrees F (Fig 3b).
+INLET_TEMP_F = 64.0
+
+#: Long-run outlet coolant temperature, degrees F (Fig 3c).
+OUTLET_TEMP_F = 79.0
+
+#: Reported overall standard deviations (Fig 3 caption).
+FLOW_STD_GPM = 41.0
+INLET_TEMP_STD_F = 0.61
+OUTLET_TEMP_STD_F = 0.71
+
+#: Monthly change of flow/inlet/outlet relative to January (< 1.5 %;
+#: Fig 4 caption).
+MONTHLY_COOLANT_MAX_CHANGE = 0.015
+
+#: Non-Monday increases relative to Monday (Fig 5 caption).
+NON_MONDAY_POWER_INCREASE = 0.06
+NON_MONDAY_UTILIZATION_INCREASE = 0.015
+NON_MONDAY_OUTLET_INCREASE = 0.02
+
+#: Day of week on which maintenance happens (Monday == 0).
+MAINTENANCE_WEEKDAY = 0
+
+#: Maintenance window: starts 9 AM, lasts 6-10 hours.
+MAINTENANCE_START_HOUR = 9
+MAINTENANCE_MIN_HOURS = 6
+MAINTENANCE_MAX_HOURS = 10
+
+#: Rack-level spreads, max relative to min (Sections IV-V).
+RACK_POWER_SPREAD = 0.15        # up to 15 % (Fig 6a)
+RACK_FLOW_SPREAD = 0.11         # up to 11 % (Fig 7a)
+RACK_INLET_SPREAD = 0.01        # ~1 % (Fig 7b)
+RACK_OUTLET_SPREAD = 0.03       # ~3 % (Fig 7c)
+RACK_DC_TEMP_SPREAD = 0.11      # up to 11 % (Fig 9a)
+RACK_DC_HUMIDITY_SPREAD = 0.36  # up to 36 % (Fig 9b)
+
+#: Pearson correlation between rack power and rack utilization (Sec IV-A).
+POWER_UTILIZATION_CORRELATION = 0.45
+
+#: Rack with the highest average power consumption (Fig 6a).
+HIGHEST_POWER_RACK = (0, 0xD)
+
+#: Rack with the highest average utilization (Fig 6b).
+HIGHEST_UTILIZATION_RACK = (0, 0xA)
+
+#: Row with the highest utilization (prod-long queue row).
+PROD_LONG_ROW = 0
+
+#: Ambient data-center temperature range over the six years, F (Fig 8a).
+DC_TEMP_MIN_F = 76.0
+DC_TEMP_MAX_F = 90.0
+
+#: Ambient data-center relative-humidity range, %RH (Fig 8b).
+DC_HUMIDITY_MIN_RH = 28.0
+DC_HUMIDITY_MAX_RH = 37.0
+
+#: Reported overall standard deviations (Fig 8 caption).
+DC_TEMP_STD_F = 2.48
+DC_HUMIDITY_STD_RH = 3.66
+
+#: The localized humidity hotspot rack in the center of row 1 (Sec V).
+HUMIDITY_HOTSPOT_RACK = (1, 0x8)
+
+# ---------------------------------------------------------------------------
+# Failure calibration targets (Section VI)
+# ---------------------------------------------------------------------------
+
+#: Total coolant monitor failures over the six years (Fig 10).
+TOTAL_CMFS = 361
+
+#: Fraction of all CMFs that occurred in 2016 (Theta integration).
+CMF_2016_FRACTION = 0.40
+
+#: The quiet period with no CMFs (over two years, 2017 to late 2018).
+CMF_QUIET_START = _dt.datetime(2016, 11, 1)
+CMF_QUIET_END = _dt.datetime(2018, 11, 1)
+
+#: Rack with the most CMFs and its count (Fig 11).
+MOST_CMF_RACK = (1, 0x8)
+MOST_CMF_COUNT = 14
+
+#: Rack with the fewest CMFs and its count (Fig 11).
+FEWEST_CMF_RACK = (2, 0x7)
+FEWEST_CMF_COUNT = 5
+
+#: No rack other than MOST_CMF_RACK exceeds this many CMFs (Fig 11).
+OTHER_RACK_MAX_CMFS = 9
+
+#: Correlation of per-rack CMF count with rack metrics (Sec VI-A).
+CMF_UTILIZATION_CORRELATION = -0.21
+CMF_OUTLET_TEMP_CORRELATION = -0.06
+CMF_HUMIDITY_CORRELATION = 0.06
+
+#: Per-rack dedup window after a CMF: the rack is down and further CMF
+#: messages on it within this window are the same failure (Sec VI).
+CMF_DEDUP_WINDOW_S = 6 * 3600
+
+#: Dedup window for non-CMF failures (rack back up in ~1 hour).
+NONCMF_DEDUP_WINDOW_S = 3600
+
+#: RAS storms can log upwards of this many raw messages (Sec VI).
+STORM_MESSAGE_SCALE = 10_000
+
+#: Lead-up signature (Fig 12): relative changes in coolant temperatures
+#: before a CMF.
+LEADUP_INLET_DROP = 0.07        # inlet drops by up to 7 %, ~4 h before
+LEADUP_INLET_DROP_HOURS = 4.0
+LEADUP_INLET_RISE = 0.08        # then rises by up to 8 %, 30 min before
+LEADUP_OUTLET_DROP = 0.05       # outlet drops by 5 %, ~3 h before
+LEADUP_OUTLET_DROP_HOURS = 3.0
+LEADUP_FLOW_COLLAPSE_HOURS = 0.5  # flow stable until ~30 min before
+
+#: Predictor performance (Fig 13): accuracy at 6 h and at 30 min lead.
+PREDICTOR_ACCURACY_6H = 0.87
+PREDICTOR_ACCURACY_30MIN = 0.97
+
+#: Predictor false-positive rates (Sec VI-B).
+PREDICTOR_FPR_6H = 0.06
+PREDICTOR_FPR_30MIN = 0.012
+
+#: The Bayesian-optimized network architecture (hidden layer sizes).
+PREDICTOR_HIDDEN_LAYERS = (12, 12, 6)
+
+#: Training epochs used by the paper.
+PREDICTOR_EPOCHS = 50
+
+#: Train : test : validation split ratio.
+PREDICTOR_SPLIT = (3, 1, 1)
+
+#: Cross-validation folds.
+PREDICTOR_CV_FOLDS = 5
+
+#: Post-CMF non-CMF failure rates relative to the 3 h rate (Fig 14a):
+#: the rate within 6 h is < 75 % of the 3 h rate; at 48 h it is 10 %.
+AFTERMATH_RATE_6H = 0.75
+AFTERMATH_RATE_48H = 0.10
+
+#: Post-CMF failure type distribution (Fig 14b).  "AC to DC Power" is
+#: half of all non-CMF failures after a CMF; process failures are rare.
+AFTERMATH_TYPE_DISTRIBUTION = {
+    "ac_dc_power": 0.50,
+    "bqc": 0.17,
+    "bql": 0.15,
+    "card": 0.08,
+    "software": 0.08,
+    "process": 0.02,
+}
+
+#: Hours after a CMF within which non-CMF failure risk is elevated.
+AFTERMATH_WINDOW_HOURS = 48
+
+#: Racks through which clock signals are distributed: every rack receives
+#: its clock through rack (1, 4); rack (0, 9) additionally receives its
+#: clock through rack (0, A) (Sec VI-A examples).
+GLOBAL_CLOCK_RACK = (1, 0x4)
+CLOCK_CHAINS = {(0, 0x9): (0, 0xA)}

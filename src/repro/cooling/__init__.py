@@ -1,0 +1,33 @@
+"""Hydraulic and thermal model of Mira's liquid cooling system.
+
+The package mirrors the physical plant described in Section II of the
+paper: the Chilled Water Plant with its waterside economizer
+(:mod:`repro.cooling.plant`), the external loop that carries chilled
+water under the floor and the per-rack internal loops joined at heat
+exchangers (:mod:`repro.cooling.loops`), the flow-regulating and
+solenoid valves (:mod:`repro.cooling.valves`), and the per-rack coolant
+monitor sensor module (:mod:`repro.cooling.monitor`).
+"""
+
+from repro.cooling.plant import ChilledWaterPlant
+from repro.cooling.loops import CoolingLoop, HeatExchanger
+from repro.cooling.valves import FlowRegulatingValve, SolenoidValve
+from repro.cooling.monitor import AlarmThresholds, CoolantMonitor, SensorReading
+from repro.cooling.energy import EnergyLedger, EnergyModelConfig, FacilityEnergyModel
+from repro.cooling.balancer import AdaptiveFlowBalancer, BalancePlan
+
+__all__ = [
+    "ChilledWaterPlant",
+    "CoolingLoop",
+    "HeatExchanger",
+    "FlowRegulatingValve",
+    "SolenoidValve",
+    "AlarmThresholds",
+    "CoolantMonitor",
+    "SensorReading",
+    "EnergyLedger",
+    "EnergyModelConfig",
+    "FacilityEnergyModel",
+    "AdaptiveFlowBalancer",
+    "BalancePlan",
+]

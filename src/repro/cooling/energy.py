@@ -1,0 +1,219 @@
+"""Facility energy accounting: PUE and the cost of cooling.
+
+The paper's "efficiency measures" angle quantified how much of Mira's
+power went into cooling and what free cooling saved.  This module
+layers that accounting on a completed simulation:
+
+* **IT energy** — the racks' AC draw (what the coolant monitors log),
+* **chiller energy** — from the plant model, economizer-adjusted,
+* **pump energy** — proportional to pumped volume (the loop's pumps
+  hold the flow setpoint),
+* **ION energy** — the six air-cooled I/O forwarding racks (not
+  instrumented by the coolant monitors, but real load),
+* **CRAC energy** — the air side that cools the IONs and the room,
+  modelled as a fixed fraction of the air-side heat load.
+
+From these it derives the PUE (power usage effectiveness) series and
+the free-cooling savings ledger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro import timeutil
+from repro.cooling.plant import ChilledWaterPlant
+from repro.facility.ion import IonPark
+from repro.telemetry.records import Channel
+from repro.telemetry.series import TimeSeries
+
+if TYPE_CHECKING:  # avoid a circular import with repro.simulation
+    from repro.simulation.engine import SimulationResult
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModelConfig:
+    """Non-IT load coefficients."""
+
+    #: Pump power per GPM of loop flow (kW/GPM): ~40 kW at 1300 GPM.
+    pump_kw_per_gpm: float = 0.03
+    #: CRAC (air-side) power as a fraction of the air-side heat load
+    #: (room losses from the compute racks plus the ION racks).
+    crac_fraction: float = 0.06
+    #: Fraction of compute-rack power escaping to the room air (the
+    #: heat exchangers capture the rest).
+    compute_air_leak: float = 0.5
+    #: Whether the six air-cooled ION racks are accounted.
+    include_ion: bool = True
+    #: Fixed facility overhead (lighting, controls), kW.
+    fixed_overhead_kw: float = 80.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyLedger:
+    """Aggregated facility energy over a period, in kWh."""
+
+    it_kwh: float
+    chiller_kwh: float
+    pump_kwh: float
+    crac_kwh: float
+    ion_kwh: float
+    overhead_kwh: float
+    free_cooling_savings_kwh: float
+
+    @property
+    def total_kwh(self) -> float:
+        return (
+            self.it_kwh
+            + self.chiller_kwh
+            + self.pump_kwh
+            + self.crac_kwh
+            + self.ion_kwh
+            + self.overhead_kwh
+        )
+
+    @property
+    def average_pue(self) -> float:
+        """Total facility energy over IT energy."""
+        if self.it_kwh <= 0:
+            raise ValueError("no IT energy recorded")
+        return self.total_kwh / self.it_kwh
+
+    def breakdown(self) -> Dict[str, float]:
+        """Component shares of the total, as fractions."""
+        total = self.total_kwh
+        return {
+            "it": self.it_kwh / total,
+            "chiller": self.chiller_kwh / total,
+            "pump": self.pump_kwh / total,
+            "crac": self.crac_kwh / total,
+            "ion": self.ion_kwh / total,
+            "overhead": self.overhead_kwh / total,
+        }
+
+
+class FacilityEnergyModel:
+    """Energy accounting over a completed simulation."""
+
+    def __init__(
+        self,
+        result: "SimulationResult",
+        config: EnergyModelConfig = EnergyModelConfig(),
+    ) -> None:
+        self._result = result
+        self.config = config
+        self._plant = ChilledWaterPlant(result.weather)
+        power = result.database.channel(Channel.POWER)
+        self._epochs = power.epoch_s
+        self._it_kw = np.nansum(power.values, axis=1)
+        flow = result.database.total_flow_gpm()
+        self._flow_gpm = flow.values
+        self._dt_s = result.config.dt_s
+        self._ions = IonPark() if config.include_ion else None
+        utilization = result.database.system_utilization().values
+        self._utilization = np.clip(np.nan_to_num(utilization), 0.0, 1.0)
+
+    # -- component series ------------------------------------------------------
+
+    def it_power_kw(self) -> TimeSeries:
+        """Rack (IT) power over time."""
+        return TimeSeries(self._epochs, self._it_kw, name="it_power", unit="kW")
+
+    def chiller_power_kw(self) -> TimeSeries:
+        """Plant chiller power over time (economizer-adjusted)."""
+        values = self._plant.chiller_power_kw(self._epochs, self._it_kw)
+        return TimeSeries(self._epochs, values, name="chiller_power", unit="kW")
+
+    def pump_power_kw(self) -> TimeSeries:
+        """Loop pump power over time."""
+        values = self.config.pump_kw_per_gpm * self._flow_gpm
+        return TimeSeries(self._epochs, values, name="pump_power", unit="kW")
+
+    def ion_power_kw(self) -> TimeSeries:
+        """The six air-cooled ION racks' draw over time (zeros if excluded)."""
+        if self._ions is None:
+            values = np.zeros_like(self._it_kw)
+        else:
+            values = self._ions.total_power_kw(self._utilization)
+        return TimeSeries(self._epochs, values, name="ion_power", unit="kW")
+
+    def crac_power_kw(self) -> TimeSeries:
+        """Air-side cooling power over time.
+
+        The CRAC units carry the room losses of the compute racks (a
+        small leak past the heat exchangers) plus the entire ION heat
+        load.
+        """
+        air_heat = (
+            self.config.compute_air_leak * (1.0 - 0.98) * self._it_kw
+            + self.ion_power_kw().values
+        )
+        values = self.config.crac_fraction * self._it_kw + (
+            0.3 * air_heat  # CRAC COP ~ 3.3 on the air side
+        )
+        return TimeSeries(self._epochs, values, name="crac_power", unit="kW")
+
+    def pue(self) -> TimeSeries:
+        """The PUE series: total facility power over IT power.
+
+        Liquid-cooled facilities with economizers run PUEs near 1.1-1.2;
+        the series dips in winter when free cooling displaces the
+        chillers.
+        """
+        total = (
+            self._it_kw
+            + self.chiller_power_kw().values
+            + self.pump_power_kw().values
+            + self.crac_power_kw().values
+            + self.ion_power_kw().values
+            + self.config.fixed_overhead_kw
+        )
+        safe_it = np.where(self._it_kw > 1.0, self._it_kw, np.nan)
+        return TimeSeries(self._epochs, total / safe_it, name="pue")
+
+    # -- aggregation ----------------------------------------------------------------
+
+    def _kwh(self, series_kw: np.ndarray) -> float:
+        return float(np.nansum(series_kw) * self._dt_s / 3600.0)
+
+    def ledger(self) -> EnergyLedger:
+        """The full-period energy ledger."""
+        return EnergyLedger(
+            it_kwh=self._kwh(self._it_kw),
+            chiller_kwh=self._kwh(self.chiller_power_kw().values),
+            pump_kwh=self._kwh(self.pump_power_kw().values),
+            crac_kwh=self._kwh(self.crac_power_kw().values),
+            ion_kwh=self._kwh(self.ion_power_kw().values),
+            overhead_kwh=self._kwh(
+                np.full_like(self._it_kw, self.config.fixed_overhead_kw)
+            ),
+            free_cooling_savings_kwh=self._plant.free_cooling_savings_kwh(
+                self._epochs, self._it_kw, self._dt_s
+            ),
+        )
+
+    def monthly_free_cooling_kwh(self) -> Dict[int, float]:
+        """Free-cooling savings per calendar month (kWh)."""
+        months = timeutil.months(self._epochs)
+        out: Dict[int, float] = {}
+        for month in range(1, 13):
+            mask = months == month
+            if not mask.any():
+                continue
+            out[month] = self._plant.free_cooling_savings_kwh(
+                self._epochs[mask], self._it_kw[mask], self._dt_s
+            )
+        return out
+
+    def seasonal_pue_swing(self) -> float:
+        """Winter-vs-summer PUE difference (negative: winter cheaper)."""
+        pue = self.pue()
+        months = timeutil.months(pue.epoch_s)
+        winter = np.nanmean(pue.values[np.isin(months, (12, 1, 2))])
+        summer = np.nanmean(pue.values[np.isin(months, (6, 7, 8))])
+        return float(winter - summer)

@@ -1,0 +1,181 @@
+"""External/internal water loops and the per-rack heat exchangers.
+
+Chilled water from the plant runs in a closed **external loop** under
+the data-center floor.  Each rack has its own **internal loop** running
+across the rack walls; under the floor the two loops meet at a **heat
+exchanger (HX)** where rack heat is dissipated into the external loop.
+
+The hydraulic model captures the paper's Section IV-B observations:
+
+* total facility flow follows the regulating-valve setpoint,
+* the split across racks is uneven — underfloor pipes and filters
+  suffer partial blockage from the complex cable layout, producing an
+  up-to-11 % rack-to-rack flow spread (Fig 7a) via static per-rack
+  impedance factors,
+* inlet temperature is plant supply plus a tiny distribution loss and
+  is therefore nearly uniform across racks (~1 % spread, Fig 7b),
+* outlet temperature follows the steady-state heat balance
+  ``T_out = T_in + Q / (m_dot c_p)`` and therefore tracks rack power
+  (up-to-3 % spread, Fig 7c).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro import constants, units
+
+
+@dataclasses.dataclass(frozen=True)
+class HeatExchanger:
+    """Steady-state counterflow HX between the loops of one rack.
+
+    Attributes:
+        effectiveness: Fraction of the rack's heat transferred to the
+            external loop at nominal flow (the small remainder is
+            carried by rack airflow to the room and handled by the CRAC
+            units).  Blue Gene/Q racks are almost fully liquid-cooled,
+            so the default is close to one; at ~55 kW per rack and
+            ~26 GPM this yields the paper's ~15 F inlet-to-outlet rise.
+    """
+
+    effectiveness: float = 0.98
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.effectiveness <= 1.0:
+            raise ValueError(
+                f"effectiveness must be in (0, 1], got {self.effectiveness}"
+            )
+
+    def outlet_temperature_f(
+        self, inlet_f: float, heat_kw: float, flow_gpm: float
+    ) -> float:
+        """Coolant outlet temperature for one rack.
+
+        Raises:
+            ValueError: if flow is not positive while heat is being
+                dumped (stagnant-coolant case; callers must gate on the
+                solenoid valve).
+        """
+        if heat_kw < 0:
+            raise ValueError(f"heat cannot be negative, got {heat_kw}")
+        if heat_kw == 0.0:
+            return inlet_f
+        rise = units.coolant_temperature_rise_f(
+            heat_kw * self.effectiveness, flow_gpm
+        )
+        return inlet_f + rise
+
+
+class CoolingLoop:
+    """The facility's hydraulic network: plant -> racks -> plant.
+
+    Args:
+        rng: Randomness for the static per-rack impedance (blockage)
+            factors.
+        impedance_spread: Controls the rack-to-rack flow imbalance; the
+            default reproduces the up-to-11 % spread of Fig 7(a).
+        distribution_loss_f: Temperature pickup between the plant and
+            the rack inlets (underfloor pipe losses), degrees F, at the
+            farthest rack; nearer racks see proportionally less.
+        exchanger: Heat-exchanger model shared by all racks.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        impedance_spread: float = 0.055,
+        distribution_loss_f: float = 0.60,
+        exchanger: Optional[HeatExchanger] = None,
+    ) -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.exchanger = exchanger if exchanger is not None else HeatExchanger()
+        # Static hydraulic conductances: 1 / (1 + blockage).  Uniform
+        # +-impedance_spread blockage yields the observed flow spread.
+        blockage = rng.uniform(
+            -impedance_spread, impedance_spread, size=constants.NUM_RACKS
+        )
+        self._conductance = 1.0 / (1.0 + blockage)
+        # Distribution losses grow with hydraulic distance from the
+        # plant; model distance as flat index order along the loop.
+        distance = np.arange(constants.NUM_RACKS) / max(1, constants.NUM_RACKS - 1)
+        self._distribution_loss_f = distribution_loss_f * distance
+
+    # -- hydraulics ----------------------------------------------------------
+
+    def rack_flows_gpm(
+        self,
+        total_flow_gpm: float,
+        solenoid_open: Optional[np.ndarray] = None,
+        flow_disturbance: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Split the facility flow across the 48 racks.
+
+        Args:
+            total_flow_gpm: Facility setpoint from the regulating valve.
+            solenoid_open: Optional boolean mask; racks with closed
+                solenoids take no flow (their share redistributes).
+            flow_disturbance: Optional per-rack multiplicative
+                disturbance (e.g. the pre-CMF flow collapse), applied to
+                conductances before the split.
+
+        Returns:
+            Per-rack flow in GPM, flat-index order.  Sums to
+            ``total_flow_gpm`` (the loop is closed; the pumps hold
+            total flow).
+
+        Raises:
+            ValueError: if total flow is not positive or every rack is
+                shut off.
+        """
+        if total_flow_gpm <= 0:
+            raise ValueError(f"total flow must be positive, got {total_flow_gpm}")
+        conductance = self._conductance.copy()
+        if flow_disturbance is not None:
+            conductance = conductance * np.clip(flow_disturbance, 0.0, None)
+        if solenoid_open is not None:
+            conductance = np.where(solenoid_open, conductance, 0.0)
+        total_conductance = conductance.sum()
+        if total_conductance <= 0:
+            raise ValueError("all racks are shut off; the loop has no path")
+        return total_flow_gpm * conductance / total_conductance
+
+    # -- thermals ------------------------------------------------------------
+
+    def rack_inlet_temperatures_f(self, supply_f: float) -> np.ndarray:
+        """Per-rack inlet coolant temperature from the plant supply."""
+        return supply_f + self._distribution_loss_f
+
+    def rack_outlet_temperatures_f(
+        self,
+        inlet_f: np.ndarray,
+        heat_kw: np.ndarray,
+        flows_gpm: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized steady-state outlet temperatures.
+
+        Racks with (near-)zero flow report their inlet temperature: a
+        stagnant loop's sensors read the standing water, and the rack is
+        about to be powered off anyway.
+        """
+        heat = np.asarray(heat_kw, dtype="float64")
+        flows = np.asarray(flows_gpm, dtype="float64")
+        if np.any(heat < 0):
+            raise ValueError("heat cannot be negative")
+        safe_flows = np.where(flows > 1e-9, flows, np.nan)
+        m_dot = units.gpm_to_kg_per_s(1.0) * safe_flows
+        delta_c = (
+            heat * self.exchanger.effectiveness
+            / (m_dot * units.WATER_SPECIFIC_HEAT_KJ_PER_KG_K)
+        )
+        rise_f = units.celsius_delta_to_fahrenheit(delta_c)
+        rise_f = np.where(np.isnan(rise_f), 0.0, rise_f)
+        return inlet_f + rise_f
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """Static per-rack hydraulic conductances (copy)."""
+        return self._conductance.copy()

@@ -1,0 +1,185 @@
+"""The per-rack coolant monitor: sensors, calibration, alarm thresholds.
+
+Each Mira rack carries a *coolant monitor* beside the inlet/outlet
+lines of its internal loop.  Every 300 s it samples five channels —
+data-center temperature, data-center humidity, coolant flow rate,
+coolant temperature (inlet and outlet), and rack power — and stores
+them in the environmental database.  The monitor also holds the
+calibration used to correct raw sensor values, and a set of alarm
+thresholds; a reading crossing a threshold raises a *Coolant Monitor
+Failure* event into the RAS log (Section II).
+
+The fatal trigger the paper describes is a **condensation guard**: when
+the dewpoint of the air around the rack rises to (or above) nearly the
+coolant/hardware temperature, condensation on electronics becomes
+likely and the control system executes the two fatal-CMF actions
+(solenoid close + power off).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro import constants, units
+from repro.facility.topology import RackId
+
+
+@dataclasses.dataclass(frozen=True)
+class SensorReading:
+    """One calibrated sample of all coolant monitor channels."""
+
+    epoch_s: float
+    rack_id: RackId
+    dc_temperature_f: float
+    dc_humidity_rh: float
+    flow_gpm: float
+    inlet_temperature_f: float
+    outlet_temperature_f: float
+    power_kw: float
+
+    @property
+    def dewpoint_f(self) -> float:
+        """Dewpoint of the air at the rack, from temperature and RH."""
+        return units.dewpoint_f(self.dc_temperature_f, self.dc_humidity_rh)
+
+    @property
+    def condensation_margin_f(self) -> float:
+        """How far the coolant inlet runs *above* the air dewpoint.
+
+        When this margin collapses toward zero, condensation on the
+        cold plumbing is imminent — the fatal-CMF trigger condition.
+        """
+        return self.inlet_temperature_f - self.dewpoint_f
+
+
+@dataclasses.dataclass(frozen=True)
+class AlarmThresholds:
+    """Threshold levels at which the monitor raises RAS events.
+
+    Attributes:
+        min_flow_gpm: Below this per-rack flow, a fatal event fires
+            (loss of coolant).
+        max_outlet_f: Above this outlet temperature, a fatal event
+            fires (cooling not keeping up).
+        min_condensation_margin_f: Below this inlet-minus-dewpoint
+            margin, a fatal event fires (condensation risk — the
+            trigger the paper describes).
+        warn_fraction: Warn-severity events fire when a channel is
+            within this fraction of its fatal threshold.
+    """
+
+    min_flow_gpm: float = 10.0
+    max_outlet_f: float = 95.0
+    min_condensation_margin_f: float = 2.0
+    warn_fraction: float = 0.25
+
+    def fatal_reason(self, reading: SensorReading) -> Optional[str]:
+        """The fatal condition a reading violates, if any."""
+        if reading.flow_gpm < self.min_flow_gpm:
+            return "coolant_flow_loss"
+        if reading.outlet_temperature_f > self.max_outlet_f:
+            return "overtemperature"
+        if reading.condensation_margin_f < self.min_condensation_margin_f:
+            return "condensation_risk"
+        return None
+
+    def warn_reason(self, reading: SensorReading) -> Optional[str]:
+        """The warn condition a reading violates, if any (and no fatal)."""
+        if self.fatal_reason(reading) is not None:
+            return None
+        flow_warn = self.min_flow_gpm * (1.0 + self.warn_fraction)
+        if reading.flow_gpm < flow_warn:
+            return "coolant_flow_low"
+        outlet_warn = self.max_outlet_f * (1.0 - self.warn_fraction / 4.0)
+        if reading.outlet_temperature_f > outlet_warn:
+            return "outlet_temperature_high"
+        margin_warn = self.min_condensation_margin_f * (1.0 + self.warn_fraction)
+        if reading.condensation_margin_f < margin_warn:
+            return "condensation_margin_low"
+        return None
+
+
+@dataclasses.dataclass
+class SensorCalibration:
+    """Affine calibration applied to raw sensor values.
+
+    One Mira sensor (on one rack) was replaced during the six years
+    after it drifted; :meth:`drift` models that failure mode and
+    :meth:`recalibrate` the replacement.
+    """
+
+    gain: float = 1.0
+    offset: float = 0.0
+
+    def apply(self, raw: float) -> float:
+        """Calibrated value for a raw sensor sample."""
+        return self.gain * raw + self.offset
+
+    def drift(self, gain_error: float, offset_error: float) -> None:
+        """Degrade the calibration (a malfunctioning sensor)."""
+        self.gain *= 1.0 + gain_error
+        self.offset += offset_error
+
+    def recalibrate(self) -> None:
+        """Restore nominal calibration (sensor replaced/revalidated)."""
+        self.gain = 1.0
+        self.offset = 0.0
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.gain == 1.0 and self.offset == 0.0
+
+
+class CoolantMonitor:
+    """The sensor module of one rack.
+
+    Args:
+        rack_id: Which rack this monitor instruments.
+        thresholds: Alarm thresholds; defaults match the simulator's
+            operating envelope.
+        sample_period_s: Sampling cadence (300 s on Mira).
+    """
+
+    def __init__(
+        self,
+        rack_id: RackId,
+        thresholds: Optional[AlarmThresholds] = None,
+        sample_period_s: float = constants.MONITOR_SAMPLE_PERIOD_S,
+    ) -> None:
+        if sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        self.rack_id = rack_id
+        self.thresholds = thresholds if thresholds is not None else AlarmThresholds()
+        self.sample_period_s = sample_period_s
+        self.calibration = SensorCalibration()
+
+    def make_reading(
+        self,
+        epoch_s: float,
+        dc_temperature_f: float,
+        dc_humidity_rh: float,
+        flow_gpm: float,
+        inlet_temperature_f: float,
+        outlet_temperature_f: float,
+        power_kw: float,
+    ) -> SensorReading:
+        """Assemble a calibrated reading from raw channel values.
+
+        Calibration is applied to the coolant-temperature channels (the
+        channel whose sensor failed on real Mira).
+        """
+        return SensorReading(
+            epoch_s=epoch_s,
+            rack_id=self.rack_id,
+            dc_temperature_f=dc_temperature_f,
+            dc_humidity_rh=dc_humidity_rh,
+            flow_gpm=flow_gpm,
+            inlet_temperature_f=self.calibration.apply(inlet_temperature_f),
+            outlet_temperature_f=self.calibration.apply(outlet_temperature_f),
+            power_kw=power_kw,
+        )
+
+    def check(self, reading: SensorReading) -> Optional[str]:
+        """Fatal alarm reason for a reading, or None if within limits."""
+        return self.thresholds.fatal_reason(reading)

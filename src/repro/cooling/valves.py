@@ -1,0 +1,96 @@
+"""Valves: facility flow regulation and per-rack solenoid shutoff.
+
+Two kinds of valves appear in the paper:
+
+* the **flow regulating valve** that splits plant flow between Mira and
+  (after July 2016) Theta, whose setpoint was raised from 1,250 GPM to
+  1,300 GPM when Theta joined the loop and the impellers were upgraded
+  (Fig 3a), and
+* the per-rack **solenoid valve** that the Blue Gene/Q control system
+  slams shut as the first of its two fatal-CMF control actions
+  (Section VI methodology: close the solenoid, then cut rack power).
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as dt
+from typing import List, Tuple
+
+from repro import constants, timeutil
+
+
+class FlowRegulatingValve:
+    """Facility-level flow setpoint with a step-change history.
+
+    The valve is configured with dated setpoints; querying any time
+    returns the setpoint in force at that time.  The default history is
+    Mira's: 1,250 GPM from the start of production, stepped to
+    1,300 GPM on 2016-07-01 when Theta was added to the loop.
+    """
+
+    def __init__(self) -> None:
+        self._times: List[float] = []
+        self._setpoints: List[float] = []
+        self.set_setpoint(constants.PRODUCTION_START, constants.FLOW_PRE_THETA_GPM)
+        self.set_setpoint(constants.THETA_ADDITION_DATE, constants.FLOW_POST_THETA_GPM)
+
+    def set_setpoint(self, when: dt.datetime, flow_gpm: float) -> None:
+        """Install a new setpoint effective from ``when`` onward.
+
+        Raises:
+            ValueError: if the flow is not positive.
+        """
+        if flow_gpm <= 0:
+            raise ValueError(f"flow setpoint must be positive, got {flow_gpm}")
+        epoch = timeutil.to_epoch(when)
+        index = bisect.bisect_left(self._times, epoch)
+        if index < len(self._times) and self._times[index] == epoch:
+            self._setpoints[index] = flow_gpm
+        else:
+            self._times.insert(index, epoch)
+            self._setpoints.insert(index, flow_gpm)
+
+    def setpoint_gpm(self, epoch_s: float) -> float:
+        """The setpoint in force at ``epoch_s``.
+
+        Queries before the first dated setpoint return that first
+        setpoint (the valve existed before our history starts).
+        """
+        index = bisect.bisect_right(self._times, epoch_s) - 1
+        if index < 0:
+            index = 0
+        return self._setpoints[index]
+
+    @property
+    def history(self) -> Tuple[Tuple[float, float], ...]:
+        """All (epoch_s, setpoint_gpm) steps in time order."""
+        return tuple(zip(self._times, self._setpoints))
+
+
+class SolenoidValve:
+    """Per-rack coolant shutoff valve.
+
+    Closed by the control system on a fatal CMF; reopened when the rack
+    is brought back up.  A closed valve means zero coolant flow through
+    the rack's internal loop.
+    """
+
+    def __init__(self) -> None:
+        self._open = True
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def close(self) -> None:
+        """Cut off coolant flow (fatal-CMF control action #1)."""
+        self._open = False
+
+    def open(self) -> None:
+        """Restore coolant flow after recovery."""
+        self._open = True
+
+    def flow_multiplier(self) -> float:
+        """1.0 when open, 0.0 when closed."""
+        return 1.0 if self._open else 0.0

@@ -1,0 +1,180 @@
+"""What follows a CMF: Figs 14 and 15.
+
+Fig 14(a): the rate of (deduplicated) non-CMF fatal failures within
+3, 6, ..., 48 hours of a CMF, normalized to the 3-hour rate.  Fig
+14(b): the category mix of those post-CMF failures.  Fig 15: where
+the post-CMF failures land relative to the epicenter — the paper's
+point being that they land anywhere, not near the epicenter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.core.failure_analysis import (
+    DeduplicatedFailures,
+    deduplicate_cmf_events,
+    deduplicate_noncmf_events,
+)
+from repro.facility.topology import RackId
+from repro.telemetry.ras import RasLog
+
+#: The lag-bucket edges of Fig 14(a), hours after a CMF.
+DEFAULT_LAG_BUCKETS_H: Tuple[float, ...] = (3.0, 6.0, 12.0, 24.0, 36.0, 48.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class StormSpreadExample:
+    """One Fig 15 example: an epicenter and the failures that followed."""
+
+    epicenter: RackId
+    cmf_epoch_s: float
+    follower_racks: Tuple[RackId, ...]
+
+    def max_distance(self) -> float:
+        """Largest floor distance from the epicenter to a follower."""
+        if not self.follower_racks:
+            return 0.0
+        return max(
+            float(np.hypot(r.row - self.epicenter.row, r.col - self.epicenter.col))
+            for r in self.follower_racks
+        )
+
+    def is_local(self, radius: float = 2.0) -> bool:
+        """Whether every follower is within ``radius`` of the epicenter."""
+        return self.max_distance() <= radius
+
+
+@dataclasses.dataclass(frozen=True)
+class AftermathAnalysis:
+    """Figs 14-15: the post-CMF failure characterization."""
+
+    #: Bucketed rates normalized to the first bucket: the value at h is
+    #: (failures per hour in the bucket ending at h) divided by the
+    #: failures per hour in the first (0..3 h) bucket.
+    relative_rates: Dict[float, float]
+    #: Post-CMF failure category mix (fractions summing to ~1).
+    category_mix: Dict[str, float]
+    #: Fig 15 example storms.
+    examples: Tuple[StormSpreadExample, ...]
+    #: Number of CMFs and post-CMF non-CMF failures analyzed.
+    cmf_count: int
+    followup_count: int
+
+    @property
+    def rate_6h(self) -> float:
+        """Paper: the 6 h rate is below 75 % of the 3 h rate."""
+        return self.relative_rates[6.0]
+
+    @property
+    def rate_48h(self) -> float:
+        """Paper: the 48 h rate drops to ~10 % of the 3 h rate."""
+        return self.relative_rates[48.0]
+
+    @property
+    def dominant_category(self) -> str:
+        """Paper: "AC to DC power" — half of all post-CMF failures."""
+        return max(self.category_mix, key=self.category_mix.get)
+
+    def nonlocal_fraction(self, radius: float = 2.0) -> float:
+        """Fraction of examples whose followers escape the epicenter
+        neighbourhood — the paper's Fig 15 point."""
+        if not self.examples:
+            return 0.0
+        nonlocal_count = sum(1 for e in self.examples if not e.is_local(radius))
+        return nonlocal_count / len(self.examples)
+
+
+def analyze_aftermath(
+    ras_log: RasLog,
+    lag_buckets_h: Sequence[float] = DEFAULT_LAG_BUCKETS_H,
+    example_count: int = 3,
+    min_followers: int = 3,
+) -> AftermathAnalysis:
+    """Run the Fig 14/15 analysis on a raw RAS log.
+
+    The *failure rate at h hours* is the per-hour rate of
+    deduplicated non-CMF failures whose lag after the nearest
+    preceding CMF falls in the bucket ending at ``h`` (buckets are
+    delimited by consecutive ``lag_buckets_h`` entries, the first
+    starting at zero), normalized to the first bucket's rate.
+
+    Args:
+        ras_log: Raw RAS log (storms included; dedup happens here).
+        lag_buckets_h: Window widths of Fig 14(a).
+        example_count: How many Fig 15 examples to extract.
+        min_followers: Minimum follower failures for an example storm.
+
+    Raises:
+        ValueError: if the log contains no CMFs.
+    """
+    cmfs = deduplicate_cmf_events(ras_log)
+    noncmfs = deduplicate_noncmf_events(ras_log)
+    if cmfs.count == 0:
+        raise ValueError("no CMF events in the RAS log")
+
+    cmf_times = cmfs.times()
+    lags_h: List[float] = []
+    categories: Dict[str, int] = {}
+    followers_by_cmf: Dict[int, List[RackId]] = {}
+
+    max_window_h = max(lag_buckets_h)
+    for event in noncmfs.events:
+        index = int(np.searchsorted(cmf_times, event.epoch_s, side="right")) - 1
+        if index < 0:
+            continue
+        lag_h = (event.epoch_s - cmf_times[index]) / timeutil.HOUR_S
+        if lag_h <= 0 or lag_h > max_window_h:
+            continue
+        lags_h.append(lag_h)
+        categories[event.category] = categories.get(event.category, 0) + 1
+        followers_by_cmf.setdefault(index, []).append(event.rack_id)
+
+    lags = np.array(lags_h)
+    rates: Dict[float, float] = {}
+    base_rate = None
+    previous_edge = 0.0
+    for window_h in lag_buckets_h:
+        width = window_h - previous_edge
+        if width <= 0:
+            raise ValueError("lag buckets must be strictly increasing")
+        count = float(np.sum((lags > previous_edge) & (lags <= window_h)))
+        rate = count / width
+        if base_rate is None:
+            base_rate = rate if rate > 0 else 1.0
+        rates[float(window_h)] = rate / base_rate
+        previous_edge = window_h
+
+    total = max(1, sum(categories.values()))
+    mix = {name: count / total for name, count in categories.items()}
+
+    # Fig 15 examples: the busiest storms.
+    ordered = sorted(
+        followers_by_cmf.items(), key=lambda kv: len(kv[1]), reverse=True
+    )
+    examples = []
+    for index, followers in ordered:
+        if len(followers) < min_followers:
+            break
+        cmf_event = cmfs.events[index]
+        examples.append(
+            StormSpreadExample(
+                epicenter=cmf_event.rack_id,
+                cmf_epoch_s=cmf_event.epoch_s,
+                follower_racks=tuple(followers),
+            )
+        )
+        if len(examples) >= example_count:
+            break
+
+    return AftermathAnalysis(
+        relative_rates=rates,
+        category_mix=mix,
+        examples=tuple(examples),
+        cmf_count=cmfs.count,
+        followup_count=int(lags.size),
+    )

@@ -1,0 +1,169 @@
+"""Transient utilization drops: the Section III-A characterization.
+
+The paper: "drop in utilization occurs frequently at both longer and
+smaller time period for various reasons" — reserved-but-unused racks,
+failures, and draining for near-full-machine jobs — and those drops
+drag power with them.  This module detects the drops from the
+telemetry alone (as the paper's authors had to) and characterizes
+their depth, duration, and coincidence with known causes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import timeutil
+from repro.simulation.engine import SimulationResult
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.series import TimeSeries
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilizationDrop:
+    """One detected transient drop."""
+
+    start_epoch_s: float
+    end_epoch_s: float
+    depth: float
+    baseline: float
+
+    @property
+    def duration_h(self) -> float:
+        return (self.end_epoch_s - self.start_epoch_s) / timeutil.HOUR_S
+
+    @property
+    def relative_depth(self) -> float:
+        return self.depth / self.baseline if self.baseline > 0 else 0.0
+
+    def contains(self, epoch_s: float) -> bool:
+        return self.start_epoch_s <= epoch_s < self.end_epoch_s
+
+
+@dataclasses.dataclass(frozen=True)
+class DropAnalysis:
+    """All detected drops plus summary statistics."""
+
+    drops: Tuple[UtilizationDrop, ...]
+    observation_days: float
+    #: Pearson correlation between the utilization and power series —
+    #: the paper's point that utilization swings drag power along.
+    power_utilization_tracking: float
+
+    @property
+    def drops_per_week(self) -> float:
+        weeks = self.observation_days / 7.0
+        return len(self.drops) / weeks if weeks > 0 else 0.0
+
+    @property
+    def median_duration_h(self) -> float:
+        if not self.drops:
+            return 0.0
+        return float(np.median([d.duration_h for d in self.drops]))
+
+    @property
+    def median_relative_depth(self) -> float:
+        if not self.drops:
+            return 0.0
+        return float(np.median([d.relative_depth for d in self.drops]))
+
+    def fraction_on_weekday(self, weekday: int) -> float:
+        """Share of drops starting on a given weekday (0 = Monday)."""
+        if not self.drops:
+            return 0.0
+        starts = np.array([d.start_epoch_s for d in self.drops])
+        return float(np.mean(timeutil.weekdays(starts) == weekday))
+
+    def fraction_near_failures(
+        self, failure_epochs: Sequence[float], window_s: float = 6 * 3600.0
+    ) -> float:
+        """Share of drops within ``window_s`` of a known failure."""
+        if not self.drops:
+            return 0.0
+        failures = np.asarray(list(failure_epochs))
+        if failures.size == 0:
+            return 0.0
+        hits = 0
+        for drop in self.drops:
+            nearest = np.min(np.abs(failures - drop.start_epoch_s))
+            hits += nearest <= window_s
+        return hits / len(self.drops)
+
+
+def detect_drops(
+    utilization: TimeSeries,
+    baseline_window: int = 24 * 7,
+    threshold: float = 0.05,
+    min_duration_s: float = 2 * 3600.0,
+) -> List[UtilizationDrop]:
+    """Detect transient drops against a rolling baseline.
+
+    A drop is a maximal run of samples sitting more than ``threshold``
+    (absolute utilization) below the centered rolling baseline, lasting
+    at least ``min_duration_s``.
+
+    Raises:
+        ValueError: if the series is per-rack (reduce it first).
+    """
+    if utilization.is_per_rack:
+        raise ValueError("detect_drops expects a system-level series")
+    baseline = utilization.rolling_mean(baseline_window).values
+    values = utilization.values
+    epochs = utilization.epoch_s
+    below = values < baseline - threshold
+    drops: List[UtilizationDrop] = []
+    start: Optional[int] = None
+    for i, flag in enumerate(below):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            drops.append(_make_drop(epochs, values, baseline, start, i))
+            start = None
+    if start is not None:
+        drops.append(_make_drop(epochs, values, baseline, start, len(values)))
+    return [d for d in drops if d.end_epoch_s - d.start_epoch_s >= min_duration_s]
+
+
+def _make_drop(
+    epochs: np.ndarray,
+    values: np.ndarray,
+    baseline: np.ndarray,
+    start: int,
+    end: int,
+) -> UtilizationDrop:
+    segment_baseline = float(np.mean(baseline[start:end]))
+    depth = float(np.max(baseline[start:end] - values[start:end]))
+    end_epoch = epochs[end] if end < len(epochs) else epochs[-1] + (
+        epochs[-1] - epochs[-2] if len(epochs) > 1 else 0.0
+    )
+    return UtilizationDrop(
+        start_epoch_s=float(epochs[start]),
+        end_epoch_s=float(end_epoch),
+        depth=depth,
+        baseline=segment_baseline,
+    )
+
+
+def analyze_drops(
+    database: EnvironmentalDatabase,
+    threshold: float = 0.05,
+) -> DropAnalysis:
+    """Run the Section III-A drop characterization on a database."""
+    utilization = database.system_utilization()
+    power = database.system_power_mw()
+    drops = detect_drops(utilization, threshold=threshold)
+    observation_days = (
+        (utilization.epoch_s[-1] - utilization.epoch_s[0]) / timeutil.DAY_S
+        if len(utilization) > 1
+        else 0.0
+    )
+    from repro.core.correlation import pearson
+
+    tracking = pearson(utilization.values, power.values)
+    return DropAnalysis(
+        drops=tuple(drops),
+        observation_days=observation_days,
+        power_utilization_tracking=tracking,
+    )

@@ -1,0 +1,317 @@
+"""The full experiment index: every figure's paper-vs-measured record.
+
+:func:`full_report` runs every analysis in the package against a
+simulation result and returns the complete list of
+:class:`~repro.core.report.ReportRow` comparisons, grouped by figure.
+``EXPERIMENTS.md`` is generated from this module (see
+:func:`render_markdown`), and the figure benchmarks assert subsets of
+the same rows — one source of truth for what "reproduced" means.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import constants
+from repro.core.aftermath import analyze_aftermath
+from repro.core.environment import ambient_spatial, ambient_trends
+from repro.core.failure_analysis import analyze_cmfs
+from repro.core.leadup import aggregate_leadup
+from repro.core.prediction import evaluate_at_leads
+from repro.core.report import ReportRow
+from repro.core.spatial import rack_coolant_profile, rack_power_profile
+from repro.core.trends import (
+    coolant_trends,
+    monthly_profile,
+    weekday_profile,
+    yearly_trends,
+)
+from repro.simulation.engine import SimulationResult
+from repro.simulation.windows import LeadupWindow
+from repro.telemetry.records import Channel
+
+
+def fig2_rows(result: SimulationResult) -> List[ReportRow]:
+    trends = yearly_trends(result.database)
+    return [
+        ReportRow("Fig 2a", "system power at start of 2014",
+                  constants.POWER_2014_MW, trends.power_start_mw, "MW"),
+        ReportRow("Fig 2a", "system power at end of 2019",
+                  constants.POWER_2019_MW, trends.power_end_mw, "MW"),
+        ReportRow("Fig 2b", "utilization at start of 2014",
+                  constants.UTILIZATION_2014, trends.utilization_start),
+        ReportRow("Fig 2b", "utilization at end of 2019",
+                  constants.UTILIZATION_2019, trends.utilization_end),
+    ]
+
+
+def fig3_rows(result: SimulationResult) -> List[ReportRow]:
+    trends = coolant_trends(result.database)
+    return [
+        ReportRow("Fig 3a", "total flow before Theta",
+                  constants.FLOW_PRE_THETA_GPM, trends.flow_pre_theta_gpm, "GPM"),
+        ReportRow("Fig 3a", "total flow after Theta",
+                  constants.FLOW_POST_THETA_GPM, trends.flow_post_theta_gpm, "GPM"),
+        ReportRow("Fig 3a", "flow overall std",
+                  constants.FLOW_STD_GPM, trends.flow_std_gpm, "GPM"),
+        ReportRow("Fig 3b", "inlet coolant mean",
+                  constants.INLET_TEMP_F, trends.inlet_mean_f, "F"),
+        ReportRow("Fig 3b", "inlet overall std",
+                  constants.INLET_TEMP_STD_F, trends.inlet_std_f, "F"),
+        ReportRow("Fig 3c", "outlet coolant mean",
+                  constants.OUTLET_TEMP_F, trends.outlet_mean_f, "F"),
+        ReportRow("Fig 3c", "outlet overall std",
+                  constants.OUTLET_TEMP_STD_F, trends.outlet_std_f, "F"),
+    ]
+
+
+def fig4_rows(result: SimulationResult) -> List[ReportRow]:
+    db = result.database
+    return [
+        ReportRow("Fig 4a", "power H2/H1 median ratio", 1.04,
+                  monthly_profile(db).second_half_ratio),
+        ReportRow("Fig 4b", "utilization H2/H1 median ratio", 1.02,
+                  monthly_profile(db, Channel.UTILIZATION).second_half_ratio),
+        ReportRow("Fig 4c", "flow max monthly change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  monthly_profile(db, Channel.FLOW).max_change_from_january),
+        ReportRow("Fig 4d", "inlet max monthly change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  monthly_profile(db, Channel.INLET_TEMPERATURE).max_change_from_january),
+        ReportRow("Fig 4e", "outlet max monthly change vs January",
+                  constants.MONTHLY_COOLANT_MAX_CHANGE,
+                  monthly_profile(db, Channel.OUTLET_TEMPERATURE).max_change_from_january),
+    ]
+
+
+def fig5_rows(result: SimulationResult) -> List[ReportRow]:
+    db = result.database
+    return [
+        ReportRow("Fig 5a", "non-Monday power increase",
+                  constants.NON_MONDAY_POWER_INCREASE,
+                  weekday_profile(db).non_monday_increase),
+        ReportRow("Fig 5b", "non-Monday utilization increase",
+                  constants.NON_MONDAY_UTILIZATION_INCREASE,
+                  weekday_profile(db, Channel.UTILIZATION).non_monday_increase),
+        ReportRow("Fig 5c", "non-Monday flow change", 0.0,
+                  weekday_profile(db, Channel.FLOW).non_monday_increase),
+        ReportRow("Fig 5d", "non-Monday inlet change", 0.0,
+                  weekday_profile(db, Channel.INLET_TEMPERATURE).non_monday_increase),
+        ReportRow("Fig 5e", "non-Monday outlet increase",
+                  constants.NON_MONDAY_OUTLET_INCREASE,
+                  weekday_profile(db, Channel.OUTLET_TEMPERATURE).non_monday_increase),
+    ]
+
+
+def fig6_rows(result: SimulationResult) -> List[ReportRow]:
+    profile = rack_power_profile(result.database)
+    return [
+        ReportRow("Fig 6a", "rack power spread",
+                  constants.RACK_POWER_SPREAD, profile.power_spread),
+        ReportRow("Fig 6a", "highest-power rack is (0, D)", 1.0,
+                  float(profile.highest_power_rack
+                        == _rack(constants.HIGHEST_POWER_RACK))),
+        ReportRow("Fig 6b", "highest-utilization rack is (0, A)", 1.0,
+                  float(profile.highest_utilization_rack
+                        == _rack(constants.HIGHEST_UTILIZATION_RACK))),
+        ReportRow("Fig 6b", "lowest-utilization rack is (2, D)", 1.0,
+                  float(profile.lowest_utilization_rack == _rack((2, 0xD)))),
+        ReportRow("Fig 6", "corr(rack power, rack utilization)",
+                  constants.POWER_UTILIZATION_CORRELATION,
+                  profile.power_utilization_correlation),
+    ]
+
+
+def fig7_rows(result: SimulationResult) -> List[ReportRow]:
+    profile = rack_coolant_profile(result.database)
+    return [
+        ReportRow("Fig 7a", "rack flow spread",
+                  constants.RACK_FLOW_SPREAD, profile.flow_spread),
+        ReportRow("Fig 7b", "rack inlet spread",
+                  constants.RACK_INLET_SPREAD, profile.inlet_spread),
+        ReportRow("Fig 7c", "rack outlet spread",
+                  constants.RACK_OUTLET_SPREAD, profile.outlet_spread),
+        ReportRow("Fig 7a", "mean per-rack flow", 26.0,
+                  profile.mean_flow_per_rack_gpm, "GPM"),
+    ]
+
+
+def fig8_rows(result: SimulationResult) -> List[ReportRow]:
+    trends = ambient_trends(result.database)
+    return [
+        ReportRow("Fig 8a", "DC temperature min", constants.DC_TEMP_MIN_F,
+                  trends.temperature_min_f, "F"),
+        ReportRow("Fig 8a", "DC temperature max", constants.DC_TEMP_MAX_F,
+                  trends.temperature_max_f, "F"),
+        ReportRow("Fig 8a", "DC temperature std", constants.DC_TEMP_STD_F,
+                  trends.temperature_std_f, "F"),
+        ReportRow("Fig 8b", "DC humidity min", constants.DC_HUMIDITY_MIN_RH,
+                  trends.humidity_min_rh, "%RH"),
+        ReportRow("Fig 8b", "DC humidity max", constants.DC_HUMIDITY_MAX_RH,
+                  trends.humidity_max_rh, "%RH"),
+        ReportRow("Fig 8b", "DC humidity std", constants.DC_HUMIDITY_STD_RH,
+                  trends.humidity_std_rh, "%RH"),
+        ReportRow("Fig 8b", "summer humidity exceeds winter", 1.0,
+                  float(trends.humidity_is_summer_seasonal)),
+    ]
+
+
+def fig9_rows(result: SimulationResult) -> List[ReportRow]:
+    spatial = ambient_spatial(result.database)
+    temp_delta, humidity_delta = spatial.row_end_effect()
+    return [
+        ReportRow("Fig 9a", "rack DC-temperature spread",
+                  constants.RACK_DC_TEMP_SPREAD, spatial.temperature_spread),
+        ReportRow("Fig 9b", "rack DC-humidity spread",
+                  constants.RACK_DC_HUMIDITY_SPREAD, spatial.humidity_spread),
+        ReportRow("Fig 9", "hotspot (1, 8) detected", 1.0,
+                  float(_rack(constants.HUMIDITY_HOTSPOT_RACK) in spatial.hotspots())),
+        ReportRow("Sec V", "row-end temperature excess", 2.0, temp_delta, "F"),
+        ReportRow("Sec V", "row-end humidity deficit", -3.0, humidity_delta, "%RH"),
+    ]
+
+
+def fig10_11_rows(result: SimulationResult) -> List[ReportRow]:
+    analysis = analyze_cmfs(result.ras_log, result.database)
+    return [
+        ReportRow("Fig 10", "total CMFs", constants.TOTAL_CMFS, analysis.total),
+        ReportRow("Fig 10", "fraction of CMFs in 2016",
+                  constants.CMF_2016_FRACTION, analysis.fraction_2016),
+        ReportRow("Fig 10", "longest quiet gap (paper: > 2 years)", 730.0,
+                  analysis.longest_quiet_gap_days, "days"),
+        ReportRow("Fig 10", "bathtub-shaped (paper: no)", 0.0,
+                  float(analysis.is_bathtub())),
+        ReportRow("Fig 11", "max CMFs on one rack",
+                  constants.MOST_CMF_COUNT, analysis.max_rack_count),
+        ReportRow("Fig 11", "min CMFs on one rack",
+                  constants.FEWEST_CMF_COUNT, analysis.min_rack_count),
+        ReportRow("Fig 11", "most-failing rack is (1, 8)", 1.0,
+                  float(analysis.most_failing_rack == _rack(constants.MOST_CMF_RACK))),
+        ReportRow("Fig 11", "least-failing rack is (2, 7)", 1.0,
+                  float(analysis.least_failing_rack == _rack(constants.FEWEST_CMF_RACK))),
+        ReportRow("Sec VI-A", "corr(CMFs, utilization)",
+                  constants.CMF_UTILIZATION_CORRELATION,
+                  analysis.utilization_correlation),
+        ReportRow("Sec VI-A", "corr(CMFs, outlet temperature)",
+                  constants.CMF_OUTLET_TEMP_CORRELATION,
+                  analysis.outlet_correlation),
+        ReportRow("Sec VI-A", "corr(CMFs, humidity)",
+                  constants.CMF_HUMIDITY_CORRELATION,
+                  analysis.humidity_correlation),
+    ]
+
+
+def fig12_rows(positive_windows: Sequence[LeadupWindow]) -> List[ReportRow]:
+    aggregate = aggregate_leadup(positive_windows)
+    return [
+        ReportRow("Fig 12b", "deepest inlet sag",
+                  -constants.LEADUP_INLET_DROP, aggregate.inlet_min_change),
+        ReportRow("Fig 12b", "inlet change at the failure",
+                  constants.LEADUP_INLET_RISE, aggregate.inlet_final_change),
+        ReportRow("Fig 12c", "deepest outlet sag",
+                  -constants.LEADUP_OUTLET_DROP, aggregate.outlet_min_change),
+        ReportRow("Fig 12a", "flow stable until (h before CMF)",
+                  constants.LEADUP_FLOW_COLLAPSE_HOURS,
+                  aggregate.flow_stable_until_h, "h"),
+    ]
+
+
+def fig13_rows(
+    positive_windows: Sequence[LeadupWindow],
+    negative_windows: Sequence[LeadupWindow],
+) -> List[ReportRow]:
+    evaluations = evaluate_at_leads(
+        positive_windows, negative_windows, leads_h=(6.0, 3.0, 0.5)
+    )
+    by_lead = {e.lead_h: e.report for e in evaluations}
+    return [
+        ReportRow("Fig 13", "accuracy at 6 h lead",
+                  constants.PREDICTOR_ACCURACY_6H, by_lead[6.0].accuracy),
+        ReportRow("Fig 13", "accuracy at 3 h lead", 0.93, by_lead[3.0].accuracy),
+        ReportRow("Fig 13", "accuracy at 30 min lead",
+                  constants.PREDICTOR_ACCURACY_30MIN, by_lead[0.5].accuracy),
+        ReportRow("Sec VI-B", "FPR at 6 h lead",
+                  constants.PREDICTOR_FPR_6H, by_lead[6.0].false_positive_rate),
+        ReportRow("Sec VI-B", "FPR at 30 min lead",
+                  constants.PREDICTOR_FPR_30MIN, by_lead[0.5].false_positive_rate),
+    ]
+
+
+def fig14_15_rows(result: SimulationResult) -> List[ReportRow]:
+    analysis = analyze_aftermath(result.ras_log)
+    return [
+        ReportRow("Fig 14a", "rate at 6 h / rate at 3 h (paper: < 0.75)",
+                  constants.AFTERMATH_RATE_6H, analysis.rate_6h),
+        ReportRow("Fig 14a", "rate at 48 h / rate at 3 h",
+                  constants.AFTERMATH_RATE_48H, analysis.rate_48h),
+        ReportRow("Fig 14b", "AC-to-DC power share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["ac_dc_power"],
+                  analysis.category_mix.get("ac_dc_power", 0.0)),
+        ReportRow("Fig 14b", "BQC share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["bqc"],
+                  analysis.category_mix.get("bqc", 0.0)),
+        ReportRow("Fig 14b", "BQL share",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["bql"],
+                  analysis.category_mix.get("bql", 0.0)),
+        ReportRow("Fig 14b", "process share (paper: < 2 %)",
+                  constants.AFTERMATH_TYPE_DISTRIBUTION["process"],
+                  analysis.category_mix.get("process", 0.0)),
+        ReportRow("Fig 15", "example storms extracted", 3.0,
+                  float(len(analysis.examples))),
+        ReportRow("Fig 15", "storms with non-local followers", 1.0,
+                  analysis.nonlocal_fraction()),
+    ]
+
+
+def _rack(pair: Tuple[int, int]):
+    from repro.facility.topology import RackId
+
+    return RackId(*pair)
+
+
+def full_report(
+    result: SimulationResult,
+    positive_windows: Optional[Sequence[LeadupWindow]] = None,
+    negative_windows: Optional[Sequence[LeadupWindow]] = None,
+) -> Dict[str, List[ReportRow]]:
+    """All figures' comparisons, keyed by a section title.
+
+    The Fig 12/13 sections are included only when windows are given
+    (they require the 300 s synthesis pass).
+    """
+    sections: Dict[str, List[ReportRow]] = {
+        "Fig 2 — year-over-year power and utilization": fig2_rows(result),
+        "Fig 3 — coolant flow and temperatures": fig3_rows(result),
+        "Fig 4 — monthly medians (allocation years)": fig4_rows(result),
+        "Fig 5 — weekday profiles (Monday maintenance)": fig5_rows(result),
+        "Fig 6 — rack-level power and utilization": fig6_rows(result),
+        "Fig 7 — rack-level coolant telemetry": fig7_rows(result),
+        "Fig 8 — ambient trends": fig8_rows(result),
+        "Fig 9 — ambient spatial variation": fig9_rows(result),
+        "Figs 10-11 — CMF timeline and per-rack distribution": fig10_11_rows(result),
+        "Figs 14-15 — the aftermath of a CMF": fig14_15_rows(result),
+    }
+    if positive_windows is not None:
+        sections["Fig 12 — the lead-up to a CMF"] = fig12_rows(positive_windows)
+    if positive_windows is not None and negative_windows is not None:
+        sections["Fig 13 — the CMF predictor"] = fig13_rows(
+            positive_windows, negative_windows
+        )
+    return sections
+
+
+def render_markdown(sections: Dict[str, List[ReportRow]]) -> str:
+    """Render a full-report dict as the EXPERIMENTS.md body."""
+    lines: List[str] = []
+    for title, rows in sections.items():
+        lines.append(f"### {title}")
+        lines.append("")
+        lines.append("| source | metric | paper | measured | unit |")
+        lines.append("|---|---|---:|---:|---|")
+        for row in rows:
+            lines.append(
+                f"| {row.figure} | {row.metric} | {row.paper_value:.4g} "
+                f"| {row.measured_value:.4g} | {row.unit} |"
+            )
+        lines.append("")
+    return "\n".join(lines)

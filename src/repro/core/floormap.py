@@ -1,0 +1,95 @@
+"""Floor-map rendering: the paper's rack heatmaps, in a terminal.
+
+Figs 6, 7, 9, and 11 of the paper are 3 x 16 floor maps of Mira with
+one cell per rack.  :func:`render_floor` reproduces that view as text:
+a shaded heatmap with row/column labels and optional cell annotations,
+used by the examples and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro import constants
+from repro.facility.topology import RackId
+
+#: Shading ramp from cold to hot.
+_SHADES = " ░▒▓█"
+
+
+def _shade(value: float, lo: float, hi: float) -> str:
+    if not np.isfinite(value):
+        return "?"
+    if hi <= lo:
+        return _SHADES[2]
+    fraction = (value - lo) / (hi - lo)
+    index = int(round(fraction * (len(_SHADES) - 1)))
+    return _SHADES[max(0, min(len(_SHADES) - 1, index))]
+
+
+def render_floor(
+    per_rack_values: Sequence[float],
+    title: str = "",
+    formatter: Optional[Callable[[float], str]] = None,
+    annotate_extremes: bool = True,
+) -> str:
+    """Render a per-rack profile as the paper's 3 x 16 floor map.
+
+    Args:
+        per_rack_values: 48 values in flat-index order.
+        title: Optional heading.
+        formatter: Cell formatter; default two shaded blocks.  When
+            provided, each cell prints ``formatter(value)`` padded to
+            the widest cell instead of shading.
+        annotate_extremes: Append a min/max legend naming the racks.
+
+    Raises:
+        ValueError: if the profile is not 48 wide.
+    """
+    values = np.asarray(list(per_rack_values), dtype="float64")
+    if values.shape != (constants.NUM_RACKS,):
+        raise ValueError(
+            f"expected {constants.NUM_RACKS} values, got {values.shape}"
+        )
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 0.0
+
+    if formatter is None:
+        cells = [
+            [_shade(values[row * 16 + col], lo, hi) * 2 for col in range(16)]
+            for row in range(3)
+        ]
+    else:
+        rendered = [formatter(v) for v in values]
+        width = max(len(r) for r in rendered)
+        cells = [
+            [rendered[row * 16 + col].rjust(width) for col in range(16)]
+            for row in range(3)
+        ]
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "      " + " ".join(f"{col:X}".center(len(cells[0][0])) for col in range(16))
+    lines.append(header)
+    for row in range(3):
+        lines.append(f"row {row} " + " ".join(cells[row]))
+    if annotate_extremes and finite.size:
+        hottest = RackId.from_flat_index(int(np.nanargmax(values)))
+        coldest = RackId.from_flat_index(int(np.nanargmin(values)))
+        lines.append(
+            f"      min {lo:.4g} at {coldest.label}   max {hi:.4g} at {hottest.label}"
+        )
+    return "\n".join(lines)
+
+
+def render_counts(counts: Sequence[int], title: str = "") -> str:
+    """The Fig 11 view: integer counts per rack cell."""
+    return render_floor(
+        [float(c) for c in counts],
+        title=title,
+        formatter=lambda v: f"{int(v):d}",
+    )

@@ -1,0 +1,125 @@
+"""The lead-up to a CMF: Fig 12.
+
+Aggregates the coolant-monitor telemetry over the six hours before
+every CMF, expressed as the mean relative change of each channel
+versus its value at the start of the lead-up window.  The paper's
+findings this reproduces:
+
+* coolant flow stays flat until ~30 minutes out, then collapses,
+* inlet temperature sags by up to ~7 % around four hours out, then
+  snaps up by ~8 % in the final half hour,
+* outlet temperature sags ~5 % from about three hours out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro import timeutil
+from repro.simulation.windows import LeadupWindow
+from repro.telemetry.records import Channel
+
+#: Default lead times at which the aggregate is sampled (hours).
+DEFAULT_LEADS_H: Tuple[float, ...] = (6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class LeadupAggregate:
+    """Mean relative channel change vs lead time before a CMF."""
+
+    leads_h: Tuple[float, ...]
+    #: channel -> vector of mean relative changes, aligned to leads_h.
+    relative_change: Dict[Channel, np.ndarray]
+    windows_used: int
+
+    def change_at(self, channel: Channel, lead_h: float) -> float:
+        """Interpolated mean relative change at one lead time."""
+        leads = np.array(self.leads_h)
+        order = np.argsort(leads)
+        return float(
+            np.interp(lead_h, leads[order], self.relative_change[channel][order])
+        )
+
+    @property
+    def inlet_min_change(self) -> float:
+        """Deepest inlet sag over the window (paper: about -7 %)."""
+        return float(np.min(self.relative_change[Channel.INLET_TEMPERATURE]))
+
+    @property
+    def inlet_final_change(self) -> float:
+        """Inlet change at the failure itself (paper: up to +8 %)."""
+        return self.change_at(Channel.INLET_TEMPERATURE, 0.0)
+
+    @property
+    def outlet_min_change(self) -> float:
+        """Deepest outlet sag (paper: about -5 %)."""
+        return float(np.min(self.relative_change[Channel.OUTLET_TEMPERATURE]))
+
+    @property
+    def flow_stable_until_h(self) -> float:
+        """Largest lead at which flow has moved less than 2 %.
+
+        The paper: flow "continues to remain relatively stable until
+        just a half hour before a CMF".
+        """
+        flow = self.relative_change[Channel.FLOW]
+        leads = np.array(self.leads_h)
+        moved = np.abs(flow) >= 0.02
+        if not moved.any():
+            return 0.0
+        return float(leads[moved].max())
+
+
+def aggregate_leadup(
+    windows: Sequence[LeadupWindow],
+    leads_h: Tuple[float, ...] = DEFAULT_LEADS_H,
+    baseline_lead_h: float = 6.5,
+) -> LeadupAggregate:
+    """Aggregate positive lead-up windows into the Fig 12 curves.
+
+    Args:
+        windows: Positive (CMF-terminated) windows.
+        leads_h: Lead times to sample.
+        baseline_lead_h: Lead at which each channel's baseline is read
+            (just before the precursor window opens).
+
+    Raises:
+        ValueError: if no positive windows are given.
+    """
+    positives = [w for w in windows if w.is_positive]
+    if not positives:
+        raise ValueError("no positive lead-up windows to aggregate")
+    channels = (
+        Channel.FLOW,
+        Channel.INLET_TEMPERATURE,
+        Channel.OUTLET_TEMPERATURE,
+        Channel.POWER,
+        Channel.DC_TEMPERATURE,
+        Channel.DC_HUMIDITY,
+    )
+    sums: Dict[Channel, np.ndarray] = {
+        ch: np.zeros(len(leads_h)) for ch in channels
+    }
+    for window in positives:
+        for channel in channels:
+            baseline = window.lead_value(
+                channel, baseline_lead_h * timeutil.HOUR_S
+            )
+            if abs(baseline) < 1e-9:
+                continue
+            values = np.array(
+                [
+                    window.lead_value(channel, lead * timeutil.HOUR_S)
+                    for lead in leads_h
+                ]
+            )
+            sums[channel] += values / baseline - 1.0
+    count = len(positives)
+    return LeadupAggregate(
+        leads_h=tuple(leads_h),
+        relative_change={ch: sums[ch] / count for ch in channels},
+        windows_used=count,
+    )

@@ -1,0 +1,77 @@
+"""Paper-vs-measured reporting.
+
+Every benchmark regenerates one figure of the paper and prints a table
+of the figure's headline numbers next to what the reproduction
+measured.  The row builders here are shared between the benchmarks,
+EXPERIMENTS.md generation, and the examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ReportRow:
+    """One paper-vs-measured comparison."""
+
+    figure: str
+    metric: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / |paper| (inf when the paper value is 0)."""
+        if self.paper_value == 0:
+            return float("inf") if self.measured_value != 0 else 0.0
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    def formatted(self) -> str:
+        return (
+            f"{self.figure:<8} {self.metric:<46} "
+            f"paper={self.paper_value:>10.4g} "
+            f"measured={self.measured_value:>10.4g} {self.unit}"
+        )
+
+
+def format_table(rows: Iterable[ReportRow], title: Optional[str] = None) -> str:
+    """A printable paper-vs-measured table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    header = (
+        f"{'figure':<8} {'metric':<46} {'paper':>16} {'measured':>19}"
+    )
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.extend(row.formatted() for row in rows)
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A terminal sparkline of a series (for the examples).
+
+    Resamples the series to ``width`` points and renders it with
+    eighth-block characters.
+    """
+    blocks = " ▁▂▃▄▅▆▇█"
+    data = np.asarray(list(values), dtype="float64")
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        return ""
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() for a, b in zip(edges, edges[1:]) if b > a]
+        )
+    lo, hi = data.min(), data.max()
+    if hi - lo < 1e-12:
+        return blocks[4] * len(data)
+    scaled = (data - lo) / (hi - lo) * (len(blocks) - 2) + 1
+    return "".join(blocks[int(round(s))] for s in scaled)

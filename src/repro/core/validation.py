@@ -1,0 +1,182 @@
+"""Internal consistency validation of a simulated dataset.
+
+Calibration tests check the dataset against the *paper*; this module
+checks it against *physics and bookkeeping* — the cross-checks a
+reviewer of the original study would run on the raw archive:
+
+* **heat balance**: the outlet-minus-inlet temperature rise of every
+  powered rack must match ``Q = m_dot c_p dT`` for its logged power
+  and flow (within sensor noise),
+* **flow conservation**: per-rack flows must sum to the facility
+  setpoint in force at each instant,
+* **condensation margins**: dewpoint margins are comfortably positive
+  in normal operation,
+* **log/telemetry agreement**: every fatal CMF event in the RAS log
+  has a telemetry outage (zero power) following it.
+
+:func:`validate_result` runs all checks and returns a scorecard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil, units
+from repro.core.failure_analysis import deduplicate_cmf_events
+from repro.failures.dewpoint import condensation_margin_f
+from repro.simulation.engine import SimulationResult
+from repro.telemetry.records import Channel
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckResult:
+    """One validation check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationScorecard:
+    """All checks plus an overall verdict."""
+
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        lines = [str(check) for check in self.checks]
+        verdict = "ALL CHECKS PASSED" if self.passed else "CHECKS FAILED"
+        return "\n".join(lines + [verdict])
+
+
+def check_heat_balance(
+    result: SimulationResult, tolerance_f: float = 2.5
+) -> CheckResult:
+    """Outlet rise must match the heat-balance prediction per sample."""
+    db = result.database
+    power = db.channel(Channel.POWER).values
+    flow = db.channel(Channel.FLOW).values
+    inlet = db.channel(Channel.INLET_TEMPERATURE).values
+    outlet = db.channel(Channel.OUTLET_TEMPERATURE).values
+    loaded = (power > 30.0) & (flow > 10.0) & np.isfinite(outlet)
+    m_dot = units.gpm_to_kg_per_s(1.0) * flow[loaded]
+    predicted_rise = units.celsius_delta_to_fahrenheit(
+        0.98 * power[loaded] / (m_dot * units.WATER_SPECIFIC_HEAT_KJ_PER_KG_K)
+    )
+    residual = (outlet[loaded] - inlet[loaded]) - predicted_rise
+    p95 = float(np.percentile(np.abs(residual), 95))
+    return CheckResult(
+        name="heat balance",
+        passed=p95 < tolerance_f,
+        detail=f"|dT residual| p95 = {p95:.2f} F (tolerance {tolerance_f} F)",
+    )
+
+
+def check_flow_conservation(
+    result: SimulationResult, tolerance: float = 0.12
+) -> CheckResult:
+    """Summed rack flows must track the valve setpoint in force."""
+    from repro.cooling.valves import FlowRegulatingValve
+
+    valve = FlowRegulatingValve()
+    total = result.database.total_flow_gpm()
+    setpoints = np.array([valve.setpoint_gpm(t) for t in total.epoch_s])
+    relative = np.abs(total.values - setpoints) / setpoints
+    p99 = float(np.percentile(relative[np.isfinite(relative)], 99))
+    return CheckResult(
+        name="flow conservation",
+        passed=p99 < tolerance,
+        detail=f"|total flow - setpoint| p99 = {p99:.1%} (tolerance {tolerance:.0%})",
+    )
+
+
+def check_condensation_margins(
+    result: SimulationResult, min_margin_f: float = 2.0
+) -> CheckResult:
+    """Dewpoint margins stay positive away from condensation events."""
+    db = result.database
+    inlet = db.channel(Channel.INLET_TEMPERATURE).values
+    temp = db.channel(Channel.DC_TEMPERATURE).values
+    rh = db.channel(Channel.DC_HUMIDITY).values
+    valid = np.isfinite(inlet) & np.isfinite(temp) & np.isfinite(rh) & (rh > 0)
+    margins = condensation_margin_f(inlet[valid], temp[valid], rh[valid])
+    fraction_tight = float(np.mean(margins < min_margin_f))
+    # Condensation-risk lead-ups legitimately compress the margin; they
+    # are a tiny fraction of all samples.
+    return CheckResult(
+        name="condensation margins",
+        passed=fraction_tight < 0.01,
+        detail=(
+            f"{fraction_tight:.3%} of samples below {min_margin_f} F margin "
+            f"(min {margins.min():.1f} F)"
+        ),
+    )
+
+
+def check_outages_follow_log(result: SimulationResult) -> CheckResult:
+    """Every logged fatal CMF must show a telemetry power outage."""
+    if result.schedule is None or not result.schedule.events:
+        return CheckResult(
+            name="log/telemetry agreement",
+            passed=True,
+            detail="no failures injected",
+        )
+    db = result.database
+    power = db.channel(Channel.POWER)
+    dedup = deduplicate_cmf_events(result.ras_log)
+    dt_s = result.config.dt_s
+    verified = 0
+    checked = 0
+    for event in dedup.events[:200]:  # bounded sample
+        flat = event.rack_id.flat_index
+        mask = (power.epoch_s >= event.epoch_s) & (
+            power.epoch_s < event.epoch_s + 3 * dt_s
+        )
+        if not mask.any():
+            continue
+        checked += 1
+        if np.nanmin(power.values[mask, flat]) < 5.0:
+            verified += 1
+    fraction = verified / max(1, checked)
+    return CheckResult(
+        name="log/telemetry agreement",
+        passed=fraction > 0.97,
+        detail=f"{verified}/{checked} logged CMFs show a power outage",
+    )
+
+
+def check_utilization_bounds(result: SimulationResult) -> CheckResult:
+    """Utilization must stay in [0, 1] with a sane mean."""
+    util = result.database.channel(Channel.UTILIZATION).values
+    finite = util[np.isfinite(util)]
+    in_bounds = bool(finite.min() >= 0.0 and finite.max() <= 1.0)
+    mean = float(finite.mean())
+    return CheckResult(
+        name="utilization bounds",
+        passed=in_bounds and 0.3 < mean < 1.0,
+        detail=f"range [{finite.min():.2f}, {finite.max():.2f}], mean {mean:.2f}",
+    )
+
+
+def validate_result(result: SimulationResult) -> ValidationScorecard:
+    """Run every consistency check against a simulation result."""
+    return ValidationScorecard(
+        checks=(
+            check_heat_balance(result),
+            check_flow_conservation(result),
+            check_condensation_margins(result),
+            check_outages_follow_log(result),
+            check_utilization_bounds(result),
+        )
+    )

@@ -1,0 +1,27 @@
+"""Physical model of the Mira machine: topology, power plant, dependencies.
+
+The facility package answers "what is the machine made of": rack
+geometry and naming (:mod:`repro.facility.topology`), the clock/link
+dependency structure that makes rack failures propagate
+(:mod:`repro.facility.dependencies`), the bulk-power-module electrical
+model (:mod:`repro.facility.power`), and the assembled
+:class:`~repro.facility.machine.Machine`.
+"""
+
+from repro.facility.topology import RackId, Rack, MiraTopology
+from repro.facility.dependencies import DependencyGraph
+from repro.facility.power import BulkPowerModule, RackPowerModel
+from repro.facility.machine import Machine
+from repro.facility.ion import IonPark, IonRack
+
+__all__ = [
+    "RackId",
+    "Rack",
+    "MiraTopology",
+    "DependencyGraph",
+    "BulkPowerModule",
+    "RackPowerModel",
+    "Machine",
+    "IonPark",
+    "IonRack",
+]

@@ -1,0 +1,138 @@
+"""Inter-rack clock/link dependencies and failure propagation.
+
+Mira's racks are not failure-isolated: racks are inter-connected and
+mediate links connecting each other.  The paper gives two concrete
+examples (Section VI-A):
+
+* rack ``(0, 9)`` has no clock card of its own and receives its clock
+  signal *through* rack ``(0, A)`` — if ``(0, A)`` shuts down, ``(0, 9)``
+  fails with it;
+* *all* racks receive their clock signal through rack ``(1, 4)`` — if
+  ``(1, 4)`` fails, the entire system fails.
+
+Beyond the clock tree, the 5D torus means link traffic between any two
+racks can be routed through racks that are not physically adjacent, so
+the set of racks disturbed by a failure is not spatially correlated with
+the epicenter (the Fig 15 observation).  We model this as a sparse
+random "link mediation" graph layered on top of the deterministic clock
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.facility.topology import MiraTopology, RackId
+
+
+class DependencyGraph:
+    """Clock and link dependencies between racks.
+
+    Args:
+        topology: The machine floor plan.
+        rng: Source of randomness for the link-mediation graph.  If
+            omitted, only the deterministic clock dependencies are
+            present.
+        mediation_degree: Expected number of non-local racks whose links
+            are mediated through each rack.
+    """
+
+    def __init__(
+        self,
+        topology: MiraTopology,
+        rng: Optional[np.random.Generator] = None,
+        mediation_degree: int = 3,
+    ) -> None:
+        self._topology = topology
+        self._global_clock = RackId(*constants.GLOBAL_CLOCK_RACK)
+        self._clock_parent: Dict[RackId, RackId] = {
+            RackId(*child): RackId(*parent)
+            for child, parent in constants.CLOCK_CHAINS.items()
+        }
+        self._mediates: Dict[RackId, FrozenSet[RackId]] = {}
+        if rng is not None and mediation_degree > 0:
+            self._build_mediation(rng, mediation_degree)
+
+    # -- construction --------------------------------------------------------
+
+    def _build_mediation(self, rng: np.random.Generator, degree: int) -> None:
+        rack_ids = self._topology.rack_ids
+        for rack_id in rack_ids:
+            count = int(rng.poisson(degree))
+            if count == 0:
+                self._mediates[rack_id] = frozenset()
+                continue
+            others = [r for r in rack_ids if r != rack_id]
+            chosen = rng.choice(len(others), size=min(count, len(others)), replace=False)
+            self._mediates[rack_id] = frozenset(others[i] for i in np.atleast_1d(chosen))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def global_clock_rack(self) -> RackId:
+        """The rack through which all racks receive their clock signal."""
+        return self._global_clock
+
+    def clock_parent(self, rack_id: RackId) -> Optional[RackId]:
+        """The rack this one draws its clock through, if chained."""
+        return self._clock_parent.get(rack_id)
+
+    def clock_children(self, rack_id: RackId) -> Tuple[RackId, ...]:
+        """Racks that draw their clock through ``rack_id``."""
+        return tuple(
+            child for child, parent in self._clock_parent.items() if parent == rack_id
+        )
+
+    def mediated_by(self, rack_id: RackId) -> FrozenSet[RackId]:
+        """Racks whose torus links are mediated through ``rack_id``."""
+        return self._mediates.get(rack_id, frozenset())
+
+    # -- propagation ---------------------------------------------------------
+
+    def affected_by_failure(self, epicenter: RackId) -> FrozenSet[RackId]:
+        """The closure of racks taken down when ``epicenter`` fails.
+
+        Failure of the global clock rack takes down every rack.  Failure
+        of a clock-chain parent takes down its chained children
+        transitively.  Link-mediation disturbances are *not* included
+        here — they raise failure *risk* (see
+        :mod:`repro.failures.noncmf`) rather than deterministically
+        killing racks.
+        """
+        if epicenter == self._global_clock:
+            return frozenset(self._topology.rack_ids)
+        affected: Set[RackId] = {epicenter}
+        frontier: List[RackId] = [epicenter]
+        while frontier:
+            current = frontier.pop()
+            for child in self.clock_children(current):
+                if child not in affected:
+                    affected.add(child)
+                    frontier.append(child)
+        return frozenset(affected)
+
+    def disturbance_set(self, epicenter: RackId) -> FrozenSet[RackId]:
+        """Racks whose traffic or clock is *disturbed* by a failure.
+
+        This is the union of the deterministic failure closure and the
+        link-mediation set, and is used to spread post-CMF elevated
+        failure hazard across non-neighbouring racks (Fig 15).
+        """
+        return self.affected_by_failure(epicenter) | self.mediated_by(epicenter)
+
+    def spatial_distance(self, a: RackId, b: RackId) -> float:
+        """Euclidean floor distance between two racks (in rack pitches)."""
+        return float(np.hypot(a.row - b.row, a.col - b.col))
+
+    def is_spatially_local(
+        self, epicenter: RackId, racks: Iterable[RackId], radius: float = 2.0
+    ) -> bool:
+        """Whether all ``racks`` lie within ``radius`` pitches of the epicenter.
+
+        The Fig 15 analysis uses this to demonstrate that post-CMF
+        failures are *not* local to the epicenter.
+        """
+        return all(self.spatial_distance(epicenter, r) <= radius for r in racks)

@@ -1,0 +1,99 @@
+"""The I/O forwarding node (ION) racks — the air-cooled remainder.
+
+Section II: each of Mira's three rows ends with two racks of I/O
+forwarding nodes (six ION racks total), and unlike the compute racks
+"other associated infrastructures, including the IONs, are air-cooled".
+The coolant monitors do not instrument them, so they never appear in
+the environmental database — but they do draw power and dump heat on
+the *air* side, which the facility energy accounting must carry.
+
+The model is deliberately simple: each ION rack has a static base draw
+(the forwarding nodes run continuously) plus a component tracking the
+compute machine's utilization (I/O traffic scales with running jobs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclasses.dataclass(frozen=True)
+class IonRack:
+    """One air-cooled I/O forwarding rack.
+
+    Attributes:
+        row: The compute row this ION rack serves.
+        position: 0 for the row's left end, 1 for the right.
+        base_kw: Always-on draw of the forwarding nodes and switches.
+        traffic_kw: Additional draw at 100 % compute utilization.
+    """
+
+    row: int
+    position: int
+    base_kw: float = 28.0
+    traffic_kw: float = 9.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.row < constants.NUM_ROWS:
+            raise ValueError(f"row must be in [0, {constants.NUM_ROWS})")
+        if self.position not in (0, 1):
+            raise ValueError("position must be 0 or 1")
+        if self.base_kw < 0 or self.traffic_kw < 0:
+            raise ValueError("power terms cannot be negative")
+
+    def power_kw(self, compute_utilization: float) -> float:
+        """Draw at a given compute-machine utilization.
+
+        Raises:
+            ValueError: if utilization is outside [0, 1].
+        """
+        if not 0.0 <= compute_utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in [0, 1], got {compute_utilization}"
+            )
+        return self.base_kw + self.traffic_kw * compute_utilization
+
+    @property
+    def label(self) -> str:
+        side = "L" if self.position == 0 else "R"
+        return f"ION({self.row}, {side})"
+
+
+class IonPark:
+    """All six ION racks (two per row)."""
+
+    def __init__(self) -> None:
+        self._racks: Tuple[IonRack, ...] = tuple(
+            IonRack(row=row, position=position)
+            for row in range(constants.NUM_ROWS)
+            for position in range(constants.ION_RACKS_PER_ROW)
+        )
+
+    @property
+    def racks(self) -> Tuple[IonRack, ...]:
+        return self._racks
+
+    def __len__(self) -> int:
+        return len(self._racks)
+
+    def total_power_kw(
+        self, compute_utilization: Union[float, np.ndarray]
+    ) -> np.ndarray:
+        """Aggregate ION draw for scalar or vector utilization."""
+        utilization = np.asarray(compute_utilization, dtype="float64")
+        if np.any((utilization < 0) | (utilization > 1)):
+            raise ValueError("utilization must be in [0, 1]")
+        base = sum(rack.base_kw for rack in self._racks)
+        traffic = sum(rack.traffic_kw for rack in self._racks)
+        return base + traffic * utilization
+
+    def air_heat_load_kw(
+        self, compute_utilization: Union[float, np.ndarray]
+    ) -> np.ndarray:
+        """Heat dumped to the room air (all of the ION draw)."""
+        return self.total_power_kw(compute_utilization)

@@ -1,0 +1,201 @@
+"""Mira rack topology and naming.
+
+Mira's 48 liquid-cooled compute racks are laid out in 3 rows of 16.
+The paper (and the ALCF operators) name a rack by its row number and a
+hexadecimal column, e.g. rack ``(0, D)`` is row 0, column 13.  This
+module provides:
+
+* :class:`RackId` — a hashable identity with the paper's naming,
+* :class:`Rack` — the static structure of one rack (midplanes, node
+  boards, node count),
+* :class:`MiraTopology` — the full floor: rack enumeration, row/column
+  lookups, airflow-impedance factors used by the ambient model, and
+  flat-index mapping used by the vectorized simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class RackId:
+    """Identity of one compute rack, named as in the paper.
+
+    Attributes:
+        row: Row index, 0..2.
+        col: Column index, 0..15 (printed as a hex digit).
+    """
+
+    row: int
+    col: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.row < constants.NUM_ROWS:
+            raise ValueError(f"row must be in [0, {constants.NUM_ROWS}), got {self.row}")
+        if not 0 <= self.col < constants.RACKS_PER_ROW:
+            raise ValueError(
+                f"col must be in [0, {constants.RACKS_PER_ROW}), got {self.col}"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's display name, e.g. ``(0, D)``."""
+        return f"({self.row}, {self.col:X})"
+
+    @property
+    def flat_index(self) -> int:
+        """Row-major flat index in 0..47, used by vectorized telemetry."""
+        return self.row * constants.RACKS_PER_ROW + self.col
+
+    @classmethod
+    def from_flat_index(cls, index: int) -> "RackId":
+        """Inverse of :attr:`flat_index`."""
+        if not 0 <= index < constants.NUM_RACKS:
+            raise ValueError(f"flat index must be in [0, {constants.NUM_RACKS})")
+        return cls(index // constants.RACKS_PER_ROW, index % constants.RACKS_PER_ROW)
+
+    @classmethod
+    def parse(cls, label: str) -> "RackId":
+        """Parse a display label like ``(1, 8)`` or ``1,A`` or ``(2,f)``."""
+        cleaned = label.strip().strip("()").replace(" ", "")
+        parts = cleaned.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"cannot parse rack label {label!r}")
+        row = int(parts[0])
+        col = int(parts[1], 16)
+        return cls(row, col)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+@dataclasses.dataclass(frozen=True)
+class Rack:
+    """Static structure of one Blue Gene/Q compute rack."""
+
+    rack_id: RackId
+    midplanes: int = constants.MIDPLANES_PER_RACK
+    node_boards_per_midplane: int = constants.NODE_BOARDS_PER_MIDPLANE
+    nodes_per_board: int = constants.NODES_PER_BOARD
+
+    @property
+    def num_nodes(self) -> int:
+        """Total compute nodes in the rack (1,024 on Mira)."""
+        return self.midplanes * self.node_boards_per_midplane * self.nodes_per_board
+
+    @property
+    def num_cores(self) -> int:
+        """Active compute cores in the rack."""
+        return self.num_nodes * constants.COMPUTE_CORES_PER_NODE
+
+
+class MiraTopology:
+    """The 3 x 16 Mira floor plan and its derived spatial factors.
+
+    The topology is immutable; one instance can be shared by the
+    scheduler, the cooling loop, and the ambient model.
+
+    The *airflow impedance* factors encode the paper's Section V root
+    cause for the rack-to-rack spread of ambient temperature and
+    humidity: underfloor airflow is significantly lower near the ends of
+    each row (obstructive surfaces), and there are localized blockages
+    such as the plumbing/vent/torus-cable tangle under rack (1, 8).
+    A factor of 1.0 means unobstructed airflow; lower means blocked.
+    """
+
+    #: How many racks at each row end see reduced airflow (paper: the
+    #: last three or four racks on either side).
+    ROW_END_AFFECTED = 4
+
+    #: Airflow factor at the very end of a row (linearly recovering to
+    #: 1.0 over ROW_END_AFFECTED racks).
+    ROW_END_FACTOR = 0.55
+
+    #: Airflow factor at localized blockage hotspots.
+    HOTSPOT_FACTOR = 0.50
+
+    def __init__(self, hotspots: Sequence[Tuple[int, int]] = ((1, 0x8),)) -> None:
+        self._racks: List[Rack] = [
+            Rack(RackId.from_flat_index(i)) for i in range(constants.NUM_RACKS)
+        ]
+        self._hotspots = {RackId(r, c) for r, c in hotspots}
+        self._airflow = self._compute_airflow_factors()
+
+    # -- enumeration --------------------------------------------------------
+
+    @property
+    def racks(self) -> Tuple[Rack, ...]:
+        """All 48 compute racks in flat-index order."""
+        return tuple(self._racks)
+
+    @property
+    def rack_ids(self) -> Tuple[RackId, ...]:
+        """All 48 rack identities in flat-index order."""
+        return tuple(rack.rack_id for rack in self._racks)
+
+    @property
+    def num_racks(self) -> int:
+        return len(self._racks)
+
+    @property
+    def total_nodes(self) -> int:
+        """Total compute nodes across the machine (49,152 on Mira)."""
+        return sum(rack.num_nodes for rack in self._racks)
+
+    def __iter__(self) -> Iterator[Rack]:
+        return iter(self._racks)
+
+    def __len__(self) -> int:
+        return len(self._racks)
+
+    def rack(self, rack_id: RackId) -> Rack:
+        """Look up the :class:`Rack` for an identity."""
+        return self._racks[rack_id.flat_index]
+
+    def row(self, row_index: int) -> Tuple[RackId, ...]:
+        """All rack identities in one row, by column order."""
+        if not 0 <= row_index < constants.NUM_ROWS:
+            raise ValueError(f"row must be in [0, {constants.NUM_ROWS})")
+        return tuple(
+            RackId(row_index, col) for col in range(constants.RACKS_PER_ROW)
+        )
+
+    # -- spatial factors -----------------------------------------------------
+
+    @property
+    def hotspots(self) -> frozenset:
+        """Racks with localized underfloor airflow blockage."""
+        return frozenset(self._hotspots)
+
+    def airflow_factor(self, rack_id: RackId) -> float:
+        """Underfloor airflow factor for one rack (1.0 = unobstructed)."""
+        return float(self._airflow[rack_id.flat_index])
+
+    def airflow_factors(self) -> np.ndarray:
+        """Vector of airflow factors in flat-index order (copy)."""
+        return self._airflow.copy()
+
+    def _compute_airflow_factors(self) -> np.ndarray:
+        factors = np.ones(constants.NUM_RACKS)
+        n = constants.RACKS_PER_ROW
+        for rack in self._racks:
+            col = rack.rack_id.col
+            distance_from_end = min(col, n - 1 - col)
+            if distance_from_end < self.ROW_END_AFFECTED:
+                # Linear recovery from ROW_END_FACTOR at the very end to
+                # 1.0 just past the affected region.
+                frac = distance_from_end / self.ROW_END_AFFECTED
+                factors[rack.rack_id.flat_index] = (
+                    self.ROW_END_FACTOR + (1.0 - self.ROW_END_FACTOR) * frac
+                )
+        for hotspot in self._hotspots:
+            factors[hotspot.flat_index] = min(
+                factors[hotspot.flat_index], self.HOTSPOT_FACTOR
+            )
+        return factors

@@ -1,0 +1,25 @@
+"""Failure processes: CMF hazard, precursors, storms, and aftermath.
+
+* :mod:`repro.failures.dewpoint` — condensation-risk arithmetic,
+* :mod:`repro.failures.cmf` — the coolant-monitor-failure schedule
+  (era-modulated, rack-factored) and the pre-failure telemetry
+  signatures of Fig 12,
+* :mod:`repro.failures.noncmf` — the elevated post-CMF failure process
+  of Fig 14,
+* :mod:`repro.failures.storms` — raw RAS-storm message generation that
+  the Section VI dedup methodology is applied against.
+"""
+
+from repro.failures.cmf import CmfEvent, CmfIncident, CmfSchedule, PrecursorSignature
+from repro.failures.noncmf import AftermathProcess, NonCmfFailure
+from repro.failures.storms import StormGenerator
+
+__all__ = [
+    "CmfEvent",
+    "CmfIncident",
+    "CmfSchedule",
+    "PrecursorSignature",
+    "AftermathProcess",
+    "NonCmfFailure",
+    "StormGenerator",
+]

@@ -1,0 +1,454 @@
+"""The coolant-monitor-failure (CMF) process.
+
+Three findings from Section VI shape this model:
+
+* **Non-bathtub timing** (Fig 10): failures cluster around external
+  events — ~40 % of all CMFs landed in 2016 while Theta was being
+  plumbed into Mira's water loop — with a >2-year quiet stretch
+  afterwards.  The schedule therefore samples incident times from an
+  *era-weighted* density rather than a constant or bathtub hazard.
+* **Rack factors uncorrelated with load** (Fig 11): per-rack CMF
+  counts ranged from 5 (rack (2, 7)) to 14 (rack (1, 8)) with no other
+  rack above 9, and correlate with neither utilization, outlet
+  temperature, nor humidity.  Rack budgets here are latent factors
+  drawn independently of every load metric.
+* **Precursor signatures** (Fig 12): inlet coolant temperature sags by
+  up to 7 % starting ~4 h out then snaps up ~8 % in the last half
+  hour; outlet sags 5 % from ~3 h out; flow holds steady until a rapid
+  collapse in the final ~30 min.  :class:`PrecursorSignature` encodes
+  those shapes as piecewise-linear multipliers that the simulation
+  engine applies to the affected rack's telemetry.
+
+A CMF *incident* is one physical cooling event; it produces CMF
+*events* on one or more racks (the paper's methodology counts each
+affected rack as a failure).  Incidents are spaced more than the 6 h
+dedup window apart so the downstream dedup recovers the schedule
+exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.facility.topology import RackId
+
+#: Failure reasons, matching the coolant monitor's fatal conditions.
+REASON_FLOW = "coolant_flow_loss"
+REASON_CONDENSATION = "condensation_risk"
+
+
+@dataclasses.dataclass(frozen=True)
+class CmfEvent:
+    """One rack's fatal coolant-monitor failure."""
+
+    epoch_s: float
+    rack_id: RackId
+    incident_id: int
+    reason: str
+    is_epicenter: bool
+    #: How long the rack stays down (up to six hours, Section VI).
+    recovery_s: float
+    #: Relative strength of the pre-failure telemetry signature.  The
+    #: paper reports drops "by as much as" 7-8 %: event severities
+    #: vary, and weak-precursor events are the ones the predictor
+    #: struggles with at long leads.
+    severity: float = 1.0
+
+    @property
+    def recovery_epoch_s(self) -> float:
+        return self.epoch_s + self.recovery_s
+
+
+@dataclasses.dataclass(frozen=True)
+class CmfIncident:
+    """One physical cooling incident and the rack failures it caused."""
+
+    incident_id: int
+    epoch_s: float
+    epicenter: RackId
+    events: Tuple[CmfEvent, ...]
+
+    @property
+    def affected_racks(self) -> Tuple[RackId, ...]:
+        return tuple(e.rack_id for e in self.events)
+
+    @property
+    def size(self) -> int:
+        return len(self.events)
+
+
+class PrecursorSignature:
+    """Piecewise-linear pre-failure telemetry multipliers (Fig 12).
+
+    Each channel's multiplier is 1.0 outside the lead-up window and
+    follows the paper's reported shape inside it.  ``tau_s`` is the
+    time *remaining* until the failure (0 at the event itself).
+    """
+
+    #: Lead-up window length: signatures are flat (1.0) beyond this.
+    #: The strong Fig 12 shapes live inside six hours; a weak onset
+    #: tail extends to ten hours (this is what lets the paper's
+    #: predictor reach ~87 % accuracy a full six hours out — the
+    #: change features evaluated at a 6 h lead look back over the
+    #: 6..12 h-before span and catch the onset).
+    WINDOW_S = 10 * timeutil.HOUR_S
+
+    #: (tau_hours, relative_change) knots, tau decreasing to the event.
+    INLET_KNOTS: Tuple[Tuple[float, float], ...] = (
+        (10.0, 0.0),
+        (8.0, -0.014),
+        (6.0, -0.030),
+        (constants.LEADUP_INLET_DROP_HOURS, -constants.LEADUP_INLET_DROP),
+        (1.0, -0.045),
+        (0.5, 0.0),
+        (0.0, constants.LEADUP_INLET_RISE),
+    )
+    OUTLET_KNOTS: Tuple[Tuple[float, float], ...] = (
+        (10.0, 0.0),
+        (8.0, -0.009),
+        (6.0, -0.020),
+        (constants.LEADUP_OUTLET_DROP_HOURS, -constants.LEADUP_OUTLET_DROP),
+        (0.5, -constants.LEADUP_OUTLET_DROP),
+        (0.0, -0.03),
+    )
+    FLOW_KNOTS: Tuple[Tuple[float, float], ...] = (
+        (10.0, 0.0),
+        (constants.LEADUP_FLOW_COLLAPSE_HOURS, 0.0),
+        (0.0, -0.70),
+    )
+    #: Localized humidity rise used for condensation-triggered events.
+    HUMIDITY_KNOTS: Tuple[Tuple[float, float], ...] = (
+        (10.0, 0.0),
+        (7.0, 0.02),
+        (2.0, 0.06),
+        (0.0, 0.30),
+    )
+
+    @staticmethod
+    def _interp(
+        knots: Tuple[Tuple[float, float], ...],
+        tau_s: np.ndarray,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
+        tau_h = np.asarray(tau_s, dtype="float64") / timeutil.HOUR_S
+        taus = np.array([k[0] for k in knots])
+        vals = np.array([k[1] for k in knots])
+        # np.interp needs increasing x; knots are tau-decreasing.
+        change = np.interp(tau_h, taus[::-1], vals[::-1], left=vals[-1], right=0.0)
+        change = np.where(tau_h > knots[0][0], 0.0, change)
+        change = np.where(tau_h < 0.0, 0.0, change)
+        return 1.0 + amplitude * change
+
+    @classmethod
+    def inlet_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+        """Multiplier on inlet coolant temperature at lead ``tau_s``."""
+        return cls._interp(cls.INLET_KNOTS, tau_s, amplitude)
+
+    @classmethod
+    def outlet_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+        """Multiplier on outlet coolant temperature at lead ``tau_s``."""
+        return cls._interp(cls.OUTLET_KNOTS, tau_s, amplitude)
+
+    @classmethod
+    def flow_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+        """Multiplier on coolant flow at lead ``tau_s``.
+
+        The flow collapse *is* the failure mechanism for most events,
+        so its amplitude is floored high enough that even
+        weak-precursor events drop a ~26 GPM rack below the 10 GPM
+        fatal threshold at the event.
+        """
+        return cls._interp(cls.FLOW_KNOTS, tau_s, max(amplitude, 0.9))
+
+    @classmethod
+    def humidity_factor(
+        cls,
+        tau_s: np.ndarray,
+        condensation_triggered: bool = False,
+        amplitude: float = 1.0,
+    ) -> np.ndarray:
+        """Multiplier on local DC humidity at lead ``tau_s``."""
+        if not condensation_triggered:
+            return np.ones_like(np.asarray(tau_s, dtype="float64"))
+        return cls._interp(cls.HUMIDITY_KNOTS, tau_s, amplitude)
+
+
+@dataclasses.dataclass(frozen=True)
+class CmfScheduleConfig:
+    """Knobs for schedule generation; defaults reproduce the paper."""
+
+    total_events: int = constants.TOTAL_CMFS
+    fraction_2016: float = constants.CMF_2016_FRACTION
+    most_rack: Tuple[int, int] = constants.MOST_CMF_RACK
+    most_count: int = constants.MOST_CMF_COUNT
+    fewest_rack: Tuple[int, int] = constants.FEWEST_CMF_RACK
+    fewest_count: int = constants.FEWEST_CMF_COUNT
+    other_min: int = 6
+    other_max: int = constants.OTHER_RACK_MAX_CMFS
+    #: Minimum spacing between incidents; larger than the 6 h dedup
+    #: window so dedup recovers the schedule exactly.
+    min_incident_spacing_s: float = 6.5 * timeutil.HOUR_S
+    #: Condensation-triggered share of incidents (the rest are flow
+    #: collapses).
+    condensation_fraction: float = 0.35
+    min_recovery_s: float = 3.0 * timeutil.HOUR_S
+    max_recovery_s: float = 6.0 * timeutil.HOUR_S
+
+
+class CmfSchedule:
+    """The realized six-year CMF schedule.
+
+    Build with :meth:`generate`; query incidents, per-rack events, and
+    the precursor state needed by the telemetry engine.
+    """
+
+    def __init__(self, incidents: Sequence[CmfIncident]) -> None:
+        self._incidents = tuple(sorted(incidents, key=lambda i: i.epoch_s))
+        self._events = tuple(
+            sorted(
+                (e for i in self._incidents for e in i.events),
+                key=lambda e: e.epoch_s,
+            )
+        )
+        self._per_rack: Dict[RackId, List[CmfEvent]] = {}
+        for event in self._events:
+            self._per_rack.setdefault(event.rack_id, []).append(event)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def incidents(self) -> Tuple[CmfIncident, ...]:
+        return self._incidents
+
+    @property
+    def events(self) -> Tuple[CmfEvent, ...]:
+        return self._events
+
+    def events_for_rack(self, rack_id: RackId) -> Tuple[CmfEvent, ...]:
+        return tuple(self._per_rack.get(rack_id, ()))
+
+    def rack_counts(self) -> np.ndarray:
+        """Per-rack event counts in flat-index order (Fig 11)."""
+        counts = np.zeros(constants.NUM_RACKS, dtype=int)
+        for event in self._events:
+            counts[event.rack_id.flat_index] += 1
+        return counts
+
+    def events_between(self, start_epoch_s: float, end_epoch_s: float) -> Tuple[CmfEvent, ...]:
+        return tuple(
+            e for e in self._events if start_epoch_s <= e.epoch_s < end_epoch_s
+        )
+
+    def event_time_matrix(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(times, rack_indices, condensation_flags) arrays for the engine."""
+        times = np.array([e.epoch_s for e in self._events])
+        racks = np.array([e.rack_id.flat_index for e in self._events], dtype=int)
+        condensation = np.array(
+            [e.reason == REASON_CONDENSATION for e in self._events], dtype=bool
+        )
+        return times, racks, condensation
+
+    # -- generation ---------------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        rng: np.random.Generator,
+        start_epoch_s: Optional[float] = None,
+        end_epoch_s: Optional[float] = None,
+        config: Optional[CmfScheduleConfig] = None,
+    ) -> "CmfSchedule":
+        """Sample a schedule consistent with the paper's Figs 10-11."""
+        cfg = config if config is not None else CmfScheduleConfig()
+        start = (
+            start_epoch_s
+            if start_epoch_s is not None
+            else timeutil.to_epoch(constants.PRODUCTION_START)
+        )
+        end = (
+            end_epoch_s
+            if end_epoch_s is not None
+            else timeutil.to_epoch(constants.PRODUCTION_END)
+        )
+        eras = cls._eras(start, end, cfg)
+        mass = sum(w for _, w in eras)
+        scaled_total = int(round(cfg.total_events * min(1.0, mass)))
+        if scaled_total == 0 or not eras:
+            return cls(())
+        if scaled_total >= cfg.total_events:
+            budgets = cls._rack_budgets(rng, cfg)
+        else:
+            # Partial window: thin the full-period rack profile.
+            full = cls._rack_budgets(rng, cfg).astype(float)
+            budgets = rng.multinomial(scaled_total, full / full.sum())
+        multiplicities = cls._incident_multiplicities(rng, int(budgets.sum()))
+        times = cls._incident_times(rng, len(multiplicities), eras, cfg)
+        incidents = cls._assemble(rng, budgets, multiplicities, times, cfg)
+        return cls(incidents)
+
+    @staticmethod
+    def _rack_budgets(rng: np.random.Generator, cfg: CmfScheduleConfig) -> np.ndarray:
+        """Per-rack event budgets matching the Fig 11 profile."""
+        budgets = np.zeros(constants.NUM_RACKS, dtype=int)
+        most = RackId(*cfg.most_rack).flat_index
+        fewest = RackId(*cfg.fewest_rack).flat_index
+        budgets[most] = cfg.most_count
+        budgets[fewest] = cfg.fewest_count
+        others = [i for i in range(constants.NUM_RACKS) if i not in (most, fewest)]
+        remaining = cfg.total_events - cfg.most_count - cfg.fewest_count
+        draw = rng.integers(cfg.other_min, cfg.other_max + 1, size=len(others))
+        budgets[others] = draw
+        # Adjust random racks up/down (within bounds) until the total
+        # matches exactly.
+        delta = remaining - int(draw.sum())
+        step = 1 if delta > 0 else -1
+        guard = 0
+        while delta != 0:
+            index = int(rng.choice(others))
+            candidate = budgets[index] + step
+            if cfg.other_min <= candidate <= cfg.other_max:
+                budgets[index] = candidate
+                delta -= step
+            guard += 1
+            if guard > 100_000:
+                raise RuntimeError("rack budget adjustment failed to converge")
+        return budgets
+
+    @staticmethod
+    def _incident_multiplicities(
+        rng: np.random.Generator, total_events: int
+    ) -> List[int]:
+        """How many racks each incident takes down (sums to the total)."""
+        sizes: List[int] = []
+        produced = 0
+        while produced < total_events:
+            roll = rng.random()
+            if roll < 0.62:
+                size = 1
+            elif roll < 0.82:
+                size = 2
+            elif roll < 0.92:
+                size = int(rng.integers(3, 6))
+            elif roll < 0.985:
+                size = int(rng.integers(6, 13))
+            else:
+                size = int(rng.integers(16, 49))  # system-scale storm
+            size = min(size, total_events - produced)
+            sizes.append(size)
+            produced += size
+        return sizes
+
+    @staticmethod
+    def _eras(
+        start: float, end: float, cfg: CmfScheduleConfig
+    ) -> List[Tuple[Tuple[float, float], float]]:
+        """Era windows with their event-mass weights, clipped to [start, end).
+
+        The full-period eras are: pre-Theta (2014 .. mid-2016), the
+        Theta-integration burst (carrying the 2016 share), the >2-year
+        quiet stretch (zero mass), and the late era (Nov 2018 on).
+        Eras outside the requested window are clipped proportionally,
+        so a short simulation gets a correspondingly thinned schedule.
+        """
+        production_start = timeutil.to_epoch(constants.PRODUCTION_START)
+        production_end = timeutil.to_epoch(constants.PRODUCTION_END)
+        theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
+        quiet_start = timeutil.to_epoch(constants.CMF_QUIET_START)
+        quiet_end = timeutil.to_epoch(constants.CMF_QUIET_END)
+        theta_era = (theta - 30 * timeutil.DAY_S, quiet_start)
+        pre_era = (production_start, theta_era[0])
+        post_era = (quiet_end, production_end)
+        pre_len = pre_era[1] - pre_era[0]
+        post_len = post_era[1] - post_era[0]
+        rest = 1.0 - cfg.fraction_2016
+        full = [
+            (pre_era, rest * pre_len / (pre_len + post_len)),
+            (theta_era, cfg.fraction_2016),
+            (post_era, rest * post_len / (pre_len + post_len)),
+        ]
+        clipped: List[Tuple[Tuple[float, float], float]] = []
+        for (lo, hi), weight in full:
+            new_lo, new_hi = max(lo, start), min(hi, end)
+            if new_hi <= new_lo:
+                continue
+            clipped.append(((new_lo, new_hi), weight * (new_hi - new_lo) / (hi - lo)))
+        return clipped
+
+    @staticmethod
+    def _incident_times(
+        rng: np.random.Generator,
+        count: int,
+        eras: List[Tuple[Tuple[float, float], float]],
+        cfg: CmfScheduleConfig,
+    ) -> np.ndarray:
+        """Era-weighted incident times (Fig 10's non-bathtub shape)."""
+        weights = np.array([w for _, w in eras])
+        weights = weights / weights.sum()
+        times: List[float] = []
+        attempts = 0
+        while len(times) < count:
+            era_index = int(rng.choice(len(eras), p=weights))
+            lo, hi = eras[era_index][0]
+            candidate = float(rng.uniform(lo, hi))
+            if all(abs(candidate - t) >= cfg.min_incident_spacing_s for t in times):
+                times.append(candidate)
+            attempts += 1
+            if attempts > 100 * count + 1000:
+                raise RuntimeError("incident time sampling failed to converge")
+        return np.sort(np.array(times))
+
+    @staticmethod
+    def _assemble(
+        rng: np.random.Generator,
+        budgets: np.ndarray,
+        multiplicities: List[int],
+        times: np.ndarray,
+        cfg: CmfScheduleConfig,
+    ) -> List[CmfIncident]:
+        """Assign racks to incidents respecting per-rack budgets."""
+        remaining = budgets.astype(float).copy()
+        # Large incidents need many racks with budget left, so place
+        # them first (times stay as sampled: sizes are shuffled onto
+        # times independently).
+        order = np.argsort([-m for m in multiplicities])
+        incidents: List[CmfIncident] = []
+        for position, incident_index in enumerate(order):
+            size = multiplicities[incident_index]
+            epoch = float(times[incident_index])
+            available = np.flatnonzero(remaining > 0)
+            if len(available) < size:
+                size = len(available)
+            probs = remaining[available] / remaining[available].sum()
+            chosen = rng.choice(available, size=size, replace=False, p=probs)
+            remaining[chosen] -= 1
+            condensation = rng.random() < cfg.condensation_fraction
+            reason = REASON_CONDENSATION if condensation else REASON_FLOW
+            events = []
+            for k, rack_index in enumerate(chosen):
+                offset = 0.0 if k == 0 else float(rng.uniform(30.0, 1800.0))
+                events.append(
+                    CmfEvent(
+                        epoch_s=epoch + offset,
+                        rack_id=RackId.from_flat_index(int(rack_index)),
+                        incident_id=incident_index,
+                        reason=reason,
+                        is_epicenter=(k == 0),
+                        recovery_s=float(
+                            rng.uniform(cfg.min_recovery_s, cfg.max_recovery_s)
+                        ),
+                        severity=float(rng.uniform(0.45, 1.25)),
+                    )
+                )
+            incidents.append(
+                CmfIncident(
+                    incident_id=incident_index,
+                    epoch_s=epoch,
+                    epicenter=events[0].rack_id,
+                    events=tuple(events),
+                )
+            )
+        return incidents

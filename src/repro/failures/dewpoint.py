@@ -1,0 +1,73 @@
+"""Condensation-risk arithmetic around the dewpoint.
+
+The fatal CMF trigger is a condensation guard: when the dewpoint of
+the air around a rack approaches the temperature of the cold surfaces
+(the inlet coolant plumbing), water condenses on the electronics.  The
+coolant monitor therefore watches the *condensation margin* — inlet
+coolant temperature minus air dewpoint — and trips when it collapses.
+
+Vectorized versions of the Magnus dewpoint live here; the scalar
+versions are in :mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+
+
+def dewpoint_f_vec(temp_f: np.ndarray, relative_humidity: np.ndarray) -> np.ndarray:
+    """Vectorized Magnus dewpoint, inputs/outputs in degrees F.
+
+    Raises:
+        ValueError: if any humidity is outside (0, 100].
+    """
+    rh = np.asarray(relative_humidity, dtype="float64")
+    if np.any((rh <= 0.0) | (rh > 100.0)):
+        raise ValueError("relative humidity must be in (0, 100]")
+    temp_c = (np.asarray(temp_f, dtype="float64") - 32.0) * 5.0 / 9.0
+    gamma = np.log(rh / 100.0) + 17.62 * temp_c / (243.12 + temp_c)
+    dew_c = 243.12 * gamma / (17.62 - gamma)
+    return dew_c * 9.0 / 5.0 + 32.0
+
+
+def condensation_margin_f(
+    inlet_temp_f: np.ndarray,
+    dc_temp_f: np.ndarray,
+    dc_humidity_rh: np.ndarray,
+) -> np.ndarray:
+    """Inlet coolant temperature minus air dewpoint, in degrees F.
+
+    Positive margins are safe; margins near zero or negative mean
+    condensation on the cold plumbing is imminent (the fatal trigger).
+    """
+    return np.asarray(inlet_temp_f, dtype="float64") - dewpoint_f_vec(
+        dc_temp_f, dc_humidity_rh
+    )
+
+
+def humidity_for_margin(
+    inlet_temp_f: float, dc_temp_f: float, target_margin_f: float
+) -> float:
+    """Relative humidity at which the condensation margin equals a target.
+
+    Inverts the Magnus dewpoint: finds RH such that
+    ``dewpoint(dc_temp, RH) == inlet_temp - target_margin``.  Used by
+    the failure injector to synthesize locally-elevated humidity that
+    is physically consistent with a margin collapse.
+
+    Raises:
+        ValueError: if the required dewpoint is not below the air
+            temperature (no RH <= 100 can achieve it).
+    """
+    dew_f = inlet_temp_f - target_margin_f
+    dew_c = units.fahrenheit_to_celsius(dew_f)
+    temp_c = units.fahrenheit_to_celsius(dc_temp_f)
+    if dew_c >= temp_c:
+        raise ValueError(
+            f"required dewpoint {dew_f:.1f} F is not below air temp {dc_temp_f:.1f} F"
+        )
+    gamma = 17.62 * dew_c / (243.12 + dew_c)
+    rh = 100.0 * np.exp(gamma - 17.62 * temp_c / (243.12 + temp_c))
+    return float(rh)

@@ -1,0 +1,175 @@
+"""The post-CMF elevated failure process (Section VI-C, Figs 14-15).
+
+After a CMF, the machine enters a fragile period: the failure rate of
+*non-CMF* fatal events (BPM "AC to DC power" conversion failures,
+compute-card (BQC) and link-module (BQL) failures, clock card,
+software, and background-process failures) is sharply elevated and
+decays over ~48 hours.  Half of all post-CMF failures are AC-to-DC
+power failures; process failures are rare (<2 %).
+
+The decay is a two-timescale exponential calibrated so the rate within
+6 h is ~70 % of the 3 h rate and the 48 h rate is ~10 % of it — the
+Fig 14(a) shape.  Failure *locations* are not epicenter-local: racks
+are interlinked through the clock tree and torus mediation, so the
+elevated hazard lands mostly anywhere on the system (Fig 15), with
+only a mild tilt toward the disturbance set of the epicenter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.facility.dependencies import DependencyGraph
+from repro.facility.topology import RackId
+from repro.failures.cmf import CmfIncident
+
+
+@dataclasses.dataclass(frozen=True)
+class NonCmfFailure:
+    """One fatal non-CMF failure."""
+
+    epoch_s: float
+    rack_id: RackId
+    category: str
+    #: The CMF incident this failure followed, or None for background.
+    incident_id: Optional[int]
+
+    @property
+    def is_background(self) -> bool:
+        return self.incident_id is None
+
+
+@dataclasses.dataclass(frozen=True)
+class AftermathConfig:
+    """Shape of the post-CMF hazard."""
+
+    #: Expected number of induced non-CMF failures per CMF incident.
+    expected_per_incident: float = 2.2
+    #: Fast and slow decay time constants (hours).
+    fast_tau_h: float = 5.0
+    slow_tau_h: float = 30.0
+    #: Weight of the fast component.
+    fast_weight: float = 0.7
+    #: Hazard window after an incident (hours).
+    window_h: float = float(constants.AFTERMATH_WINDOW_HOURS)
+    #: Probability an induced failure lands inside the epicenter's
+    #: disturbance set (the rest land uniformly anywhere).
+    disturbance_bias: float = 0.35
+    #: Background (not CMF-induced) fatal non-CMF failures per day
+    #: machine-wide.
+    background_rate_per_day: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fast_weight <= 1.0:
+            raise ValueError("fast_weight must be in [0, 1]")
+        if self.fast_tau_h <= 0 or self.slow_tau_h <= 0:
+            raise ValueError("decay constants must be positive")
+
+
+class AftermathProcess:
+    """Samples the non-CMF failures that follow CMF incidents.
+
+    Args:
+        dependencies: The inter-rack dependency graph (for the mild
+            disturbance-set bias of failure locations).
+        config: Hazard shape.
+    """
+
+    def __init__(
+        self,
+        dependencies: Optional[DependencyGraph] = None,
+        config: Optional[AftermathConfig] = None,
+    ) -> None:
+        self._dependencies = dependencies
+        self.config = config if config is not None else AftermathConfig()
+        categories = list(constants.AFTERMATH_TYPE_DISTRIBUTION.items())
+        self._category_names = [name for name, _ in categories]
+        self._category_probs = np.array([p for _, p in categories])
+        self._category_probs = self._category_probs / self._category_probs.sum()
+
+    # -- hazard shape -----------------------------------------------------------
+
+    def relative_rate(self, hours_after: np.ndarray) -> np.ndarray:
+        """Unnormalized hazard at a given lag after an incident."""
+        tau = np.asarray(hours_after, dtype="float64")
+        cfg = self.config
+        rate = cfg.fast_weight * np.exp(-tau / cfg.fast_tau_h) + (
+            1.0 - cfg.fast_weight
+        ) * np.exp(-tau / cfg.slow_tau_h)
+        return np.where((tau < 0) | (tau > cfg.window_h), 0.0, rate)
+
+    def _sample_lag_s(self, rng: np.random.Generator) -> float:
+        """Inverse-free sampling of a lag from the mixture by component."""
+        cfg = self.config
+        while True:
+            if rng.random() < cfg.fast_weight:
+                lag_h = float(rng.exponential(cfg.fast_tau_h))
+            else:
+                lag_h = float(rng.exponential(cfg.slow_tau_h))
+            if lag_h <= cfg.window_h:
+                return lag_h * timeutil.HOUR_S
+
+    # -- location choice ----------------------------------------------------------
+
+    def _sample_rack(
+        self, rng: np.random.Generator, epicenter: RackId
+    ) -> RackId:
+        if (
+            self._dependencies is not None
+            and rng.random() < self.config.disturbance_bias
+        ):
+            disturbed = sorted(self._dependencies.disturbance_set(epicenter))
+            if disturbed:
+                return disturbed[int(rng.integers(len(disturbed)))]
+        return RackId.from_flat_index(int(rng.integers(constants.NUM_RACKS)))
+
+    def _sample_category(self, rng: np.random.Generator) -> str:
+        index = int(rng.choice(len(self._category_names), p=self._category_probs))
+        return self._category_names[index]
+
+    # -- generation ------------------------------------------------------------------
+
+    def induced_failures(
+        self, rng: np.random.Generator, incidents: Sequence[CmfIncident]
+    ) -> List[NonCmfFailure]:
+        """Sample the failures induced by each CMF incident."""
+        failures: List[NonCmfFailure] = []
+        for incident in incidents:
+            count = int(rng.poisson(self.config.expected_per_incident))
+            for _ in range(count):
+                failures.append(
+                    NonCmfFailure(
+                        epoch_s=incident.epoch_s + self._sample_lag_s(rng),
+                        rack_id=self._sample_rack(rng, incident.epicenter),
+                        category=self._sample_category(rng),
+                        incident_id=incident.incident_id,
+                    )
+                )
+        failures.sort(key=lambda f: f.epoch_s)
+        return failures
+
+    def background_failures(
+        self,
+        rng: np.random.Generator,
+        start_epoch_s: float,
+        end_epoch_s: float,
+    ) -> List[NonCmfFailure]:
+        """Sample the low-level background failure stream."""
+        if end_epoch_s <= start_epoch_s:
+            raise ValueError("empty interval")
+        days = (end_epoch_s - start_epoch_s) / timeutil.DAY_S
+        count = int(rng.poisson(self.config.background_rate_per_day * days))
+        times = np.sort(rng.uniform(start_epoch_s, end_epoch_s, size=count))
+        return [
+            NonCmfFailure(
+                epoch_s=float(t),
+                rack_id=RackId.from_flat_index(int(rng.integers(constants.NUM_RACKS))),
+                category=self._sample_category(rng),
+                incident_id=None,
+            )
+            for t in times
+        ]

@@ -1,0 +1,75 @@
+"""A from-scratch neural-network stack on numpy.
+
+The paper's CMF predictor is a small MLP (three hidden layers of 12,
+12, and 6 neurons, ReLU activations, sigmoid output) trained for 50
+epochs with the architecture tuned by Bayesian optimization and
+evaluated with 5-fold cross-validation.  No deep-learning framework is
+available offline, so everything is implemented here: layers,
+activations, losses, optimizers, a training loop, metrics,
+cross-validation, a Gaussian-process Bayesian optimizer, and the
+threshold/logistic baselines the paper's discussion contrasts against.
+"""
+
+from repro.ml.activations import Activation, relu, sigmoid, tanh
+from repro.ml.losses import BinaryCrossEntropy, Loss, MeanSquaredError
+from repro.ml.layers import Dense
+from repro.ml.network import NeuralNetwork
+from repro.ml.optimizers import SGD, Adam, Optimizer
+from repro.ml.train import TrainConfig, TrainResult, train_classifier, three_way_split
+from repro.ml.metrics import (
+    BinaryClassificationReport,
+    accuracy,
+    confusion_matrix,
+    evaluate_binary,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+from repro.ml.crossval import CrossValidationResult, stratified_k_fold, cross_validate
+from repro.ml.bayesopt import BayesianOptimizer, GaussianProcess
+from repro.ml.baselines import LogisticRegression, ThresholdAlarmDetector
+from repro.ml.calibration import ReliabilityCurve, brier_score, reliability_curve
+from repro.ml.persistence import load_model, save_model
+from repro.ml.metrics import auc_score, roc_curve
+
+__all__ = [
+    "Activation",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "BinaryCrossEntropy",
+    "Loss",
+    "MeanSquaredError",
+    "Dense",
+    "NeuralNetwork",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier",
+    "three_way_split",
+    "BinaryClassificationReport",
+    "accuracy",
+    "confusion_matrix",
+    "evaluate_binary",
+    "f1_score",
+    "false_positive_rate",
+    "precision",
+    "recall",
+    "CrossValidationResult",
+    "stratified_k_fold",
+    "cross_validate",
+    "BayesianOptimizer",
+    "GaussianProcess",
+    "LogisticRegression",
+    "ThresholdAlarmDetector",
+    "ReliabilityCurve",
+    "brier_score",
+    "reliability_curve",
+    "load_model",
+    "save_model",
+    "auc_score",
+    "roc_curve",
+]

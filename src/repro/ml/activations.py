@@ -1,0 +1,89 @@
+"""Activation functions with their derivatives.
+
+Each activation is a small value object exposing ``forward`` and
+``backward``; ``backward`` takes the *pre-activation* input that was
+fed to ``forward`` (layers cache it) and returns the elementwise
+derivative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Activation:
+    """An elementwise activation function and its derivative."""
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray]
+    derivative: Callable[[np.ndarray], np.ndarray]
+
+    def __repr__(self) -> str:
+        return f"Activation({self.name})"
+
+
+def _relu_forward(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_derivative(x: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(x.dtype)
+
+
+def _sigmoid_forward(x: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise form.
+    out = np.empty_like(x, dtype="float64")
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def _sigmoid_derivative(x: np.ndarray) -> np.ndarray:
+    s = _sigmoid_forward(x)
+    return s * (1.0 - s)
+
+
+def _tanh_forward(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_derivative(x: np.ndarray) -> np.ndarray:
+    t = np.tanh(x)
+    return 1.0 - t * t
+
+
+def _identity_forward(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_derivative(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+#: Rectified linear unit — the paper's hidden-layer activation.
+relu = Activation("relu", _relu_forward, _relu_derivative)
+
+#: Logistic sigmoid — the paper's output activation.
+sigmoid = Activation("sigmoid", _sigmoid_forward, _sigmoid_derivative)
+
+#: Hyperbolic tangent (available for ablations).
+tanh = Activation("tanh", _tanh_forward, _tanh_derivative)
+
+#: Identity (linear output, used for regression heads).
+identity = Activation("identity", _identity_forward, _identity_derivative)
+
+
+def by_name(name: str) -> Activation:
+    """Look up an activation by name.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    registry = {a.name: a for a in (relu, sigmoid, tanh, identity)}
+    return registry[name]

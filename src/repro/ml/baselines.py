@@ -1,0 +1,126 @@
+"""Baseline detectors the NN predictor is compared against.
+
+Section VI-D argues that *threshold-based monitoring is not
+sufficient*: watching metric levels against fixed thresholds misses
+failures whose signature is the *change* in the metrics.
+:class:`ThresholdAlarmDetector` implements exactly that conventional
+scheme so the claim can be tested quantitatively, and
+:class:`LogisticRegression` provides a simple learned linear baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ThresholdAlarmDetector:
+    """Level-threshold alarm, the conventional monitoring scheme.
+
+    Fit on *negative* (healthy) feature rows; an alarm fires when any
+    feature leaves its healthy band of ``k`` standard deviations
+    around the healthy mean.
+
+    Args:
+        k_sigma: Band half-width in healthy standard deviations.
+    """
+
+    def __init__(self, k_sigma: float = 3.0) -> None:
+        if k_sigma <= 0:
+            raise ValueError(f"k_sigma must be positive, got {k_sigma}")
+        self.k_sigma = k_sigma
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def fit(self, healthy_features: np.ndarray) -> "ThresholdAlarmDetector":
+        """Learn the healthy band from non-failure samples."""
+        x = np.atleast_2d(np.asarray(healthy_features, dtype="float64"))
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1e-12
+        self._std = std
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """1 where any feature exceeds its band, else 0.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if self._mean is None or self._std is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(features, dtype="float64"))
+        z = np.abs(x - self._mean) / self._std
+        return (z.max(axis=1) > self.k_sigma).astype(int)
+
+
+class LogisticRegression:
+    """Plain logistic regression trained by full-batch gradient descent.
+
+    Args:
+        learning_rate: Gradient step size.
+        epochs: Training passes.
+        l2: Ridge penalty on the weights.
+    """
+
+    def __init__(
+        self, learning_rate: float = 0.1, epochs: int = 300, l2: float = 1e-4
+    ) -> None:
+        if learning_rate <= 0 or epochs < 1 or l2 < 0:
+            raise ValueError("invalid hyper-parameters")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        out = np.empty_like(z)
+        positive = z >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+        ez = np.exp(z[~positive])
+        out[~positive] = ez / (1.0 + ez)
+        return out
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Train on a binary-labeled feature matrix."""
+        x = np.atleast_2d(np.asarray(features, dtype="float64"))
+        y = np.asarray(labels, dtype="float64").ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("features and labels length mismatch")
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self._std = std
+        x = (x - self._mean) / self._std
+        n, d = x.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            p = self._sigmoid(x @ self.weights + self.bias)
+            error = p - y
+            grad_w = x.T @ error / n + self.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Positive-class probabilities.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if self.weights is None or self._mean is None or self._std is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(features, dtype="float64"))
+        x = (x - self._mean) / self._std
+        return self._sigmoid(x @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= threshold).astype(int)

@@ -1,0 +1,198 @@
+"""Gaussian-process Bayesian optimization for hyper-parameter tuning.
+
+The paper tunes the predictor's architecture (neurons per layer) with
+Bayesian optimization.  This module implements the standard recipe
+from scratch: an RBF-kernel Gaussian process surrogate over the
+(normalized) hyper-parameter space, and expected improvement as the
+acquisition function, maximized over a finite candidate set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class GaussianProcess:
+    """A zero-mean GP with an RBF kernel and Gaussian observation noise.
+
+    Args:
+        length_scale: Kernel length scale (inputs should be roughly
+            unit-scaled).
+        signal_variance: Kernel amplitude.
+        noise_variance: Observation noise added to the diagonal.
+    """
+
+    def __init__(
+        self,
+        length_scale: float = 1.0,
+        signal_variance: float = 1.0,
+        noise_variance: float = 1e-4,
+    ) -> None:
+        if length_scale <= 0 or signal_variance <= 0 or noise_variance < 0:
+            raise ValueError("kernel parameters must be positive")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+        self.noise_variance = noise_variance
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = (
+            np.sum(a**2, axis=1)[:, None]
+            + np.sum(b**2, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        return self.signal_variance * np.exp(
+            -0.5 * np.maximum(sq, 0.0) / self.length_scale**2
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Condition the GP on observations.
+
+        Raises:
+            ValueError: on shape mismatch.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype="float64"))
+        y = np.asarray(y, dtype="float64").ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y length mismatch")
+        k = self._kernel(x, x) + self.noise_variance * np.eye(x.shape[0])
+        self._chol = np.linalg.cholesky(k)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, y)
+        )
+        self._x = x
+        self._y = y
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at query points.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if self._x is None or self._chol is None or self._alpha is None:
+            raise RuntimeError("predict called before fit")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype="float64"))
+        k_star = self._kernel(x_new, self._x)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        variance = self.signal_variance - np.sum(v**2, axis=0)
+        return mean, np.sqrt(np.maximum(variance, 1e-12))
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.vectorize(math.erf)(z / math.sqrt(2.0)))
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z**2) / math.sqrt(2.0 * math.pi)
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """EI for maximization: E[max(f - best - xi, 0)]."""
+    improvement = mean - best - xi
+    z = improvement / np.maximum(std, 1e-12)
+    return improvement * _normal_cdf(z) + std * _normal_pdf(z)
+
+
+@dataclasses.dataclass(frozen=True)
+class Observation:
+    """One evaluated candidate."""
+
+    candidate: Tuple[float, ...]
+    score: float
+
+
+class BayesianOptimizer:
+    """EI-driven Bayesian optimization over a finite candidate set.
+
+    Args:
+        candidates: The search space, e.g. all (h1, h2, h3) layer-size
+            triples under consideration.
+        rng: Randomness for the initial design.
+        initial_points: Random evaluations before the GP takes over.
+
+    Example::
+
+        opt = BayesianOptimizer(candidates=grid, rng=rng)
+        best, history = opt.maximize(objective, budget=15)
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[Sequence[float]],
+        rng: Optional[np.random.Generator] = None,
+        initial_points: int = 4,
+    ) -> None:
+        if not candidates:
+            raise ValueError("candidate set is empty")
+        self._candidates = [tuple(float(v) for v in c) for c in candidates]
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.initial_points = max(1, min(initial_points, len(self._candidates)))
+        # Normalize candidates to the unit cube for the GP.
+        arr = np.array(self._candidates)
+        lo, hi = arr.min(axis=0), arr.max(axis=0)
+        span = np.where(hi > lo, hi - lo, 1.0)
+        self._normalized = (arr - lo) / span
+
+    def maximize(
+        self,
+        objective: Callable[[Tuple[float, ...]], float],
+        budget: int = 12,
+    ) -> Tuple[Observation, List[Observation]]:
+        """Find the candidate maximizing a (noisy, expensive) objective.
+
+        Args:
+            objective: Called once per evaluated candidate.
+            budget: Total objective evaluations allowed.
+
+        Returns:
+            (best observation, full evaluation history).
+
+        Raises:
+            ValueError: if the budget is not positive.
+        """
+        if budget < 1:
+            raise ValueError(f"budget must be positive, got {budget}")
+        budget = min(budget, len(self._candidates))
+        unevaluated = list(range(len(self._candidates)))
+        history: List[Observation] = []
+        evaluated_indices: List[int] = []
+
+        def evaluate(index: int) -> None:
+            candidate = self._candidates[index]
+            score = float(objective(candidate))
+            history.append(Observation(candidate=candidate, score=score))
+            evaluated_indices.append(index)
+            unevaluated.remove(index)
+
+        # Initial random design.
+        initial = self._rng.choice(
+            len(self._candidates),
+            size=min(self.initial_points, budget),
+            replace=False,
+        )
+        for index in initial:
+            evaluate(int(index))
+
+        while len(history) < budget and unevaluated:
+            gp = GaussianProcess(length_scale=0.5, noise_variance=1e-4)
+            x = self._normalized[evaluated_indices]
+            y = np.array([o.score for o in history])
+            # Center scores so the zero-mean prior is reasonable.
+            y_mean = y.mean()
+            gp.fit(x, y - y_mean)
+            mean, std = gp.predict(self._normalized[unevaluated])
+            ei = expected_improvement(mean + y_mean, std, best=y.max())
+            evaluate(unevaluated[int(np.argmax(ei))])
+
+        best = max(history, key=lambda o: o.score)
+        return best, history

@@ -1,0 +1,87 @@
+"""Probability calibration diagnostics.
+
+The paper stresses that false positives are the limiting factor for
+proactive CMF mitigation ("the false positives need to [be] minimized
+as much as possible").  Acting on a probability threshold is only
+sound if the probabilities are *calibrated*; this module provides the
+standard diagnostics: the reliability curve, the Brier score, and the
+expected calibration error (ECE).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned predicted-vs-observed frequencies."""
+
+    bin_centers: np.ndarray
+    predicted_mean: np.ndarray
+    observed_frequency: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """Count-weighted mean |predicted - observed| over the bins."""
+        weights = self.counts / max(1, self.counts.sum())
+        gaps = np.abs(self.predicted_mean - self.observed_frequency)
+        return float(np.sum(weights * gaps))
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of probabilities against binary outcomes.
+
+    0 is perfect; 0.25 is an uninformative constant 0.5 predictor.
+
+    Raises:
+        ValueError: on shape mismatch or out-of-range probabilities.
+    """
+    p = np.asarray(probabilities, dtype="float64").ravel()
+    y = np.asarray(labels, dtype="float64").ravel()
+    if p.shape != y.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {y.shape}")
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(np.mean((p - y) ** 2))
+
+
+def reliability_curve(
+    probabilities: np.ndarray, labels: np.ndarray, bins: int = 10
+) -> ReliabilityCurve:
+    """Bin predictions and compare predicted to observed frequency.
+
+    Empty bins are dropped.
+
+    Raises:
+        ValueError: on bad inputs or fewer than one bin.
+    """
+    if bins < 1:
+        raise ValueError(f"need at least one bin, got {bins}")
+    p = np.asarray(probabilities, dtype="float64").ravel()
+    y = np.asarray(labels, dtype="float64").ravel()
+    if p.shape != y.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {y.shape}")
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    indices = np.clip(np.digitize(p, edges) - 1, 0, bins - 1)
+    centers, predicted, observed, counts = [], [], [], []
+    for b in range(bins):
+        mask = indices == b
+        if not mask.any():
+            continue
+        centers.append((edges[b] + edges[b + 1]) / 2.0)
+        predicted.append(float(p[mask].mean()))
+        observed.append(float(y[mask].mean()))
+        counts.append(int(mask.sum()))
+    return ReliabilityCurve(
+        bin_centers=np.array(centers),
+        predicted_mean=np.array(predicted),
+        observed_frequency=np.array(observed),
+        counts=np.array(counts),
+    )

@@ -1,0 +1,137 @@
+"""Binary classification metrics (the Fig 13 panel).
+
+The paper reports accuracy, precision, recall, and F1 score for the
+CMF predictor, plus the false-positive rate in the discussion; all are
+defined here from the confusion matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> Tuple[int, int, int, int]:
+    """(true_positive, false_positive, true_negative, false_negative).
+
+    Raises:
+        ValueError: on shape mismatch or non-binary labels.
+    """
+    t = np.asarray(y_true).astype(int).ravel()
+    p = np.asarray(y_pred).astype(int).ravel()
+    if t.shape != p.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {p.shape}")
+    if not np.isin(t, (0, 1)).all() or not np.isin(p, (0, 1)).all():
+        raise ValueError("labels must be binary 0/1")
+    tp = int(np.sum((t == 1) & (p == 1)))
+    fp = int(np.sum((t == 0) & (p == 1)))
+    tn = int(np.sum((t == 0) & (p == 0)))
+    fn = int(np.sum((t == 1) & (p == 0)))
+    return tp, fp, tn, fn
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Correct predictions over all predictions."""
+    tp, fp, tn, fn = confusion_matrix(y_true, y_pred)
+    total = tp + fp + tn + fn
+    return (tp + tn) / total if total else 0.0
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Correct positive predictions over all positive predictions."""
+    tp, fp, _, _ = confusion_matrix(y_true, y_pred)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Correct positive predictions over all actual positives."""
+    tp, _, _, fn = confusion_matrix(y_true, y_pred)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """False positives over all actual negatives."""
+    _, fp, tn, _ = confusion_matrix(y_true, y_pred)
+    return fp / (fp + tn) if (fp + tn) else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryClassificationReport:
+    """The four Fig 13 metrics plus the FPR from the discussion."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    false_positive_rate: float
+    support: int
+
+    def as_row(self) -> str:
+        """A compact printable row."""
+        return (
+            f"acc={self.accuracy:.3f} prec={self.precision:.3f} "
+            f"rec={self.recall:.3f} f1={self.f1:.3f} "
+            f"fpr={self.false_positive_rate:.3f} n={self.support}"
+        )
+
+
+def evaluate_binary(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryClassificationReport:
+    """Compute the full report for a prediction set."""
+    return BinaryClassificationReport(
+        accuracy=accuracy(y_true, y_pred),
+        precision=precision(y_true, y_pred),
+        recall=recall(y_true, y_pred),
+        f1=f1_score(y_true, y_pred),
+        false_positive_rate=false_positive_rate(y_true, y_pred),
+        support=int(np.asarray(y_true).size),
+    )
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points (fpr, tpr, thresholds) over all score cutoffs.
+
+    Thresholds are the distinct scores in descending order; each point
+    reports the rates when predicting positive at score >= threshold.
+
+    Raises:
+        ValueError: if both classes are not present.
+    """
+    t = np.asarray(y_true).astype(int).ravel()
+    s = np.asarray(scores, dtype="float64").ravel()
+    if t.shape != s.shape:
+        raise ValueError(f"shape mismatch: {t.shape} vs {s.shape}")
+    positives = int(t.sum())
+    negatives = int(t.size - positives)
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC requires both classes present")
+    order = np.argsort(-s, kind="stable")
+    sorted_labels = t[order]
+    sorted_scores = s[order]
+    tp_cum = np.cumsum(sorted_labels)
+    fp_cum = np.cumsum(1 - sorted_labels)
+    # Keep the last point of each distinct-score run.
+    distinct = np.append(np.diff(sorted_scores) != 0, True)
+    tpr = np.concatenate([[0.0], tp_cum[distinct] / positives])
+    fpr = np.concatenate([[0.0], fp_cum[distinct] / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct]])
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy<2 compat
+    return float(trapezoid(tpr, fpr))

@@ -1,0 +1,181 @@
+"""The training loop and dataset splitting.
+
+The paper trains for 50 epochs on data split 3:1:1 into training,
+testing, and validation sets; :func:`three_way_split` reproduces that
+split (stratified so both classes appear in every part) and
+:func:`train_classifier` runs minibatch gradient descent with
+per-epoch loss tracking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.losses import BinaryCrossEntropy, Loss
+from repro.ml.network import NeuralNetwork
+from repro.ml.optimizers import Adam, Optimizer
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """Training hyperparameters (paper defaults)."""
+
+    epochs: int = 50
+    batch_size: int = 32
+    shuffle: bool = True
+    standardize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {self.batch_size}")
+
+
+@dataclasses.dataclass
+class FeatureScaler:
+    """Per-feature standardization fitted on the training set."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, features: np.ndarray) -> "FeatureScaler":
+        x = np.asarray(features, dtype="float64")
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        return cls(mean=x.mean(axis=0), std=std)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return (np.asarray(features, dtype="float64") - self.mean) / self.std
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """A trained classifier with its scaler and loss history."""
+
+    network: NeuralNetwork
+    scaler: Optional[FeatureScaler]
+    train_losses: List[float]
+    validation_losses: List[float]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        x = self.scaler.transform(features) if self.scaler else features
+        return self.network.predict_proba(x)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+
+def three_way_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    ratio: Tuple[int, int, int] = (3, 1, 1),
+) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Stratified train/test/validation split at the given ratio.
+
+    Returns:
+        ((x_train, y_train), (x_test, y_test), (x_val, y_val)).
+
+    Raises:
+        ValueError: on bad ratios or mismatched lengths.
+    """
+    x = np.asarray(features, dtype="float64")
+    y = np.asarray(labels).astype(int).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("features and labels length mismatch")
+    if any(r <= 0 for r in ratio):
+        raise ValueError(f"split ratio parts must be positive, got {ratio}")
+    total = sum(ratio)
+    parts: List[List[int]] = [[], [], []]
+    for cls in np.unique(y):
+        indices = np.flatnonzero(y == cls)
+        rng.shuffle(indices)
+        n = len(indices)
+        cut1 = int(round(n * ratio[0] / total))
+        cut2 = cut1 + int(round(n * ratio[1] / total))
+        parts[0].extend(indices[:cut1])
+        parts[1].extend(indices[cut1:cut2])
+        parts[2].extend(indices[cut2:])
+    out = []
+    for indices in parts:
+        chosen = np.array(sorted(indices), dtype=int)
+        out.append((x[chosen], y[chosen]))
+    return out[0], out[1], out[2]
+
+
+def train_classifier(
+    network: NeuralNetwork,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: Optional[TrainConfig] = None,
+    optimizer: Optional[Optimizer] = None,
+    loss: Optional[Loss] = None,
+    rng: Optional[np.random.Generator] = None,
+    x_val: Optional[np.ndarray] = None,
+    y_val: Optional[np.ndarray] = None,
+) -> TrainResult:
+    """Train a binary classifier with minibatch gradient descent.
+
+    Args:
+        network: The (freshly initialized) model; trained in place.
+        x_train: Training features ``(n, d)``.
+        y_train: Binary labels ``(n,)``.
+        config: Epochs/batching (paper: 50 epochs).
+        optimizer: Defaults to Adam.
+        loss: Defaults to binary cross-entropy.
+        rng: Shuffling randomness.
+        x_val / y_val: Optional validation set for per-epoch loss
+            tracking.
+
+    Returns:
+        The trained model wrapped with its feature scaler and the loss
+        history.
+    """
+    cfg = config if config is not None else TrainConfig()
+    opt = optimizer if optimizer is not None else Adam()
+    criterion = loss if loss is not None else BinaryCrossEntropy()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    x = np.asarray(x_train, dtype="float64")
+    y = np.asarray(y_train, dtype="float64").reshape(-1, 1)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("features and labels length mismatch")
+    scaler = FeatureScaler.fit(x) if cfg.standardize else None
+    if scaler is not None:
+        x = scaler.transform(x)
+        if x_val is not None:
+            x_val = scaler.transform(x_val)
+
+    train_losses: List[float] = []
+    val_losses: List[float] = []
+    n = x.shape[0]
+    for _ in range(cfg.epochs):
+        order = np.arange(n)
+        if cfg.shuffle:
+            rng.shuffle(order)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, cfg.batch_size):
+            batch = order[start : start + cfg.batch_size]
+            predicted = network.forward(x[batch], train=True)
+            epoch_loss += criterion.value(predicted, y[batch])
+            batches += 1
+            network.backward(criterion.gradient(predicted, y[batch]))
+            opt.step(network)
+        train_losses.append(epoch_loss / max(1, batches))
+        if x_val is not None and y_val is not None:
+            predicted = network.forward(x_val, train=False)
+            val_losses.append(
+                criterion.value(predicted, np.asarray(y_val).reshape(-1, 1))
+            )
+    return TrainResult(
+        network=network,
+        scaler=scaler,
+        train_losses=train_losses,
+        validation_losses=val_losses,
+    )

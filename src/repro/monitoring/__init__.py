@@ -1,0 +1,48 @@
+"""Online operations: streaming CMF prediction and proactive mitigation.
+
+The paper closes with opportunities: use the coolant telemetry for
+"low-overhead operationally useful tasks" — predict CMFs hours ahead,
+checkpoint the jobs at risk, and build CMF-aware resource management
+(Section VI-D).  This package implements that stack:
+
+* :mod:`repro.monitoring.online` — a streaming per-rack predictor that
+  consumes monitor readings and emits failure probabilities,
+* :mod:`repro.monitoring.alerts` — alert policies (threshold +
+  persistence) and alert/failure matching with achieved lead times,
+* :mod:`repro.monitoring.mitigation` — checkpoint-on-alert policies
+  and the core-hours cost/benefit ledger that decides whether a
+  predictor is operationally worth deploying.
+"""
+
+from repro.monitoring.online import OnlineCmfPredictor, train_online_predictor
+from repro.monitoring.alerts import Alert, AlertLog, AlertPolicy
+from repro.monitoring.anomaly import CusumAlarm, CusumConfig, CusumDetector
+from repro.monitoring.localization import (
+    CmfLocalizer,
+    LocalizationReport,
+    SuspicionRanking,
+    evaluate_localization,
+)
+from repro.monitoring.mitigation import (
+    CheckpointPolicy,
+    MitigationLedger,
+    evaluate_mitigation,
+)
+
+__all__ = [
+    "OnlineCmfPredictor",
+    "train_online_predictor",
+    "Alert",
+    "AlertLog",
+    "AlertPolicy",
+    "CusumAlarm",
+    "CusumConfig",
+    "CusumDetector",
+    "CheckpointPolicy",
+    "MitigationLedger",
+    "evaluate_mitigation",
+    "CmfLocalizer",
+    "LocalizationReport",
+    "SuspicionRanking",
+    "evaluate_localization",
+]

@@ -1,0 +1,142 @@
+"""Classical change detection: EWMA residuals and CUSUM.
+
+Section VI-D's argument — "not only the level of cooling metrics, but
+more importantly the change in their values are key features" — makes
+the CUSUM statistic the natural non-ML baseline: it accumulates
+deviations of a channel from its running mean and alarms when the
+accumulation escapes a band, detecting *sustained drifts* that a fixed
+level threshold misses.  :class:`CusumDetector` tracks every predictor
+channel per rack; its alarms can be compared head-to-head with the
+MLP's (see the ablation example).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.facility.topology import RackId
+from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
+
+
+@dataclasses.dataclass(frozen=True)
+class CusumConfig:
+    """CUSUM parameters (in units of the channel's running sigma).
+
+    Attributes:
+        drift: The slack ``k``: deviations below this (in sigmas) do
+            not accumulate.  Standard practice is half the shift one
+            wants to detect.
+        decision: The decision interval ``h``: alarm when either
+            accumulator exceeds it (in sigmas).
+        ewma_alpha: Smoothing factor of the running mean/variance
+            estimates.
+        warmup_samples: Samples per rack before alarms may fire
+            (running statistics need to settle).
+    """
+
+    drift: float = 0.5
+    decision: float = 6.0
+    ewma_alpha: float = 0.02
+    warmup_samples: int = 24
+
+    def __post_init__(self) -> None:
+        if self.drift < 0 or self.decision <= 0:
+            raise ValueError("drift must be >= 0 and decision > 0")
+        if not 0.0 < self.ewma_alpha < 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1)")
+
+
+@dataclasses.dataclass
+class _ChannelState:
+    mean: float = 0.0
+    variance: float = 1.0
+    positive_sum: float = 0.0
+    negative_sum: float = 0.0
+    samples: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CusumAlarm:
+    """One CUSUM alarm."""
+
+    epoch_s: float
+    rack_id: RackId
+    channel: Channel
+    statistic: float
+
+
+class CusumDetector:
+    """Per-rack, per-channel two-sided CUSUM over streaming telemetry."""
+
+    def __init__(self, config: Optional[CusumConfig] = None) -> None:
+        self.config = config if config is not None else CusumConfig()
+        self._state: Dict[Tuple[RackId, Channel], _ChannelState] = {}
+
+    def _update_channel(
+        self, key: Tuple[RackId, Channel], value: float
+    ) -> Optional[float]:
+        """Update one channel; return the alarm statistic if tripped."""
+        cfg = self.config
+        state = self._state.get(key)
+        if state is None:
+            # Start the variance estimate *high* (5 % of the level) so
+            # early z-scores are conservative; the EWMA converges down
+            # to the channel's true noise during warmup.
+            initial_variance = max((0.05 * abs(value)) ** 2, 1e-6)
+            state = _ChannelState(mean=value, variance=initial_variance)
+            self._state[key] = state
+        state.samples += 1
+        sigma = max(np.sqrt(state.variance), 1e-9)
+        z = (value - state.mean) / sigma
+        # Update the running statistics *after* scoring the sample.
+        delta = value - state.mean
+        state.mean += cfg.ewma_alpha * delta
+        state.variance = (1 - cfg.ewma_alpha) * (
+            state.variance + cfg.ewma_alpha * delta * delta
+        )
+        if state.samples <= cfg.warmup_samples:
+            return None
+        state.positive_sum = max(0.0, state.positive_sum + z - cfg.drift)
+        state.negative_sum = max(0.0, state.negative_sum - z - cfg.drift)
+        statistic = max(state.positive_sum, state.negative_sum)
+        if statistic > cfg.decision:
+            state.positive_sum = 0.0
+            state.negative_sum = 0.0
+            return statistic
+        return None
+
+    def consume(
+        self,
+        epoch_s: float,
+        rack_id: RackId,
+        channel_values: Dict[Channel, float],
+    ) -> Tuple[CusumAlarm, ...]:
+        """Feed one telemetry sample; returns any alarms raised."""
+        alarms = []
+        for channel in PREDICTOR_CHANNELS:
+            if channel not in channel_values:
+                continue
+            statistic = self._update_channel(
+                (rack_id, channel), float(channel_values[channel])
+            )
+            if statistic is not None:
+                alarms.append(
+                    CusumAlarm(
+                        epoch_s=epoch_s,
+                        rack_id=rack_id,
+                        channel=channel,
+                        statistic=statistic,
+                    )
+                )
+        return tuple(alarms)
+
+    def reset(self, rack_id: Optional[RackId] = None) -> None:
+        """Drop state for one rack (or all racks)."""
+        if rack_id is None:
+            self._state.clear()
+        else:
+            for key in [k for k in self._state if k[0] == rack_id]:
+                del self._state[key]

@@ -1,0 +1,176 @@
+"""CMF localization: predicting *which rack* will fail.
+
+The paper (Section VI-B limitations): "operationally it will be even
+more useful to have a predictor which even predicts the location of an
+impending CMF from the overall coolant telemetry of the datacenter."
+
+This module implements that predictor.  At any instant the per-rack
+streaming model scores all 48 racks; the localizer turns the score
+vector into a ranked suspicion list and is evaluated with the natural
+metrics for the task:
+
+* **top-k accuracy** — for lead-up snapshots, how often the failing
+  rack appears among the k most-suspicious racks,
+* **mean reciprocal rank** of the true rack,
+* the **false-suspicion rate** — how often a healthy floor produces a
+  rack whose score clears the alert bar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.core.prediction import window_features
+from repro.facility.topology import RackId
+from repro.ml.train import TrainResult
+from repro.simulation.windows import LeadupWindow
+
+
+@dataclasses.dataclass(frozen=True)
+class SuspicionRanking:
+    """All racks ranked by failure probability at one instant."""
+
+    epoch_s: float
+    #: (rack, probability) pairs, most suspicious first.
+    ranked: Tuple[Tuple[RackId, float], ...]
+
+    def rank_of(self, rack_id: RackId) -> int:
+        """1-based rank of a rack (49 if absent)."""
+        for position, (rack, _) in enumerate(self.ranked, start=1):
+            if rack == rack_id:
+                return position
+        return constants.NUM_RACKS + 1
+
+    def top(self, k: int) -> Tuple[RackId, ...]:
+        return tuple(rack for rack, _ in self.ranked[:k])
+
+    @property
+    def top_probability(self) -> float:
+        return self.ranked[0][1] if self.ranked else 0.0
+
+
+class CmfLocalizer:
+    """Ranks racks by failure suspicion from per-rack change features.
+
+    Args:
+        model: A trained window classifier (the Fig 13 model or the
+            pooled online model) — its probabilities are the rack
+            scores.
+    """
+
+    def __init__(self, model: TrainResult) -> None:
+        self.model = model
+
+    def rank_windows(
+        self, windows_by_rack: Dict[RackId, LeadupWindow], lead_h: float
+    ) -> SuspicionRanking:
+        """Score a floor snapshot given per-rack history windows.
+
+        Each rack's window must end at the same evaluation instant.
+
+        Raises:
+            ValueError: if no windows are given.
+        """
+        if not windows_by_rack:
+            raise ValueError("no rack windows supplied")
+        racks = list(windows_by_rack)
+        features = np.vstack(
+            [window_features(windows_by_rack[r], lead_h) for r in racks]
+        )
+        probabilities = self.model.predict_proba(features)
+        order = np.argsort(-probabilities)
+        epoch = next(iter(windows_by_rack.values())).end_epoch_s
+        return SuspicionRanking(
+            epoch_s=epoch,
+            ranked=tuple((racks[i], float(probabilities[i])) for i in order),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalizationReport:
+    """Evaluation of the localizer over many failure snapshots."""
+
+    lead_h: float
+    snapshots: int
+    top1_accuracy: float
+    top3_accuracy: float
+    mean_reciprocal_rank: float
+    #: Fraction of healthy-floor snapshots whose top score clears the
+    #: alert threshold (spurious suspicion).
+    false_suspicion_rate: float
+
+    def as_row(self) -> str:
+        return (
+            f"lead={self.lead_h:.1f}h top1={self.top1_accuracy:.3f} "
+            f"top3={self.top3_accuracy:.3f} mrr={self.mean_reciprocal_rank:.3f} "
+            f"false_suspicion={self.false_suspicion_rate:.3f} n={self.snapshots}"
+        )
+
+
+def evaluate_localization(
+    localizer: CmfLocalizer,
+    positive_windows: Sequence[LeadupWindow],
+    negative_windows: Sequence[LeadupWindow],
+    lead_h: float = 2.0,
+    alert_threshold: float = 0.9,
+    floor_size: int = 12,
+    seed: int = 7,
+) -> LocalizationReport:
+    """Monte-Carlo evaluation over synthetic floor snapshots.
+
+    Each *failure snapshot* places one failing rack's lead-up window
+    among ``floor_size - 1`` healthy racks' windows (distinct racks,
+    drawn from the negative pool); the localizer must single out the
+    failing rack.  *Healthy snapshots* contain only negative windows
+    and measure spurious suspicion.
+
+    Raises:
+        ValueError: if the pools are too small for the floor size.
+    """
+    if len(negative_windows) < floor_size:
+        raise ValueError("not enough negative windows for the floor size")
+    if not positive_windows:
+        raise ValueError("no positive windows to evaluate")
+    rng = np.random.default_rng(seed)
+    negatives_by_rack: Dict[RackId, List[LeadupWindow]] = {}
+    for window in negative_windows:
+        negatives_by_rack.setdefault(window.rack_id, []).append(window)
+
+    def healthy_floor(exclude: Optional[RackId]) -> Dict[RackId, LeadupWindow]:
+        available = [r for r in negatives_by_rack if r != exclude]
+        rng.shuffle(available)
+        floor: Dict[RackId, LeadupWindow] = {}
+        for rack in available[: floor_size - (1 if exclude is not None else 0)]:
+            pool = negatives_by_rack[rack]
+            floor[rack] = pool[int(rng.integers(len(pool)))]
+        return floor
+
+    ranks: List[int] = []
+    for window in positive_windows:
+        floor = healthy_floor(exclude=window.rack_id)
+        floor[window.rack_id] = window
+        ranking = localizer.rank_windows(floor, lead_h)
+        ranks.append(ranking.rank_of(window.rack_id))
+
+    false_suspicions = 0
+    healthy_trials = max(10, len(positive_windows) // 2)
+    for _ in range(healthy_trials):
+        floor = healthy_floor(exclude=None)
+        if len(floor) < 2:
+            continue
+        ranking = localizer.rank_windows(floor, lead_h)
+        false_suspicions += ranking.top_probability >= alert_threshold
+
+    rank_array = np.array(ranks, dtype="float64")
+    return LocalizationReport(
+        lead_h=lead_h,
+        snapshots=len(ranks),
+        top1_accuracy=float(np.mean(rank_array == 1)),
+        top3_accuracy=float(np.mean(rank_array <= 3)),
+        mean_reciprocal_rank=float(np.mean(1.0 / rank_array)),
+        false_suspicion_rate=false_suspicions / healthy_trials,
+    )

@@ -1,0 +1,233 @@
+"""Proactive mitigation: is checkpoint-on-alert worth it?
+
+The paper's opportunity (Sections VI-B/VI-D): a predicted CMF buys
+time to checkpoint active jobs — but "any proactive measure ... is
+likely to incur high overhead since a CMF impacts the whole rack",
+so false positives must be priced in.  This module runs exactly that
+trade study as a cost/benefit ledger in compute core-hours:
+
+* **without mitigation**, a CMF kills every job on the rack and all
+  work since each job's start is lost;
+* **with checkpoint-on-alert**, jobs lose only the work since the
+  checkpoint plus the checkpoint overhead;
+* **every alert** (true or false) costs the checkpoint overhead on
+  that rack.
+
+:func:`evaluate_mitigation` replays a simulation's telemetry through
+the streaming predictor, applies an alert policy, and fills the
+ledger — the ablation benchmark sweeps the policy threshold to find
+the operating point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.facility.topology import RackId
+from repro.monitoring.alerts import Alert, AlertEngine, AlertLog, AlertPolicy, MatchReport
+from repro.monitoring.online import OnlineCmfPredictor
+from repro.simulation.engine import SimulationResult
+from repro.simulation.windows import WindowSynthesizer
+from repro.telemetry.records import Channel
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointPolicy:
+    """Cost model for checkpoint-on-alert.
+
+    Attributes:
+        checkpoint_overhead_node_h: Node-hours consumed by taking one
+            rack-level checkpoint (I/O stall across 1,024 nodes).
+        mean_inflight_loss_h: Expected hours of work lost per busy
+            node when a rack dies *without* a recent checkpoint
+            (half the mean job runtime).
+        residual_loss_h: Hours of work lost per busy node even *with*
+            a checkpoint (progress since the checkpoint was taken).
+    """
+
+    checkpoint_overhead_node_h: float = 40.0
+    mean_inflight_loss_h: float = 3.0
+    residual_loss_h: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_overhead_node_h < 0:
+            raise ValueError("overhead cannot be negative")
+        if self.residual_loss_h > self.mean_inflight_loss_h:
+            raise ValueError("residual loss cannot exceed in-flight loss")
+
+
+@dataclasses.dataclass(frozen=True)
+class MitigationLedger:
+    """The core-hours cost/benefit outcome of one policy."""
+
+    policy: CheckpointPolicy
+    alert_policy: AlertPolicy
+    match: MatchReport
+    #: Core-hours lost to CMFs with no mitigation at all.
+    baseline_loss_core_h: float
+    #: Core-hours lost with checkpoint-on-alert in force.
+    mitigated_loss_core_h: float
+    #: Core-hours spent taking checkpoints (true + false alerts).
+    checkpoint_cost_core_h: float
+
+    @property
+    def net_saving_core_h(self) -> float:
+        """Positive when the mitigation pays for itself."""
+        return (
+            self.baseline_loss_core_h
+            - self.mitigated_loss_core_h
+            - self.checkpoint_cost_core_h
+        )
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.net_saving_core_h > 0
+
+
+#: Cores per node on Mira.
+_CORES = constants.COMPUTE_CORES_PER_NODE
+
+#: Nodes per rack.
+_NODES = constants.NODES_PER_RACK
+
+
+def _rack_utilization_before(
+    result: SimulationResult, rack_id: RackId, epoch_s: float
+) -> float:
+    """The rack's utilization just before a moment (for loss sizing)."""
+    series = result.database.rack_channel(Channel.UTILIZATION, rack_id)
+    index = int(np.searchsorted(series.epoch_s, epoch_s)) - 1
+    window = series.values[max(0, index - 6) : max(1, index + 1)]
+    finite = window[np.isfinite(window)]
+    return float(finite.mean()) if finite.size else 0.0
+
+
+def evaluate_mitigation(
+    result: SimulationResult,
+    predictor: OnlineCmfPredictor,
+    alert_policy: Optional[AlertPolicy] = None,
+    checkpoint_policy: Optional[CheckpointPolicy] = None,
+    synthesizer: Optional[WindowSynthesizer] = None,
+    negative_windows_per_positive: float = 2.0,
+    max_positive_windows: Optional[int] = None,
+    seed: int = 31,
+) -> MitigationLedger:
+    """Replay telemetry through the predictor and fill the ledger.
+
+    The replay covers every failure's lead-up window (where detections
+    can happen) plus a proportional sample of no-failure windows
+    (where false alerts can happen); the false-alert rate is then
+    extrapolated to the full observation period.
+
+    Args:
+        max_positive_windows: Optionally cap the replayed failures (a
+            uniform subsample) to bound the cost on long datasets; the
+            ledger then refers to the sampled population.
+
+    Raises:
+        ValueError: if the result carries no failure schedule.
+    """
+    if result.schedule is None:
+        raise ValueError("simulation was run without failure injection")
+    alert_policy = alert_policy if alert_policy is not None else AlertPolicy()
+    checkpoint_policy = (
+        checkpoint_policy if checkpoint_policy is not None else CheckpointPolicy()
+    )
+    synthesizer = (
+        synthesizer if synthesizer is not None else WindowSynthesizer(result, seed=seed)
+    )
+
+    positives = synthesizer.positive_windows()
+    if max_positive_windows is not None and len(positives) > max_positive_windows:
+        stride = len(positives) / max_positive_windows
+        positives = [
+            positives[int(i * stride)] for i in range(max_positive_windows)
+        ]
+    negatives = synthesizer.negative_windows(
+        int(round(negative_windows_per_positive * len(positives)))
+    )
+
+    engine = AlertEngine(alert_policy)
+    log = AlertLog()
+    for window in positives + negatives:
+        predictor.reset(window.rack_id)
+        for prediction in predictor.consume_window(window):
+            alert = engine.process(prediction)
+            if alert is not None:
+                log.record(alert)
+        predictor.reset(window.rack_id)
+
+    replayed_ends = {window.end_epoch_s for window in positives}
+    eligible = [
+        e
+        for e in result.schedule.events
+        if e.epoch_s >= result.start_epoch_s + synthesizer.history_s
+        and e.epoch_s in replayed_ends
+    ]
+    window_days = synthesizer.history_s / timeutil.DAY_S
+    observation_rack_days = window_days * (len(positives) + len(negatives))
+    match = log.match(eligible, observation_rack_days=observation_rack_days)
+
+    # -- the ledger -------------------------------------------------------------
+    baseline = 0.0
+    mitigated = 0.0
+    detected_count = match.detected
+    for index, failure in enumerate(eligible):
+        utilization = _rack_utilization_before(result, failure.rack_id, failure.epoch_s)
+        busy_nodes = utilization * _NODES
+        baseline += busy_nodes * checkpoint_policy.mean_inflight_loss_h * _CORES
+    # Detected failures lose only the residual; missed ones the full loss.
+    if eligible:
+        mean_busy = baseline / (
+            len(eligible) * checkpoint_policy.mean_inflight_loss_h * _CORES
+        )
+    else:
+        mean_busy = 0.0
+    mitigated = (
+        (len(eligible) - detected_count)
+        * mean_busy
+        * checkpoint_policy.mean_inflight_loss_h
+        * _CORES
+        + detected_count * mean_busy * checkpoint_policy.residual_loss_h * _CORES
+    )
+    checkpoint_cost = (
+        len(log) * checkpoint_policy.checkpoint_overhead_node_h * _CORES
+    )
+    return MitigationLedger(
+        policy=checkpoint_policy,
+        alert_policy=alert_policy,
+        match=match,
+        baseline_loss_core_h=baseline,
+        mitigated_loss_core_h=mitigated,
+        checkpoint_cost_core_h=checkpoint_cost,
+    )
+
+
+def sweep_thresholds(
+    result: SimulationResult,
+    predictor: OnlineCmfPredictor,
+    thresholds: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95),
+    checkpoint_policy: Optional[CheckpointPolicy] = None,
+    max_positive_windows: Optional[int] = None,
+    seed: int = 31,
+) -> List[MitigationLedger]:
+    """The threshold trade study (one shared window synthesis)."""
+    synthesizer = WindowSynthesizer(result, seed=seed)
+    ledgers = []
+    for threshold in thresholds:
+        ledgers.append(
+            evaluate_mitigation(
+                result,
+                predictor,
+                alert_policy=AlertPolicy(threshold=threshold),
+                checkpoint_policy=checkpoint_policy,
+                synthesizer=synthesizer,
+                max_positive_windows=max_positive_windows,
+                seed=seed,
+            )
+        )
+    return ledgers

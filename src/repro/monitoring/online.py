@@ -1,0 +1,188 @@
+"""The streaming CMF predictor.
+
+The offline pipeline (:mod:`repro.core.prediction`) evaluates windows
+*around known failures*.  Operations need the opposite direction: a
+predictor that rides along with the live telemetry, maintaining a
+rolling history per rack and emitting a failure probability every time
+a new coolant monitor sample arrives.
+
+:func:`train_online_predictor` fits the paper's MLP on change features
+pooled across prediction leads (so the model fires progressively as a
+failure approaches rather than being tuned to one horizon), and
+:class:`OnlineCmfPredictor` serves it over per-rack ring buffers.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.core.prediction import FEATURE_LAGS_H, build_dataset, window_features
+from repro.facility.topology import RackId
+from repro.ml.network import NeuralNetwork
+from repro.ml.train import TrainConfig, TrainResult, train_classifier
+from repro.simulation.windows import LeadupWindow
+from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
+
+
+def train_online_predictor(
+    positive_windows: Sequence[LeadupWindow],
+    negative_windows: Sequence[LeadupWindow],
+    leads_h: Sequence[float] = (6.0, 4.0, 2.0, 1.0, 0.5),
+    hidden: Sequence[int] = constants.PREDICTOR_HIDDEN_LAYERS,
+    epochs: int = constants.PREDICTOR_EPOCHS,
+    seed: int = 9,
+) -> TrainResult:
+    """Fit the streaming model on change features pooled across leads.
+
+    Raises:
+        ValueError: if either window class is empty.
+    """
+    if not positive_windows or not negative_windows:
+        raise ValueError("both window classes are required for training")
+    features: List[np.ndarray] = []
+    labels: List[int] = []
+    for lead_h in leads_h:
+        dataset = build_dataset(positive_windows, negative_windows, lead_h)
+        features.append(dataset.features)
+        labels.append(dataset.labels)
+    x = np.vstack(features)
+    y = np.concatenate(labels)
+    rng = np.random.default_rng(seed)
+    network = NeuralNetwork.mlp(x.shape[1], tuple(hidden), rng=rng)
+    return train_classifier(
+        network, x, y, config=TrainConfig(epochs=epochs), rng=rng
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Prediction:
+    """One streaming evaluation."""
+
+    epoch_s: float
+    rack_id: RackId
+    probability: float
+
+
+class OnlineCmfPredictor:
+    """Per-rack rolling-history inference.
+
+    Feed it monitor samples via :meth:`consume`; once a rack's history
+    spans the longest feature lag (six hours) it returns failure
+    probabilities.
+
+    Args:
+        model: A trained classifier from
+            :func:`train_online_predictor` (or the offline pipeline).
+        sample_period_s: Expected cadence; history is pruned to the
+            feature span plus slack.
+    """
+
+    #: Extra history retained beyond the longest lag, seconds.
+    HISTORY_SLACK_S = 30 * 60
+
+    def __init__(
+        self,
+        model: TrainResult,
+        sample_period_s: float = float(constants.MONITOR_SAMPLE_PERIOD_S),
+    ) -> None:
+        if sample_period_s <= 0:
+            raise ValueError("sample period must be positive")
+        self.model = model
+        self.sample_period_s = sample_period_s
+        self._span_s = max(FEATURE_LAGS_H) * timeutil.HOUR_S + self.HISTORY_SLACK_S
+        self._history: Dict[RackId, Deque[Tuple[float, Dict[Channel, float]]]] = (
+            collections.defaultdict(collections.deque)
+        )
+
+    # -- history management ------------------------------------------------------
+
+    def _prune(self, rack_id: RackId, now_s: float) -> None:
+        history = self._history[rack_id]
+        while history and history[0][0] < now_s - self._span_s:
+            history.popleft()
+
+    def history_span_s(self, rack_id: RackId) -> float:
+        """Seconds of history currently held for a rack."""
+        history = self._history[rack_id]
+        if len(history) < 2:
+            return 0.0
+        return history[-1][0] - history[0][0]
+
+    def ready(self, rack_id: RackId) -> bool:
+        """Whether the rack has enough history for a prediction."""
+        return self.history_span_s(rack_id) >= max(FEATURE_LAGS_H) * timeutil.HOUR_S
+
+    # -- inference ---------------------------------------------------------------
+
+    def _value_at(self, rack_id: RackId, channel: Channel, epoch_s: float) -> float:
+        history = self._history[rack_id]
+        times = np.array([t for t, _ in history])
+        values = np.array([sample[channel] for _, sample in history])
+        return float(np.interp(epoch_s, times, values))
+
+    def _features(self, rack_id: RackId, now_s: float) -> np.ndarray:
+        features: List[float] = []
+        for channel in PREDICTOR_CHANNELS:
+            now_value = self._value_at(rack_id, channel, now_s)
+            for lag_h in FEATURE_LAGS_H:
+                then = self._value_at(
+                    rack_id, channel, now_s - lag_h * timeutil.HOUR_S
+                )
+                denominator = abs(then) if abs(then) > 1e-9 else 1.0
+                features.append((now_value - then) / denominator)
+        return np.array(features)
+
+    def consume(
+        self,
+        epoch_s: float,
+        rack_id: RackId,
+        channel_values: Dict[Channel, float],
+    ) -> Optional[Prediction]:
+        """Ingest one sample; return a prediction once history suffices.
+
+        Raises:
+            ValueError: if a predictor channel is missing.
+        """
+        missing = [ch for ch in PREDICTOR_CHANNELS if ch not in channel_values]
+        if missing:
+            raise ValueError(f"missing channels: {[m.column for m in missing]}")
+        history = self._history[rack_id]
+        if history and epoch_s < history[-1][0]:
+            raise ValueError("samples must arrive in time order per rack")
+        history.append((epoch_s, dict(channel_values)))
+        self._prune(rack_id, epoch_s)
+        if not self.ready(rack_id):
+            return None
+        probability = float(
+            self.model.predict_proba(self._features(rack_id, epoch_s)[None, :])[0]
+        )
+        return Prediction(epoch_s=epoch_s, rack_id=rack_id, probability=probability)
+
+    def consume_window(self, window: LeadupWindow) -> List[Prediction]:
+        """Replay a synthesized window through the streaming path.
+
+        Useful for testing that the online path agrees with the
+        offline feature extraction on identical data.
+        """
+        predictions = []
+        for i, epoch in enumerate(window.epoch_s):
+            sample = {
+                channel: float(window.channels[channel][i])
+                for channel in PREDICTOR_CHANNELS
+            }
+            prediction = self.consume(float(epoch), window.rack_id, sample)
+            if prediction is not None:
+                predictions.append(prediction)
+        return predictions
+
+    def reset(self, rack_id: Optional[RackId] = None) -> None:
+        """Drop history for one rack (after an outage) or all racks."""
+        if rack_id is None:
+            self._history.clear()
+        else:
+            self._history.pop(rack_id, None)

@@ -1,0 +1,38 @@
+"""Job scheduling simulation: the driver of Mira's utilization.
+
+The paper's temporal power/utilization findings are all downstream of
+how jobs arrive and are placed: INCITE and ALCC allocation years shape
+the monthly demand curve (Fig 4), Monday maintenance with burner jobs
+shapes the weekly curve (Fig 5), and the ``prod-long``-to-row-0 queue
+policy plus user rack affinities shape the spatial utilization profile
+(Fig 6).  This package implements those mechanisms as an actual
+queueing/backfill simulation rather than painting the curves directly.
+"""
+
+from repro.scheduler.jobs import Job, JobState
+from repro.scheduler.projects import AllocationProgram, Project
+from repro.scheduler.workload import WorkloadGenerator, WorkloadConfig
+from repro.scheduler.queues import QueueName
+from repro.scheduler.allocator import MidplaneAllocator
+from repro.scheduler.scheduler import MaintenancePolicy, MiraScheduler, SchedulerState
+from repro.scheduler.stats import SchedulingStats
+from repro.scheduler.traces import TraceJob, TraceWorkload, export_swf, load_swf
+
+__all__ = [
+    "Job",
+    "JobState",
+    "AllocationProgram",
+    "Project",
+    "WorkloadGenerator",
+    "WorkloadConfig",
+    "QueueName",
+    "MidplaneAllocator",
+    "MaintenancePolicy",
+    "MiraScheduler",
+    "SchedulerState",
+    "SchedulingStats",
+    "TraceJob",
+    "TraceWorkload",
+    "export_swf",
+    "load_swf",
+]

@@ -1,0 +1,111 @@
+"""The job model.
+
+Jobs are sized in **midplanes** (512 nodes each; a rack holds two), the
+allocation granularity of Blue Gene/Q partitions.  Each job carries a
+CPU *intensity* describing how hard it drives the cores — the quantity
+whose per-job variance decorrelates rack power from rack utilization
+(Section IV-A's r = 0.45 finding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional, Tuple
+
+from repro.scheduler.projects import Project
+from repro.scheduler.queues import QueueName
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+@dataclasses.dataclass
+class Job:
+    """One batch job.
+
+    Attributes:
+        job_id: Unique, monotonically assigned identifier.
+        project: Owning project.
+        queue: Submission queue; determines placement policy.
+        midplanes: Partition size in midplanes (power of two, or the
+            full machine).
+        walltime_s: Requested (and, in this simulation, actual)
+            runtime.
+        intensity: CPU intensity; 1.0 is nominal.
+        submit_epoch_s: Submission time.
+        is_burner: True for the no-useful-work health/warming jobs run
+            during maintenance windows.
+    """
+
+    job_id: int
+    project: Optional[Project]
+    queue: QueueName
+    midplanes: int
+    walltime_s: float
+    intensity: float
+    submit_epoch_s: float
+    is_burner: bool = False
+
+    state: JobState = JobState.QUEUED
+    start_epoch_s: Optional[float] = None
+    end_epoch_s: Optional[float] = None
+    assigned_midplanes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.midplanes < 1:
+            raise ValueError(f"job needs at least one midplane, got {self.midplanes}")
+        if self.walltime_s <= 0:
+            raise ValueError(f"walltime must be positive, got {self.walltime_s}")
+        if self.intensity < 0:
+            raise ValueError(f"intensity cannot be negative, got {self.intensity}")
+
+    @property
+    def nodes(self) -> int:
+        """Node count of the partition (512 per midplane)."""
+        return self.midplanes * 512
+
+    def start(self, epoch_s: float, midplane_ids: Tuple[int, ...]) -> None:
+        """Transition QUEUED -> RUNNING on the given midplanes.
+
+        Raises:
+            ValueError: on an illegal transition or wrong-size
+                placement.
+        """
+        if self.state is not JobState.QUEUED:
+            raise ValueError(f"cannot start a job in state {self.state}")
+        if len(midplane_ids) != self.midplanes:
+            raise ValueError(
+                f"job needs {self.midplanes} midplanes, given {len(midplane_ids)}"
+            )
+        self.state = JobState.RUNNING
+        self.start_epoch_s = epoch_s
+        self.end_epoch_s = epoch_s + self.walltime_s
+        self.assigned_midplanes = tuple(midplane_ids)
+
+    def complete(self) -> None:
+        """Transition RUNNING -> COMPLETED (normal end of walltime)."""
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"cannot complete a job in state {self.state}")
+        self.state = JobState.COMPLETED
+
+    def kill(self, epoch_s: float) -> None:
+        """Transition RUNNING -> KILLED (failure or maintenance drain)."""
+        if self.state is not JobState.RUNNING:
+            raise ValueError(f"cannot kill a job in state {self.state}")
+        self.state = JobState.KILLED
+        self.end_epoch_s = epoch_s
+
+    @property
+    def core_hours(self) -> float:
+        """Consumed core-hours (16 compute cores per node)."""
+        if self.start_epoch_s is None or self.end_epoch_s is None:
+            return 0.0
+        elapsed_h = (self.end_epoch_s - self.start_epoch_s) / 3600.0
+        return self.nodes * 16 * elapsed_h

@@ -1,0 +1,95 @@
+"""Projects, programs, and allocation years.
+
+Mira primarily served two allocation programs (Section III-B):
+
+* **INCITE** — allocation year January 1 .. December 31, higher
+  priority and larger resource demands;
+* **ALCC** — allocation year July 1 .. June 30 of the next year;
+* plus smaller **discretionary** projects with no hard deadline.
+
+Users burn most of their core-hours near the *end* of their allocation
+year, so INCITE demand peaks toward December and ALCC toward June;
+because INCITE projects are bigger, the second half of the calendar
+year runs hotter overall — the Fig 4(a)/(b) pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro import timeutil
+
+
+class AllocationProgram(enum.Enum):
+    """The award program a project belongs to."""
+
+    INCITE = "incite"
+    ALCC = "alcc"
+    DISCRETIONARY = "discretionary"
+
+    @property
+    def allocation_year_start_month(self) -> int:
+        """Month (1..12) in which this program's allocation year begins."""
+        if self is AllocationProgram.INCITE:
+            return 1
+        if self is AllocationProgram.ALCC:
+            return 7
+        return 1  # discretionary: treated as calendar-year, no rush
+
+    def year_progress(self, epoch_s: float) -> float:
+        """Fraction (0..1) of this program's allocation year elapsed.
+
+        0 at the start of the allocation year, approaching 1 at its
+        deadline.  Drives the deadline-rush demand model.
+        """
+        month = int(timeutil.months(epoch_s))
+        day_in_month = (
+            float(timeutil.days_of_year(epoch_s))
+            - _CUMULATIVE_MONTH_DAYS[month - 1]
+        )
+        months_elapsed = (month - self.allocation_year_start_month) % 12
+        return min(1.0, (months_elapsed + day_in_month / 30.5) / 12.0)
+
+    def demand_multiplier(self, epoch_s: float, rush_strength: float = 1.0) -> float:
+        """Relative job-submission intensity at a moment in time.
+
+        Grows from a base level at the start of the allocation year to
+        ``1 + rush_strength`` at the deadline: the deadline rush.
+        Discretionary projects submit at a constant rate.
+        """
+        if self is AllocationProgram.DISCRETIONARY:
+            return 1.0
+        progress = self.year_progress(epoch_s)
+        # Quadratic ramp: most of the rush lands in the final third.
+        return 1.0 + rush_strength * progress**2
+
+
+#: Cumulative days at the start of each month (non-leap; close enough
+#: for demand shaping).
+_CUMULATIVE_MONTH_DAYS = (0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334)
+
+
+@dataclasses.dataclass(frozen=True)
+class Project:
+    """One allocated project.
+
+    Attributes:
+        name: Display name.
+        program: Allocation program.
+        allocation_core_hours: Awarded core-hours for the allocation
+            year; proportional to the project's share of demand.
+        typical_job_midplanes: Characteristic job size for the project,
+            in 512-node midplanes.
+    """
+
+    name: str
+    program: AllocationProgram
+    allocation_core_hours: float
+    typical_job_midplanes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.allocation_core_hours <= 0:
+            raise ValueError("allocation must be positive")
+        if self.typical_job_midplanes < 1:
+            raise ValueError("typical job size must be at least one midplane")

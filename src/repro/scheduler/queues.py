@@ -1,0 +1,59 @@
+"""Submission queues and their placement policies.
+
+Mira's operators route long-running jobs (the ``prod-long`` queue) to
+row 0 of racks; shorter production jobs (``prod-short``) land on rows
+1-2 first.  Burner jobs run during maintenance.  This queue-to-row
+policy is what makes row 0 the highest-utilization, highest-power row
+in Fig 6.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class QueueName(enum.Enum):
+    """The submission queues of the simulated Cobalt scheduler."""
+
+    PROD_LONG = "prod-long"
+    PROD_SHORT = "prod-short"
+    BACKFILL = "backfill"
+    BURNER = "burner"
+
+    @property
+    def preferred_row(self) -> int:
+        """The rack row this queue's jobs are packed into first."""
+        if self is QueueName.PROD_LONG:
+            return 0
+        return 1
+
+    @property
+    def min_walltime_s(self) -> float:
+        """Smallest walltime admitted to this queue."""
+        if self is QueueName.PROD_LONG:
+            return 6 * 3600.0
+        return 0.0
+
+    @property
+    def max_walltime_s(self) -> float:
+        """Largest walltime admitted to this queue."""
+        if self is QueueName.PROD_LONG:
+            return 24 * 3600.0
+        if self is QueueName.PROD_SHORT:
+            return 6 * 3600.0
+        if self is QueueName.BACKFILL:
+            return 2 * 3600.0
+        return 12 * 3600.0  # burner: bounded by the maintenance window
+
+    def admits(self, walltime_s: float) -> bool:
+        """Whether a job of this walltime may be submitted here."""
+        return self.min_walltime_s <= walltime_s <= self.max_walltime_s
+
+
+def queue_for_walltime(walltime_s: float) -> QueueName:
+    """Route a job to the production queue matching its walltime."""
+    if walltime_s < 0:
+        raise ValueError(f"walltime cannot be negative, got {walltime_s}")
+    if QueueName.PROD_LONG.admits(walltime_s):
+        return QueueName.PROD_LONG
+    return QueueName.PROD_SHORT

@@ -1,0 +1,115 @@
+"""Scheduler accounting: wait times, throughput, delivered core-hours.
+
+The paper's utilization numbers ultimately come from Cobalt's job
+accounting; this collector reproduces that layer for the simulated
+scheduler so analyses (and tests) can ask operational questions — how
+long do jobs wait per queue, how many core-hours were delivered vs
+lost to kills, how deep does the queue run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.scheduler.jobs import Job
+from repro.scheduler.queues import QueueName
+
+
+@dataclasses.dataclass
+class QueueStats:
+    """Accumulated statistics for one submission queue."""
+
+    started: int = 0
+    completed: int = 0
+    killed: int = 0
+    total_wait_s: float = 0.0
+    delivered_core_h: float = 0.0
+    lost_core_h: float = 0.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        return self.total_wait_s / self.started if self.started else 0.0
+
+
+class SchedulingStats:
+    """Collects per-queue job accounting from scheduler callbacks."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[QueueName, QueueStats] = {
+            queue: QueueStats() for queue in QueueName
+        }
+        self._queue_depth_samples: List[int] = []
+
+    # -- callbacks (invoked by the scheduler) ----------------------------------
+
+    def on_start(self, job: Job, epoch_s: float) -> None:
+        stats = self._queues[job.queue]
+        stats.started += 1
+        stats.total_wait_s += max(0.0, epoch_s - job.submit_epoch_s)
+
+    def on_complete(self, job: Job) -> None:
+        stats = self._queues[job.queue]
+        stats.completed += 1
+        stats.delivered_core_h += job.core_hours
+
+    def on_kill(self, job: Job) -> None:
+        stats = self._queues[job.queue]
+        stats.killed += 1
+        stats.lost_core_h += job.core_hours
+
+    def on_step(self, queued_jobs: int) -> None:
+        self._queue_depth_samples.append(queued_jobs)
+
+    # -- queries ------------------------------------------------------------------
+
+    def queue(self, queue: QueueName) -> QueueStats:
+        return self._queues[queue]
+
+    @property
+    def total_delivered_core_h(self) -> float:
+        return sum(s.delivered_core_h for s in self._queues.values())
+
+    @property
+    def total_lost_core_h(self) -> float:
+        return sum(s.lost_core_h for s in self._queues.values())
+
+    @property
+    def loss_fraction(self) -> float:
+        """Killed work over all work touched."""
+        total = self.total_delivered_core_h + self.total_lost_core_h
+        return self.total_lost_core_h / total if total else 0.0
+
+    def mean_queue_depth(self) -> float:
+        if not self._queue_depth_samples:
+            return 0.0
+        return float(np.mean(self._queue_depth_samples))
+
+    def p95_queue_depth(self) -> float:
+        if not self._queue_depth_samples:
+            return 0.0
+        return float(np.percentile(self._queue_depth_samples, 95))
+
+    def summary(self) -> str:
+        """A printable per-queue accounting table."""
+        lines = [
+            f"{'queue':<12} {'started':>8} {'completed':>9} {'killed':>7} "
+            f"{'mean wait':>10} {'delivered core-h':>17}"
+        ]
+        for queue in QueueName:
+            stats = self._queues[queue]
+            if stats.started == 0:
+                continue
+            lines.append(
+                f"{queue.value:<12} {stats.started:>8} {stats.completed:>9} "
+                f"{stats.killed:>7} {stats.mean_wait_s / 3600.0:>9.2f}h "
+                f"{stats.delivered_core_h:>17,.0f}"
+            )
+        lines.append(
+            f"queue depth: mean {self.mean_queue_depth():.1f}, "
+            f"p95 {self.p95_queue_depth():.0f}; "
+            f"lost-work fraction {self.loss_fraction:.2%}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,289 @@
+"""Synthetic workload generation.
+
+Generates the job stream the scheduler consumes.  The stream's
+intensity is shaped by three multiplicative factors:
+
+* a **secular factor** rising over the six years (Mira's user base and
+  demand grew; Fig 2b's 80 % -> 93 % utilization trend),
+* the **allocation-year factor**: the INCITE/ALCC deadline-rush mix
+  (Fig 4's higher second-half-of-year load),
+* Poisson arrival noise plus occasional near-full-machine *capability*
+  jobs whose draining causes the transient utilization dips the paper
+  discusses in Section III-A.
+
+Job CPU intensity is lognormal around a slowly rising mean (codes got
+better optimized over Mira's lifetime), which is what makes power rise
+faster than utilization in Fig 2 and keeps the rack-level
+power/utilization correlation near the paper's r = 0.45.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import timeutil
+from repro.scheduler.jobs import Job
+from repro.scheduler.projects import AllocationProgram, Project
+from repro.scheduler.queues import QueueName, queue_for_walltime
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadConfig:
+    """Tunable workload parameters.
+
+    Attributes:
+        demand_start: Offered load as a fraction of machine capacity at
+            the start of production (2014).
+        demand_end: Offered load fraction at the end of production
+            (2019).  Values slightly above 1.0 keep the queue deep.
+        rush_strength_incite: Deadline-rush amplitude for INCITE.
+        rush_strength_alcc: Deadline-rush amplitude for ALCC.
+        incite_share: Fraction of demand from INCITE projects (higher
+            priority, bigger jobs).
+        alcc_share: Fraction of demand from ALCC projects.
+        long_job_fraction: Fraction of jobs routed to prod-long.
+        capability_job_rate_per_day: Arrival rate of near-full-machine
+            capability jobs.
+        intensity_mean_start: Mean job CPU intensity in 2014.
+        intensity_mean_end: Mean job CPU intensity in 2019.
+        intensity_sigma: Lognormal sigma of per-job intensity.
+    """
+
+    demand_start: float = 0.76
+    demand_end: float = 0.925
+    rush_strength_incite: float = 0.9
+    rush_strength_alcc: float = 0.6
+    incite_share: float = 0.55
+    alcc_share: float = 0.30
+    long_job_fraction: float = 0.42
+    capability_job_rate_per_day: float = 0.10
+    intensity_mean_start: float = 0.97
+    intensity_mean_end: float = 1.09
+    intensity_sigma: float = 0.22
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.demand_start <= self.demand_end:
+            raise ValueError("demand must be positive and non-decreasing")
+        if self.incite_share + self.alcc_share > 1.0:
+            raise ValueError("program shares exceed 1.0")
+        if not 0.0 <= self.long_job_fraction <= 1.0:
+            raise ValueError("long_job_fraction must be in [0, 1]")
+
+    @property
+    def discretionary_share(self) -> float:
+        return 1.0 - self.incite_share - self.alcc_share
+
+
+#: Production job size distribution, in midplanes (512 nodes each).
+_SIZE_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+_SIZE_PROBS: Tuple[float, ...] = (0.30, 0.25, 0.20, 0.15, 0.07, 0.03)
+
+#: Capability job sizes: half or full machine.
+_CAPABILITY_SIZES: Tuple[int, ...] = (48, 96)
+
+
+class WorkloadGenerator:
+    """Poisson job-arrival generator with allocation-year shaping.
+
+    Args:
+        config: Workload parameters.
+        rng: Seeded randomness source.
+        total_midplanes: Machine capacity the demand fractions refer to.
+        production_start/production_end: The secular demand ramp
+            endpoints.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkloadConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        total_midplanes: int = 96,
+        production_start_epoch_s: Optional[float] = None,
+        production_end_epoch_s: Optional[float] = None,
+    ) -> None:
+        from repro import constants  # local import to avoid cycle at module load
+
+        self.config = config if config is not None else WorkloadConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._total_midplanes = total_midplanes
+        self._start = (
+            production_start_epoch_s
+            if production_start_epoch_s is not None
+            else timeutil.to_epoch(constants.PRODUCTION_START)
+        )
+        self._end = (
+            production_end_epoch_s
+            if production_end_epoch_s is not None
+            else timeutil.to_epoch(constants.PRODUCTION_END)
+        )
+        self._next_job_id = 0
+        self._projects = self._make_projects()
+        # Expected midplane-hours per production job, used to convert a
+        # demand fraction into an arrival rate.
+        mean_size = float(np.dot(_SIZE_CHOICES, _SIZE_PROBS))
+        self._mean_walltime_h = (
+            self.config.long_job_fraction * 12.0
+            + (1.0 - self.config.long_job_fraction) * 2.6
+        )
+        self._mean_job_midplane_hours = mean_size * self._mean_walltime_h
+
+    # -- projects ------------------------------------------------------------
+
+    def _make_projects(self) -> Dict[AllocationProgram, List[Project]]:
+        projects: Dict[AllocationProgram, List[Project]] = {}
+        for program, count, core_hours, size in (
+            (AllocationProgram.INCITE, 12, 150e6, 8),
+            (AllocationProgram.ALCC, 10, 60e6, 4),
+            (AllocationProgram.DISCRETIONARY, 20, 8e6, 2),
+        ):
+            projects[program] = [
+                Project(
+                    name=f"{program.value}-{i:02d}",
+                    program=program,
+                    allocation_core_hours=core_hours,
+                    typical_job_midplanes=size,
+                )
+                for i in range(count)
+            ]
+        return projects
+
+    # -- demand shaping --------------------------------------------------------
+
+    def secular_factor(self, epoch_s: float) -> float:
+        """Linear demand growth over the production period."""
+        frac = (epoch_s - self._start) / max(1.0, self._end - self._start)
+        frac = min(1.0, max(0.0, frac))
+        return self.config.demand_start + frac * (
+            self.config.demand_end - self.config.demand_start
+        )
+
+    def seasonal_factor(self, epoch_s: float) -> float:
+        """Allocation-year demand factor, normalized to mean ~1 over a year.
+
+        The mean of ``1 + s * progress**2`` over an allocation year is
+        ``1 + s/3``; each program's rush curve is divided by that so
+        the seasonal factor redistributes load within the year without
+        changing the annual total.
+        """
+        cfg = self.config
+        incite = AllocationProgram.INCITE.demand_multiplier(
+            epoch_s, cfg.rush_strength_incite
+        ) / (1.0 + cfg.rush_strength_incite / 3.0)
+        alcc = AllocationProgram.ALCC.demand_multiplier(
+            epoch_s, cfg.rush_strength_alcc
+        ) / (1.0 + cfg.rush_strength_alcc / 3.0)
+        return (
+            cfg.incite_share * incite
+            + cfg.alcc_share * alcc
+            + cfg.discretionary_share * 1.0
+        )
+
+    def arrival_rate_per_hour(self, epoch_s: float) -> float:
+        """Expected production-job arrivals per hour at this moment."""
+        offered_midplane_hours = (
+            self._total_midplanes
+            * self.secular_factor(epoch_s)
+            * self.seasonal_factor(epoch_s)
+        )
+        return offered_midplane_hours / self._mean_job_midplane_hours
+
+    def intensity_mean(self, epoch_s: float) -> float:
+        """Mean CPU intensity of jobs submitted at this moment."""
+        frac = (epoch_s - self._start) / max(1.0, self._end - self._start)
+        frac = min(1.0, max(0.0, frac))
+        return self.config.intensity_mean_start + frac * (
+            self.config.intensity_mean_end - self.config.intensity_mean_start
+        )
+
+    # -- job fabrication ----------------------------------------------------------
+
+    def _pick_program(self) -> AllocationProgram:
+        cfg = self.config
+        roll = self._rng.random()
+        if roll < cfg.incite_share:
+            return AllocationProgram.INCITE
+        if roll < cfg.incite_share + cfg.alcc_share:
+            return AllocationProgram.ALCC
+        return AllocationProgram.DISCRETIONARY
+
+    def _draw_intensity(self, epoch_s: float) -> float:
+        mean = self.intensity_mean(epoch_s)
+        sigma = self.config.intensity_sigma
+        # Lognormal with the requested arithmetic mean.
+        mu = np.log(mean) - sigma**2 / 2.0
+        return float(np.clip(self._rng.lognormal(mu, sigma), 0.3, 2.5))
+
+    def _draw_walltime_s(self, long_job: bool) -> float:
+        if long_job:
+            # 6..24 h, mode near 10 h.
+            hours = float(np.clip(self._rng.lognormal(np.log(11.0), 0.35), 6.0, 24.0))
+        else:
+            # 0.5..6 h, mode near 2 h.
+            hours = float(np.clip(self._rng.lognormal(np.log(2.2), 0.55), 0.5, 6.0))
+        return hours * 3600.0
+
+    def _make_job(self, epoch_s: float, midplanes: int, walltime_s: float) -> Job:
+        program = self._pick_program()
+        project_list = self._projects[program]
+        project = project_list[int(self._rng.integers(len(project_list)))]
+        job = Job(
+            job_id=self._next_job_id,
+            project=project,
+            queue=queue_for_walltime(walltime_s),
+            midplanes=midplanes,
+            walltime_s=walltime_s,
+            intensity=self._draw_intensity(epoch_s),
+            submit_epoch_s=epoch_s,
+        )
+        self._next_job_id += 1
+        return job
+
+    def make_burner_job(self, epoch_s: float, duration_s: float, intensity: float) -> Job:
+        """A health-monitoring burner job covering one midplane."""
+        job = Job(
+            job_id=self._next_job_id,
+            project=None,
+            queue=QueueName.BURNER,
+            midplanes=1,
+            walltime_s=duration_s,
+            intensity=intensity,
+            submit_epoch_s=epoch_s,
+            is_burner=True,
+        )
+        self._next_job_id += 1
+        return job
+
+    # -- the generator entry point ---------------------------------------------------
+
+    def arrivals(self, epoch_s: float, dt_s: float) -> List[Job]:
+        """Jobs submitted during ``[epoch_s, epoch_s + dt_s)``.
+
+        Returns production jobs (Poisson at the shaped rate) plus any
+        capability jobs (independent, rarer Poisson stream).
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        jobs: List[Job] = []
+        # Discrete-time quantization correction: a stepping scheduler
+        # holds each job's midplanes for on average an extra dt/2, so
+        # the effective offered load is inflated by that factor; divide
+        # it out so the demand fractions stay cadence-independent.
+        quantization = 1.0 + dt_s / (2.0 * 3600.0 * self._mean_walltime_h)
+        expected = self.arrival_rate_per_hour(epoch_s) * dt_s / 3600.0 / quantization
+        for _ in range(int(self._rng.poisson(expected))):
+            long_job = self._rng.random() < self.config.long_job_fraction
+            midplanes = int(
+                self._rng.choice(_SIZE_CHOICES, p=_SIZE_PROBS)
+            )
+            jobs.append(self._make_job(epoch_s, midplanes, self._draw_walltime_s(long_job)))
+        expected_capability = (
+            self.config.capability_job_rate_per_day * dt_s / 86_400.0
+        )
+        for _ in range(int(self._rng.poisson(expected_capability))):
+            midplanes = int(self._rng.choice(_CAPABILITY_SIZES))
+            walltime_s = float(self._rng.uniform(4.0, 10.0)) * 3600.0
+            jobs.append(self._make_job(epoch_s, midplanes, walltime_s))
+        return jobs

@@ -1,0 +1,29 @@
+"""The facility simulator that substitutes for Mira's telemetry archive.
+
+* :mod:`repro.simulation.config` — all tunables in one dataclass,
+* :mod:`repro.simulation.engine` — the discrete-time stepping engine
+  wiring scheduler -> power -> cooling -> ambient -> sensors,
+* :mod:`repro.simulation.windows` — high-resolution (300 s) lead-up
+  window synthesis around CMF events for the Fig 12/13 analyses,
+* :mod:`repro.simulation.scenarios` — the canonical six-year Mira
+  scenario (including the Theta loop-sharing event),
+* :mod:`repro.simulation.datasets` — cached dataset builders shared by
+  tests, benchmarks, and examples.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.engine import FacilityEngine, SimulationResult
+from repro.simulation.scenarios import MiraScenario
+from repro.simulation.windows import LeadupWindow, WindowSynthesizer
+from repro.simulation.datasets import canonical_dataset, small_dataset
+
+__all__ = [
+    "SimulationConfig",
+    "FacilityEngine",
+    "SimulationResult",
+    "MiraScenario",
+    "LeadupWindow",
+    "WindowSynthesizer",
+    "canonical_dataset",
+    "small_dataset",
+]

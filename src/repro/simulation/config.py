@@ -1,0 +1,120 @@
+"""Simulation configuration.
+
+Every tunable of the facility simulator lives here.  The defaults
+reproduce the paper's six-year Mira study; tests and examples shrink
+the horizon or adjust single knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as dt
+from typing import Optional
+
+from repro import constants
+
+
+@dataclasses.dataclass(frozen=True)
+class AmbientConfig:
+    """Data-center ambient temperature/humidity model parameters.
+
+    Calibrated against Fig 8 (temporal: 76-90 F, 28-37 %RH, sigma
+    2.48 F / 3.66 %RH) and Fig 9 (spatial: up to 11 % temperature and
+    36 % humidity spread, driven by underfloor airflow).
+    """
+
+    #: Baseline DC air temperature at a well-ventilated rack, F.
+    base_temp_f: float = 78.0
+    #: Extra temperature at a fully airflow-blocked rack, F.
+    blockage_temp_gain_f: float = 16.0
+    #: Coupling of DC temperature to outdoor temperature (CRAC units
+    #: cannot fully reject seasonal load), F per F around 50 F outdoors.
+    outdoor_temp_coupling: float = 0.12
+    #: Temperature rise per kW of rack power above nominal, F/kW.
+    heat_coupling_f_per_kw: float = 0.04
+    #: Nominal rack power for the heat-coupling term, kW.
+    nominal_rack_power_kw: float = 55.0
+    #: White measurement/mixing noise on DC temperature, F.
+    temp_noise_f: float = 0.9
+    #: DC humidity model: rh = (offset + slope * outdoor_rh) * airflow term.
+    humidity_offset_rh: float = 2.5
+    humidity_slope: float = 0.45
+    #: Airflow coupling: factor = floor + (1 - floor) * airflow.
+    humidity_airflow_floor: float = 0.47
+    #: White noise on DC humidity, %RH.
+    humidity_noise_rh: float = 0.8
+    #: Rate of facility ambient excursions (outages, CRAC failures,
+    #: extreme weather), per year.
+    excursion_rate_per_year: float = 6.0
+    #: Excursion magnitude range, F.
+    excursion_min_f: float = 3.0
+    excursion_max_f: float = 10.0
+    #: Excursion duration range, hours.
+    excursion_min_h: float = 2.0
+    excursion_max_h: float = 12.0
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseConfig:
+    """Sensor/plant noise levels."""
+
+    #: Relative jitter of the facility pumps around the flow setpoint.
+    total_flow_jitter: float = 0.026
+    #: Relative per-rack flow measurement noise.
+    rack_flow_noise: float = 0.008
+    #: Absolute inlet temperature noise, F.
+    inlet_noise_f: float = 0.30
+    #: Absolute outlet temperature noise, F.
+    outlet_noise_f: float = 0.45
+    #: Relative rack power measurement noise.
+    power_noise: float = 0.01
+
+
+@dataclasses.dataclass(frozen=True)
+class ThetaConfig:
+    """The Theta loop-sharing event (Section III-A, Fig 3).
+
+    Theta joined Mira's external loop in July 2016; its early-testing
+    heat load pushed both coolant temperatures up until early 2017,
+    and the flow setpoint was raised 1,250 -> 1,300 GPM.
+    """
+
+    addition_date: dt.datetime = constants.THETA_ADDITION_DATE
+    settled_date: dt.datetime = constants.THETA_SETTLED_DATE
+    #: Peak supply-temperature excess during Theta early testing, F.
+    heat_excess_f: float = 1.8
+    #: Ramp-in duration of the excess after the addition date, days.
+    ramp_days: float = 21.0
+    #: Whether the event happens at all.  False simulates the
+    #: counterfactual facility where Theta never joined the loop: no
+    #: flow-setpoint step and no mid-2016 temperature excess.
+    enabled: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level simulator configuration."""
+
+    start: dt.datetime = constants.PRODUCTION_START
+    end: dt.datetime = constants.PRODUCTION_END
+    #: Engine step, seconds.  The canonical dataset runs hourly; the
+    #: coolant monitors' native 300 s cadence is used by the window
+    #: synthesizer for lead-up studies.
+    dt_s: float = 3600.0
+    #: Master seed; all component rngs are spawned from it.
+    seed: int = 20_140_101
+    #: Sub-configs.
+    ambient: AmbientConfig = dataclasses.field(default_factory=AmbientConfig)
+    noise: NoiseConfig = dataclasses.field(default_factory=NoiseConfig)
+    theta: ThetaConfig = dataclasses.field(default_factory=ThetaConfig)
+    #: Whether the CMF/aftermath failure processes are active.
+    inject_failures: bool = True
+    #: Seasonal flow-trim amplitude (operators nudge flow up with
+    #: seasonal load; Fig 4(c)'s <1.5 % monthly variation).
+    seasonal_flow_gain: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty simulation period: {self.start} .. {self.end}")
+        if self.dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {self.dt_s}")

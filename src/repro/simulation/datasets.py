@@ -1,0 +1,31 @@
+"""Cached canonical datasets shared by tests, benchmarks, and examples.
+
+The six-year simulation takes tens of seconds; analyses, benchmarks,
+and examples all need the *same* realization (the study analyzed one
+Mira, not fifty).  These builders memoize per process so the cost is
+paid once.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.simulation.engine import FacilityEngine, SimulationResult
+from repro.simulation.scenarios import MiraScenario
+
+
+@functools.lru_cache(maxsize=1)
+def canonical_dataset() -> SimulationResult:
+    """The canonical six-year Mira realization (hourly cadence).
+
+    This is the dataset every figure reproduction runs against.  It is
+    deterministic: the same package version always produces the same
+    telemetry and failure schedule.
+    """
+    return FacilityEngine(MiraScenario.full_study()).run()
+
+
+@functools.lru_cache(maxsize=1)
+def small_dataset() -> SimulationResult:
+    """A fast ~4-month realization for unit tests (30 min cadence)."""
+    return FacilityEngine(MiraScenario.demo(days=120, seed=11)).run()

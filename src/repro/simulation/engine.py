@@ -1,0 +1,402 @@
+"""The discrete-time facility engine.
+
+Each step wires the substrate models together in physical order:
+
+1. the **scheduler** advances (jobs finish/start, maintenance and
+   reservation windows open/close) and yields per-rack utilization and
+   CPU intensity,
+2. scheduled **failures** fire (CMF events shut racks down via the
+   solenoid-close + power-off control actions; non-CMF failures take a
+   rack down for about an hour) and downed racks recover,
+3. the **power model** turns utilization/intensity into per-rack AC
+   draws,
+4. the **cooling plant and loop** produce per-rack flow and coolant
+   temperatures (with the Theta heat-load excess and the pre-failure
+   precursor signatures applied),
+5. the **ambient model** produces per-rack data-center temperature and
+   humidity from outdoor weather, airflow blockage, rack heat, and
+   excursion events, and
+6. the calibrated snapshot is appended to the **environmental
+   database**.
+
+The RAS log (raw storms plus non-CMF events) is generated from the
+same failure schedule, so telemetry and log lines agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import constants, timeutil
+from repro.cooling.loops import CoolingLoop
+from repro.cooling.plant import ChilledWaterPlant
+from repro.cooling.valves import FlowRegulatingValve
+from repro.facility.machine import Machine
+from repro.failures.cmf import CmfSchedule, PrecursorSignature
+from repro.failures.noncmf import AftermathProcess, NonCmfFailure
+from repro.failures.storms import StormGenerator
+from repro.scheduler.scheduler import MiraScheduler
+from repro.scheduler.workload import WorkloadGenerator
+from repro.simulation.config import SimulationConfig
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.ras import RasLog
+from repro.telemetry.records import Channel
+from repro.weather.chicago import ChicagoWeather
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Everything a six-year run produces."""
+
+    config: SimulationConfig
+    database: EnvironmentalDatabase
+    ras_log: RasLog
+    schedule: Optional[CmfSchedule]
+    noncmf_failures: Tuple[NonCmfFailure, ...]
+    machine: Machine
+    weather: ChicagoWeather
+    jobs_completed: int
+    jobs_killed: int
+
+    @property
+    def start_epoch_s(self) -> float:
+        return timeutil.to_epoch(self.config.start)
+
+    @property
+    def end_epoch_s(self) -> float:
+        return timeutil.to_epoch(self.config.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Excursion:
+    """One facility ambient-temperature excursion."""
+
+    start_epoch_s: float
+    end_epoch_s: float
+    magnitude_f: float
+
+
+class FacilityEngine:
+    """Builds and runs the full facility simulation.
+
+    Args:
+        config: Simulation configuration; all component randomness is
+            spawned from ``config.seed`` so runs are reproducible.
+    """
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+        seed_seq = np.random.SeedSequence(self.config.seed)
+        (
+            machine_seed,
+            loop_seed,
+            workload_seed,
+            scheduler_seed,
+            cmf_seed,
+            aftermath_seed,
+            storm_seed,
+            noise_seed,
+            excursion_seed,
+        ) = seed_seq.spawn(9)
+
+        self._start = timeutil.to_epoch(self.config.start)
+        self._end = timeutil.to_epoch(self.config.end)
+
+        self.machine = Machine(rng=np.random.default_rng(machine_seed))
+        self.weather = ChicagoWeather(seed=self.config.seed % (2**31))
+        self.plant = ChilledWaterPlant(self.weather)
+        self.loop = CoolingLoop(rng=np.random.default_rng(loop_seed))
+        self.valve = FlowRegulatingValve()
+        if not self.config.theta.enabled:
+            # Counterfactual: Theta never joined, so the impellers were
+            # never upgraded and the setpoint never stepped.
+            self.valve.set_setpoint(
+                self.config.theta.addition_date, constants.FLOW_PRE_THETA_GPM
+            )
+        self.workload = WorkloadGenerator(
+            rng=np.random.default_rng(workload_seed),
+            production_start_epoch_s=self._start,
+            production_end_epoch_s=self._end,
+        )
+        self.scheduler = MiraScheduler(
+            self.workload,
+            rng=np.random.default_rng(scheduler_seed),
+            topology=self.machine.topology,
+        )
+        self._noise_rng = np.random.default_rng(noise_seed)
+
+        if self.config.inject_failures:
+            self.schedule: Optional[CmfSchedule] = CmfSchedule.generate(
+                np.random.default_rng(cmf_seed), self._start, self._end
+            )
+            aftermath = AftermathProcess(self.machine.dependencies)
+            aftermath_rng = np.random.default_rng(aftermath_seed)
+            induced = aftermath.induced_failures(aftermath_rng, self.schedule.incidents)
+            background = aftermath.background_failures(
+                aftermath_rng, self._start, self._end
+            )
+            self.noncmf_failures: Tuple[NonCmfFailure, ...] = tuple(
+                sorted(induced + background, key=lambda f: f.epoch_s)
+            )
+            self.ras_log = StormGenerator().build_ras_log(
+                np.random.default_rng(storm_seed),
+                self.schedule.incidents,
+                self.noncmf_failures,
+            )
+        else:
+            self.schedule = None
+            self.noncmf_failures = ()
+            self.ras_log = RasLog()
+
+        self._excursions = self._generate_excursions(
+            np.random.default_rng(excursion_seed)
+        )
+        self._airflow = self.machine.topology.airflow_factors()
+
+    # -- pre-generated event streams ------------------------------------------------
+
+    def _generate_excursions(self, rng: np.random.Generator) -> List[_Excursion]:
+        cfg = self.config.ambient
+        years = (self._end - self._start) / timeutil.YEAR_S
+        count = int(rng.poisson(cfg.excursion_rate_per_year * years))
+        excursions = []
+        for _ in range(count):
+            start = float(rng.uniform(self._start, self._end))
+            duration_h = float(rng.uniform(cfg.excursion_min_h, cfg.excursion_max_h))
+            excursions.append(
+                _Excursion(
+                    start_epoch_s=start,
+                    end_epoch_s=start + duration_h * timeutil.HOUR_S,
+                    magnitude_f=float(
+                        rng.uniform(cfg.excursion_min_f, cfg.excursion_max_f)
+                    ),
+                )
+            )
+        excursions.sort(key=lambda e: e.start_epoch_s)
+        return excursions
+
+    def _excursion_delta_f(self, epoch_s: float) -> float:
+        return sum(
+            e.magnitude_f
+            for e in self._excursions
+            if e.start_epoch_s <= epoch_s < e.end_epoch_s
+        )
+
+    # -- Theta heat load ---------------------------------------------------------------
+
+    def _theta_supply_excess_f(self, epoch_s: float) -> float:
+        """Supply-temperature excess from Theta's early-testing heat load."""
+        theta = self.config.theta
+        if not theta.enabled:
+            return 0.0
+        added = timeutil.to_epoch(theta.addition_date)
+        settled = timeutil.to_epoch(theta.settled_date)
+        ramp_s = theta.ramp_days * timeutil.DAY_S
+        if epoch_s < added:
+            return 0.0
+        if epoch_s < added + ramp_s:
+            return theta.heat_excess_f * (epoch_s - added) / ramp_s
+        if epoch_s < settled:
+            return theta.heat_excess_f
+        if epoch_s < settled + ramp_s:
+            return theta.heat_excess_f * (1.0 - (epoch_s - settled) / ramp_s)
+        return 0.0
+
+    # -- the run ------------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the configured period and return all artifacts."""
+        cfg = self.config
+        grid = timeutil.time_grid(cfg.start, cfg.end, cfg.dt_s)
+        database = EnvironmentalDatabase(capacity_hint=len(grid))
+
+        # Failure bookkeeping.
+        if self.schedule is not None:
+            cmf_times, cmf_racks, _ = self.schedule.event_time_matrix()
+            cmf_recoveries = np.array(
+                [e.recovery_epoch_s for e in self.schedule.events]
+            )
+        else:
+            cmf_times = np.empty(0)
+            cmf_racks = np.empty(0, dtype=int)
+            cmf_recoveries = np.empty(0)
+        cmf_pointer = 0
+        noncmf_pointer = 0
+        down_until = np.zeros(constants.NUM_RACKS)
+        blocked_by_failure = np.zeros(constants.NUM_RACKS, dtype=bool)
+
+        # Precursor bookkeeping: per-rack next-event pointers.
+        rack_event_times: List[np.ndarray] = []
+        rack_event_condensation: List[np.ndarray] = []
+        rack_event_severity: List[np.ndarray] = []
+        if self.schedule is not None:
+            condensation_all = np.array(
+                [e.reason == "condensation_risk" for e in self.schedule.events]
+            )
+            severity_all = np.array([e.severity for e in self.schedule.events])
+            for flat in range(constants.NUM_RACKS):
+                mask = cmf_racks == flat
+                rack_event_times.append(cmf_times[mask])
+                rack_event_condensation.append(condensation_all[mask])
+                rack_event_severity.append(severity_all[mask])
+        rack_pointers = np.zeros(constants.NUM_RACKS, dtype=int)
+
+        noise = cfg.noise
+        ambient = cfg.ambient
+
+        for t in grid:
+            # 1. Failure firing and recovery -----------------------------------
+            recovered = blocked_by_failure & (down_until <= t)
+            if recovered.any():
+                racks = tuple(int(i) for i in np.flatnonzero(recovered))
+                self.scheduler.recover_racks(racks)
+                blocked_by_failure[list(racks)] = False
+            while cmf_pointer < len(cmf_times) and cmf_times[cmf_pointer] < t + cfg.dt_s:
+                rack = int(cmf_racks[cmf_pointer])
+                self.scheduler.fail_racks((rack,), float(cmf_times[cmf_pointer]))
+                down_until[rack] = max(down_until[rack], cmf_recoveries[cmf_pointer])
+                blocked_by_failure[rack] = True
+                cmf_pointer += 1
+            while (
+                noncmf_pointer < len(self.noncmf_failures)
+                and self.noncmf_failures[noncmf_pointer].epoch_s < t + cfg.dt_s
+            ):
+                failure = self.noncmf_failures[noncmf_pointer]
+                rack = failure.rack_id.flat_index
+                self.scheduler.fail_racks((rack,), failure.epoch_s)
+                down_until[rack] = max(
+                    down_until[rack], failure.epoch_s + constants.NONCMF_DEDUP_WINDOW_S
+                )
+                blocked_by_failure[rack] = True
+                noncmf_pointer += 1
+            powered = down_until <= t
+
+            # 2. Scheduler ------------------------------------------------------
+            state = self.scheduler.step(t, cfg.dt_s)
+            utilization = np.where(powered, state.rack_utilization, 0.0)
+            intensity = state.rack_intensity
+
+            # 3. Power ----------------------------------------------------------
+            ac_kw = self.machine.rack_ac_draw_kw(
+                utilization, intensity, powered=powered
+            )
+            ac_kw = ac_kw * (
+                1.0 + noise.power_noise * self._noise_rng.standard_normal(
+                    constants.NUM_RACKS
+                )
+            )
+            ac_kw = np.maximum(ac_kw, 0.0)
+
+            # 4. Precursor factors ------------------------------------------------
+            inlet_factor = np.ones(constants.NUM_RACKS)
+            outlet_factor = np.ones(constants.NUM_RACKS)
+            flow_factor = np.ones(constants.NUM_RACKS)
+            humidity_factor = np.ones(constants.NUM_RACKS)
+            if self.schedule is not None:
+                for flat in range(constants.NUM_RACKS):
+                    times = rack_event_times[flat]
+                    ptr = rack_pointers[flat]
+                    while ptr < len(times) and times[ptr] < t:
+                        ptr += 1
+                    rack_pointers[flat] = ptr
+                    if ptr >= len(times):
+                        continue
+                    tau = times[ptr] - t
+                    if tau > PrecursorSignature.WINDOW_S:
+                        continue
+                    severity = float(rack_event_severity[flat][ptr])
+                    inlet_factor[flat] = PrecursorSignature.inlet_factor(tau, severity)
+                    outlet_factor[flat] = PrecursorSignature.outlet_factor(tau, severity)
+                    flow_factor[flat] = PrecursorSignature.flow_factor(tau, severity)
+                    if rack_event_condensation[flat][ptr]:
+                        humidity_factor[flat] = PrecursorSignature.humidity_factor(
+                            tau, condensation_triggered=True, amplitude=severity
+                        )
+
+            # 5. Cooling ------------------------------------------------------------
+            seasonal_trim = 1.0 + cfg.seasonal_flow_gain * (
+                self.workload.seasonal_factor(t) - 1.0
+            )
+            total_flow = (
+                self.valve.setpoint_gpm(t)
+                * seasonal_trim
+                * (1.0 + noise.total_flow_jitter * self._noise_rng.standard_normal())
+            )
+            flows = self.loop.rack_flows_gpm(
+                max(total_flow, 1.0),
+                solenoid_open=powered,
+                flow_disturbance=flow_factor,
+            )
+            flows = flows * (
+                1.0
+                + noise.rack_flow_noise
+                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+            )
+            flows = np.maximum(flows, 0.0)
+
+            supply_f = float(self.plant.supply_temperature_f(t)) + (
+                self._theta_supply_excess_f(t)
+            )
+            inlet = self.loop.rack_inlet_temperatures_f(supply_f)
+            inlet = inlet * inlet_factor + noise.inlet_noise_f * (
+                self._noise_rng.standard_normal(constants.NUM_RACKS)
+            )
+            outlet = self.loop.rack_outlet_temperatures_f(inlet, ac_kw, flows)
+            outlet = outlet * outlet_factor + noise.outlet_noise_f * (
+                self._noise_rng.standard_normal(constants.NUM_RACKS)
+            )
+            outlet = np.maximum(outlet, inlet - 2.0)
+
+            # 6. Ambient ----------------------------------------------------------------
+            outdoor_rh = float(self.weather.relative_humidity(t))
+            outdoor_f = float(self.weather.temperature_f(t))
+            excursion = self._excursion_delta_f(t)
+            dc_temp = (
+                ambient.base_temp_f
+                + ambient.outdoor_temp_coupling * (outdoor_f - 50.0)
+                + ambient.blockage_temp_gain_f * (1.0 - self._airflow)
+                + ambient.heat_coupling_f_per_kw
+                * (ac_kw - ambient.nominal_rack_power_kw)
+                + excursion
+                + ambient.temp_noise_f
+                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+            )
+            base_rh = ambient.humidity_offset_rh + ambient.humidity_slope * outdoor_rh
+            airflow_term = ambient.humidity_airflow_floor + (
+                1.0 - ambient.humidity_airflow_floor
+            ) * self._airflow
+            dc_rh = base_rh * airflow_term * humidity_factor + (
+                ambient.humidity_noise_rh
+                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+            )
+            dc_rh = np.clip(dc_rh, 5.0, 99.0)
+
+            # 7. Store ---------------------------------------------------------------------
+            database.append_snapshot(
+                float(t),
+                {
+                    Channel.DC_TEMPERATURE: dc_temp,
+                    Channel.DC_HUMIDITY: dc_rh,
+                    Channel.FLOW: flows,
+                    Channel.INLET_TEMPERATURE: inlet,
+                    Channel.OUTLET_TEMPERATURE: outlet,
+                    Channel.POWER: ac_kw,
+                    Channel.UTILIZATION: utilization,
+                },
+            )
+
+        database.compact()
+        return SimulationResult(
+            config=cfg,
+            database=database,
+            ras_log=self.ras_log,
+            schedule=self.schedule,
+            noncmf_failures=self.noncmf_failures,
+            machine=self.machine,
+            weather=self.weather,
+            jobs_completed=self.scheduler.completed_count,
+            jobs_killed=self.scheduler.killed_count,
+        )

@@ -1,0 +1,41 @@
+"""Telemetry storage and time-series analysis substrate.
+
+This package substitutes for the IBM DB2 environmental database and the
+RAS log of real Mira:
+
+* :mod:`repro.telemetry.records` — the channel schema,
+* :mod:`repro.telemetry.database` — a columnar in-memory store with
+  range/rack queries,
+* :mod:`repro.telemetry.series` — resampling, rolling statistics,
+  linear fits and calendar group-bys used throughout the analyses,
+* :mod:`repro.telemetry.ras` — reliability/availability/serviceability
+  event log with severity and category taxonomies.
+"""
+
+from repro.telemetry.records import CHANNELS, Channel
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.series import TimeSeries, linear_fit
+from repro.telemetry.ras import RasEvent, RasLog, Severity
+from repro.telemetry.archive import TelemetryArchive
+from repro.telemetry.export import (
+    export_ras_jsonl,
+    export_telemetry_csv,
+    import_ras_jsonl,
+    import_telemetry_csv,
+)
+
+__all__ = [
+    "CHANNELS",
+    "Channel",
+    "EnvironmentalDatabase",
+    "TimeSeries",
+    "linear_fit",
+    "RasEvent",
+    "RasLog",
+    "Severity",
+    "TelemetryArchive",
+    "export_ras_jsonl",
+    "export_telemetry_csv",
+    "import_ras_jsonl",
+    "import_telemetry_csv",
+]

@@ -1,0 +1,194 @@
+"""The environmental database: a columnar store for monitor telemetry.
+
+Stands in for Mira's IBM DB2 environmental database.  Samples arrive as
+*blocks*: one timestamp plus a vector of 48 per-rack values for each
+channel (the vectorized simulator emits whole-floor snapshots).  The
+store keeps each channel as a growable ``(time, rack)`` matrix and
+serves the query shapes the analyses need: whole-channel
+:class:`~repro.telemetry.series.TimeSeries`, single-rack series, time
+windows, and system-level aggregates.
+
+Single :class:`~repro.cooling.monitor.SensorReading` records can also
+be ingested (the slow path used when exercising the monitor objects
+directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.cooling.monitor import SensorReading
+from repro.facility.topology import RackId
+from repro.telemetry.records import CHANNELS, Channel
+from repro.telemetry.series import TimeSeries
+
+
+class EnvironmentalDatabase:
+    """In-memory columnar telemetry store.
+
+    Args:
+        num_racks: Width of the rack axis (48 for Mira).
+        capacity_hint: Expected number of samples; preallocating
+            avoids repeated growth for long simulations.
+    """
+
+    def __init__(
+        self,
+        num_racks: int = constants.NUM_RACKS,
+        capacity_hint: int = 1024,
+    ) -> None:
+        if num_racks <= 0:
+            raise ValueError("num_racks must be positive")
+        self._num_racks = num_racks
+        self._capacity = max(16, capacity_hint)
+        self._size = 0
+        self._epoch = np.empty(self._capacity, dtype="float64")
+        self._columns: Dict[Channel, np.ndarray] = {
+            ch: np.full((self._capacity, num_racks), np.nan) for ch in CHANNELS
+        }
+
+    # -- ingest ---------------------------------------------------------------
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        new_epoch = np.empty(new_capacity, dtype="float64")
+        new_epoch[: self._size] = self._epoch[: self._size]
+        self._epoch = new_epoch
+        for channel, column in self._columns.items():
+            new_column = np.full((new_capacity, self._num_racks), np.nan)
+            new_column[: self._size] = column[: self._size]
+            self._columns[channel] = new_column
+        self._capacity = new_capacity
+
+    def append_snapshot(
+        self, epoch_s: float, channel_values: Dict[Channel, np.ndarray]
+    ) -> None:
+        """Append one whole-floor sample.
+
+        Args:
+            epoch_s: Sample timestamp; must not precede the last one.
+            channel_values: Per-channel vectors of length ``num_racks``.
+                Channels not supplied are stored as NaN.
+
+        Raises:
+            ValueError: on out-of-order timestamps or wrong-width
+                vectors.
+        """
+        if self._size > 0 and epoch_s < self._epoch[self._size - 1]:
+            raise ValueError(
+                f"out-of-order snapshot: {epoch_s} after {self._epoch[self._size - 1]}"
+            )
+        if self._size == self._capacity:
+            self._grow()
+        index = self._size
+        self._epoch[index] = epoch_s
+        for channel, vector in channel_values.items():
+            values = np.asarray(vector, dtype="float64")
+            if values.shape != (self._num_racks,):
+                raise ValueError(
+                    f"{channel}: expected shape ({self._num_racks},), got {values.shape}"
+                )
+            self._columns[channel][index] = values
+        self._size += 1
+
+    def ingest_reading(self, reading: SensorReading, utilization: float = np.nan) -> None:
+        """Ingest a single-rack :class:`SensorReading` (slow path).
+
+        Creates a new snapshot row in which all racks other than the
+        reading's are NaN.  Intended for unit tests and small-scale
+        monitor exercises, not the bulk simulation path.
+        """
+        row = {
+            Channel.DC_TEMPERATURE: reading.dc_temperature_f,
+            Channel.DC_HUMIDITY: reading.dc_humidity_rh,
+            Channel.FLOW: reading.flow_gpm,
+            Channel.INLET_TEMPERATURE: reading.inlet_temperature_f,
+            Channel.OUTLET_TEMPERATURE: reading.outlet_temperature_f,
+            Channel.POWER: reading.power_kw,
+            Channel.UTILIZATION: utilization,
+        }
+        snapshot = {}
+        for channel, value in row.items():
+            vector = np.full(self._num_racks, np.nan)
+            vector[reading.rack_id.flat_index] = value
+            snapshot[channel] = vector
+        self.append_snapshot(reading.epoch_s, snapshot)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_samples(self) -> int:
+        return self._size
+
+    @property
+    def num_racks(self) -> int:
+        return self._num_racks
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def epoch_s(self) -> np.ndarray:
+        """All sample timestamps (view; do not mutate)."""
+        return self._epoch[: self._size]
+
+    def channel(self, channel: Channel) -> TimeSeries:
+        """Full per-rack series for one channel."""
+        return TimeSeries(
+            self._epoch[: self._size],
+            self._columns[channel][: self._size],
+            name=channel.column,
+            unit=channel.unit,
+        )
+
+    def rack_channel(self, channel: Channel, rack_id: RackId) -> TimeSeries:
+        """One rack's series for one channel."""
+        return TimeSeries(
+            self._epoch[: self._size],
+            self._columns[channel][: self._size, rack_id.flat_index],
+            name=f"{channel.column}@{rack_id.label}",
+            unit=channel.unit,
+        )
+
+    def window(
+        self, channel: Channel, start_epoch_s: float, end_epoch_s: float
+    ) -> TimeSeries:
+        """Per-rack series for a channel restricted to a time window."""
+        return self.channel(channel).between(start_epoch_s, end_epoch_s)
+
+    # -- system-level aggregates -------------------------------------------------
+
+    def system_power_mw(self) -> TimeSeries:
+        """Total facility power (MW) over time (Fig 2a)."""
+        power = self.channel(Channel.POWER)
+        total_kw = np.nansum(power.values, axis=1)
+        return TimeSeries(power.epoch_s, total_kw / 1000.0, name="system_power", unit="MW")
+
+    def system_utilization(self) -> TimeSeries:
+        """System utilization (fraction of nodes busy) over time (Fig 2b)."""
+        util = self.channel(Channel.UTILIZATION)
+        return TimeSeries(
+            util.epoch_s,
+            np.nanmean(util.values, axis=1),
+            name="system_utilization",
+            unit="fraction",
+        )
+
+    def total_flow_gpm(self) -> TimeSeries:
+        """Total facility coolant flow (GPM) over time (Fig 3a)."""
+        flow = self.channel(Channel.FLOW)
+        return TimeSeries(
+            flow.epoch_s, np.nansum(flow.values, axis=1), name="total_flow", unit="GPM"
+        )
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Shrink internal buffers to the exact data size."""
+        self._epoch = self._epoch[: self._size].copy()
+        for channel in list(self._columns):
+            self._columns[channel] = self._columns[channel][: self._size].copy()
+        self._capacity = max(1, self._size)

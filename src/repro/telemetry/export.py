@@ -1,0 +1,125 @@
+"""Telemetry and RAS log export/import.
+
+A downstream user of the real Mira study would have received CSV dumps
+of the environmental database; this module provides the same interface
+for the synthetic one, plus a faithful re-import so analyses can run
+on exported files.
+
+Formats:
+
+* **telemetry CSV** — one row per (timestamp, rack), columns for every
+  channel; NaNs exported as empty fields;
+* **RAS JSONL** — one JSON object per event.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.facility.topology import RackId
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.ras import RasEvent, RasLog, Severity
+from repro.telemetry.records import CHANNELS, Channel
+
+PathLike = Union[str, Path]
+
+_TELEMETRY_HEADER = ["epoch_s", "rack"] + [ch.column for ch in CHANNELS]
+
+
+def export_telemetry_csv(database: EnvironmentalDatabase, path: PathLike) -> int:
+    """Write the database as CSV; returns the number of data rows."""
+    epochs = database.epoch_s
+    columns = {ch: database.channel(ch).values for ch in CHANNELS}
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TELEMETRY_HEADER)
+        for i, epoch in enumerate(epochs):
+            for rack in range(database.num_racks):
+                values = [columns[ch][i, rack] for ch in CHANNELS]
+                if all(np.isnan(v) for v in values):
+                    continue
+                writer.writerow(
+                    [f"{epoch:.1f}", RackId.from_flat_index(rack).label]
+                    + ["" if np.isnan(v) else f"{v:.6g}" for v in values]
+                )
+                rows += 1
+    return rows
+
+
+def import_telemetry_csv(path: PathLike) -> EnvironmentalDatabase:
+    """Rebuild an :class:`EnvironmentalDatabase` from an exported CSV.
+
+    Raises:
+        ValueError: on a malformed header.
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        if header != _TELEMETRY_HEADER:
+            raise ValueError(f"unexpected telemetry header: {header}")
+        pending_epoch = None
+        snapshot: Dict[Channel, np.ndarray] = {}
+        database = EnvironmentalDatabase()
+
+        def flush() -> None:
+            if pending_epoch is not None and snapshot:
+                database.append_snapshot(pending_epoch, snapshot)
+
+        for row in reader:
+            epoch = float(row[0])
+            rack = RackId.parse(row[1]).flat_index
+            if epoch != pending_epoch:
+                flush()
+                pending_epoch = epoch
+                snapshot = {
+                    ch: np.full(database.num_racks, np.nan) for ch in CHANNELS
+                }
+            for channel, cell in zip(CHANNELS, row[2:]):
+                if cell != "":
+                    snapshot[channel][rack] = float(cell)
+        flush()
+    database.compact()
+    return database
+
+
+def export_ras_jsonl(ras_log: RasLog, path: PathLike) -> int:
+    """Write the RAS log as JSON lines; returns the event count."""
+    with open(path, "w") as handle:
+        for event in ras_log:
+            handle.write(
+                json.dumps(
+                    {
+                        "epoch_s": event.epoch_s,
+                        "rack": event.rack_id.label,
+                        "severity": event.severity.value,
+                        "category": event.category,
+                        "message": event.message,
+                    }
+                )
+                + "\n"
+            )
+    return len(ras_log)
+
+
+def import_ras_jsonl(path: PathLike) -> RasLog:
+    """Rebuild a :class:`RasLog` from exported JSON lines."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            events.append(
+                RasEvent(
+                    epoch_s=float(record["epoch_s"]),
+                    rack_id=RackId.parse(record["rack"]),
+                    severity=Severity(record["severity"]),
+                    category=record["category"],
+                    message=record.get("message", ""),
+                )
+            )
+    return RasLog(events)

@@ -1,0 +1,142 @@
+"""The RAS (reliability/availability/serviceability) event log.
+
+Mira's RAS log records events affecting system reliability with a
+severity of *warn* (low-risk) or *fatal* (rack-level failure).  It
+captures coolant monitor failures as well as failures of BPMs, compute
+cards (BQC), link modules (BQL), clock cards, software, and background
+processes (Sections II and VI-C).
+
+During a CMF the log fills with a **RAS storm**: upwards of ten
+thousand messages within minutes across many racks.  The analysis in
+:mod:`repro.core.failure_analysis` must therefore deduplicate raw
+events using the paper's methodology; this module stores the raw
+stream faithfully and provides the query primitives the dedup needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import enum
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.facility.topology import RackId
+
+
+class Severity(enum.Enum):
+    """RAS event severity."""
+
+    WARN = "warn"
+    FATAL = "fatal"
+
+
+#: Event category for coolant monitor failures.
+CMF_CATEGORY = "coolant_monitor"
+
+#: Non-CMF failure categories tracked by the paper (Fig 14b).
+NONCMF_CATEGORIES: Tuple[str, ...] = (
+    "ac_dc_power",
+    "bqc",
+    "bql",
+    "card",
+    "software",
+    "process",
+)
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class RasEvent:
+    """One RAS log entry.
+
+    Ordering is by timestamp (then the remaining fields), so sorted
+    containers of events are time-ordered.
+    """
+
+    epoch_s: float
+    rack_id: RackId = dataclasses.field(compare=False)
+    severity: Severity = dataclasses.field(compare=False)
+    category: str = dataclasses.field(compare=False)
+    message: str = dataclasses.field(compare=False, default="")
+
+    @property
+    def is_cmf(self) -> bool:
+        return self.category == CMF_CATEGORY
+
+    @property
+    def is_fatal(self) -> bool:
+        return self.severity is Severity.FATAL
+
+
+class RasLog:
+    """Append-mostly, time-indexed RAS event store."""
+
+    def __init__(self, events: Optional[Iterable[RasEvent]] = None) -> None:
+        self._events: List[RasEvent] = sorted(events) if events else []
+        self._times: List[float] = [e.epoch_s for e in self._events]
+
+    # -- ingest -----------------------------------------------------------------
+
+    def record(self, event: RasEvent) -> None:
+        """Insert an event, maintaining time order."""
+        index = bisect.bisect_right(self._times, event.epoch_s)
+        self._events.insert(index, event)
+        self._times.insert(index, event.epoch_s)
+
+    def extend(self, events: Iterable[RasEvent]) -> None:
+        """Bulk-insert events (re-sorts once; cheaper than repeated record)."""
+        self._events.extend(events)
+        self._events.sort()
+        self._times = [e.epoch_s for e in self._events]
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RasEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> Tuple[RasEvent, ...]:
+        return tuple(self._events)
+
+    def between(self, start_epoch_s: float, end_epoch_s: float) -> Tuple[RasEvent, ...]:
+        """Events with ``start <= t < end``."""
+        lo = bisect.bisect_left(self._times, start_epoch_s)
+        hi = bisect.bisect_left(self._times, end_epoch_s)
+        return tuple(self._events[lo:hi])
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        severity: Optional[Severity] = None,
+        rack_id: Optional[RackId] = None,
+        cmf: Optional[bool] = None,
+    ) -> Tuple[RasEvent, ...]:
+        """Events matching all the given criteria."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if severity is not None and event.severity is not severity:
+                continue
+            if rack_id is not None and event.rack_id != rack_id:
+                continue
+            if cmf is not None and event.is_cmf != cmf:
+                continue
+            out.append(event)
+        return tuple(out)
+
+    def fatal_cmf_events(self) -> Tuple[RasEvent, ...]:
+        """All fatal coolant-monitor events (the raw storm stream)."""
+        return self.filter(cmf=True, severity=Severity.FATAL)
+
+    def fatal_noncmf_events(self) -> Tuple[RasEvent, ...]:
+        """All fatal non-CMF events."""
+        return tuple(
+            e for e in self._events if e.is_fatal and not e.is_cmf
+        )
+
+    def categories(self) -> Tuple[str, ...]:
+        """Distinct categories present, sorted."""
+        return tuple(sorted({e.category for e in self._events}))

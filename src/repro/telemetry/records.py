@@ -1,0 +1,83 @@
+"""The coolant monitor channel schema.
+
+The coolant monitor records five sensor groups per rack (Section II):
+data-center temperature, data-center humidity, coolant flow rate,
+coolant temperature (inlet and outlet), and power.  The simulator adds
+a derived *utilization* channel (on real Mira utilization comes from
+the Cobalt scheduler logs, which the paper joins against the
+environmental data; storing it alongside keeps the join trivial).
+
+Channels are identified by :class:`Channel` enum members whose values
+are the column names used by the environmental database.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Channel(enum.Enum):
+    """A coolant monitor (or joined) telemetry channel."""
+
+    #: Ambient data-center temperature near the rack, degrees F.
+    DC_TEMPERATURE = "dc_temperature_f"
+
+    #: Ambient data-center relative humidity near the rack, %RH.
+    DC_HUMIDITY = "dc_humidity_rh"
+
+    #: Coolant flow through the rack's internal loop, GPM.
+    FLOW = "flow_gpm"
+
+    #: Coolant temperature at the rack inlet, degrees F.
+    INLET_TEMPERATURE = "inlet_temperature_f"
+
+    #: Coolant temperature at the rack outlet, degrees F.
+    OUTLET_TEMPERATURE = "outlet_temperature_f"
+
+    #: Aggregate power drawn by the rack's four power enclosures, kW.
+    POWER = "power_kw"
+
+    #: Fraction of the rack's nodes occupied by jobs (scheduler join).
+    UTILIZATION = "utilization"
+
+    @property
+    def column(self) -> str:
+        """Database column name."""
+        return self.value
+
+    @property
+    def unit(self) -> str:
+        """Human-readable unit string."""
+        return _UNITS[self]
+
+    @property
+    def is_sensor(self) -> bool:
+        """Whether the channel is measured by the coolant monitor."""
+        return self is not Channel.UTILIZATION
+
+
+_UNITS = {
+    Channel.DC_TEMPERATURE: "F",
+    Channel.DC_HUMIDITY: "%RH",
+    Channel.FLOW: "GPM",
+    Channel.INLET_TEMPERATURE: "F",
+    Channel.OUTLET_TEMPERATURE: "F",
+    Channel.POWER: "kW",
+    Channel.UTILIZATION: "fraction",
+}
+
+#: All channels in canonical storage order.
+CHANNELS: Tuple[Channel, ...] = tuple(Channel)
+
+#: The channels the CMF predictor uses as features (Section VI-B: flow,
+#: outlet temperature, inlet temperature, power, DC temperature and
+#: humidity).
+PREDICTOR_CHANNELS: Tuple[Channel, ...] = (
+    Channel.FLOW,
+    Channel.OUTLET_TEMPERATURE,
+    Channel.INLET_TEMPERATURE,
+    Channel.POWER,
+    Channel.DC_TEMPERATURE,
+    Channel.DC_HUMIDITY,
+)

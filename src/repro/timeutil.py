@@ -1,0 +1,114 @@
+"""Vectorized calendar helpers shared by the simulator and analyses.
+
+All telemetry timestamps in this library are **seconds since the Unix
+epoch** stored as ``float64`` or ``int64`` numpy arrays.  The paper's
+analyses constantly need calendar fields (year, month, weekday, hour)
+over millions of timestamps, so the conversions here are vectorized via
+``numpy.datetime64`` arithmetic rather than per-element ``datetime``
+objects.
+
+All timestamps are naive local facility time; the paper's data is
+likewise facility-local and no cross-timezone arithmetic occurs.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int]
+
+#: Seconds in common spans.
+MINUTE_S = 60
+HOUR_S = 3600
+DAY_S = 86_400
+WEEK_S = 7 * DAY_S
+YEAR_S = 365.25 * DAY_S
+
+_EPOCH = dt.datetime(1970, 1, 1)
+
+
+def to_epoch(when: dt.datetime) -> float:
+    """Convert a naive datetime to epoch seconds."""
+    return (when - _EPOCH).total_seconds()
+
+
+def from_epoch(seconds: float) -> dt.datetime:
+    """Convert epoch seconds back to a naive datetime."""
+    return _EPOCH + dt.timedelta(seconds=float(seconds))
+
+
+def _as_datetime64(epoch_s: ArrayLike) -> np.ndarray:
+    return np.asarray(epoch_s, dtype="float64").astype("datetime64[s]")
+
+
+def years(epoch_s: ArrayLike) -> np.ndarray:
+    """Calendar year of each timestamp."""
+    d64 = _as_datetime64(epoch_s)
+    return d64.astype("datetime64[Y]").astype(int) + 1970
+
+
+def months(epoch_s: ArrayLike) -> np.ndarray:
+    """Calendar month (1..12) of each timestamp."""
+    d64 = _as_datetime64(epoch_s)
+    return d64.astype("datetime64[M]").astype(int) % 12 + 1
+
+
+def days_of_year(epoch_s: ArrayLike) -> np.ndarray:
+    """Day-of-year (1..366) of each timestamp."""
+    d64 = _as_datetime64(epoch_s)
+    day = d64.astype("datetime64[D]")
+    year_start = day.astype("datetime64[Y]").astype("datetime64[D]")
+    return (day - year_start).astype(int) + 1
+
+
+def weekdays(epoch_s: ArrayLike) -> np.ndarray:
+    """Weekday (Monday == 0 .. Sunday == 6) of each timestamp."""
+    d64 = _as_datetime64(epoch_s)
+    day_index = d64.astype("datetime64[D]").astype(int)
+    # 1970-01-01 was a Thursday (weekday 3).
+    return (day_index + 3) % 7
+
+
+def hours_of_day(epoch_s: ArrayLike) -> np.ndarray:
+    """Hour of day (0..23) of each timestamp."""
+    seconds = np.asarray(epoch_s, dtype="float64")
+    return ((seconds % DAY_S) // HOUR_S).astype(int)
+
+
+def fractional_year(epoch_s: ArrayLike) -> np.ndarray:
+    """Continuous year coordinate, e.g. 2016.5 for mid-2016.
+
+    Used for linear trend fits over multi-year series (Fig 2).
+    """
+    seconds = np.asarray(epoch_s, dtype="float64")
+    year = years(seconds)
+    year_start = np.array(
+        [to_epoch(dt.datetime(int(y), 1, 1)) for y in np.unique(year)]
+    )
+    year_map = {int(y): s for y, s in zip(np.unique(year), year_start)}
+    starts = np.vectorize(year_map.__getitem__)(year)
+    lengths = np.where(_is_leap(year), 366 * DAY_S, 365 * DAY_S)
+    return year + (seconds - starts) / lengths
+
+
+def _is_leap(year: np.ndarray) -> np.ndarray:
+    year = np.asarray(year)
+    return (year % 4 == 0) & ((year % 100 != 0) | (year % 400 == 0))
+
+
+def time_grid(start: dt.datetime, end: dt.datetime, dt_s: float) -> np.ndarray:
+    """Regular timestamp grid ``[start, end)`` with step ``dt_s`` seconds.
+
+    Raises:
+        ValueError: if the step is not positive or the interval empty.
+    """
+    if dt_s <= 0:
+        raise ValueError(f"dt must be positive, got {dt_s}")
+    start_s, end_s = to_epoch(start), to_epoch(end)
+    if end_s <= start_s:
+        raise ValueError(f"empty interval: {start} .. {end}")
+    count = int(np.ceil((end_s - start_s) / dt_s))
+    return start_s + np.arange(count, dtype="float64") * dt_s

@@ -1,0 +1,1 @@
+"""Maintenance tools: documentation generators and utilities."""

@@ -1,0 +1,122 @@
+"""Unit conversions and small physical helpers.
+
+The paper reports temperatures in degrees Fahrenheit, coolant flow in
+gallons per minute (GPM), and power in megawatts.  Internally the
+simulator occasionally needs SI units (heat-balance arithmetic is done
+in kilowatts, kilograms per second, and Kelvin-equivalent Celsius
+deltas), so the conversions live here in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Specific heat capacity of water, kJ/(kg K).
+WATER_SPECIFIC_HEAT_KJ_PER_KG_K = 4.186
+
+#: Density of water, kg per litre.
+WATER_DENSITY_KG_PER_L = 0.997
+
+#: Litres per US gallon.
+LITRES_PER_GALLON = 3.785411784
+
+#: Kilowatts of heat removal per ton of refrigeration.
+KW_PER_TON_REFRIGERATION = 3.51685
+
+
+def fahrenheit_to_celsius(temp_f: float) -> float:
+    """Convert degrees Fahrenheit to degrees Celsius."""
+    return (temp_f - 32.0) * 5.0 / 9.0
+
+
+def celsius_to_fahrenheit(temp_c: float) -> float:
+    """Convert degrees Celsius to degrees Fahrenheit."""
+    return temp_c * 9.0 / 5.0 + 32.0
+
+
+def fahrenheit_delta_to_celsius(delta_f: float) -> float:
+    """Convert a temperature *difference* in F to a difference in C."""
+    return delta_f * 5.0 / 9.0
+
+
+def celsius_delta_to_fahrenheit(delta_c: float) -> float:
+    """Convert a temperature *difference* in C to a difference in F."""
+    return delta_c * 9.0 / 5.0
+
+
+def gpm_to_kg_per_s(flow_gpm: float) -> float:
+    """Convert a volumetric water flow in GPM to a mass flow in kg/s."""
+    litres_per_s = flow_gpm * LITRES_PER_GALLON / 60.0
+    return litres_per_s * WATER_DENSITY_KG_PER_L
+
+
+def kg_per_s_to_gpm(flow_kg_s: float) -> float:
+    """Convert a mass water flow in kg/s to a volumetric flow in GPM."""
+    litres_per_s = flow_kg_s / WATER_DENSITY_KG_PER_L
+    return litres_per_s * 60.0 / LITRES_PER_GALLON
+
+
+def coolant_temperature_rise_f(heat_kw: float, flow_gpm: float) -> float:
+    """Temperature rise (in F) of water absorbing ``heat_kw`` at ``flow_gpm``.
+
+    Applies the steady-state heat balance ``Q = m_dot * c_p * dT``.  This
+    is the relation that couples rack power to the outlet coolant
+    temperature in the internal-loop model.
+
+    Raises:
+        ValueError: if ``flow_gpm`` is not positive (stagnant coolant has
+            no steady-state temperature rise; the caller must handle the
+            solenoid-closed case explicitly).
+    """
+    if flow_gpm <= 0.0:
+        raise ValueError(f"flow must be positive, got {flow_gpm} GPM")
+    m_dot = gpm_to_kg_per_s(flow_gpm)
+    delta_c = heat_kw / (m_dot * WATER_SPECIFIC_HEAT_KJ_PER_KG_K)
+    return celsius_delta_to_fahrenheit(delta_c)
+
+
+def heat_absorbed_kw(delta_t_f: float, flow_gpm: float) -> float:
+    """Heat (kW) absorbed by water warming ``delta_t_f`` F at ``flow_gpm``."""
+    m_dot = gpm_to_kg_per_s(flow_gpm)
+    delta_c = fahrenheit_delta_to_celsius(delta_t_f)
+    return m_dot * WATER_SPECIFIC_HEAT_KJ_PER_KG_K * delta_c
+
+
+def tons_to_kw(tons: float) -> float:
+    """Convert tons of refrigeration to kW of heat removal capacity."""
+    return tons * KW_PER_TON_REFRIGERATION
+
+
+def saturation_vapor_pressure_hpa(temp_c: float) -> float:
+    """Saturation vapor pressure (hPa) via the Magnus formula.
+
+    Valid over roughly -45 C .. 60 C, which comfortably covers both the
+    Chicago outdoor range and data-center conditions.
+    """
+    return 6.112 * math.exp(17.62 * temp_c / (243.12 + temp_c))
+
+
+def dewpoint_c(temp_c: float, relative_humidity: float) -> float:
+    """Dewpoint temperature (C) from dry-bulb temperature and RH.
+
+    Uses the Magnus approximation.  ``relative_humidity`` is a
+    percentage in (0, 100].
+
+    Raises:
+        ValueError: if ``relative_humidity`` is outside (0, 100].
+    """
+    if not 0.0 < relative_humidity <= 100.0:
+        raise ValueError(
+            f"relative humidity must be in (0, 100], got {relative_humidity}"
+        )
+    gamma = math.log(relative_humidity / 100.0) + (
+        17.62 * temp_c / (243.12 + temp_c)
+    )
+    return 243.12 * gamma / (17.62 - gamma)
+
+
+def dewpoint_f(temp_f: float, relative_humidity: float) -> float:
+    """Dewpoint in degrees F from a dry-bulb temperature in degrees F."""
+    return celsius_to_fahrenheit(
+        dewpoint_c(fahrenheit_to_celsius(temp_f), relative_humidity)
+    )

@@ -1,0 +1,5 @@
+"""Synthetic outdoor weather for the facility's Chicago location."""
+
+from repro.weather.chicago import ChicagoWeather, WeatherSample
+
+__all__ = ["ChicagoWeather", "WeatherSample"]

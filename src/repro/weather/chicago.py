@@ -1,0 +1,154 @@
+"""A synthetic Chicago climate model.
+
+The cooling plant's waterside economizer and the data-center ambient
+humidity both depend on outdoor conditions, so the simulator needs a
+weather source.  Real Mira operations used real Chicago weather; we
+substitute a seasonal + diurnal + autocorrelated-noise model calibrated
+to Chicago normals:
+
+* daily-mean temperature swings from about 24 F (late January) to about
+  75 F (late July),
+* a diurnal cycle of roughly +-8 F around the daily mean,
+* outdoor relative humidity is *higher in summer in absolute moisture
+  terms* — what matters for the data-center model is the absolute
+  moisture content of the intake air, which peaks in summer (the
+  paper's stated reason DC humidity is summer-high: "the outdoor
+  humidity of Chicago ... is lower in winter months due to the dryer
+  air"),
+* weather fronts are modelled as an AR(1) process with a ~3-day
+  correlation time.
+
+The model is deterministic given its seed; the same timestamps always
+produce the same weather.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from repro import timeutil
+
+
+@dataclasses.dataclass(frozen=True)
+class WeatherSample:
+    """Outdoor conditions at one instant."""
+
+    temperature_f: float
+    relative_humidity: float
+
+
+class ChicagoWeather:
+    """Deterministic synthetic Chicago weather.
+
+    Args:
+        seed: Seed for the front-noise process.  Two instances with the
+            same seed produce identical weather for the same
+            timestamps, regardless of query order or granularity —
+            the noise is a fixed Fourier-basis random field rather than
+            a sequentially-generated series.
+    """
+
+    #: Annual-mean daily temperature, F.
+    MEAN_TEMP_F = 50.0
+
+    #: Half the summer-winter swing of the daily mean, F.
+    SEASONAL_AMPLITUDE_F = 26.0
+
+    #: Day of year at which the seasonal cycle peaks (late July).
+    PEAK_DAY_OF_YEAR = 205
+
+    #: Diurnal half-swing, F.
+    DIURNAL_AMPLITUDE_F = 8.0
+
+    #: Hour of day of the diurnal peak.
+    PEAK_HOUR = 15
+
+    #: Mean outdoor relative humidity, %.
+    MEAN_RH = 68.0
+
+    #: Seasonal half-swing of the moisture-driven RH proxy, %.
+    SEASONAL_RH_AMPLITUDE = 11.0
+
+    #: Number of random Fourier components in the front-noise field.
+    _NOISE_COMPONENTS = 96
+
+    #: Standard deviation of front noise, F.
+    FRONT_NOISE_STD_F = 7.0
+
+    def __init__(self, seed: int = 2014) -> None:
+        rng = np.random.default_rng(seed)
+        # Random Fourier field: sum of sinusoids with periods from ~1.5
+        # days to ~60 days gives weather-front-like autocorrelation while
+        # remaining a pure function of the timestamp.
+        periods_days = np.exp(
+            rng.uniform(np.log(1.5), np.log(60.0), size=self._NOISE_COMPONENTS)
+        )
+        self._omegas = 2.0 * np.pi / (periods_days * timeutil.DAY_S)
+        self._phases = rng.uniform(0.0, 2.0 * np.pi, size=self._NOISE_COMPONENTS)
+        amplitudes = rng.standard_normal(self._NOISE_COMPONENTS)
+        # Normalize so the field has the requested standard deviation.
+        amplitudes *= self.FRONT_NOISE_STD_F / np.sqrt(0.5 * np.sum(amplitudes**2))
+        self._amplitudes = amplitudes
+
+    # -- internals -----------------------------------------------------------
+
+    def _front_noise(self, epoch_s: np.ndarray) -> np.ndarray:
+        t = np.asarray(epoch_s, dtype="float64")[..., None]
+        return np.sum(
+            self._amplitudes * np.sin(self._omegas * t + self._phases), axis=-1
+        )
+
+    def _seasonal_phase(self, epoch_s: np.ndarray) -> np.ndarray:
+        doy = timeutil.days_of_year(epoch_s)
+        return np.cos(2.0 * np.pi * (doy - self.PEAK_DAY_OF_YEAR) / 365.25)
+
+    # -- public API ----------------------------------------------------------
+
+    def temperature_f(self, epoch_s: Union[np.ndarray, float]) -> np.ndarray:
+        """Outdoor dry-bulb temperature (F) at the given timestamps."""
+        epoch = np.asarray(epoch_s, dtype="float64")
+        seasonal = self.MEAN_TEMP_F + self.SEASONAL_AMPLITUDE_F * self._seasonal_phase(
+            epoch
+        )
+        hours = (epoch % timeutil.DAY_S) / timeutil.HOUR_S
+        diurnal = self.DIURNAL_AMPLITUDE_F * np.cos(
+            2.0 * np.pi * (hours - self.PEAK_HOUR) / 24.0
+        )
+        return seasonal + diurnal + self._front_noise(epoch)
+
+    def relative_humidity(self, epoch_s: Union[np.ndarray, float]) -> np.ndarray:
+        """Outdoor moisture proxy as relative humidity (%).
+
+        Peaks in summer (moist Gulf air) and bottoms out in winter (dry
+        continental air), with front noise anti-correlated with the
+        temperature noise (cold fronts are dry).
+        """
+        epoch = np.asarray(epoch_s, dtype="float64")
+        seasonal = self.MEAN_RH + self.SEASONAL_RH_AMPLITUDE * self._seasonal_phase(
+            epoch
+        )
+        noise = -0.30 * self._front_noise(epoch)
+        return np.clip(seasonal + noise, 15.0, 100.0)
+
+    def sample(self, epoch_s: float) -> WeatherSample:
+        """Scalar convenience sampler."""
+        return WeatherSample(
+            temperature_f=float(self.temperature_f(epoch_s)),
+            relative_humidity=float(self.relative_humidity(epoch_s)),
+        )
+
+    def free_cooling_available(
+        self, epoch_s: Union[np.ndarray, float], threshold_f: float = 42.0
+    ) -> np.ndarray:
+        """Whether outdoor conditions permit waterside free cooling.
+
+        The economizer can displace the chillers when the outdoor
+        wet-bulb (approximated here by dry-bulb) temperature is below
+        the loop approach threshold.  In Chicago this holds through
+        most of December-March, matching the plant design described in
+        Section II.
+        """
+        return np.asarray(self.temperature_f(epoch_s)) <= threshold_f

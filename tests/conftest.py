@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Simulation runs are expensive, so the fixtures are session-scoped and
+shared across test modules:
+
+* ``demo_result`` — ~4 months at 30-minute cadence (seconds to build),
+  enough structure for most integration tests;
+* ``year_result`` — two years at 30-minute cadence with a meaningful
+  number of CMFs, used by the failure/prediction integration tests;
+* ``full_result`` — the canonical six-year hourly realization, used
+  only by the paper-calibration test module and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
+from repro.simulation.datasets import canonical_dataset, small_dataset
+
+
+@pytest.fixture(scope="session")
+def demo_result():
+    """A ~4-month simulation (cached in-process)."""
+    return small_dataset()
+
+
+@pytest.fixture(scope="session")
+def year_result():
+    """A two-year simulation with a meaningful CMF population."""
+    return FacilityEngine(MiraScenario.demo(days=730, seed=5)).run()
+
+
+@pytest.fixture(scope="session")
+def full_result():
+    """The canonical six-year realization (the paper's study period)."""
+    return canonical_dataset()
+
+
+@pytest.fixture(scope="session")
+def year_windows(year_result):
+    """(positive, negative) lead-up windows from the two-year run."""
+    synthesizer = WindowSynthesizer(year_result)
+    positives = synthesizer.positive_windows()
+    negatives = synthesizer.negative_windows(len(positives))
+    return positives, negatives
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

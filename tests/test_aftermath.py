@@ -1,0 +1,74 @@
+"""Figs 14-15: the post-CMF analysis."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.aftermath import analyze_aftermath
+from repro.facility.topology import RackId
+from repro.telemetry.ras import CMF_CATEGORY, RasEvent, RasLog, Severity
+
+
+@pytest.fixture(scope="module")
+def analysis(year_result):
+    return analyze_aftermath(year_result.ras_log)
+
+
+class TestRates:
+    def test_first_bucket_normalized_to_one(self, analysis):
+        assert analysis.relative_rates[3.0] == pytest.approx(1.0)
+
+    def test_rate_decays_with_lag(self, analysis):
+        rates = [analysis.relative_rates[h] for h in sorted(analysis.relative_rates)]
+        assert rates[0] == max(rates)
+        assert rates[-1] == min(rates)
+
+    def test_six_hour_rate_below_paper_bound(self, analysis):
+        # Paper: the 6 h rate is less than 75 % of the 3 h rate.
+        assert analysis.rate_6h < 0.9
+        assert analysis.rate_6h > 0.3
+
+    def test_48_hour_rate_near_ten_percent(self, analysis):
+        # Paper: drops to 10 %.
+        assert analysis.rate_48h < 0.3
+
+
+class TestCategoryMix:
+    def test_ac_dc_dominates(self, analysis):
+        # Paper: "AC to DC power" is 50 % of post-CMF failures.
+        assert analysis.dominant_category == "ac_dc_power"
+        assert 0.35 < analysis.category_mix["ac_dc_power"] < 0.65
+
+    def test_process_failures_rare(self, analysis):
+        assert analysis.category_mix.get("process", 0.0) < 0.08
+
+    def test_mix_sums_to_one(self, analysis):
+        assert sum(analysis.category_mix.values()) == pytest.approx(1.0)
+
+
+class TestStormSpread:
+    def test_examples_extracted(self, analysis):
+        assert len(analysis.examples) >= 1
+        for example in analysis.examples:
+            assert len(example.follower_racks) >= 3
+
+    def test_followers_not_local_to_epicenter(self, analysis):
+        # Paper Fig 15: post-CMF failures land anywhere on the system.
+        assert analysis.nonlocal_fraction(radius=2.0) > 0.5
+
+    def test_counts_recorded(self, analysis, year_result):
+        assert analysis.cmf_count == len(year_result.schedule.events)
+        assert analysis.followup_count > 0
+
+
+class TestValidation:
+    def test_no_cmfs_rejected(self):
+        log = RasLog(
+            [RasEvent(0.0, RackId(0, 0), Severity.FATAL, "bqc")]
+        )
+        with pytest.raises(ValueError):
+            analyze_aftermath(log)
+
+    def test_nonincreasing_buckets_rejected(self, year_result):
+        with pytest.raises(ValueError):
+            analyze_aftermath(year_result.ras_log, lag_buckets_h=(3.0, 3.0))

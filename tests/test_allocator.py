@@ -1,0 +1,156 @@
+"""The midplane allocator."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.scheduler.allocator import (
+    MIDPLANES_PER_RACK,
+    MidplaneAllocator,
+    TOTAL_MIDPLANES,
+    rack_of_midplane,
+)
+from repro.scheduler.jobs import Job
+from repro.scheduler.queues import QueueName
+
+
+def _job(job_id, midplanes, queue=QueueName.PROD_SHORT):
+    return Job(
+        job_id=job_id,
+        project=None,
+        queue=queue,
+        midplanes=midplanes,
+        walltime_s=3600.0,
+        intensity=1.0,
+        submit_epoch_s=0.0,
+    )
+
+
+@pytest.fixture
+def allocator():
+    return MidplaneAllocator(rng=np.random.default_rng(2))
+
+
+class TestMapping:
+    def test_rack_of_midplane(self):
+        assert rack_of_midplane(0) == 0
+        assert rack_of_midplane(1) == 0
+        assert rack_of_midplane(2) == 1
+        assert rack_of_midplane(95) == 47
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rack_of_midplane(96)
+
+    def test_total_midplanes(self):
+        assert TOTAL_MIDPLANES == 96
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, allocator):
+        job = _job(1, 4)
+        placement = allocator.try_allocate(job)
+        assert placement is not None and len(placement) == 4
+        job.start(0.0, placement)
+        assert allocator.free_count() == TOTAL_MIDPLANES - 4
+        allocator.release(job)
+        assert allocator.free_count() == TOTAL_MIDPLANES
+
+    def test_full_machine_job(self, allocator):
+        job = _job(1, 96)
+        placement = allocator.try_allocate(job)
+        assert placement is not None
+        assert allocator.free_count() == 0
+
+    def test_oversubscription_returns_none(self, allocator):
+        first = _job(1, 96)
+        first.start(0.0, allocator.try_allocate(first))
+        assert allocator.try_allocate(_job(2, 1)) is None
+
+    def test_no_double_allocation(self, allocator):
+        a = _job(1, 48)
+        b = _job(2, 48)
+        pa = allocator.try_allocate(a)
+        pb = allocator.try_allocate(b)
+        assert set(pa).isdisjoint(set(pb))
+
+    def test_release_requires_ownership(self, allocator):
+        a = _job(1, 2)
+        a.start(0.0, allocator.try_allocate(a))
+        allocator.release(a)
+        with pytest.raises(ValueError):
+            allocator.release(a)  # double release
+
+    def test_claim_specific(self, allocator):
+        allocator.claim(99, (10, 11))
+        assert allocator.midplane_owners()[10] == 99
+        with pytest.raises(ValueError):
+            allocator.claim(100, (10,))
+
+
+class TestPlacementPolicy:
+    def test_prod_long_lands_in_row_zero(self, allocator):
+        job = _job(1, 8, queue=QueueName.PROD_LONG)
+        placement = allocator.try_allocate(job)
+        rows = {rack_of_midplane(mp) // constants.RACKS_PER_ROW for mp in placement}
+        assert rows == {0}
+
+    def test_prod_short_avoids_row_zero(self, allocator):
+        job = _job(1, 8, queue=QueueName.PROD_SHORT)
+        placement = allocator.try_allocate(job)
+        rows = {rack_of_midplane(mp) // constants.RACKS_PER_ROW for mp in placement}
+        assert 0 not in rows
+
+    def test_prod_short_spills_into_row_zero_when_full(self, allocator):
+        blocker = _job(1, 64, queue=QueueName.PROD_SHORT)
+        blocker.start(0.0, allocator.try_allocate(blocker))
+        job = _job(2, 8, queue=QueueName.PROD_SHORT)
+        placement = allocator.try_allocate(job)
+        assert placement is not None  # spilled into row 0
+
+    def test_affinity_prefers_0A_for_long_jobs(self, allocator):
+        # Across many fresh allocators, (0, A) appears in the first
+        # long-job placement far more often than a baseline rack.
+        hits_0a, hits_baseline = 0, 0
+        target = constants.HIGHEST_UTILIZATION_RACK[0] * 16 + (
+            constants.HIGHEST_UTILIZATION_RACK[1]
+        )
+        for seed in range(30):
+            fresh = MidplaneAllocator(rng=np.random.default_rng(seed))
+            job = _job(1, 8, queue=QueueName.PROD_LONG)
+            racks = {rack_of_midplane(mp) for mp in fresh.try_allocate(job)}
+            hits_0a += target in racks
+            hits_baseline += 3 in racks  # rack (0, 3), no affinity
+        assert hits_0a > hits_baseline
+
+
+class TestBlocking:
+    def test_blocked_racks_not_allocatable(self, allocator):
+        allocator.block_racks(range(48))
+        assert allocator.try_allocate(_job(1, 1)) is None
+
+    def test_unblock_restores(self, allocator):
+        allocator.block_racks([0, 1])
+        allocator.unblock_racks([0, 1])
+        assert allocator.free_count() == TOTAL_MIDPLANES
+
+    def test_blocked_racks_listed(self, allocator):
+        allocator.block_racks([5, 9])
+        assert allocator.blocked_racks == (5, 9)
+
+    def test_block_does_not_evict_running(self, allocator):
+        job = _job(1, 2)
+        job.start(0.0, allocator.try_allocate(job))
+        allocator.block_racks([rack_of_midplane(job.assigned_midplanes[0])])
+        # Still owned; release works normally.
+        allocator.release(job)
+
+
+class TestOccupancy:
+    def test_rack_occupancy_fractions(self, allocator):
+        allocator.claim(1, (0,))  # half of rack 0
+        allocator.claim(2, (2, 3))  # all of rack 1
+        occupancy = allocator.rack_occupancy()
+        assert occupancy[0] == pytest.approx(0.5)
+        assert occupancy[1] == pytest.approx(1.0)
+        assert occupancy[2] == pytest.approx(0.0)

@@ -1,0 +1,83 @@
+"""The adaptive flow balancer."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.cooling.balancer import AdaptiveFlowBalancer
+from repro.cooling.loops import CoolingLoop
+
+
+class TestEstimation:
+    def test_conductance_estimate_matches_ground_truth(self, demo_result):
+        balancer = AdaptiveFlowBalancer()
+        estimate = balancer.estimate_conductance(demo_result.database)
+        # The engine's loop was built with the machine seed; rebuild it
+        # the same way the engine does to compare.
+        from repro.simulation.engine import FacilityEngine
+
+        engine = FacilityEngine(demo_result.config)
+        truth = engine.loop.conductances
+        truth = truth / truth.mean()
+        correlation = np.corrcoef(estimate, truth)[0, 1]
+        assert correlation > 0.97
+
+    def test_estimate_normalized(self, demo_result):
+        estimate = AdaptiveFlowBalancer().estimate_conductance(demo_result.database)
+        assert estimate.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_empty_database_rejected(self):
+        from repro.telemetry.database import EnvironmentalDatabase
+
+        with pytest.raises(ValueError):
+            AdaptiveFlowBalancer().estimate_conductance(EnvironmentalDatabase())
+
+
+class TestPlanning:
+    def test_plan_reduces_spread(self, demo_result):
+        balancer = AdaptiveFlowBalancer()
+        plan = balancer.plan(demo_result.database)
+        assert plan.predicted_spread < plan.measured_spread
+        assert plan.improvement > 0.3
+
+    def test_trim_bounds(self, demo_result):
+        plan = AdaptiveFlowBalancer(headroom=0.85).plan(demo_result.database)
+        assert np.all(plan.trim >= 0.85)
+        assert np.all(plan.trim <= 1.0)
+        # The weakest rack stays fully open.
+        weakest = int(np.argmin(plan.estimated_conductance))
+        assert plan.trim[weakest] == pytest.approx(1.0)
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFlowBalancer(headroom=0.0)
+
+
+class TestGroundTruthVerification:
+    def test_applying_plan_flattens_real_loop(self, demo_result):
+        balancer = AdaptiveFlowBalancer()
+        plan = balancer.plan(demo_result.database)
+        from repro.simulation.engine import FacilityEngine
+
+        loop = FacilityEngine(demo_result.config).loop
+        baseline = loop.rack_flows_gpm(1250.0)
+        baseline_spread = (baseline.max() - baseline.min()) / baseline.min()
+        _, balanced_spread = balancer.apply_to_loop(loop, plan, 1250.0)
+        assert balanced_spread < 0.7 * baseline_spread
+
+    def test_flow_still_conserved_after_trim(self, demo_result):
+        balancer = AdaptiveFlowBalancer()
+        plan = balancer.plan(demo_result.database)
+        from repro.simulation.engine import FacilityEngine
+
+        loop = FacilityEngine(demo_result.config).loop
+        flows, _ = balancer.apply_to_loop(loop, plan, 1250.0)
+        assert flows.sum() == pytest.approx(1250.0)
+
+    def test_balanced_loop_needs_less_total_flow(self, demo_result):
+        balancer = AdaptiveFlowBalancer()
+        plan = balancer.plan(demo_result.database)
+        before, after = balancer.required_total_flow(plan)
+        assert after < before
+        # Both requirements are in a sane facility range.
+        assert 1000 < after < before < 1600

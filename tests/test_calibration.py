@@ -1,0 +1,252 @@
+"""Paper calibration: every figure's headline numbers on the canonical run.
+
+These are the reproduction's acceptance tests: each assertion pins a
+number the paper reports to a band around it.  Bands are generous —
+the substrate is a synthetic facility, so we check *shape* (who wins,
+what is flat, where the extremes sit), not third-digit agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.core.aftermath import analyze_aftermath
+from repro.core.environment import ambient_spatial, ambient_trends
+from repro.core.failure_analysis import analyze_cmfs
+from repro.core.spatial import rack_coolant_profile, rack_power_profile
+from repro.core.trends import coolant_trends, monthly_profile, weekday_profile, yearly_trends
+from repro.facility.topology import RackId
+from repro.telemetry.records import Channel
+
+
+class TestFig2YearlyTrends:
+    def test_power_rises_from_2_5_to_2_9(self, full_result):
+        trends = yearly_trends(full_result.database)
+        assert trends.power_start_mw == pytest.approx(constants.POWER_2014_MW, abs=0.15)
+        assert trends.power_end_mw == pytest.approx(constants.POWER_2019_MW, abs=0.15)
+
+    def test_utilization_rises_from_80_to_93(self, full_result):
+        trends = yearly_trends(full_result.database)
+        assert trends.utilization_start == pytest.approx(
+            constants.UTILIZATION_2014, abs=0.04
+        )
+        assert trends.utilization_end == pytest.approx(
+            constants.UTILIZATION_2019, abs=0.04
+        )
+
+    def test_trends_positive(self, full_result):
+        trends = yearly_trends(full_result.database)
+        assert trends.power_fit.slope_per_year > 0.02
+        assert trends.utilization_fit.slope_per_year > 0.005
+
+
+class TestFig3CoolantTrends:
+    def test_flow_step_at_theta(self, full_result):
+        trends = coolant_trends(full_result.database)
+        assert trends.flow_pre_theta_gpm == pytest.approx(
+            constants.FLOW_PRE_THETA_GPM, rel=0.02
+        )
+        assert trends.flow_post_theta_gpm == pytest.approx(
+            constants.FLOW_POST_THETA_GPM, rel=0.02
+        )
+
+    def test_coolant_temperature_means(self, full_result):
+        trends = coolant_trends(full_result.database)
+        assert trends.inlet_mean_f == pytest.approx(constants.INLET_TEMP_F, abs=1.5)
+        assert trends.outlet_mean_f == pytest.approx(constants.OUTLET_TEMP_F, abs=2.0)
+
+    def test_overall_stds_in_band(self, full_result):
+        trends = coolant_trends(full_result.database)
+        # Paper: 41 GPM, 0.61 F, 0.71 F.
+        assert 25.0 < trends.flow_std_gpm < 60.0
+        assert 0.3 < trends.inlet_std_f < 1.3
+        assert 0.3 < trends.outlet_std_f < 2.2
+
+    def test_theta_testing_bump(self, full_result):
+        trends = coolant_trends(full_result.database)
+        assert trends.inlet_theta_window_f > trends.inlet_outside_theta_f + 0.5
+
+
+class TestFig4Monthly:
+    def test_power_and_utilization_second_half_heavy(self, full_result):
+        power = monthly_profile(full_result.database)
+        util = monthly_profile(full_result.database, Channel.UTILIZATION)
+        assert power.second_half_ratio > 1.005
+        assert util.second_half_ratio > 1.002
+
+    def test_coolant_channels_nearly_flat(self, full_result):
+        for channel in (
+            Channel.FLOW,
+            Channel.INLET_TEMPERATURE,
+            Channel.OUTLET_TEMPERATURE,
+        ):
+            profile = monthly_profile(full_result.database, channel)
+            assert profile.max_change_from_january < 0.04
+
+
+class TestFig5Weekday:
+    def test_monday_minimum(self, full_result):
+        assert weekday_profile(full_result.database).minimum_weekday == 0
+
+    def test_power_increase_near_6_percent(self, full_result):
+        profile = weekday_profile(full_result.database)
+        assert profile.non_monday_increase == pytest.approx(
+            constants.NON_MONDAY_POWER_INCREASE, abs=0.035
+        )
+
+    def test_utilization_increase_near_1_5_percent(self, full_result):
+        profile = weekday_profile(full_result.database, Channel.UTILIZATION)
+        assert profile.non_monday_increase == pytest.approx(
+            constants.NON_MONDAY_UTILIZATION_INCREASE, abs=0.02
+        )
+
+    def test_outlet_increase_near_2_percent(self, full_result):
+        profile = weekday_profile(full_result.database, Channel.OUTLET_TEMPERATURE)
+        assert 0.002 < profile.non_monday_increase < 0.05
+
+    def test_flow_and_inlet_unchanged(self, full_result):
+        for channel in (Channel.FLOW, Channel.INLET_TEMPERATURE):
+            profile = weekday_profile(full_result.database, channel)
+            assert abs(profile.non_monday_increase) < 0.01
+
+
+class TestFig6RackPowerUtil:
+    def test_power_spread_up_to_15_percent(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.power_spread == pytest.approx(
+            constants.RACK_POWER_SPREAD, abs=0.12
+        )
+
+    def test_extreme_racks(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.highest_power_rack == RackId(*constants.HIGHEST_POWER_RACK)
+        assert profile.highest_utilization_rack == RackId(
+            *constants.HIGHEST_UTILIZATION_RACK
+        )
+        assert profile.lowest_utilization_rack == RackId(2, 0xD)
+
+    def test_row_zero_wins(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.highest_utilization_row == 0
+        assert profile.highest_power_row == 0
+
+    def test_correlation_near_0_45(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.power_utilization_correlation == pytest.approx(
+            constants.POWER_UTILIZATION_CORRELATION, abs=0.25
+        )
+
+
+class TestFig7RackCoolant:
+    def test_spreads(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        assert profile.flow_spread == pytest.approx(
+            constants.RACK_FLOW_SPREAD, abs=0.06
+        )
+        assert profile.inlet_spread < 0.02
+        assert 0.01 < profile.outlet_spread < 0.06
+
+    def test_ordering_inlet_outlet_flow(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        assert profile.inlet_spread < profile.outlet_spread < profile.flow_spread
+
+
+class TestFig8AmbientTrends:
+    def test_ranges(self, full_result):
+        trends = ambient_trends(full_result.database)
+        assert trends.temperature_min_f == pytest.approx(
+            constants.DC_TEMP_MIN_F, abs=4.0
+        )
+        assert trends.temperature_max_f == pytest.approx(
+            constants.DC_TEMP_MAX_F, abs=5.0
+        )
+        assert trends.humidity_min_rh == pytest.approx(
+            constants.DC_HUMIDITY_MIN_RH, abs=6.0
+        )
+        assert trends.humidity_max_rh == pytest.approx(
+            constants.DC_HUMIDITY_MAX_RH, abs=5.0
+        )
+
+    def test_stds(self, full_result):
+        trends = ambient_trends(full_result.database)
+        assert trends.temperature_std_f == pytest.approx(
+            constants.DC_TEMP_STD_F, abs=1.3
+        )
+        assert trends.humidity_std_rh == pytest.approx(
+            constants.DC_HUMIDITY_STD_RH, abs=1.5
+        )
+
+    def test_summer_humidity(self, full_result):
+        trends = ambient_trends(full_result.database)
+        assert trends.humidity_is_summer_seasonal
+
+
+class TestFig9AmbientSpatial:
+    def test_spreads(self, full_result):
+        spatial = ambient_spatial(full_result.database)
+        assert spatial.humidity_spread == pytest.approx(
+            constants.RACK_DC_HUMIDITY_SPREAD, abs=0.12
+        )
+        assert spatial.temperature_spread == pytest.approx(
+            constants.RACK_DC_TEMP_SPREAD, abs=0.06
+        )
+
+    def test_hotspot_1_8(self, full_result):
+        spatial = ambient_spatial(full_result.database)
+        assert RackId(1, 8) in spatial.hotspots()
+
+
+class TestFig10CmfTimeline:
+    def test_total_361(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert analysis.total == constants.TOTAL_CMFS
+
+    def test_2016_fraction_40_percent(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert analysis.fraction_2016 == pytest.approx(
+            constants.CMF_2016_FRACTION, abs=0.08
+        )
+
+    def test_long_quiet_gap(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert analysis.longest_quiet_gap_days > 365
+
+    def test_not_bathtub(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert not analysis.is_bathtub()
+
+
+class TestFig11CmfPerRack:
+    def test_extremes(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert analysis.most_failing_rack == RackId(*constants.MOST_CMF_RACK)
+        assert analysis.max_rack_count == constants.MOST_CMF_COUNT
+        assert analysis.least_failing_rack == RackId(*constants.FEWEST_CMF_RACK)
+        assert analysis.min_rack_count == constants.FEWEST_CMF_COUNT
+        assert analysis.second_max_rack_count <= constants.OTHER_RACK_MAX_CMFS
+
+    def test_correlations_weak(self, full_result):
+        analysis = analyze_cmfs(full_result.ras_log, full_result.database)
+        assert abs(analysis.utilization_correlation) < 0.40
+        assert abs(analysis.outlet_correlation) < 0.40
+        assert abs(analysis.humidity_correlation) < 0.40
+
+
+class TestFig14Aftermath:
+    def test_rate_decay(self, full_result):
+        analysis = analyze_aftermath(full_result.ras_log)
+        assert analysis.rate_6h < 0.9
+        assert analysis.rate_48h < 0.3
+
+    def test_type_mix(self, full_result):
+        analysis = analyze_aftermath(full_result.ras_log)
+        assert analysis.dominant_category == "ac_dc_power"
+        assert analysis.category_mix["ac_dc_power"] == pytest.approx(0.5, abs=0.12)
+        assert analysis.category_mix.get("process", 0.0) < 0.06
+
+
+class TestFig15StormSpread:
+    def test_examples_nonlocal(self, full_result):
+        analysis = analyze_aftermath(full_result.ras_log)
+        assert len(analysis.examples) == 3
+        assert analysis.nonlocal_fraction() > 0.5

@@ -1,0 +1,63 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestParsing:
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestSimulate:
+    def test_simulate_exports_files(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--days", "3",
+                "--seed", "3",
+                "--dt", "3600",
+                "--out", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "out" / "telemetry.csv").exists()
+        assert (tmp_path / "out" / "ras.jsonl").exists()
+        output = capsys.readouterr().out
+        assert "telemetry rows" in output
+
+    def test_exported_telemetry_reimports(self, tmp_path):
+        from repro.telemetry.export import import_telemetry_csv
+
+        main(
+            [
+                "simulate",
+                "--days", "2",
+                "--seed", "1",
+                "--dt", "3600",
+                "--out", str(tmp_path),
+            ]
+        )
+        database = import_telemetry_csv(tmp_path / "telemetry.csv")
+        assert database.num_samples == 48  # 2 days hourly
+
+
+class TestReport:
+    def test_report_prints_tables(self, capsys):
+        code = main(["report", "--days", "120", "--seed", "11"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Fig 2" in output
+        assert "paper=" in output
+        assert "Fig 14" in output

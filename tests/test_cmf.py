@@ -1,0 +1,168 @@
+"""The CMF schedule and precursor signatures."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.facility.topology import RackId
+from repro.failures.cmf import (
+    CmfSchedule,
+    CmfScheduleConfig,
+    PrecursorSignature,
+    REASON_CONDENSATION,
+    REASON_FLOW,
+)
+
+HOUR = timeutil.HOUR_S
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CmfSchedule.generate(np.random.default_rng(17))
+
+
+class TestScheduleTotals:
+    def test_total_events_matches_paper(self, schedule):
+        assert len(schedule.events) == constants.TOTAL_CMFS
+
+    def test_rack_extremes_match_fig11(self, schedule):
+        counts = schedule.rack_counts()
+        most = RackId(*constants.MOST_CMF_RACK).flat_index
+        fewest = RackId(*constants.FEWEST_CMF_RACK).flat_index
+        assert counts[most] == constants.MOST_CMF_COUNT
+        assert counts[fewest] == constants.FEWEST_CMF_COUNT
+
+    def test_no_other_rack_exceeds_nine(self, schedule):
+        counts = schedule.rack_counts()
+        most = RackId(*constants.MOST_CMF_RACK).flat_index
+        others = np.delete(counts, most)
+        assert others.max() <= constants.OTHER_RACK_MAX_CMFS
+
+    def test_2016_fraction(self, schedule):
+        years = timeutil.years(np.array([e.epoch_s for e in schedule.events]))
+        fraction = np.mean(years == 2016)
+        assert 0.30 < fraction < 0.50
+
+    def test_quiet_period_empty(self, schedule):
+        quiet = schedule.events_between(
+            timeutil.to_epoch(constants.CMF_QUIET_START),
+            timeutil.to_epoch(constants.CMF_QUIET_END),
+        )
+        assert len(quiet) == 0
+
+    def test_events_inside_production_period(self, schedule):
+        start = timeutil.to_epoch(constants.PRODUCTION_START)
+        end = timeutil.to_epoch(constants.PRODUCTION_END)
+        for event in schedule.events:
+            assert start <= event.epoch_s < end
+
+
+class TestScheduleStructure:
+    def test_events_sorted(self, schedule):
+        times = [e.epoch_s for e in schedule.events]
+        assert times == sorted(times)
+
+    def test_incidents_spaced_beyond_dedup_window(self, schedule):
+        times = sorted(i.epoch_s for i in schedule.incidents)
+        gaps = np.diff(times)
+        assert gaps.min() >= constants.CMF_DEDUP_WINDOW_S
+
+    def test_incident_sizes_sum_to_total(self, schedule):
+        assert sum(i.size for i in schedule.incidents) == constants.TOTAL_CMFS
+
+    def test_incident_racks_distinct(self, schedule):
+        for incident in schedule.incidents:
+            racks = incident.affected_racks
+            assert len(set(racks)) == len(racks)
+
+    def test_first_event_is_epicenter(self, schedule):
+        for incident in schedule.incidents:
+            assert incident.events[0].is_epicenter
+            assert incident.events[0].rack_id == incident.epicenter
+
+    def test_recovery_in_paper_band(self, schedule):
+        for event in schedule.events:
+            assert 3 * HOUR <= event.recovery_s <= 6 * HOUR
+
+    def test_reasons_valid(self, schedule):
+        reasons = {e.reason for e in schedule.events}
+        assert reasons <= {REASON_FLOW, REASON_CONDENSATION}
+        assert REASON_FLOW in reasons
+
+    def test_severity_in_band(self, schedule):
+        for event in schedule.events:
+            assert 0.3 <= event.severity <= 1.3
+
+    def test_events_for_rack(self, schedule):
+        rack = RackId(*constants.MOST_CMF_RACK)
+        events = schedule.events_for_rack(rack)
+        assert len(events) == constants.MOST_CMF_COUNT
+        assert all(e.rack_id == rack for e in events)
+
+    def test_deterministic(self):
+        s1 = CmfSchedule.generate(np.random.default_rng(4))
+        s2 = CmfSchedule.generate(np.random.default_rng(4))
+        assert [e.epoch_s for e in s1.events] == [e.epoch_s for e in s2.events]
+
+
+class TestPartialWindows:
+    def test_short_window_thins_schedule(self):
+        start = timeutil.to_epoch(dt.datetime(2015, 3, 1))
+        end = timeutil.to_epoch(dt.datetime(2015, 6, 1))
+        schedule = CmfSchedule.generate(np.random.default_rng(2), start, end)
+        assert 0 < len(schedule.events) < 60
+        for event in schedule.events:
+            assert start <= event.epoch_s < end
+
+    def test_window_in_quiet_period_empty(self):
+        start = timeutil.to_epoch(dt.datetime(2017, 6, 1))
+        end = timeutil.to_epoch(dt.datetime(2017, 9, 1))
+        schedule = CmfSchedule.generate(np.random.default_rng(2), start, end)
+        assert len(schedule.events) == 0
+
+
+class TestPrecursorSignature:
+    def test_factors_flat_outside_window(self):
+        tau = np.array([11 * HOUR, 24 * HOUR])
+        assert np.allclose(PrecursorSignature.inlet_factor(tau), 1.0)
+        assert np.allclose(PrecursorSignature.outlet_factor(tau), 1.0)
+        assert np.allclose(PrecursorSignature.flow_factor(tau), 1.0)
+
+    def test_inlet_shape_matches_fig12(self):
+        # Deepest sag around 4 h out, rise at the event.
+        sag = float(PrecursorSignature.inlet_factor(4 * HOUR))
+        final = float(PrecursorSignature.inlet_factor(0.0))
+        assert sag == pytest.approx(1.0 - constants.LEADUP_INLET_DROP, abs=0.005)
+        assert final == pytest.approx(1.0 + constants.LEADUP_INLET_RISE, abs=0.005)
+
+    def test_outlet_sag_at_three_hours(self):
+        sag = float(PrecursorSignature.outlet_factor(3 * HOUR))
+        assert sag == pytest.approx(1.0 - constants.LEADUP_OUTLET_DROP, abs=0.005)
+
+    def test_flow_stable_then_collapses(self):
+        assert float(PrecursorSignature.flow_factor(1 * HOUR)) == pytest.approx(1.0)
+        assert float(PrecursorSignature.flow_factor(0.0)) < 0.5
+
+    def test_flow_collapse_trips_alarm_threshold(self):
+        # 26 GPM collapsing at the event must cross the 10 GPM fatal
+        # threshold even for the weakest severity.
+        collapsed = 26.0 * float(PrecursorSignature.flow_factor(0.0, amplitude=0.45))
+        assert collapsed < 10.0
+
+    def test_severity_scales_amplitude(self):
+        strong = float(PrecursorSignature.inlet_factor(4 * HOUR, amplitude=1.0))
+        weak = float(PrecursorSignature.inlet_factor(4 * HOUR, amplitude=0.5))
+        assert abs(1.0 - weak) == pytest.approx(0.5 * abs(1.0 - strong))
+
+    def test_humidity_only_for_condensation_events(self):
+        tau = np.array([HOUR])
+        plain = PrecursorSignature.humidity_factor(tau, condensation_triggered=False)
+        triggered = PrecursorSignature.humidity_factor(tau, condensation_triggered=True)
+        assert plain[0] == 1.0
+        assert triggered[0] > 1.0
+
+    def test_negative_tau_flat(self):
+        # After the event the signature no longer applies.
+        assert float(PrecursorSignature.inlet_factor(-100.0)) == 1.0

@@ -1,0 +1,112 @@
+"""The environmental database."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.cooling.monitor import SensorReading
+from repro.facility.topology import RackId
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import Channel
+
+
+def _snapshot(value=1.0):
+    return {ch: np.full(constants.NUM_RACKS, value) for ch in Channel}
+
+
+class TestIngest:
+    def test_append_and_query(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, _snapshot(2.0))
+        db.append_snapshot(300.0, _snapshot(3.0))
+        series = db.channel(Channel.POWER)
+        assert len(series) == 2
+        assert series.values[1, 0] == 3.0
+
+    def test_growth_beyond_capacity_hint(self):
+        db = EnvironmentalDatabase(capacity_hint=4)
+        for i in range(100):
+            db.append_snapshot(float(i), _snapshot(float(i)))
+        assert db.num_samples == 100
+        assert db.channel(Channel.FLOW).values[99, 0] == 99.0
+
+    def test_out_of_order_rejected(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(100.0, _snapshot())
+        with pytest.raises(ValueError):
+            db.append_snapshot(50.0, _snapshot())
+
+    def test_wrong_width_rejected(self):
+        db = EnvironmentalDatabase()
+        with pytest.raises(ValueError):
+            db.append_snapshot(0.0, {Channel.POWER: np.ones(10)})
+
+    def test_missing_channels_are_nan(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, {Channel.POWER: np.ones(constants.NUM_RACKS)})
+        flow = db.channel(Channel.FLOW)
+        assert np.isnan(flow.values).all()
+
+    def test_ingest_single_reading(self):
+        db = EnvironmentalDatabase()
+        reading = SensorReading(
+            epoch_s=0.0,
+            rack_id=RackId(1, 8),
+            dc_temperature_f=80.0,
+            dc_humidity_rh=33.0,
+            flow_gpm=26.0,
+            inlet_temperature_f=64.0,
+            outlet_temperature_f=79.0,
+            power_kw=55.0,
+        )
+        db.ingest_reading(reading, utilization=0.9)
+        flat = RackId(1, 8).flat_index
+        assert db.channel(Channel.FLOW).values[0, flat] == 26.0
+        assert np.isnan(db.channel(Channel.FLOW).values[0, 0])
+        assert db.channel(Channel.UTILIZATION).values[0, flat] == 0.9
+
+
+class TestQueries:
+    def test_rack_channel(self):
+        db = EnvironmentalDatabase()
+        values = _snapshot(1.0)
+        values[Channel.POWER][RackId(0, 5).flat_index] = 42.0
+        db.append_snapshot(0.0, values)
+        series = db.rack_channel(Channel.POWER, RackId(0, 5))
+        assert series.values[0] == 42.0
+
+    def test_window(self):
+        db = EnvironmentalDatabase()
+        for i in range(10):
+            db.append_snapshot(float(i * 100), _snapshot(float(i)))
+        cut = db.window(Channel.POWER, 200.0, 500.0)
+        assert len(cut) == 3
+
+    def test_system_power_sums_racks(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, _snapshot(55.0))
+        system = db.system_power_mw()
+        assert system.values[0] == pytest.approx(48 * 55.0 / 1000.0)
+
+    def test_system_utilization_averages(self):
+        db = EnvironmentalDatabase()
+        snapshot = _snapshot(0.5)
+        db.append_snapshot(0.0, snapshot)
+        assert db.system_utilization().values[0] == pytest.approx(0.5)
+
+    def test_total_flow(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, _snapshot(26.0))
+        assert db.total_flow_gpm().values[0] == pytest.approx(48 * 26.0)
+
+    def test_compact_preserves_data(self):
+        db = EnvironmentalDatabase(capacity_hint=100)
+        for i in range(5):
+            db.append_snapshot(float(i), _snapshot(float(i)))
+        db.compact()
+        assert db.num_samples == 5
+        assert db.channel(Channel.POWER).values[4, 0] == 4.0
+
+    def test_bad_num_racks_rejected(self):
+        with pytest.raises(ValueError):
+            EnvironmentalDatabase(num_racks=0)

@@ -1,0 +1,55 @@
+"""Canonical dataset contracts: caching, determinism, coverage."""
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.simulation import FacilityEngine, MiraScenario
+from repro.simulation.datasets import canonical_dataset, small_dataset
+from repro.telemetry.records import Channel
+
+
+class TestMemoization:
+    def test_canonical_memoized(self, full_result):
+        assert canonical_dataset() is full_result or canonical_dataset() is canonical_dataset()
+
+    def test_small_memoized(self, demo_result):
+        assert small_dataset() is demo_result or small_dataset() is small_dataset()
+
+
+class TestCanonicalCoverage:
+    def test_covers_full_production_period(self, full_result):
+        assert full_result.config.start == constants.PRODUCTION_START
+        assert full_result.config.end == constants.PRODUCTION_END
+        years = set(timeutil.years(full_result.database.epoch_s))
+        assert years == set(range(2014, 2020))
+
+    def test_hourly_cadence(self, full_result):
+        gaps = np.diff(full_result.database.epoch_s)
+        assert np.allclose(gaps, 3600.0)
+
+    def test_full_failure_schedule(self, full_result):
+        assert len(full_result.schedule.events) == constants.TOTAL_CMFS
+
+    def test_sample_count(self, full_result):
+        expected = int(
+            (full_result.end_epoch_s - full_result.start_epoch_s) / 3600.0
+        )
+        assert full_result.database.num_samples == expected
+
+
+class TestDeterminism:
+    def test_rebuild_matches_cached(self, full_result):
+        """A fresh engine with the canonical config reproduces the
+        cached realization bit-for-bit (the no-wall-clock guarantee)."""
+        fresh = FacilityEngine(MiraScenario.full_study()).run()
+        for channel in (Channel.POWER, Channel.FLOW, Channel.DC_HUMIDITY):
+            assert np.array_equal(
+                fresh.database.channel(channel).values,
+                full_result.database.channel(channel).values,
+                equal_nan=True,
+            )
+        assert len(fresh.ras_log) == len(full_result.ras_log)
+        assert [e.epoch_s for e in fresh.schedule.events] == [
+            e.epoch_s for e in full_result.schedule.events
+        ]

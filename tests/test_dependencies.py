@@ -1,0 +1,75 @@
+"""Clock/link dependency graph and failure propagation."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.facility.dependencies import DependencyGraph
+from repro.facility.topology import MiraTopology, RackId
+
+
+@pytest.fixture
+def graph():
+    return DependencyGraph(MiraTopology(), rng=np.random.default_rng(7))
+
+
+class TestClockDependencies:
+    def test_global_clock_rack_is_1_4(self, graph):
+        assert graph.global_clock_rack == RackId(1, 4)
+
+    def test_global_clock_failure_takes_down_everything(self, graph):
+        affected = graph.affected_by_failure(RackId(1, 4))
+        assert len(affected) == constants.NUM_RACKS
+
+    def test_rack_0_9_depends_on_0_a(self, graph):
+        assert graph.clock_parent(RackId(0, 9)) == RackId(0, 0xA)
+
+    def test_0_a_failure_takes_down_0_9(self, graph):
+        affected = graph.affected_by_failure(RackId(0, 0xA))
+        assert RackId(0, 9) in affected
+        assert RackId(0, 0xA) in affected
+        assert len(affected) == 2
+
+    def test_leaf_failure_is_isolated(self, graph):
+        affected = graph.affected_by_failure(RackId(2, 3))
+        assert affected == frozenset({RackId(2, 3)})
+
+    def test_clock_children_inverse_of_parent(self, graph):
+        assert RackId(0, 9) in graph.clock_children(RackId(0, 0xA))
+
+
+class TestMediation:
+    def test_disturbance_superset_of_closure(self, graph):
+        for rack_id in (RackId(0, 0), RackId(1, 8), RackId(2, 15)):
+            closure = graph.affected_by_failure(rack_id)
+            disturbance = graph.disturbance_set(rack_id)
+            assert closure <= disturbance
+
+    def test_no_rng_means_no_mediation(self):
+        graph = DependencyGraph(MiraTopology())
+        assert graph.mediated_by(RackId(0, 0)) == frozenset()
+
+    def test_mediation_excludes_self(self, graph):
+        for rack_id in (RackId(0, 0), RackId(1, 4)):
+            assert rack_id not in graph.mediated_by(rack_id)
+
+    def test_mediation_deterministic_per_seed(self):
+        topology = MiraTopology()
+        g1 = DependencyGraph(topology, rng=np.random.default_rng(3))
+        g2 = DependencyGraph(topology, rng=np.random.default_rng(3))
+        for rack_id in topology.rack_ids:
+            assert g1.mediated_by(rack_id) == g2.mediated_by(rack_id)
+
+
+class TestSpatial:
+    def test_distance_zero_to_self(self, graph):
+        assert graph.spatial_distance(RackId(1, 5), RackId(1, 5)) == 0.0
+
+    def test_distance_symmetric(self, graph):
+        a, b = RackId(0, 2), RackId(2, 9)
+        assert graph.spatial_distance(a, b) == graph.spatial_distance(b, a)
+
+    def test_is_spatially_local(self, graph):
+        epicenter = RackId(1, 5)
+        assert graph.is_spatially_local(epicenter, [RackId(1, 6), RackId(0, 5)])
+        assert not graph.is_spatially_local(epicenter, [RackId(1, 15)])

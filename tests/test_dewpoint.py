@@ -1,0 +1,59 @@
+"""Vectorized dewpoint / condensation-margin arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.failures.dewpoint import (
+    condensation_margin_f,
+    dewpoint_f_vec,
+    humidity_for_margin,
+)
+
+
+class TestVectorizedDewpoint:
+    def test_matches_scalar(self):
+        temps = np.array([70.0, 80.0, 90.0])
+        rhs = np.array([30.0, 50.0, 70.0])
+        vector = dewpoint_f_vec(temps, rhs)
+        for i in range(3):
+            assert vector[i] == pytest.approx(units.dewpoint_f(temps[i], rhs[i]))
+
+    def test_invalid_humidity_rejected(self):
+        with pytest.raises(ValueError):
+            dewpoint_f_vec(np.array([80.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            dewpoint_f_vec(np.array([80.0]), np.array([120.0]))
+
+
+class TestMargin:
+    def test_normal_conditions_safe(self):
+        margin = condensation_margin_f(
+            np.array([64.0]), np.array([80.0]), np.array([33.0])
+        )
+        assert margin[0] > 10.0
+
+    def test_humid_cold_inlet_unsafe(self):
+        margin = condensation_margin_f(
+            np.array([50.0]), np.array([85.0]), np.array([75.0])
+        )
+        assert margin[0] < 2.0
+
+
+class TestInversion:
+    def test_humidity_for_margin_roundtrip(self):
+        rh = humidity_for_margin(64.0, 80.0, target_margin_f=2.0)
+        margin = condensation_margin_f(
+            np.array([64.0]), np.array([80.0]), np.array([rh])
+        )
+        assert margin[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_impossible_margin_rejected(self):
+        # A dewpoint above the air temperature is unreachable.
+        with pytest.raises(ValueError):
+            humidity_for_margin(90.0, 80.0, target_margin_f=0.0)
+
+    def test_higher_margin_needs_less_humidity(self):
+        low = humidity_for_margin(64.0, 80.0, target_margin_f=1.0)
+        high = humidity_for_margin(64.0, 80.0, target_margin_f=10.0)
+        assert high < low

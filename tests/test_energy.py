@@ -1,0 +1,96 @@
+"""Facility energy accounting and PUE."""
+
+import numpy as np
+import pytest
+
+from repro.cooling.energy import EnergyModelConfig, FacilityEnergyModel
+
+
+@pytest.fixture(scope="module")
+def energy(year_result):
+    return FacilityEnergyModel(year_result)
+
+
+class TestComponentSeries:
+    def test_it_power_magnitude(self, energy):
+        it = energy.it_power_kw()
+        # ~2.5-3 MW of IT load.
+        assert 2000 < it.overall_mean() < 3500
+
+    def test_chiller_below_it(self, energy):
+        assert energy.chiller_power_kw().overall_mean() < 0.2 * energy.it_power_kw().overall_mean()
+
+    def test_pump_power_tracks_flow(self, energy, year_result):
+        pump = energy.pump_power_kw()
+        flow = year_result.database.total_flow_gpm()
+        assert np.allclose(
+            pump.values, EnergyModelConfig().pump_kw_per_gpm * flow.values
+        )
+
+    def test_crac_tracks_it_and_ion_heat(self, energy):
+        crac = energy.crac_power_kw()
+        it = energy.it_power_kw()
+        # CRAC = fraction of IT plus the air-side heat (compute leak +
+        # ION racks) at the CRAC's air-side efficiency.
+        ratio = crac.values / it.values
+        assert np.all(ratio > EnergyModelConfig().crac_fraction)
+        assert np.all(ratio < 0.2)
+
+    def test_ion_power_present_and_bounded(self, energy):
+        ion = energy.ion_power_kw()
+        # Six racks at ~28-37 kW each.
+        assert np.all(ion.values > 6 * 20.0)
+        assert np.all(ion.values < 6 * 45.0)
+
+    def test_ion_exclusion_zeroes_series(self, year_result):
+        model = FacilityEnergyModel(
+            year_result, EnergyModelConfig(include_ion=False)
+        )
+        assert np.allclose(model.ion_power_kw().values, 0.0)
+
+
+class TestPue:
+    def test_pue_in_liquid_cooled_band(self, energy):
+        pue = energy.pue()
+        mean = float(np.nanmean(pue.values))
+        assert 1.05 < mean < 1.35
+
+    def test_pue_above_one(self, energy):
+        pue = energy.pue()
+        assert np.nanmin(pue.values) > 1.0
+
+    def test_winter_pue_lower(self, energy):
+        # Free cooling displaces the chillers in winter.
+        assert energy.seasonal_pue_swing() < 0.0
+
+
+class TestLedger:
+    def test_components_sum(self, energy):
+        ledger = energy.ledger()
+        assert ledger.total_kwh == pytest.approx(
+            ledger.it_kwh
+            + ledger.chiller_kwh
+            + ledger.pump_kwh
+            + ledger.crac_kwh
+            + ledger.ion_kwh
+            + ledger.overhead_kwh
+        )
+
+    def test_breakdown_fractions_sum_to_one(self, energy):
+        breakdown = energy.ledger().breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["it"] > 0.75  # IT dominates a good facility
+
+    def test_average_pue_consistent_with_series(self, energy):
+        ledger = energy.ledger()
+        series_mean = float(np.nanmean(energy.pue().values))
+        assert ledger.average_pue == pytest.approx(series_mean, rel=0.05)
+
+    def test_free_cooling_savings_positive(self, energy):
+        assert energy.ledger().free_cooling_savings_kwh > 0
+
+    def test_monthly_savings_peak_in_winter(self, energy):
+        monthly = energy.monthly_free_cooling_kwh()
+        winter = monthly.get(1, 0) + monthly.get(12, 0) + monthly.get(2, 0)
+        summer = monthly.get(6, 0) + monthly.get(7, 0) + monthly.get(8, 0)
+        assert winter > 10 * max(summer, 1.0)

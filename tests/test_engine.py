@@ -1,0 +1,142 @@
+"""The facility engine: end-to-end telemetry generation."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.core.failure_analysis import deduplicate_cmf_events
+from repro.simulation import FacilityEngine, MiraScenario, SimulationConfig
+from repro.telemetry.records import Channel
+
+
+class TestEngineBasics:
+    def test_sample_count_matches_grid(self, demo_result):
+        config = demo_result.config
+        expected = int(
+            (timeutil.to_epoch(config.end) - timeutil.to_epoch(config.start))
+            / config.dt_s
+        )
+        assert demo_result.database.num_samples == expected
+
+    def test_all_channels_populated(self, demo_result):
+        for channel in Channel:
+            series = demo_result.database.channel(channel)
+            assert np.isfinite(series.values).any()
+
+    def test_physical_ranges(self, demo_result):
+        db = demo_result.database
+        power = db.channel(Channel.POWER).values
+        assert np.nanmin(power) >= 0.0
+        assert np.nanmax(power) < 120.0  # kW per rack
+        util = db.channel(Channel.UTILIZATION).values
+        assert np.nanmin(util) >= 0.0
+        assert np.nanmax(util) <= 1.0
+        flow = db.channel(Channel.FLOW).values
+        assert np.nanmin(flow) >= 0.0
+        rh = db.channel(Channel.DC_HUMIDITY).values
+        assert np.nanmin(rh) >= 5.0
+        assert np.nanmax(rh) <= 99.0
+
+    def test_outlet_above_inlet_on_powered_racks(self, demo_result):
+        db = demo_result.database
+        inlet = db.channel(Channel.INLET_TEMPERATURE).values
+        outlet = db.channel(Channel.OUTLET_TEMPERATURE).values
+        power = db.channel(Channel.POWER).values
+        loaded = power > 30.0
+        assert np.mean(outlet[loaded] > inlet[loaded]) > 0.99
+
+    def test_deterministic_given_config(self):
+        config = MiraScenario.demo(days=10, seed=77)
+        r1 = FacilityEngine(config).run()
+        r2 = FacilityEngine(config).run()
+        assert np.allclose(
+            r1.database.channel(Channel.POWER).values,
+            r2.database.channel(Channel.POWER).values,
+        )
+        assert len(r1.ras_log) == len(r2.ras_log)
+
+    def test_different_seed_differs(self):
+        r1 = FacilityEngine(MiraScenario.demo(days=10, seed=1)).run()
+        r2 = FacilityEngine(MiraScenario.demo(days=10, seed=2)).run()
+        assert not np.allclose(
+            r1.database.channel(Channel.POWER).values,
+            r2.database.channel(Channel.POWER).values,
+        )
+
+
+class TestFailureIntegration:
+    def test_ras_log_dedup_recovers_schedule(self, year_result):
+        recovered = deduplicate_cmf_events(year_result.ras_log)
+        assert recovered.count == len(year_result.schedule.events)
+
+    def test_failed_racks_power_down(self, year_result):
+        db = year_result.database
+        power = db.channel(Channel.POWER)
+        event = year_result.schedule.events[0]
+        flat = event.rack_id.flat_index
+        # Find samples shortly after the event while the rack is down.
+        mask = (power.epoch_s > event.epoch_s) & (
+            power.epoch_s < event.epoch_s + 0.5 * event.recovery_s
+        )
+        assert mask.any()
+        assert np.nanmax(power.values[mask, flat]) < 5.0
+
+    def test_racks_recover_after_outage(self, year_result):
+        db = year_result.database
+        power = db.channel(Channel.POWER)
+        event = year_result.schedule.events[0]
+        flat = event.rack_id.flat_index
+        after = (power.epoch_s > event.epoch_s + event.recovery_s + 86_400) & (
+            power.epoch_s < event.epoch_s + event.recovery_s + 3 * 86_400
+        )
+        assert np.nanmean(power.values[after, flat]) > 20.0
+
+    def test_no_failures_mode(self):
+        config = SimulationConfig(
+            start=dt.datetime(2015, 3, 1),
+            end=dt.datetime(2015, 4, 1),
+            dt_s=3600.0,
+            inject_failures=False,
+        )
+        result = FacilityEngine(config).run()
+        assert result.schedule is None
+        assert len(result.ras_log) == 0
+        assert result.noncmf_failures == ()
+
+    def test_jobs_killed_by_failures(self, year_result):
+        assert year_result.jobs_killed > 0
+        assert year_result.jobs_completed > 1000
+
+
+class TestThetaEvent:
+    def test_flow_step_in_2016(self, full_result):
+        flow = full_result.database.total_flow_gpm()
+        theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
+        before = np.nanmean(flow.values[flow.epoch_s < theta - 30 * 86_400])
+        after = np.nanmean(flow.values[flow.epoch_s > theta + 30 * 86_400])
+        assert before == pytest.approx(constants.FLOW_PRE_THETA_GPM, rel=0.02)
+        assert after == pytest.approx(constants.FLOW_POST_THETA_GPM, rel=0.02)
+
+    def test_inlet_bump_during_theta_testing(self, full_result):
+        inlet = full_result.database.channel(Channel.INLET_TEMPERATURE).across_racks()
+        theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
+        settled = timeutil.to_epoch(constants.THETA_SETTLED_DATE)
+        during = np.nanmean(
+            inlet.values[(inlet.epoch_s > theta + 30 * 86_400) & (inlet.epoch_s < settled)]
+        )
+        outside = np.nanmean(inlet.values[inlet.epoch_s < theta - 30 * 86_400])
+        assert during > outside + 0.8
+
+
+class TestConfigValidation:
+    def test_empty_period_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                start=dt.datetime(2015, 1, 1), end=dt.datetime(2015, 1, 1)
+            )
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(dt_s=0.0)

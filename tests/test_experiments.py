@@ -1,0 +1,51 @@
+"""The experiment-index module (EXPERIMENTS.md source)."""
+
+import pytest
+
+from repro.core.experiments import full_report, render_markdown
+from repro.core.report import ReportRow
+
+
+class TestFullReport:
+    def test_sections_without_windows(self, year_result):
+        sections = full_report(year_result)
+        assert len(sections) == 10
+        for title, rows in sections.items():
+            assert rows, f"empty section {title}"
+            assert all(isinstance(row, ReportRow) for row in rows)
+
+    def test_window_sections_added(self, year_result, year_windows):
+        positives, negatives = year_windows
+        sections = full_report(year_result, positives, negatives)
+        assert any("Fig 12" in title for title in sections)
+        assert any("Fig 13" in title for title in sections)
+
+    def test_figures_covered(self, year_result):
+        sections = full_report(year_result)
+        figures = {row.figure for rows in sections.values() for row in rows}
+        for fig in ("Fig 2a", "Fig 3a", "Fig 4a", "Fig 5a", "Fig 6a",
+                    "Fig 7a", "Fig 8a", "Fig 9a", "Fig 10", "Fig 11",
+                    "Fig 14a", "Fig 15"):
+            assert fig in figures, f"missing {fig}"
+
+
+class TestMarkdown:
+    def test_renders_tables(self, year_result):
+        text = render_markdown(full_report(year_result))
+        assert "### Fig 2" in text
+        assert "| source | metric | paper | measured | unit |" in text
+        # One table per section.
+        separators = [l for l in text.splitlines() if l.startswith("|---")]
+        assert len(separators) == 10
+
+    def test_every_row_rendered(self, year_result):
+        sections = full_report(year_result)
+        text = render_markdown(sections)
+        total_rows = sum(len(rows) for rows in sections.values())
+        # Header rows: two per section.
+        data_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("| ") and "metric" not in line and "---" not in line
+        ]
+        assert len(data_lines) == total_rows

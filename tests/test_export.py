@@ -1,0 +1,72 @@
+"""Telemetry/RAS export and re-import roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.export import (
+    export_ras_jsonl,
+    export_telemetry_csv,
+    import_ras_jsonl,
+    import_telemetry_csv,
+)
+from repro.telemetry.records import Channel
+
+
+class TestTelemetryRoundtrip:
+    def test_roundtrip_preserves_values(self, demo_result, tmp_path):
+        # Export a small slice to keep the test fast.
+        db = demo_result.database
+        path = tmp_path / "telemetry.csv"
+        # Build a trimmed database via the window query.
+        from repro.telemetry.database import EnvironmentalDatabase
+
+        trimmed = EnvironmentalDatabase()
+        epochs = db.epoch_s[:48]
+        for i, epoch in enumerate(epochs):
+            snapshot = {
+                ch: db.channel(ch).values[i].copy() for ch in Channel
+            }
+            trimmed.append_snapshot(float(epoch), snapshot)
+
+        rows = export_telemetry_csv(trimmed, path)
+        assert rows == 48 * 48  # samples x racks
+
+        restored = import_telemetry_csv(path)
+        assert restored.num_samples == trimmed.num_samples
+        for channel in Channel:
+            original = trimmed.channel(channel).values
+            back = restored.channel(channel).values
+            mask = np.isfinite(original)
+            assert np.allclose(original[mask], back[mask], rtol=1e-5)
+
+    def test_import_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError):
+            import_telemetry_csv(path)
+
+
+class TestRasRoundtrip:
+    def test_roundtrip_preserves_events(self, year_result, tmp_path):
+        path = tmp_path / "ras.jsonl"
+        count = export_ras_jsonl(year_result.ras_log, path)
+        assert count == len(year_result.ras_log)
+
+        restored = import_ras_jsonl(path)
+        assert len(restored) == len(year_result.ras_log)
+        for original, back in list(zip(year_result.ras_log, restored))[:200]:
+            assert back.epoch_s == pytest.approx(original.epoch_s)
+            assert back.rack_id == original.rack_id
+            assert back.severity == original.severity
+            assert back.category == original.category
+
+    def test_dedup_identical_after_roundtrip(self, year_result, tmp_path):
+        from repro.core.failure_analysis import deduplicate_cmf_events
+
+        path = tmp_path / "ras.jsonl"
+        export_ras_jsonl(year_result.ras_log, path)
+        restored = import_ras_jsonl(path)
+        assert (
+            deduplicate_cmf_events(restored).count
+            == deduplicate_cmf_events(year_result.ras_log).count
+        )

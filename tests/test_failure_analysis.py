@@ -1,0 +1,117 @@
+"""The CMF dedup methodology and Figs 10-11 statistics."""
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.core.failure_analysis import (
+    analyze_cmfs,
+    deduplicate_cmf_events,
+    deduplicate_noncmf_events,
+)
+from repro.facility.topology import RackId
+from repro.telemetry.ras import CMF_CATEGORY, RasEvent, RasLog, Severity
+
+
+def _cmf(epoch, rack=(0, 0), severity=Severity.FATAL):
+    return RasEvent(
+        epoch_s=epoch,
+        rack_id=RackId(*rack),
+        severity=severity,
+        category=CMF_CATEGORY,
+    )
+
+
+class TestDedupRule:
+    def test_storm_on_one_rack_is_one_failure(self):
+        log = RasLog([_cmf(float(t)) for t in range(0, 3000, 30)])
+        assert deduplicate_cmf_events(log).count == 1
+
+    def test_separated_events_both_kept(self):
+        log = RasLog([_cmf(0.0), _cmf(7 * 3600.0)])
+        assert deduplicate_cmf_events(log).count == 2
+
+    def test_window_boundary_exact(self):
+        window = float(constants.CMF_DEDUP_WINDOW_S)
+        log = RasLog([_cmf(0.0), _cmf(window)])
+        assert deduplicate_cmf_events(log).count == 2
+        log2 = RasLog([_cmf(0.0), _cmf(window - 1.0)])
+        assert deduplicate_cmf_events(log2).count == 1
+
+    def test_per_rack_not_system_wide(self):
+        # Eight racks storming together = eight failures (the paper's
+        # explicit methodology point).
+        events = [_cmf(float(i * 60), rack=(0, i)) for i in range(8)]
+        log = RasLog(events)
+        assert deduplicate_cmf_events(log).count == 8
+
+    def test_warns_not_counted(self):
+        log = RasLog([_cmf(0.0, severity=Severity.WARN)])
+        assert deduplicate_cmf_events(log).count == 0
+
+    def test_chained_storm_collapses_from_first(self):
+        # Events at 0, 5h, 10h on one rack: the 5h event merges into
+        # the first, the 10h one is a new failure (>= 6h from the
+        # first *kept* event).
+        hours = timeutil.HOUR_S
+        log = RasLog([_cmf(0.0), _cmf(5 * hours), _cmf(10 * hours)])
+        assert deduplicate_cmf_events(log).count == 2
+
+    def test_noncmf_uses_one_hour_window(self):
+        event = RasEvent(0.0, RackId(0, 0), Severity.FATAL, "bqc")
+        event2 = RasEvent(1800.0, RackId(0, 0), Severity.FATAL, "bqc")
+        event3 = RasEvent(4000.0, RackId(0, 0), Severity.FATAL, "bqc")
+        dedup = deduplicate_noncmf_events(RasLog([event, event2, event3]))
+        assert dedup.count == 2
+
+    def test_raw_count_recorded(self):
+        log = RasLog([_cmf(float(t)) for t in range(0, 300, 30)])
+        dedup = deduplicate_cmf_events(log)
+        assert dedup.raw_count == 10
+        assert dedup.count == 1
+
+
+class TestAnalysisOnSimulation:
+    def test_recovers_schedule_exactly(self, year_result):
+        analysis = analyze_cmfs(year_result.ras_log, year_result.database)
+        assert analysis.total == len(year_result.schedule.events)
+
+    def test_rack_counts_match_schedule(self, year_result):
+        analysis = analyze_cmfs(year_result.ras_log, year_result.database)
+        assert np.array_equal(
+            analysis.rack_counts, year_result.schedule.rack_counts()
+        )
+
+    def test_correlations_are_weak(self, year_result):
+        # The paper's Section VI-A finding: CMF locations do not track
+        # utilization, outlet temperature, or humidity.
+        analysis = analyze_cmfs(year_result.ras_log, year_result.database)
+        assert abs(analysis.utilization_correlation) < 0.45
+        assert abs(analysis.outlet_correlation) < 0.45
+        assert abs(analysis.humidity_correlation) < 0.45
+
+    def test_yearly_histogram_sums_to_total(self, year_result):
+        analysis = analyze_cmfs(year_result.ras_log, year_result.database)
+        assert sum(analysis.yearly.values()) == analysis.total
+
+    def test_without_database_correlations_nan(self, year_result):
+        analysis = analyze_cmfs(year_result.ras_log)
+        assert np.isnan(analysis.utilization_correlation)
+
+
+class TestBathtub:
+    def test_edge_concentrated_is_bathtub(self):
+        hours = timeutil.HOUR_S
+        early = [_cmf(i * 7 * hours, rack=(0, i % 16)) for i in range(10)]
+        late = [
+            _cmf(1000 * hours + i * 7 * hours, rack=(1, i % 16)) for i in range(10)
+        ]
+        log = RasLog(early + late)
+        analysis = analyze_cmfs(log)
+        assert analysis.is_bathtub()
+
+    def test_uniform_is_not_bathtub(self):
+        hours = timeutil.HOUR_S
+        events = [_cmf(i * 50 * hours, rack=(i % 3, i % 16)) for i in range(40)]
+        analysis = analyze_cmfs(RasLog(events))
+        assert not analysis.is_bathtub()

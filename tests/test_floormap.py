@@ -1,0 +1,55 @@
+"""Floor-map rendering."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.floormap import render_counts, render_floor
+
+
+class TestRenderFloor:
+    def test_three_rows_rendered(self):
+        text = render_floor(np.linspace(0, 1, 48))
+        lines = text.splitlines()
+        assert sum(line.startswith("row ") for line in lines) == 3
+
+    def test_title_included(self):
+        text = render_floor(np.zeros(48) + 1.0, title="power")
+        assert text.splitlines()[0] == "power"
+
+    def test_extremes_annotated(self):
+        values = np.ones(48)
+        values[13] = 5.0  # rack (0, D)
+        values[45] = 0.5  # rack (2, D)
+        text = render_floor(values)
+        assert "(0, D)" in text
+        assert "(2, D)" in text
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            render_floor(np.ones(10))
+
+    def test_nan_cells_marked(self):
+        values = np.ones(48)
+        values[5] = np.nan
+        text = render_floor(values, annotate_extremes=False)
+        assert "?" in text
+
+    def test_constant_profile_renders(self):
+        text = render_floor(np.full(48, 3.0))
+        assert "row 0" in text
+
+    def test_formatter_used(self):
+        text = render_floor(
+            np.arange(48.0), formatter=lambda v: f"{v:.0f}", annotate_extremes=False
+        )
+        assert "47" in text
+
+
+class TestRenderCounts:
+    def test_counts_shown_as_integers(self):
+        counts = np.zeros(48, dtype=int)
+        counts[24] = 14  # rack (1, 8)
+        text = render_counts(counts, title="CMFs")
+        assert "14" in text
+        assert "(1, 8)" in text

@@ -1,0 +1,78 @@
+"""Weibull hazard fitting and the bathtub verdict."""
+
+import numpy as np
+import pytest
+
+from repro.core.hazard import BathtubVerdict, bathtub_verdict, fit_weibull
+
+
+class TestWeibullFit:
+    def test_recovers_exponential(self):
+        rng = np.random.default_rng(0)
+        t = rng.exponential(10.0, size=5000)
+        fit = fit_weibull(t)
+        assert fit.shape == pytest.approx(1.0, abs=0.05)
+        assert fit.scale == pytest.approx(10.0, rel=0.05)
+        assert fit.is_memoryless
+
+    def test_recovers_wearout_shape(self):
+        rng = np.random.default_rng(1)
+        t = rng.weibull(2.5, size=5000) * 7.0
+        fit = fit_weibull(t)
+        assert fit.shape == pytest.approx(2.5, rel=0.08)
+        assert fit.is_wear_out
+
+    def test_recovers_infant_mortality_shape(self):
+        rng = np.random.default_rng(2)
+        t = rng.weibull(0.6, size=5000) * 7.0
+        fit = fit_weibull(t)
+        assert fit.shape == pytest.approx(0.6, rel=0.08)
+        assert fit.is_infant_mortality
+
+    def test_loglikelihood_prefers_true_shape(self):
+        rng = np.random.default_rng(3)
+        t = rng.weibull(2.0, size=2000) * 5.0
+        good = fit_weibull(t)
+        # Compare against a deliberately wrong exponential model
+        # (k = 1, scale = mean): the MLE must beat it.
+        scale = t.mean()
+        wrong_ll = float(-len(t) * np.log(scale) - np.sum(t / scale))
+        assert good.log_likelihood > wrong_ll
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weibull([1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weibull([1.0, 0.0, 2.0])
+
+
+class TestBathtubVerdict:
+    def test_bathtub_process_detected(self):
+        rng = np.random.default_rng(4)
+        # Early infant mortality, late wear-out (regular gaps).
+        early = np.cumsum(rng.weibull(0.5, 80) * 5.0)
+        late = early[-1] + 10.0 + np.cumsum(rng.weibull(3.0, 80) * 8.0)
+        # Split at the phase boundary (early phase spans ~65 % of life).
+        verdict = bathtub_verdict(np.concatenate([early, late]), split=0.65)
+        assert verdict.early_fit.is_infant_mortality
+        assert verdict.late_fit.is_wear_out
+        assert verdict.is_bathtub
+
+    def test_poisson_process_not_bathtub(self):
+        rng = np.random.default_rng(5)
+        times = np.cumsum(rng.exponential(3.0, 300))
+        verdict = bathtub_verdict(times)
+        assert not verdict.is_bathtub
+        assert "not bathtub" in verdict.summary()
+
+    def test_simulated_cmfs_not_bathtub(self, full_result):
+        """The paper's Fig 10 claim, formally."""
+        times = np.array([e.epoch_s for e in full_result.schedule.events])
+        verdict = bathtub_verdict(times)
+        assert not verdict.is_bathtub
+
+    def test_too_few_events_rejected(self):
+        with pytest.raises(ValueError):
+            bathtub_verdict(np.arange(5.0))

@@ -1,0 +1,60 @@
+"""The air-cooled ION racks."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.facility.ion import IonPark, IonRack
+
+
+class TestIonRack:
+    def test_power_scales_with_utilization(self):
+        rack = IonRack(row=0, position=0)
+        assert rack.power_kw(1.0) > rack.power_kw(0.0)
+        assert rack.power_kw(0.0) == rack.base_kw
+
+    def test_bad_utilization_rejected(self):
+        rack = IonRack(row=0, position=0)
+        with pytest.raises(ValueError):
+            rack.power_kw(1.5)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            IonRack(row=3, position=0)
+        with pytest.raises(ValueError):
+            IonRack(row=0, position=2)
+
+    def test_label(self):
+        assert IonRack(row=1, position=0).label == "ION(1, L)"
+        assert IonRack(row=2, position=1).label == "ION(2, R)"
+
+
+class TestIonPark:
+    def test_six_racks_two_per_row(self):
+        park = IonPark()
+        assert len(park) == 6
+        rows = [rack.row for rack in park.racks]
+        for row in range(constants.NUM_ROWS):
+            assert rows.count(row) == constants.ION_RACKS_PER_ROW
+
+    def test_total_power_scalar(self):
+        park = IonPark()
+        idle = float(park.total_power_kw(0.0))
+        busy = float(park.total_power_kw(0.9))
+        assert busy > idle
+        assert 100 < idle < 250
+
+    def test_total_power_vectorized(self):
+        park = IonPark()
+        utilization = np.array([0.0, 0.5, 1.0])
+        powers = park.total_power_kw(utilization)
+        assert powers.shape == (3,)
+        assert np.all(np.diff(powers) > 0)
+
+    def test_heat_equals_power(self):
+        park = IonPark()
+        assert float(park.air_heat_load_kw(0.7)) == float(park.total_power_kw(0.7))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IonPark().total_power_kw(np.array([0.5, 1.2]))

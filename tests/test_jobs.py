@@ -1,0 +1,96 @@
+"""The job model and its lifecycle."""
+
+import pytest
+
+from repro.scheduler.jobs import Job, JobState
+from repro.scheduler.queues import QueueName
+
+
+def _job(midplanes=2, walltime_s=7200.0, **overrides):
+    defaults = dict(
+        job_id=1,
+        project=None,
+        queue=QueueName.PROD_SHORT,
+        midplanes=midplanes,
+        walltime_s=walltime_s,
+        intensity=1.0,
+        submit_epoch_s=0.0,
+    )
+    defaults.update(overrides)
+    return Job(**defaults)
+
+
+class TestConstruction:
+    def test_nodes_from_midplanes(self):
+        assert _job(midplanes=4).nodes == 2048
+
+    def test_bad_midplanes_rejected(self):
+        with pytest.raises(ValueError):
+            _job(midplanes=0)
+
+    def test_bad_walltime_rejected(self):
+        with pytest.raises(ValueError):
+            _job(walltime_s=0.0)
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            _job(intensity=-0.5)
+
+
+class TestLifecycle:
+    def test_start_sets_end_time(self):
+        job = _job(midplanes=2, walltime_s=3600.0)
+        job.start(1000.0, (4, 5))
+        assert job.state is JobState.RUNNING
+        assert job.end_epoch_s == 4600.0
+        assert job.assigned_midplanes == (4, 5)
+
+    def test_start_requires_exact_placement(self):
+        job = _job(midplanes=2)
+        with pytest.raises(ValueError):
+            job.start(0.0, (4,))
+
+    def test_double_start_rejected(self):
+        job = _job()
+        job.start(0.0, (0, 1))
+        with pytest.raises(ValueError):
+            job.start(10.0, (2, 3))
+
+    def test_complete(self):
+        job = _job()
+        job.start(0.0, (0, 1))
+        job.complete()
+        assert job.state is JobState.COMPLETED
+
+    def test_complete_requires_running(self):
+        with pytest.raises(ValueError):
+            _job().complete()
+
+    def test_kill_truncates_end(self):
+        job = _job(walltime_s=7200.0)
+        job.start(0.0, (0, 1))
+        job.kill(100.0)
+        assert job.state is JobState.KILLED
+        assert job.end_epoch_s == 100.0
+
+    def test_kill_requires_running(self):
+        with pytest.raises(ValueError):
+            _job().kill(0.0)
+
+
+class TestAccounting:
+    def test_core_hours(self):
+        job = _job(midplanes=1, walltime_s=3600.0)
+        job.start(0.0, (0,))
+        job.complete()
+        # 512 nodes x 16 cores x 1 hour.
+        assert job.core_hours == pytest.approx(512 * 16)
+
+    def test_core_hours_zero_before_start(self):
+        assert _job().core_hours == 0.0
+
+    def test_killed_job_accrues_partial(self):
+        job = _job(midplanes=1, walltime_s=7200.0)
+        job.start(0.0, (0,))
+        job.kill(3600.0)
+        assert job.core_hours == pytest.approx(512 * 16)

@@ -1,0 +1,53 @@
+"""Fig 12: the lead-up aggregation."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.leadup import aggregate_leadup
+from repro.telemetry.records import Channel
+
+
+@pytest.fixture(scope="module")
+def aggregate(year_windows):
+    positives, _ = year_windows
+    return aggregate_leadup(positives)
+
+
+class TestLeadupAggregate:
+    def test_uses_all_positive_windows(self, aggregate, year_windows):
+        positives, _ = year_windows
+        assert aggregate.windows_used == len(positives)
+
+    def test_inlet_sag_matches_paper_band(self, aggregate):
+        # Paper: drop by as much as 7 % (mean over variable-severity
+        # events lands below that).
+        assert -0.09 < aggregate.inlet_min_change < -0.02
+
+    def test_inlet_final_rise(self, aggregate):
+        # Paper: rises by up to 8 % half an hour before the CMF.
+        assert 0.02 < aggregate.inlet_final_change < 0.12
+
+    def test_outlet_sag_matches_paper_band(self, aggregate):
+        # Paper: decreases by 5 % three hours before.
+        assert -0.09 < aggregate.outlet_min_change < -0.02
+
+    def test_flow_stable_until_final_half_hour(self, aggregate):
+        # Paper: flow stays flat until ~30 min out.
+        assert aggregate.flow_stable_until_h <= 0.5
+
+    def test_flow_collapses_at_event(self, aggregate):
+        assert aggregate.change_at(Channel.FLOW, 0.0) < -0.3
+
+    def test_power_and_dc_temperature_stay_flat(self, aggregate):
+        for channel in (Channel.POWER, Channel.DC_TEMPERATURE):
+            changes = aggregate.relative_change[channel]
+            assert np.max(np.abs(changes)) < 0.08
+
+    def test_change_at_interpolates(self, aggregate):
+        at_four = aggregate.change_at(Channel.INLET_TEMPERATURE, 4.0)
+        assert at_four == pytest.approx(aggregate.inlet_min_change, abs=0.02)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            aggregate_leadup([])

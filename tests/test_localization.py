@@ -1,0 +1,102 @@
+"""CMF localization (the paper's stated follow-up)."""
+
+import numpy as np
+import pytest
+
+from repro.core.prediction import build_dataset
+from repro.facility.topology import RackId
+from repro.ml.network import NeuralNetwork
+from repro.ml.train import TrainConfig, train_classifier
+from repro.monitoring.localization import (
+    CmfLocalizer,
+    evaluate_localization,
+)
+
+
+@pytest.fixture(scope="module")
+def localizer(year_windows):
+    positives, negatives = year_windows
+    half = len(positives) // 2
+    dataset = build_dataset(positives[:half], negatives[:half], lead_h=2.0)
+    rng = np.random.default_rng(11)
+    network = NeuralNetwork.mlp(dataset.features.shape[1], (12, 12, 6), rng=rng)
+    model = train_classifier(
+        network, dataset.features, dataset.labels,
+        config=TrainConfig(epochs=50), rng=rng,
+    )
+    return CmfLocalizer(model)
+
+
+@pytest.fixture(scope="module")
+def holdout(year_windows):
+    positives, negatives = year_windows
+    half = len(positives) // 2
+    return positives[half:], negatives[half:]
+
+
+class TestRanking:
+    def test_failing_rack_ranked_first(self, localizer, holdout):
+        positives, negatives = holdout
+        target = positives[0]
+        floor = {w.rack_id: w for w in negatives if w.rack_id != target.rack_id}
+        floor = dict(list(floor.items())[:11])
+        floor[target.rack_id] = target
+        ranking = localizer.rank_windows(floor, lead_h=2.0)
+        assert ranking.rank_of(target.rack_id) <= 3
+
+    def test_ranking_covers_all_racks_given(self, localizer, holdout):
+        _, negatives = holdout
+        floor = {w.rack_id: w for w in negatives}
+        floor = dict(list(floor.items())[:8])
+        ranking = localizer.rank_windows(floor, lead_h=2.0)
+        assert len(ranking.ranked) == len(floor)
+
+    def test_rank_of_absent_rack(self, localizer, holdout):
+        _, negatives = holdout
+        floor = {negatives[0].rack_id: negatives[0]}
+        ranking = localizer.rank_windows(floor, lead_h=2.0)
+        absent = RackId(2, 15) if negatives[0].rack_id != RackId(2, 15) else RackId(0, 0)
+        assert ranking.rank_of(absent) == 49
+
+    def test_empty_floor_rejected(self, localizer):
+        with pytest.raises(ValueError):
+            localizer.rank_windows({}, lead_h=2.0)
+
+
+class TestEvaluation:
+    def test_localization_quality(self, localizer, holdout):
+        positives, negatives = holdout
+        report = evaluate_localization(
+            localizer, positives, negatives, lead_h=2.0
+        )
+        assert report.top1_accuracy > 0.6
+        assert report.top3_accuracy >= report.top1_accuracy
+        assert report.top3_accuracy > 0.75
+        assert report.mean_reciprocal_rank > 0.6
+
+    def test_false_suspicion_moderate(self, localizer, holdout):
+        positives, negatives = holdout
+        report = evaluate_localization(
+            localizer, positives, negatives, lead_h=2.0
+        )
+        assert report.false_suspicion_rate < 0.5
+
+    def test_longer_lead_harder(self, localizer, holdout):
+        positives, negatives = holdout
+        near = evaluate_localization(localizer, positives, negatives, lead_h=1.0)
+        far = evaluate_localization(localizer, positives, negatives, lead_h=6.0)
+        assert near.top1_accuracy >= far.top1_accuracy - 0.05
+
+    def test_insufficient_pools_rejected(self, localizer, holdout):
+        positives, negatives = holdout
+        with pytest.raises(ValueError):
+            evaluate_localization(localizer, positives, negatives[:3], floor_size=12)
+        with pytest.raises(ValueError):
+            evaluate_localization(localizer, [], negatives)
+
+    def test_report_renders(self, localizer, holdout):
+        positives, negatives = holdout
+        report = evaluate_localization(
+            localizer, positives[:10], negatives, lead_h=2.0
+        )
+        assert "top1=" in report.as_row()

@@ -1,0 +1,114 @@
+"""The hydraulic loop and heat exchangers."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.cooling.loops import CoolingLoop, HeatExchanger
+
+
+@pytest.fixture
+def loop():
+    return CoolingLoop(rng=np.random.default_rng(3))
+
+
+class TestHeatExchanger:
+    def test_outlet_above_inlet_under_load(self):
+        hx = HeatExchanger()
+        assert hx.outlet_temperature_f(64.0, 55.0, 26.0) > 64.0
+
+    def test_no_heat_no_rise(self):
+        hx = HeatExchanger()
+        assert hx.outlet_temperature_f(64.0, 0.0, 26.0) == 64.0
+
+    def test_mira_operating_point(self):
+        # ~55 kW at ~26 GPM: outlet near the paper's 79 F.
+        hx = HeatExchanger()
+        outlet = hx.outlet_temperature_f(64.4, 55.0, 26.0)
+        assert 77.0 < outlet < 81.0
+
+    def test_negative_heat_rejected(self):
+        with pytest.raises(ValueError):
+            HeatExchanger().outlet_temperature_f(64.0, -1.0, 26.0)
+
+    @pytest.mark.parametrize("effectiveness", [0.0, -0.1, 1.01])
+    def test_bad_effectiveness_rejected(self, effectiveness):
+        with pytest.raises(ValueError):
+            HeatExchanger(effectiveness=effectiveness)
+
+
+class TestFlowSplit:
+    def test_flow_conserved(self, loop):
+        flows = loop.rack_flows_gpm(1250.0)
+        assert flows.sum() == pytest.approx(1250.0)
+
+    def test_per_rack_flow_magnitude(self, loop):
+        flows = loop.rack_flows_gpm(1250.0)
+        # Paper: ~26 GPM per rack.
+        assert 23.0 < flows.mean() < 29.0
+
+    def test_spread_matches_fig7(self, loop):
+        flows = loop.rack_flows_gpm(1250.0)
+        spread = (flows.max() - flows.min()) / flows.min()
+        # Paper: up to 11 % spread from underfloor blockage.
+        assert 0.04 < spread < 0.16
+
+    def test_closed_solenoids_redistribute(self, loop):
+        solenoid = np.ones(constants.NUM_RACKS, dtype=bool)
+        solenoid[0] = False
+        flows = loop.rack_flows_gpm(1250.0, solenoid_open=solenoid)
+        assert flows[0] == 0.0
+        assert flows.sum() == pytest.approx(1250.0)
+
+    def test_disturbance_reduces_rack_flow(self, loop):
+        disturbance = np.ones(constants.NUM_RACKS)
+        disturbance[5] = 0.3
+        base = loop.rack_flows_gpm(1250.0)
+        disturbed = loop.rack_flows_gpm(1250.0, flow_disturbance=disturbance)
+        assert disturbed[5] < base[5]
+
+    def test_all_closed_rejected(self, loop):
+        with pytest.raises(ValueError):
+            loop.rack_flows_gpm(
+                1250.0, solenoid_open=np.zeros(constants.NUM_RACKS, dtype=bool)
+            )
+
+    def test_bad_total_rejected(self, loop):
+        with pytest.raises(ValueError):
+            loop.rack_flows_gpm(0.0)
+
+
+class TestThermals:
+    def test_inlet_nearly_uniform(self, loop):
+        inlet = loop.rack_inlet_temperatures_f(64.0)
+        spread = (inlet.max() - inlet.min()) / inlet.min()
+        # Paper Fig 7(b): ~1 %.
+        assert spread < 0.015
+
+    def test_outlet_vectorized_matches_exchanger(self, loop):
+        inlet = np.full(constants.NUM_RACKS, 64.0)
+        heat = np.full(constants.NUM_RACKS, 55.0)
+        flows = np.full(constants.NUM_RACKS, 26.0)
+        outlet = loop.rack_outlet_temperatures_f(inlet, heat, flows)
+        expected = loop.exchanger.outlet_temperature_f(64.0, 55.0, 26.0)
+        assert np.allclose(outlet, expected)
+
+    def test_zero_flow_rack_reads_inlet(self, loop):
+        inlet = np.full(constants.NUM_RACKS, 64.0)
+        heat = np.full(constants.NUM_RACKS, 55.0)
+        flows = np.full(constants.NUM_RACKS, 26.0)
+        flows[7] = 0.0
+        outlet = loop.rack_outlet_temperatures_f(inlet, heat, flows)
+        assert outlet[7] == pytest.approx(64.0)
+
+    def test_negative_heat_rejected(self, loop):
+        inlet = np.full(constants.NUM_RACKS, 64.0)
+        heat = np.full(constants.NUM_RACKS, -1.0)
+        flows = np.full(constants.NUM_RACKS, 26.0)
+        with pytest.raises(ValueError):
+            loop.rack_outlet_temperatures_f(inlet, heat, flows)
+
+    def test_conductances_deterministic(self):
+        l1 = CoolingLoop(rng=np.random.default_rng(8))
+        l2 = CoolingLoop(rng=np.random.default_rng(8))
+        assert np.allclose(l1.conductances, l2.conductances)

@@ -1,0 +1,60 @@
+"""The assembled machine."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.facility.machine import Machine
+from repro.facility.topology import RackId
+
+
+@pytest.fixture
+def machine():
+    return Machine(rng=np.random.default_rng(42))
+
+
+class TestMachine:
+    def test_efficiency_factors_centered_near_one(self, machine):
+        factors = machine.efficiency_factors
+        assert factors.shape == (constants.NUM_RACKS,)
+        assert 0.9 < factors.mean() < 1.1
+
+    def test_highest_power_rack_has_top_efficiency_factor(self, machine):
+        factors = machine.efficiency_factors
+        hot = RackId(*constants.HIGHEST_POWER_RACK).flat_index
+        assert factors[hot] == pytest.approx(factors.max())
+
+    def test_deterministic_given_seed(self):
+        m1 = Machine(rng=np.random.default_rng(9))
+        m2 = Machine(rng=np.random.default_rng(9))
+        assert np.allclose(m1.efficiency_factors, m2.efficiency_factors)
+
+    def test_all_bpms_healthy_initially(self, machine):
+        assert machine.bpm_health_vector().all()
+
+    def test_bpm_failure_zeroes_rack_draw(self, machine):
+        machine.bpm(RackId(0, 3)).fail()
+        util = np.full(constants.NUM_RACKS, 0.9)
+        intensity = np.ones(constants.NUM_RACKS)
+        draw = machine.rack_ac_draw_kw(util, intensity)
+        assert draw[RackId(0, 3).flat_index] == 0.0
+        assert draw[RackId(0, 4).flat_index] > 0.0
+
+    def test_powered_mask_zeroes_racks(self, machine):
+        util = np.full(constants.NUM_RACKS, 0.9)
+        intensity = np.ones(constants.NUM_RACKS)
+        powered = np.ones(constants.NUM_RACKS, dtype=bool)
+        powered[5] = False
+        draw = machine.rack_ac_draw_kw(util, intensity, powered=powered)
+        assert draw[5] == 0.0
+        assert (draw[np.arange(48) != 5] > 0).all()
+
+    def test_system_power_magnitude(self, machine):
+        util = np.full(constants.NUM_RACKS, 0.85)
+        intensity = np.ones(constants.NUM_RACKS)
+        total_mw = machine.rack_ac_draw_kw(util, intensity).sum() / 1000.0
+        assert 2.2 < total_mw < 3.2
+
+    def test_failure_closure_delegates_to_dependencies(self, machine):
+        closure = machine.failure_closure(RackId(1, 4))
+        assert len(closure) == constants.NUM_RACKS

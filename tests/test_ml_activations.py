@@ -1,0 +1,61 @@
+"""Activation functions and derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.ml.activations import by_name, identity, relu, sigmoid, tanh
+
+
+class TestRelu:
+    def test_forward(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.allclose(relu.forward(x), [0.0, 0.0, 3.0])
+
+    def test_derivative(self):
+        x = np.array([-2.0, 0.5, 3.0])
+        assert np.allclose(relu.derivative(x), [0.0, 1.0, 1.0])
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid.forward(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_bounded(self):
+        x = np.linspace(-30, 30, 101)
+        y = sigmoid.forward(x)
+        assert np.all(y > 0.0)
+        assert np.all(y < 1.0)
+
+    def test_numerically_stable_at_extremes(self):
+        y = sigmoid.forward(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(y).all()
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_derivative_matches_finite_difference(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        eps = 1e-6
+        numeric = (sigmoid.forward(x + eps) - sigmoid.forward(x - eps)) / (2 * eps)
+        assert np.allclose(sigmoid.derivative(x), numeric, atol=1e-6)
+
+
+class TestTanh:
+    def test_odd_function(self):
+        x = np.array([0.7, 1.3])
+        assert np.allclose(tanh.forward(-x), -tanh.forward(x))
+
+    def test_derivative_matches_finite_difference(self):
+        x = np.array([-0.5, 0.0, 1.5])
+        eps = 1e-6
+        numeric = (tanh.forward(x + eps) - tanh.forward(x - eps)) / (2 * eps)
+        assert np.allclose(tanh.derivative(x), numeric, atol=1e-6)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert by_name("relu") is relu
+        assert by_name("identity") is identity
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            by_name("swish")

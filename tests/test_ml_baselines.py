@@ -1,0 +1,81 @@
+"""Threshold-alarm and logistic-regression baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import LogisticRegression, ThresholdAlarmDetector
+from repro.ml.metrics import accuracy
+
+
+class TestThresholdAlarm:
+    def test_detects_level_excursions(self):
+        rng = np.random.default_rng(0)
+        healthy = rng.standard_normal((500, 3))
+        detector = ThresholdAlarmDetector(k_sigma=3.0).fit(healthy)
+        anomalous = np.array([[0.0, 0.0, 8.0], [10.0, 0.0, 0.0]])
+        assert detector.predict(anomalous).tolist() == [1, 1]
+
+    def test_healthy_rarely_alarms(self):
+        rng = np.random.default_rng(0)
+        healthy = rng.standard_normal((2000, 3))
+        detector = ThresholdAlarmDetector(k_sigma=3.5).fit(healthy)
+        fresh = rng.standard_normal((2000, 3))
+        assert detector.predict(fresh).mean() < 0.02
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            ThresholdAlarmDetector().predict(np.ones((1, 3)))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdAlarmDetector(k_sigma=0.0)
+
+    def test_misses_pure_change_signals(self):
+        """The paper's Section VI-D point: a level detector cannot see
+        an anomaly that stays inside the healthy band."""
+        rng = np.random.default_rng(1)
+        healthy = rng.normal(0.0, 2.0, size=(1000, 2))
+        detector = ThresholdAlarmDetector(k_sigma=3.0).fit(healthy)
+        # An anomalous *change* whose final level is still in-band.
+        inside_band = np.array([[1.5, -1.5]])
+        assert detector.predict(inside_band)[0] == 0
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self):
+        rng = np.random.default_rng(2)
+        x = np.vstack(
+            [rng.standard_normal((100, 2)) - 2.5, rng.standard_normal((100, 2)) + 2.5]
+        )
+        y = np.array([0] * 100 + [1] * 100)
+        model = LogisticRegression().fit(x, y)
+        assert accuracy(y, model.predict(x)) > 0.97
+
+    def test_probabilities_bounded(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((50, 3))
+        y = rng.integers(0, 2, 50)
+        model = LogisticRegression(epochs=50).fit(x, y)
+        p = model.predict_proba(x)
+        assert np.all(p >= 0.0)
+        assert np.all(p <= 1.0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.ones((1, 2)))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_bad_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+
+    def test_cannot_solve_xor(self):
+        """A linear model fails on XOR — motivating the paper's MLP."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+        model = LogisticRegression(epochs=400).fit(x, y)
+        assert accuracy(y, model.predict(x)) < 0.7

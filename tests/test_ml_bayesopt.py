@@ -1,0 +1,107 @@
+"""Gaussian process and Bayesian optimization."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bayesopt import BayesianOptimizer, GaussianProcess, expected_improvement
+
+
+class TestGaussianProcess:
+    def test_interpolates_observations(self):
+        gp = GaussianProcess(noise_variance=1e-8)
+        x = np.array([[0.0], [0.5], [1.0]])
+        y = np.array([1.0, 2.0, 0.5])
+        gp.fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        gp = GaussianProcess(length_scale=0.2)
+        gp.fit(np.array([[0.0]]), np.array([1.0]))
+        _, near = gp.predict(np.array([[0.05]]))
+        _, far = gp.predict(np.array([[3.0]]))
+        assert far[0] > near[0]
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.array([[0.0]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.ones((3, 1)), np.ones(2))
+
+    def test_bad_kernel_params_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(length_scale=0.0)
+
+
+class TestExpectedImprovement:
+    def test_zero_when_certain_and_worse(self):
+        ei = expected_improvement(
+            mean=np.array([0.0]), std=np.array([1e-12]), best=1.0
+        )
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_when_mean_exceeds_best(self):
+        ei = expected_improvement(
+            mean=np.array([2.0]), std=np.array([0.1]), best=1.0
+        )
+        assert ei[0] > 0.9
+
+    def test_uncertainty_adds_value(self):
+        low = expected_improvement(np.array([1.0]), np.array([0.01]), best=1.0)
+        high = expected_improvement(np.array([1.0]), np.array([1.0]), best=1.0)
+        assert high[0] > low[0]
+
+
+class TestBayesianOptimizer:
+    def test_finds_quadratic_optimum(self):
+        candidates = [(float(v),) for v in range(21)]
+
+        def objective(c):
+            return -(c[0] - 13.0) ** 2
+
+        optimizer = BayesianOptimizer(candidates, rng=np.random.default_rng(5))
+        best, history = optimizer.maximize(objective, budget=12)
+        assert abs(best.candidate[0] - 13.0) <= 1.0
+        assert len(history) == 12
+
+    def test_never_reevaluates(self):
+        candidates = [(float(v),) for v in range(10)]
+        seen = []
+
+        def objective(c):
+            seen.append(c)
+            return c[0]
+
+        BayesianOptimizer(candidates, rng=np.random.default_rng(1)).maximize(
+            objective, budget=10
+        )
+        assert len(seen) == len(set(seen)) == 10
+
+    def test_budget_clamped_to_candidates(self):
+        candidates = [(0.0,), (1.0,)]
+        optimizer = BayesianOptimizer(candidates, rng=np.random.default_rng(1))
+        best, history = optimizer.maximize(lambda c: c[0], budget=50)
+        assert len(history) == 2
+        assert best.candidate == (1.0,)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer([])
+
+    def test_bad_budget_rejected(self):
+        optimizer = BayesianOptimizer([(0.0,)])
+        with pytest.raises(ValueError):
+            optimizer.maximize(lambda c: 0.0, budget=0)
+
+    def test_multidimensional_candidates(self):
+        candidates = [(a, b) for a in (4, 8, 12, 16) for b in (4, 8, 12)]
+
+        def objective(c):
+            return -((c[0] - 12) ** 2 + (c[1] - 8) ** 2)
+
+        optimizer = BayesianOptimizer(candidates, rng=np.random.default_rng(3))
+        best, _ = optimizer.maximize(objective, budget=10)
+        assert best.candidate == (12.0, 8.0)

@@ -1,0 +1,88 @@
+"""Probability calibration diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import brier_score, reliability_curve
+
+
+class TestBrierScore:
+    def test_perfect_predictions(self):
+        assert brier_score(np.array([0.0, 1.0]), np.array([0, 1])) == 0.0
+
+    def test_constant_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 1000)
+        assert brier_score(np.full(1000, 0.5), y) == pytest.approx(0.25)
+
+    def test_confidently_wrong_is_worst(self):
+        wrong = brier_score(np.array([1.0]), np.array([0]))
+        assert wrong == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([1.5]), np.array([1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([0.5, 0.5]), np.array([1]))
+
+
+class TestReliabilityCurve:
+    def test_calibrated_predictor_small_ece(self):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(0, 1, 20_000)
+        y = (rng.uniform(0, 1, 20_000) < p).astype(int)
+        curve = reliability_curve(p, y)
+        assert curve.expected_calibration_error < 0.02
+        assert np.allclose(curve.predicted_mean, curve.observed_frequency, atol=0.05)
+
+    def test_overconfident_predictor_large_ece(self):
+        rng = np.random.default_rng(2)
+        # Predicts 0.95 but the true rate is 0.5.
+        p = np.full(5000, 0.95)
+        y = rng.integers(0, 2, 5000)
+        curve = reliability_curve(p, y)
+        assert curve.expected_calibration_error > 0.3
+
+    def test_counts_sum_to_samples(self):
+        rng = np.random.default_rng(3)
+        p = rng.uniform(0, 1, 500)
+        y = rng.integers(0, 2, 500)
+        curve = reliability_curve(p, y, bins=8)
+        assert curve.counts.sum() == 500
+
+    def test_empty_bins_dropped(self):
+        p = np.array([0.05, 0.05, 0.95, 0.95])
+        y = np.array([0, 0, 1, 1])
+        curve = reliability_curve(p, y, bins=10)
+        assert len(curve.bin_centers) == 2
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0.5]), np.array([1]), bins=0)
+
+
+class TestOnPredictor:
+    def test_cmf_predictor_reasonably_calibrated(self, year_windows):
+        from repro.core.prediction import build_dataset
+        from repro.ml.network import NeuralNetwork
+        from repro.ml.train import TrainConfig, train_classifier
+
+        positives, negatives = year_windows
+        dataset = build_dataset(positives, negatives, lead_h=3.0)
+        rng = np.random.default_rng(4)
+        half = len(dataset.labels) // 2
+        order = rng.permutation(len(dataset.labels))
+        train_idx, test_idx = order[:half], order[half:]
+        network = NeuralNetwork.mlp(dataset.features.shape[1], (12, 12, 6), rng=rng)
+        model = train_classifier(
+            network,
+            dataset.features[train_idx],
+            dataset.labels[train_idx],
+            config=TrainConfig(epochs=50),
+            rng=rng,
+        )
+        probabilities = model.predict_proba(dataset.features[test_idx])
+        score = brier_score(probabilities, dataset.labels[test_idx])
+        assert score < 0.1  # strong, well-calibrated separation

@@ -1,0 +1,64 @@
+"""Stratified k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.baselines import LogisticRegression
+from repro.ml.crossval import cross_validate, stratified_k_fold
+
+
+class TestFolds:
+    def test_partition_is_complete_and_disjoint(self):
+        y = np.tile([0, 1], 50)
+        folds = stratified_k_fold(y, 5, np.random.default_rng(0))
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test) == list(range(100))
+
+    def test_train_test_disjoint_per_fold(self):
+        y = np.tile([0, 1], 50)
+        for train, test in stratified_k_fold(y, 5, np.random.default_rng(0)):
+            assert set(train).isdisjoint(set(test))
+            assert len(train) + len(test) == 100
+
+    def test_stratification(self):
+        y = np.array([0] * 80 + [1] * 20)
+        for _, test in stratified_k_fold(y, 5, np.random.default_rng(0)):
+            positives = y[test].sum()
+            assert positives == 4  # 20 positives dealt into 5 folds
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_k_fold(np.tile([0, 1], 10), 1, np.random.default_rng(0))
+
+    def test_class_smaller_than_k_rejected(self):
+        y = np.array([0] * 20 + [1] * 3)
+        with pytest.raises(ValueError):
+            stratified_k_fold(y, 5, np.random.default_rng(0))
+
+
+class TestCrossValidate:
+    def test_separable_problem_scores_high(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.standard_normal((60, 2)) - 3.0
+        x1 = rng.standard_normal((60, 2)) + 3.0
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 60 + [1] * 60)
+
+        def fit_predict(x_train, y_train, x_test):
+            return LogisticRegression().fit(x_train, y_train).predict(x_test)
+
+        result = cross_validate(fit_predict, x, y, k=5, rng=np.random.default_rng(2))
+        assert len(result.fold_reports) == 5
+        assert result.mean_accuracy > 0.95
+        assert result.summary().support == 120
+
+    def test_random_labels_score_chance(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((200, 3))
+        y = rng.integers(0, 2, 200)
+
+        def fit_predict(x_train, y_train, x_test):
+            return LogisticRegression(epochs=50).fit(x_train, y_train).predict(x_test)
+
+        result = cross_validate(fit_predict, x, y, k=5, rng=np.random.default_rng(4))
+        assert 0.3 < result.mean_accuracy < 0.7

@@ -1,0 +1,72 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    evaluate_binary,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 1, 0, 0, 0, 0, 0])
+# tp=3 fn=1 fp=1 tn=5
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        assert confusion_matrix(Y_TRUE, Y_PRED) == (3, 1, 5, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1, 0]), np.array([1]))
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([2, 0]), np.array([1, 0]))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(Y_TRUE, Y_PRED) == pytest.approx(0.8)
+
+    def test_precision(self):
+        assert precision(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_recall(self):
+        assert recall(Y_TRUE, Y_PRED) == pytest.approx(3 / 4)
+
+    def test_f1_is_harmonic_mean(self):
+        p = precision(Y_TRUE, Y_PRED)
+        r = recall(Y_TRUE, Y_PRED)
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_false_positive_rate(self):
+        assert false_positive_rate(Y_TRUE, Y_PRED) == pytest.approx(1 / 6)
+
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 0, 1])
+        assert accuracy(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+        assert false_positive_rate(y, y) == 0.0
+
+    def test_degenerate_no_positives_predicted(self):
+        y_true = np.array([1, 1, 0])
+        y_pred = np.array([0, 0, 0])
+        assert precision(y_true, y_pred) == 0.0
+        assert recall(y_true, y_pred) == 0.0
+        assert f1_score(y_true, y_pred) == 0.0
+
+
+class TestReport:
+    def test_evaluate_binary(self):
+        report = evaluate_binary(Y_TRUE, Y_PRED)
+        assert report.accuracy == pytest.approx(0.8)
+        assert report.support == 10
+        assert "acc=0.800" in report.as_row()

@@ -1,0 +1,133 @@
+"""Dense layers and the MLP, including a full gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.ml.activations import relu, sigmoid, tanh
+from repro.ml.layers import Dense
+from repro.ml.losses import BinaryCrossEntropy
+from repro.ml.network import NeuralNetwork
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_wrong_width_rejected(self):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((5, 6)))
+
+    def test_backward_before_forward_rejected(self):
+        layer = Dense(4, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((5, 3)))
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+    def test_parameters_and_gradients_aligned(self):
+        layer = Dense(4, 3)
+        params = layer.parameters()
+        grads = layer.gradients()
+        for name in params:
+            assert params[name].shape == grads[name].shape
+
+
+class TestNetworkConstruction:
+    def test_mlp_architecture(self):
+        net = NeuralNetwork.mlp(18, (12, 12, 6))
+        assert net.architecture() == (18, 12, 12, 6, 1)
+
+    def test_paper_architecture_parameter_count(self):
+        net = NeuralNetwork.mlp(18, (12, 12, 6))
+        # 18*12+12 + 12*12+12 + 12*6+6 + 6*1+1 = 469
+        assert net.parameter_count() == 469
+
+    def test_mismatched_layers_rejected(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([Dense(4, 3), Dense(5, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([])
+
+    def test_clone_untrained_same_architecture(self):
+        net = NeuralNetwork.mlp(6, (4,))
+        clone = net.clone_untrained(np.random.default_rng(1))
+        assert clone.architecture() == net.architecture()
+        assert not np.allclose(clone.layers[0].weights, net.layers[0].weights)
+
+
+class TestInference:
+    def test_probabilities_bounded(self):
+        net = NeuralNetwork.mlp(6, (4,), rng=np.random.default_rng(1))
+        p = net.predict_proba(np.random.default_rng(2).standard_normal((20, 6)))
+        assert np.all(p >= 0.0)
+        assert np.all(p <= 1.0)
+
+    def test_predict_threshold(self):
+        net = NeuralNetwork.mlp(6, (4,), rng=np.random.default_rng(1))
+        x = np.random.default_rng(2).standard_normal((20, 6))
+        p = net.predict_proba(x)
+        hard = net.predict(x, threshold=0.5)
+        assert np.array_equal(hard, (p >= 0.5).astype(int))
+
+    def test_bad_threshold_rejected(self):
+        net = NeuralNetwork.mlp(6, (4,))
+        with pytest.raises(ValueError):
+            net.predict(np.ones((1, 6)), threshold=1.0)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("hidden_activation", [relu, tanh])
+    def test_full_network_gradient_check(self, hidden_activation):
+        """Backprop gradients must match central finite differences."""
+        rng = np.random.default_rng(3)
+        net = NeuralNetwork.mlp(
+            5, (7, 4), hidden_activation=hidden_activation, rng=rng
+        )
+        loss = BinaryCrossEntropy()
+        x = rng.standard_normal((8, 5))
+        y = rng.integers(0, 2, size=(8, 1)).astype(float)
+
+        predicted = net.forward(x, train=True)
+        net.backward(loss.gradient(predicted, y))
+
+        eps = 1e-6
+        for layer in net.layers:
+            weights = layer.weights
+            grad = layer.grad_weights
+            # Spot-check a handful of entries per layer.
+            indices = [(0, 0), (weights.shape[0] - 1, weights.shape[1] - 1)]
+            for i, j in indices:
+                original = weights[i, j]
+                weights[i, j] = original + eps
+                plus = loss.value(net.forward(x), y)
+                weights[i, j] = original - eps
+                minus = loss.value(net.forward(x), y)
+                weights[i, j] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, rel=2e-3, abs=1e-7)
+
+    def test_bias_gradient_check(self):
+        rng = np.random.default_rng(4)
+        net = NeuralNetwork.mlp(3, (5,), rng=rng)
+        loss = BinaryCrossEntropy()
+        x = rng.standard_normal((6, 3))
+        y = rng.integers(0, 2, size=(6, 1)).astype(float)
+        predicted = net.forward(x, train=True)
+        net.backward(loss.gradient(predicted, y))
+        layer = net.layers[0]
+        eps = 1e-6
+        original = layer.biases[2]
+        layer.biases[2] = original + eps
+        plus = loss.value(net.forward(x), y)
+        layer.biases[2] = original - eps
+        minus = loss.value(net.forward(x), y)
+        layer.biases[2] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert layer.grad_biases[2] == pytest.approx(numeric, rel=2e-3, abs=1e-7)

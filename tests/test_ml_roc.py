@@ -1,0 +1,67 @@
+"""ROC curve and AUC."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import auc_score, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, _ = roc_curve(y, s)
+        assert auc_score(y, s) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[-1] == 1.0
+
+    def test_inverted_scores_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, s) == pytest.approx(0.0)
+
+    def test_random_scores_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.uniform(0, 1, 5000)
+        assert auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_monotone_curve(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 300)
+        s = rng.uniform(0, 1, 300)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_endpoints(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 100)
+        s = rng.uniform(0, 1, 100)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+
+    def test_ties_handled(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        assert auc_score(y, s) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1, 1]), np.array([0.5, 0.6]))
+
+    def test_predictor_auc_high(self, year_windows):
+        from repro.core.prediction import build_dataset
+        from repro.ml.network import NeuralNetwork
+        from repro.ml.train import TrainConfig, train_classifier
+
+        positives, negatives = year_windows
+        dataset = build_dataset(positives, negatives, lead_h=2.0)
+        rng = np.random.default_rng(3)
+        network = NeuralNetwork.mlp(dataset.features.shape[1], (12, 12, 6), rng=rng)
+        model = train_classifier(
+            network, dataset.features, dataset.labels,
+            config=TrainConfig(epochs=40), rng=rng,
+        )
+        scores = model.predict_proba(dataset.features)
+        assert auc_score(dataset.labels, scores) > 0.97

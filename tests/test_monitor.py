@@ -1,0 +1,117 @@
+"""The coolant monitor: readings, calibration, alarm thresholds."""
+
+import pytest
+
+from repro import constants
+from repro.cooling.monitor import (
+    AlarmThresholds,
+    CoolantMonitor,
+    SensorCalibration,
+    SensorReading,
+)
+from repro.facility.topology import RackId
+
+
+def _reading(**overrides):
+    defaults = dict(
+        epoch_s=0.0,
+        rack_id=RackId(0, 0),
+        dc_temperature_f=80.0,
+        dc_humidity_rh=33.0,
+        flow_gpm=26.0,
+        inlet_temperature_f=64.0,
+        outlet_temperature_f=79.0,
+        power_kw=55.0,
+    )
+    defaults.update(overrides)
+    return SensorReading(**defaults)
+
+
+class TestSensorReading:
+    def test_dewpoint_well_below_coolant_normally(self):
+        reading = _reading()
+        assert reading.dewpoint_f < reading.inlet_temperature_f
+        assert reading.condensation_margin_f > 10.0
+
+    def test_margin_collapses_with_humidity(self):
+        humid = _reading(dc_humidity_rh=70.0)
+        dry = _reading(dc_humidity_rh=25.0)
+        assert humid.condensation_margin_f < dry.condensation_margin_f
+
+
+class TestAlarmThresholds:
+    def test_healthy_reading_no_alarm(self):
+        thresholds = AlarmThresholds()
+        assert thresholds.fatal_reason(_reading()) is None
+        assert thresholds.warn_reason(_reading()) is None
+
+    def test_flow_loss_is_fatal(self):
+        thresholds = AlarmThresholds()
+        assert thresholds.fatal_reason(_reading(flow_gpm=5.0)) == "coolant_flow_loss"
+
+    def test_overtemperature_is_fatal(self):
+        thresholds = AlarmThresholds()
+        reason = thresholds.fatal_reason(_reading(outlet_temperature_f=100.0))
+        assert reason == "overtemperature"
+
+    def test_condensation_risk_is_fatal(self):
+        thresholds = AlarmThresholds()
+        # Cold inlet + hot humid air: dewpoint meets the coolant.
+        reading = _reading(inlet_temperature_f=50.0, dc_humidity_rh=65.0)
+        assert reading.condensation_margin_f < thresholds.min_condensation_margin_f
+        assert thresholds.fatal_reason(reading) == "condensation_risk"
+
+    def test_warn_band_below_fatal(self):
+        thresholds = AlarmThresholds()
+        reading = _reading(flow_gpm=11.0)
+        assert thresholds.fatal_reason(reading) is None
+        assert thresholds.warn_reason(reading) == "coolant_flow_low"
+
+    def test_warn_suppressed_when_fatal(self):
+        thresholds = AlarmThresholds()
+        assert thresholds.warn_reason(_reading(flow_gpm=5.0)) is None
+
+
+class TestSensorCalibration:
+    def test_nominal_identity(self):
+        calibration = SensorCalibration()
+        assert calibration.apply(64.0) == 64.0
+        assert calibration.is_nominal
+
+    def test_drift_and_recalibrate(self):
+        calibration = SensorCalibration()
+        calibration.drift(gain_error=0.02, offset_error=0.5)
+        assert not calibration.is_nominal
+        assert calibration.apply(64.0) != 64.0
+        calibration.recalibrate()
+        assert calibration.is_nominal
+        assert calibration.apply(64.0) == 64.0
+
+
+class TestCoolantMonitor:
+    def test_default_cadence_is_300s(self):
+        monitor = CoolantMonitor(RackId(1, 8))
+        assert monitor.sample_period_s == constants.MONITOR_SAMPLE_PERIOD_S
+
+    def test_reading_carries_rack(self):
+        monitor = CoolantMonitor(RackId(1, 8))
+        reading = monitor.make_reading(0.0, 80.0, 33.0, 26.0, 64.0, 79.0, 55.0)
+        assert reading.rack_id == RackId(1, 8)
+
+    def test_calibration_applied_to_coolant_channels(self):
+        monitor = CoolantMonitor(RackId(0, 0))
+        monitor.calibration.drift(gain_error=0.05, offset_error=0.0)
+        reading = monitor.make_reading(0.0, 80.0, 33.0, 26.0, 64.0, 79.0, 55.0)
+        assert reading.inlet_temperature_f == pytest.approx(64.0 * 1.05)
+        assert reading.dc_temperature_f == 80.0  # uncalibrated channel
+
+    def test_check_delegates_to_thresholds(self):
+        monitor = CoolantMonitor(RackId(0, 0))
+        healthy = monitor.make_reading(0.0, 80.0, 33.0, 26.0, 64.0, 79.0, 55.0)
+        failing = monitor.make_reading(0.0, 80.0, 33.0, 4.0, 64.0, 79.0, 55.0)
+        assert monitor.check(healthy) is None
+        assert monitor.check(failing) == "coolant_flow_loss"
+
+    def test_bad_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            CoolantMonitor(RackId(0, 0), sample_period_s=0.0)

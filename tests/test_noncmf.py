@@ -1,0 +1,105 @@
+"""The post-CMF (aftermath) failure process."""
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.facility.dependencies import DependencyGraph
+from repro.facility.topology import MiraTopology, RackId
+from repro.failures.cmf import CmfSchedule
+from repro.failures.noncmf import AftermathConfig, AftermathProcess
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CmfSchedule.generate(np.random.default_rng(21))
+
+
+@pytest.fixture(scope="module")
+def process():
+    topology = MiraTopology()
+    graph = DependencyGraph(topology, rng=np.random.default_rng(2))
+    return AftermathProcess(graph)
+
+
+class TestHazardShape:
+    def test_rate_decays(self, process):
+        hours = np.array([1.0, 3.0, 6.0, 12.0, 24.0, 48.0])
+        rates = process.relative_rate(hours)
+        assert np.all(np.diff(rates) < 0)
+
+    def test_rate_zero_outside_window(self, process):
+        assert process.relative_rate(np.array([-1.0]))[0] == 0.0
+        assert process.relative_rate(np.array([49.0]))[0] == 0.0
+
+    def test_paper_decay_ratios(self, process):
+        # The mixture is calibrated so the 6 h trailing rate is ~70 %
+        # of the 3 h rate and the 48 h rate is ~10 % of it.
+        r_early = float(process.relative_rate(np.array([1.5]))[0])
+        r_six = float(process.relative_rate(np.array([4.5]))[0])
+        r_late = float(process.relative_rate(np.array([42.0]))[0])
+        assert 0.55 < r_six / r_early < 0.85
+        assert r_late / r_early < 0.2
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            AftermathConfig(fast_weight=1.5)
+        with pytest.raises(ValueError):
+            AftermathConfig(fast_tau_h=0.0)
+
+
+class TestInducedFailures:
+    def test_counts_scale_with_incidents(self, process, schedule):
+        rng = np.random.default_rng(3)
+        failures = process.induced_failures(rng, schedule.incidents)
+        expected = process.config.expected_per_incident * len(schedule.incidents)
+        assert 0.6 * expected < len(failures) < 1.4 * expected
+
+    def test_failures_sorted_and_linked(self, process, schedule):
+        rng = np.random.default_rng(3)
+        failures = process.induced_failures(rng, schedule.incidents)
+        times = [f.epoch_s for f in failures]
+        assert times == sorted(times)
+        incident_ids = {i.incident_id for i in schedule.incidents}
+        assert all(f.incident_id in incident_ids for f in failures)
+
+    def test_lags_within_window(self, process, schedule):
+        rng = np.random.default_rng(3)
+        failures = process.induced_failures(rng, schedule.incidents)
+        by_incident = {i.incident_id: i.epoch_s for i in schedule.incidents}
+        for failure in failures:
+            lag_h = (failure.epoch_s - by_incident[failure.incident_id]) / 3600.0
+            assert 0.0 <= lag_h <= process.config.window_h
+
+    def test_category_mix_close_to_paper(self, process, schedule):
+        rng = np.random.default_rng(3)
+        failures = process.induced_failures(rng, schedule.incidents)
+        categories = [f.category for f in failures]
+        ac_dc = categories.count("ac_dc_power") / len(categories)
+        process_failures = categories.count("process") / len(categories)
+        assert 0.40 < ac_dc < 0.60  # paper: 50 %
+        assert process_failures < 0.06  # paper: < 2 %
+
+    def test_locations_span_the_machine(self, process, schedule):
+        rng = np.random.default_rng(3)
+        failures = process.induced_failures(rng, schedule.incidents)
+        rows = {f.rack_id.row for f in failures}
+        assert rows == {0, 1, 2}
+
+
+class TestBackgroundFailures:
+    def test_rate_matches_config(self, process):
+        rng = np.random.default_rng(5)
+        year = 365.0 * timeutil.DAY_S
+        failures = process.background_failures(rng, 0.0, year)
+        expected = process.config.background_rate_per_day * 365.0
+        assert 0.5 * expected < len(failures) < 1.6 * expected
+
+    def test_background_has_no_incident(self, process):
+        rng = np.random.default_rng(5)
+        failures = process.background_failures(rng, 0.0, 30 * timeutil.DAY_S)
+        assert all(f.is_background for f in failures)
+
+    def test_empty_interval_rejected(self, process):
+        with pytest.raises(ValueError):
+            process.background_failures(np.random.default_rng(1), 10.0, 10.0)

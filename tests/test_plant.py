@@ -1,0 +1,100 @@
+"""The chilled water plant and its waterside economizer."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil, units
+from repro.cooling.plant import ChilledWaterPlant
+from repro.weather.chicago import ChicagoWeather
+
+
+@pytest.fixture
+def plant():
+    return ChilledWaterPlant(ChicagoWeather(seed=1))
+
+
+def _epochs(month, days=28):
+    start = timeutil.to_epoch(dt.datetime(2015, month, 1))
+    return start + np.arange(days * 4) * (86_400 / 4)
+
+
+class TestEconomizer:
+    def test_fraction_bounded(self, plant):
+        for month in (1, 4, 7, 10):
+            fraction = plant.free_cooling_fraction(_epochs(month))
+            assert np.all(fraction >= 0.0)
+            assert np.all(fraction <= 1.0)
+
+    def test_winter_mostly_free_cooled(self, plant):
+        assert plant.free_cooling_fraction(_epochs(1)).mean() > 0.5
+
+    def test_summer_mechanically_chilled(self, plant):
+        assert plant.free_cooling_fraction(_epochs(7)).mean() < 0.05
+
+    def test_empty_band_rejected(self):
+        with pytest.raises(ValueError):
+            ChilledWaterPlant(
+                ChicagoWeather(),
+                full_free_cooling_below_f=50.0,
+                no_free_cooling_above_f=40.0,
+            )
+
+
+class TestSupplyTemperature:
+    def test_summer_holds_setpoint(self, plant):
+        supply = plant.supply_temperature_f(_epochs(7))
+        assert np.allclose(supply, plant.supply_setpoint_f, atol=0.2)
+
+    def test_winter_runs_slightly_warm(self, plant):
+        # The Fig 4(d) signature: free-cooled months have a warmer inlet.
+        winter = plant.supply_temperature_f(_epochs(1)).mean()
+        summer = plant.supply_temperature_f(_epochs(7)).mean()
+        assert winter > summer
+        assert winter - summer < 2.0
+
+    def test_default_setpoint_is_papers_inlet(self, plant):
+        assert plant.supply_setpoint_f == constants.INLET_TEMP_F
+
+
+class TestEnergy:
+    def test_chiller_power_zero_when_fully_free_cooled(self, plant):
+        # Find a fully free-cooled instant.
+        epochs = _epochs(1)
+        fractions = plant.free_cooling_fraction(epochs)
+        full = epochs[fractions >= 1.0]
+        assert full.size > 0
+        assert float(plant.chiller_power_kw(full[0], 5000.0)) == pytest.approx(0.0)
+
+    def test_chiller_power_scales_with_load(self, plant):
+        epoch = _epochs(7)[0]  # summer: no free cooling
+        p1 = float(plant.chiller_power_kw(epoch, 1000.0))
+        p2 = float(plant.chiller_power_kw(epoch, 2000.0))
+        assert p2 == pytest.approx(2.0 * p1)
+
+    def test_negative_load_rejected(self, plant):
+        with pytest.raises(ValueError):
+            plant.chiller_power_kw(_epochs(7)[0], -1.0)
+
+    def test_paper_free_cooling_savings_figure(self, plant):
+        # Section II: 17,820 kWh saved per day when free cooling covers
+        # 100 % of CWP capacity.  Evaluate with the fraction pinned at 1.
+        day_seconds = 86_400.0
+        epochs = _epochs(1)
+        fractions = plant.free_cooling_fraction(epochs)
+        fully_free = epochs[fractions >= 1.0][:1]
+        load = np.full(1, plant.capacity_kw)
+        savings = plant.free_cooling_savings_kwh(fully_free, load, day_seconds)
+        assert savings == pytest.approx(constants.FREE_COOLING_KWH_PER_DAY, rel=0.02)
+
+    def test_capacity_matches_two_chillers(self, plant):
+        assert plant.capacity_kw == pytest.approx(
+            units.tons_to_kw(2 * 1500), rel=1e-6
+        )
+
+    def test_operating_point_snapshot(self, plant):
+        point = plant.operating_point(_epochs(7)[0], 8000.0)
+        assert point.free_cooling_fraction == pytest.approx(0.0, abs=0.05)
+        assert point.chiller_power_kw > 0.0
+        assert point.supply_temperature_f == pytest.approx(64.0, abs=0.5)

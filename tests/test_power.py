@@ -1,0 +1,116 @@
+"""BPM and rack power models."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.facility.power import (
+    BulkPowerModule,
+    RackPowerModel,
+    expected_system_power_mw,
+    system_power_mw,
+)
+
+
+class TestBulkPowerModule:
+    def test_ac_draw_includes_conversion_loss(self):
+        bpm = BulkPowerModule(conversion_efficiency=0.94, fan_power_kw=1.6)
+        assert bpm.ac_draw_kw(47.0) == pytest.approx(47.0 / 0.94 + 1.6)
+
+    def test_fans_draw_at_zero_load(self):
+        bpm = BulkPowerModule()
+        assert bpm.ac_draw_kw(0.0) == pytest.approx(bpm.fan_power_kw)
+
+    def test_failed_bpm_delivers_nothing(self):
+        bpm = BulkPowerModule()
+        bpm.fail()
+        assert bpm.ac_draw_kw(50.0) == 0.0
+        assert not bpm.healthy
+
+    def test_repair_restores(self):
+        bpm = BulkPowerModule()
+        bpm.fail()
+        bpm.repair()
+        assert bpm.healthy
+        assert bpm.ac_draw_kw(50.0) > 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            BulkPowerModule().ac_draw_kw(-1.0)
+
+    @pytest.mark.parametrize("efficiency", [0.0, -0.5, 1.5])
+    def test_bad_efficiency_rejected(self, efficiency):
+        with pytest.raises(ValueError):
+            BulkPowerModule(conversion_efficiency=efficiency)
+
+
+class TestRackPowerModel:
+    def test_idle_floor(self):
+        model = RackPowerModel()
+        assert model.dc_load_kw(0.0) == pytest.approx(model.idle_kw)
+
+    def test_monotone_in_utilization(self):
+        model = RackPowerModel()
+        loads = [model.dc_load_kw(u) for u in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert loads == sorted(loads)
+
+    def test_intensity_scales_dynamic_term(self):
+        model = RackPowerModel()
+        low = model.dc_load_kw(0.8, intensity=0.5)
+        high = model.dc_load_kw(0.8, intensity=1.5)
+        assert high - model.idle_kw == pytest.approx(3.0 * (low - model.idle_kw))
+
+    def test_temperature_excess_adds_leakage(self):
+        model = RackPowerModel()
+        cool = model.dc_load_kw(0.5, temperature_excess_f=0.0)
+        hot = model.dc_load_kw(0.5, temperature_excess_f=10.0)
+        assert hot == pytest.approx(cool + 10.0 * model.cooling_sensitivity_kw)
+
+    def test_negative_excess_ignored(self):
+        model = RackPowerModel()
+        assert model.dc_load_kw(0.5, temperature_excess_f=-5.0) == pytest.approx(
+            model.dc_load_kw(0.5)
+        )
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            RackPowerModel().dc_load_kw(1.1)
+        with pytest.raises(ValueError):
+            RackPowerModel().dc_load_kw(-0.1)
+
+    def test_bad_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            RackPowerModel().dc_load_kw(0.5, intensity=-1.0)
+
+    def test_vectorized_matches_scalar(self):
+        model = RackPowerModel()
+        util = np.array([0.2, 0.8, 1.0])
+        intensity = np.array([1.0, 0.9, 1.2])
+        eff = np.array([1.0, 1.05, 0.95])
+        vector = model.dc_load_kw_vector(util, intensity, eff)
+        for i in range(3):
+            scalar_model = RackPowerModel(efficiency_factor=eff[i])
+            assert vector[i] == pytest.approx(
+                scalar_model.dc_load_kw(util[i], intensity[i])
+            )
+
+
+class TestSystemPower:
+    def test_aggregation(self):
+        draws = np.full(constants.NUM_RACKS, 55.0)
+        assert system_power_mw(draws) == pytest.approx(48 * 55.0 / 1000.0)
+
+    def test_calibration_2014(self):
+        # ~80 % utilization at nominal intensity: ~2.5 MW (Fig 2a).
+        power = expected_system_power_mw(0.80, intensity=0.97)
+        assert 2.3 < power < 2.7
+
+    def test_calibration_2019(self):
+        # ~93 % utilization with intensity creep: ~2.9 MW (Fig 2a).
+        power = expected_system_power_mw(0.93, intensity=1.09)
+        assert 2.7 < power < 3.1
+
+    def test_below_facility_ceiling(self):
+        # Even flat out the machine stays under the 6 MW feed.
+        power = expected_system_power_mw(1.0, intensity=2.0)
+        assert power < constants.MAX_POWER_MW

@@ -1,0 +1,83 @@
+"""Allocation programs and projects."""
+
+import datetime as dt
+
+import pytest
+
+from repro import timeutil
+from repro.scheduler.projects import AllocationProgram, Project
+
+
+class TestAllocationYears:
+    def test_incite_starts_january(self):
+        assert AllocationProgram.INCITE.allocation_year_start_month == 1
+
+    def test_alcc_starts_july(self):
+        assert AllocationProgram.ALCC.allocation_year_start_month == 7
+
+    def test_incite_progress_resets_in_january(self):
+        early = AllocationProgram.INCITE.year_progress(
+            timeutil.to_epoch(dt.datetime(2015, 1, 15))
+        )
+        late = AllocationProgram.INCITE.year_progress(
+            timeutil.to_epoch(dt.datetime(2015, 12, 15))
+        )
+        assert early < 0.1
+        assert late > 0.9
+
+    def test_alcc_progress_resets_in_july(self):
+        early = AllocationProgram.ALCC.year_progress(
+            timeutil.to_epoch(dt.datetime(2015, 7, 15))
+        )
+        late = AllocationProgram.ALCC.year_progress(
+            timeutil.to_epoch(dt.datetime(2015, 6, 15))
+        )
+        assert early < 0.1
+        assert late > 0.9
+
+    def test_progress_bounded(self):
+        for month in range(1, 13):
+            epoch = timeutil.to_epoch(dt.datetime(2016, month, 28))
+            for program in AllocationProgram:
+                progress = program.year_progress(epoch)
+                assert 0.0 <= progress <= 1.0
+
+
+class TestDemand:
+    def test_incite_demand_peaks_at_deadline(self):
+        january = AllocationProgram.INCITE.demand_multiplier(
+            timeutil.to_epoch(dt.datetime(2015, 1, 15))
+        )
+        december = AllocationProgram.INCITE.demand_multiplier(
+            timeutil.to_epoch(dt.datetime(2015, 12, 15))
+        )
+        assert december > january
+
+    def test_discretionary_demand_flat(self):
+        values = [
+            AllocationProgram.DISCRETIONARY.demand_multiplier(
+                timeutil.to_epoch(dt.datetime(2015, m, 15))
+            )
+            for m in range(1, 13)
+        ]
+        assert all(v == 1.0 for v in values)
+
+    def test_rush_strength_scales_peak(self):
+        epoch = timeutil.to_epoch(dt.datetime(2015, 12, 20))
+        weak = AllocationProgram.INCITE.demand_multiplier(epoch, rush_strength=0.1)
+        strong = AllocationProgram.INCITE.demand_multiplier(epoch, rush_strength=1.0)
+        assert strong > weak
+
+
+class TestProject:
+    def test_valid_project(self):
+        project = Project("incite-01", AllocationProgram.INCITE, 1e8)
+        assert project.typical_job_midplanes >= 1
+
+    def test_bad_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            Project("p", AllocationProgram.ALCC, 0.0)
+
+    def test_bad_job_size_rejected(self):
+        with pytest.raises(ValueError):
+            Project("p", AllocationProgram.ALCC, 1e6, typical_job_midplanes=0)

@@ -1,0 +1,344 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import constants, units
+from repro.core.correlation import pearson, spearman
+from repro.core.failure_analysis import deduplicate_cmf_events
+from repro.facility.topology import RackId
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.telemetry.ras import CMF_CATEGORY, RasEvent, RasLog, Severity
+from repro.telemetry.series import TimeSeries
+
+
+# -- units -----------------------------------------------------------------
+
+@given(st.floats(min_value=-80.0, max_value=200.0))
+def test_temperature_roundtrip(temp_f):
+    back = units.celsius_to_fahrenheit(units.fahrenheit_to_celsius(temp_f))
+    assert back == pytest.approx(temp_f, abs=1e-9)
+
+
+@given(st.floats(min_value=0.01, max_value=10_000.0))
+def test_flow_roundtrip(gpm):
+    assert units.kg_per_s_to_gpm(units.gpm_to_kg_per_s(gpm)) == pytest.approx(
+        gpm, rel=1e-12
+    )
+
+
+@given(
+    st.floats(min_value=0.1, max_value=500.0),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_heat_balance_roundtrip(heat_kw, flow_gpm):
+    rise = units.coolant_temperature_rise_f(heat_kw, flow_gpm)
+    assert rise > 0
+    assert units.heat_absorbed_kw(rise, flow_gpm) == pytest.approx(heat_kw, rel=1e-9)
+
+
+@given(
+    st.floats(min_value=-20.0, max_value=50.0),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_dewpoint_never_exceeds_temperature(temp_c, rh):
+    assert units.dewpoint_c(temp_c, rh) <= temp_c + 1e-6
+
+
+@given(
+    st.floats(min_value=0.0, max_value=45.0),
+    st.floats(min_value=5.0, max_value=95.0),
+    st.floats(min_value=1.0, max_value=4.0),
+)
+def test_dewpoint_monotone_in_humidity(temp_c, rh, bump):
+    low = units.dewpoint_c(temp_c, rh)
+    high = units.dewpoint_c(temp_c, min(rh + bump, 100.0))
+    assert high >= low - 1e-9
+
+
+# -- rack ids -----------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=constants.NUM_RACKS - 1))
+def test_rackid_flat_roundtrip(index):
+    assert RackId.from_flat_index(index).flat_index == index
+
+
+@given(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=15),
+)
+def test_rackid_parse_roundtrip(row, col):
+    rack = RackId(row, col)
+    assert RackId.parse(rack.label) == rack
+
+
+# -- correlation -----------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.floats(min_value=-100, max_value=100),
+        min_size=5,
+        max_size=40,
+    ).filter(lambda xs: max(xs) - min(xs) > 1e-6)  # avoid variance underflow
+)
+def test_pearson_self_correlation_is_one(values):
+    x = np.array(values)
+    assert pearson(x, x) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+@given(
+    st.lists(st.floats(min_value=-50, max_value=50), min_size=5, max_size=30),
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=-5.0, max_value=5.0),
+)
+def test_pearson_affine_invariance(values, scale, shift):
+    x = np.array(values)
+    if x.std() < 1e-6 or (x.max() - x.min()) * scale < 1e-6:
+        return  # effectively constant after scaling; correlation undefined
+    y = np.arange(len(x), dtype=float)
+    base = pearson(x, y)
+    transformed = pearson(scale * x + shift, y)
+    assert transformed == pytest.approx(base, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=-50, max_value=50), min_size=5, max_size=30)
+)
+def test_spearman_bounded(values):
+    x = np.array(values)
+    if x.std() == 0:
+        return
+    y = np.arange(len(x), dtype=float)
+    assert -1.0 - 1e-9 <= spearman(x, y) <= 1.0 + 1e-9
+
+
+# -- metrics -----------------------------------------------------------------
+
+@st.composite
+def _binary_pair(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    y_true = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    y_pred = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    return np.array(y_true), np.array(y_pred)
+
+
+@given(_binary_pair())
+def test_confusion_matrix_partitions(pair):
+    y_true, y_pred = pair
+    tp, fp, tn, fn = confusion_matrix(y_true, y_pred)
+    assert tp + fp + tn + fn == len(y_true)
+    assert min(tp, fp, tn, fn) >= 0
+
+
+@given(_binary_pair())
+def test_metrics_bounded(pair):
+    y_true, y_pred = pair
+    for metric in (accuracy, precision, recall, f1_score):
+        value = metric(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+
+@given(_binary_pair())
+def test_f1_between_min_and_max_of_pr(pair):
+    y_true, y_pred = pair
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    f1 = f1_score(y_true, y_pred)
+    assert min(p, r) - 1e-9 <= f1 <= max(p, r) + 1e-9
+
+
+# -- time series -----------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e4, max_value=1e4),
+        min_size=2,
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=50),
+)
+def test_resample_preserves_mean_for_full_bucket(values, factor):
+    """Resampling everything into one bucket equals the overall mean."""
+    epoch = np.arange(len(values), dtype=float)
+    series = TimeSeries(epoch, np.array(values))
+    bucket = float(len(values) * factor)
+    resampled = series.resample(bucket)
+    assert len(resampled) == 1
+    assert resampled.values[0] == pytest.approx(np.mean(values), rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=100),
+    st.integers(min_value=1, max_value=9),
+)
+def test_rolling_mean_bounded_by_extremes(values, window):
+    epoch = np.arange(len(values), dtype=float)
+    smoothed = TimeSeries(epoch, np.array(values)).rolling_mean(window)
+    assert smoothed.values.min() >= min(values) - 1e-9
+    assert smoothed.values.max() <= max(values) + 1e-9
+
+
+# -- dedup -----------------------------------------------------------------
+
+@st.composite
+def _cmf_log(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    racks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=constants.NUM_RACKS - 1),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    events = [
+        RasEvent(t, RackId.from_flat_index(r), Severity.FATAL, CMF_CATEGORY)
+        for t, r in zip(times, racks)
+    ]
+    return RasLog(events)
+
+
+@given(_cmf_log())
+@settings(max_examples=60)
+def test_dedup_idempotent(log):
+    """Re-deduplicating the deduplicated events changes nothing."""
+    first = deduplicate_cmf_events(log)
+    second = deduplicate_cmf_events(RasLog(first.events))
+    assert second.count == first.count
+
+
+@given(_cmf_log())
+@settings(max_examples=60)
+def test_dedup_never_increases_and_spacing_holds(log):
+    dedup = deduplicate_cmf_events(log)
+    assert dedup.count <= len(log)
+    # Per rack, kept events are spaced by at least the window.
+    by_rack = {}
+    for event in dedup.events:
+        by_rack.setdefault(event.rack_id, []).append(event.epoch_s)
+    for times in by_rack.values():
+        gaps = np.diff(sorted(times))
+        assert (gaps >= constants.CMF_DEDUP_WINDOW_S).all()
+
+
+# -- floor map -----------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6),
+        min_size=constants.NUM_RACKS,
+        max_size=constants.NUM_RACKS,
+    )
+)
+def test_floor_map_always_renders_three_rows(values):
+    from repro.core.floormap import render_floor
+
+    text = render_floor(values)
+    assert sum(line.startswith("row ") for line in text.splitlines()) == 3
+
+
+# -- alert engine ---------------------------------------------------------------
+
+@st.composite
+def _probability_stream(draw):
+    n = draw(st.integers(min_value=1, max_value=120))
+    return draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+
+
+@given(_probability_stream(), st.floats(min_value=0.05, max_value=0.95))
+@settings(max_examples=60)
+def test_alert_engine_respects_cooldown(stream, threshold):
+    from repro.facility.topology import RackId
+    from repro.monitoring.alerts import AlertEngine, AlertPolicy
+    from repro.monitoring.online import Prediction
+
+    cooldown = 1800.0
+    engine = AlertEngine(
+        AlertPolicy(threshold=threshold, persistence=1, cooldown_s=cooldown)
+    )
+    alert_times = []
+    for i, probability in enumerate(stream):
+        prediction = Prediction(
+            epoch_s=i * 300.0, rack_id=RackId(0, 0), probability=probability
+        )
+        alert = engine.process(prediction)
+        if alert is not None:
+            alert_times.append(alert.epoch_s)
+    gaps = np.diff(alert_times)
+    assert np.all(gaps >= cooldown)
+
+
+@given(_probability_stream(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=60)
+def test_alert_engine_persistence_never_fires_early(stream, persistence):
+    from repro.facility.topology import RackId
+    from repro.monitoring.alerts import AlertEngine, AlertPolicy
+    from repro.monitoring.online import Prediction
+
+    threshold = 0.5
+    engine = AlertEngine(
+        AlertPolicy(threshold=threshold, persistence=persistence, cooldown_s=0.0)
+    )
+    streak = 0
+    for i, probability in enumerate(stream):
+        alert = engine.process(
+            Prediction(epoch_s=i * 300.0, rack_id=RackId(1, 2), probability=probability)
+        )
+        streak = streak + 1 if probability >= threshold else 0
+        if alert is not None:
+            assert streak >= persistence
+
+
+# -- weibull fit -----------------------------------------------------------------
+
+@given(
+    st.floats(min_value=0.5, max_value=3.0),
+    st.floats(min_value=0.5, max_value=50.0),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_weibull_fit_recovers_shape(shape, scale, seed):
+    from repro.core.hazard import fit_weibull
+
+    rng = np.random.default_rng(seed)
+    samples = rng.weibull(shape, size=3000) * scale
+    samples = samples[samples > 0]
+    fit = fit_weibull(samples)
+    assert fit.shape == pytest.approx(shape, rel=0.15)
+    assert fit.scale == pytest.approx(scale, rel=0.15)
+
+
+# -- calibration ------------------------------------------------------------------
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=200),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_brier_score_bounded(probabilities, seed):
+    from repro.ml.calibration import brier_score
+
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, len(probabilities))
+    score = brier_score(np.array(probabilities), labels)
+    assert 0.0 <= score <= 1.0

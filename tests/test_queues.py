@@ -1,0 +1,38 @@
+"""Queue routing policy."""
+
+import pytest
+
+from repro.scheduler.queues import QueueName, queue_for_walltime
+
+
+class TestQueuePolicy:
+    def test_prod_long_prefers_row_zero(self):
+        assert QueueName.PROD_LONG.preferred_row == 0
+
+    def test_short_queues_avoid_row_zero(self):
+        assert QueueName.PROD_SHORT.preferred_row != 0
+        assert QueueName.BACKFILL.preferred_row != 0
+
+    def test_prod_long_walltime_band(self):
+        assert QueueName.PROD_LONG.admits(12 * 3600.0)
+        assert not QueueName.PROD_LONG.admits(3600.0)
+        assert not QueueName.PROD_LONG.admits(48 * 3600.0)
+
+    def test_prod_short_walltime_band(self):
+        assert QueueName.PROD_SHORT.admits(3600.0)
+        assert not QueueName.PROD_SHORT.admits(12 * 3600.0)
+
+
+class TestRouting:
+    def test_long_walltime_routes_to_prod_long(self):
+        assert queue_for_walltime(10 * 3600.0) is QueueName.PROD_LONG
+
+    def test_short_walltime_routes_to_prod_short(self):
+        assert queue_for_walltime(2 * 3600.0) is QueueName.PROD_SHORT
+
+    def test_boundary_is_long(self):
+        assert queue_for_walltime(6 * 3600.0) is QueueName.PROD_LONG
+
+    def test_negative_walltime_rejected(self):
+        with pytest.raises(ValueError):
+            queue_for_walltime(-1.0)

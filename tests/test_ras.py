@@ -1,0 +1,94 @@
+"""The RAS event log."""
+
+import pytest
+
+from repro.facility.topology import RackId
+from repro.telemetry.ras import CMF_CATEGORY, RasEvent, RasLog, Severity
+
+
+def _event(epoch=0.0, rack=(0, 0), severity=Severity.FATAL, category=CMF_CATEGORY):
+    return RasEvent(
+        epoch_s=epoch, rack_id=RackId(*rack), severity=severity, category=category
+    )
+
+
+class TestRasEvent:
+    def test_cmf_flag(self):
+        assert _event().is_cmf
+        assert not _event(category="bqc").is_cmf
+
+    def test_fatal_flag(self):
+        assert _event().is_fatal
+        assert not _event(severity=Severity.WARN).is_fatal
+
+    def test_ordering_by_time(self):
+        early = _event(epoch=1.0)
+        late = _event(epoch=2.0)
+        assert early < late
+
+
+class TestRasLog:
+    def test_record_keeps_time_order(self):
+        log = RasLog()
+        log.record(_event(epoch=5.0))
+        log.record(_event(epoch=1.0))
+        log.record(_event(epoch=3.0))
+        times = [e.epoch_s for e in log]
+        assert times == sorted(times)
+
+    def test_extend_sorts_once(self):
+        log = RasLog()
+        log.extend([_event(epoch=t) for t in (9.0, 2.0, 7.0)])
+        assert [e.epoch_s for e in log] == [2.0, 7.0, 9.0]
+
+    def test_between_is_half_open(self):
+        log = RasLog([_event(epoch=t) for t in (0.0, 1.0, 2.0, 3.0)])
+        window = log.between(1.0, 3.0)
+        assert [e.epoch_s for e in window] == [1.0, 2.0]
+
+    def test_filter_by_category(self):
+        log = RasLog(
+            [
+                _event(category=CMF_CATEGORY),
+                _event(category="ac_dc_power"),
+                _event(category="bql"),
+            ]
+        )
+        assert len(log.filter(category="ac_dc_power")) == 1
+
+    def test_filter_by_rack(self):
+        log = RasLog([_event(rack=(0, 1)), _event(rack=(2, 7))])
+        assert len(log.filter(rack_id=RackId(2, 7))) == 1
+
+    def test_fatal_cmf_events_excludes_warns(self):
+        log = RasLog(
+            [
+                _event(severity=Severity.FATAL),
+                _event(severity=Severity.WARN),
+                _event(category="bqc", severity=Severity.FATAL),
+            ]
+        )
+        assert len(log.fatal_cmf_events()) == 1
+
+    def test_fatal_noncmf_events(self):
+        log = RasLog(
+            [
+                _event(severity=Severity.FATAL),
+                _event(category="card", severity=Severity.FATAL),
+                _event(category="card", severity=Severity.WARN),
+            ]
+        )
+        noncmf = log.fatal_noncmf_events()
+        assert len(noncmf) == 1
+        assert noncmf[0].category == "card"
+
+    def test_categories_sorted_unique(self):
+        log = RasLog(
+            [_event(category=c) for c in ("bqc", "ac_dc_power", "bqc")]
+        )
+        assert log.categories() == ("ac_dc_power", "bqc")
+
+    def test_len_and_iter(self):
+        log = RasLog([_event(epoch=float(i)) for i in range(5)])
+        assert len(log) == 5
+        assert len(list(log)) == 5

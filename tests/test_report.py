@@ -1,0 +1,54 @@
+"""Paper-vs-measured reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.report import ReportRow, format_table, sparkline
+
+
+class TestReportRow:
+    def test_relative_error(self):
+        row = ReportRow("Fig 2", "power", paper_value=2.9, measured_value=2.87)
+        assert row.relative_error == pytest.approx(0.03 / 2.9)
+
+    def test_zero_paper_value(self):
+        row = ReportRow("Fig X", "x", paper_value=0.0, measured_value=0.0)
+        assert row.relative_error == 0.0
+        row2 = ReportRow("Fig X", "x", paper_value=0.0, measured_value=1.0)
+        assert row2.relative_error == float("inf")
+
+    def test_formatted_contains_values(self):
+        row = ReportRow("Fig 3", "flow", 1250.0, 1248.5, unit="GPM")
+        text = row.formatted()
+        assert "Fig 3" in text
+        assert "1250" in text
+        assert "GPM" in text
+
+
+class TestFormatTable:
+    def test_table_structure(self):
+        rows = [
+            ReportRow("Fig 2", "power start", 2.5, 2.53, "MW"),
+            ReportRow("Fig 2", "power end", 2.9, 2.87, "MW"),
+        ]
+        table = format_table(rows, title="Fig 2")
+        lines = table.splitlines()
+        assert lines[0] == "Fig 2"
+        assert sum("paper=" in line for line in lines) == 2
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 500)), width=40)
+        assert 0 < len(line) <= 40
+
+    def test_constant_series(self):
+        line = sparkline([3.0, 3.0, 3.0])
+        assert len(set(line)) == 1
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_rises(self):
+        line = sparkline(np.linspace(0, 1, 30), width=30)
+        assert line[0] != line[-1]

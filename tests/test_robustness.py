@@ -1,0 +1,123 @@
+"""Robustness: edge-case configurations of the full stack."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.cooling.monitor import AlarmThresholds, CoolantMonitor
+from repro.scheduler.scheduler import MaintenancePolicy, MiraScheduler, ReservationPolicy
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+from repro.simulation import FacilityEngine, SimulationConfig, WindowSynthesizer
+from repro.telemetry.records import Channel
+
+
+class TestTinySimulations:
+    def test_one_day_run(self):
+        config = SimulationConfig(
+            start=dt.datetime(2015, 6, 1),
+            end=dt.datetime(2015, 6, 2),
+            dt_s=3600.0,
+            seed=4,
+        )
+        result = FacilityEngine(config).run()
+        assert result.database.num_samples == 24
+
+    def test_single_step_run(self):
+        config = SimulationConfig(
+            start=dt.datetime(2015, 6, 1),
+            end=dt.datetime(2015, 6, 1, 1),
+            dt_s=3600.0,
+            seed=4,
+        )
+        result = FacilityEngine(config).run()
+        assert result.database.num_samples == 1
+
+    def test_run_spanning_year_boundary(self):
+        config = SimulationConfig(
+            start=dt.datetime(2015, 12, 28),
+            end=dt.datetime(2016, 1, 4),
+            dt_s=3600.0,
+            seed=4,
+        )
+        result = FacilityEngine(config).run()
+        years = set(timeutil.years(result.database.epoch_s))
+        assert years == {2015, 2016}
+
+    def test_run_through_theta_boundary(self):
+        config = SimulationConfig(
+            start=dt.datetime(2016, 6, 25),
+            end=dt.datetime(2016, 7, 6),
+            dt_s=3600.0,
+            seed=4,
+            inject_failures=False,
+        )
+        result = FacilityEngine(config).run()
+        flow = result.database.total_flow_gpm()
+        theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
+        before = np.nanmean(flow.values[flow.epoch_s < theta])
+        after = np.nanmean(flow.values[flow.epoch_s >= theta])
+        assert after > before + 20.0
+
+
+class TestDegenerateWorkloads:
+    def test_zero_demand_runs_idle(self):
+        config = WorkloadConfig(demand_start=1e-6, demand_end=1e-6)
+        generator = WorkloadGenerator(rng=np.random.default_rng(1), config=config)
+        scheduler = MiraScheduler(
+            generator,
+            rng=np.random.default_rng(2),
+            maintenance=MaintenancePolicy(probability=0.0),
+            reservations=ReservationPolicy(rate_per_day=0.0),
+        )
+        epoch = timeutil.to_epoch(dt.datetime(2015, 3, 3))
+        states = [scheduler.step(epoch + i * 3600.0, 3600.0) for i in range(72)]
+        assert states[-1].system_utilization < 0.1
+
+    def test_extreme_demand_saturates_cleanly(self):
+        config = WorkloadConfig(demand_start=5.0, demand_end=5.0)
+        generator = WorkloadGenerator(rng=np.random.default_rng(1), config=config)
+        scheduler = MiraScheduler(
+            generator,
+            rng=np.random.default_rng(2),
+            maintenance=MaintenancePolicy(probability=0.0),
+            reservations=ReservationPolicy(rate_per_day=0.0),
+        )
+        epoch = timeutil.to_epoch(dt.datetime(2015, 3, 3))
+        for i in range(72):
+            state = scheduler.step(epoch + i * 3600.0, 3600.0)
+        assert state.system_utilization > 0.9
+        assert len(scheduler.queued_jobs) <= scheduler.queue_cap
+
+
+class TestMonitorAgreementWithWindows:
+    def test_flow_collapse_trips_fatal_threshold_at_event(self, year_windows):
+        """At the failure instant the monitor's own thresholds fire."""
+        positives, _ = year_windows
+        monitor = CoolantMonitor(positives[0].rack_id)
+        tripped = 0
+        flow_events = 0
+        for window in positives:
+            final = {
+                channel: float(window.channels[channel][-1])
+                for channel in window.channels
+            }
+            reading = monitor.make_reading(
+                window.end_epoch_s,
+                final[Channel.DC_TEMPERATURE],
+                min(final[Channel.DC_HUMIDITY], 99.0),
+                final[Channel.FLOW],
+                final[Channel.INLET_TEMPERATURE],
+                final[Channel.OUTLET_TEMPERATURE],
+                final[Channel.POWER],
+            )
+            if AlarmThresholds().fatal_reason(reading) is not None:
+                tripped += 1
+            flow_events += final[Channel.FLOW] < 15.0
+        # Most events' final readings violate the fatal flow
+        # threshold outright; the remainder sit just above it (the
+        # paper: the rapid flow decline "in many cases ... becomes the
+        # cause of the failure" — many, not all).
+        assert tripped / len(positives) > 0.6
+        assert flow_events / len(positives) > 0.85

@@ -1,0 +1,40 @@
+"""Scenario presets and dataset caching."""
+
+import datetime as dt
+
+import pytest
+
+from repro import constants
+from repro.simulation import MiraScenario
+from repro.simulation.datasets import small_dataset
+
+
+class TestScenarios:
+    def test_full_study_covers_production_period(self):
+        config = MiraScenario.full_study()
+        assert config.start == constants.PRODUCTION_START
+        assert config.end == constants.PRODUCTION_END
+
+    def test_single_year(self):
+        config = MiraScenario.single_year(2016)
+        assert config.start == dt.datetime(2016, 1, 1)
+        assert config.end == dt.datetime(2017, 1, 1)
+
+    def test_single_year_outside_period_rejected(self):
+        with pytest.raises(ValueError):
+            MiraScenario.single_year(2013)
+        with pytest.raises(ValueError):
+            MiraScenario.single_year(2020)
+
+    def test_demo_duration(self):
+        config = MiraScenario.demo(days=10)
+        assert (config.end - config.start).days == 10
+
+    def test_demo_bad_days_rejected(self):
+        with pytest.raises(ValueError):
+            MiraScenario.demo(days=0)
+
+
+class TestDatasetCache:
+    def test_small_dataset_memoized(self):
+        assert small_dataset() is small_dataset()

@@ -1,0 +1,152 @@
+"""The stepping scheduler: queueing, backfill, maintenance, outages."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.scheduler.allocator import MidplaneAllocator
+from repro.scheduler.scheduler import (
+    MaintenancePolicy,
+    MiraScheduler,
+    ReservationPolicy,
+    SchedulerState,
+)
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _scheduler(seed=0, maintenance_probability=0.0, reservations_rate=0.0, **workload):
+    config = WorkloadConfig(**workload) if workload else None
+    generator = WorkloadGenerator(config=config, rng=np.random.default_rng(seed))
+    return MiraScheduler(
+        generator,
+        rng=np.random.default_rng(seed + 1),
+        maintenance=MaintenancePolicy(probability=maintenance_probability),
+        reservations=ReservationPolicy(rate_per_day=reservations_rate),
+    )
+
+
+def _run(scheduler, start, hours, dt_s=3600.0):
+    epoch = timeutil.to_epoch(start)
+    states = []
+    for i in range(hours):
+        states.append(scheduler.step(epoch + i * dt_s, dt_s))
+    return states
+
+
+class TestBasicOperation:
+    def test_utilization_builds_up(self):
+        scheduler = _scheduler(seed=3)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 72)
+        assert states[-1].system_utilization > 0.5
+        assert states[-1].running_jobs > 0
+
+    def test_rack_vectors_shape_and_range(self):
+        scheduler = _scheduler(seed=3)
+        state = _run(scheduler, dt.datetime(2015, 3, 3), 48)[-1]
+        assert state.rack_utilization.shape == (constants.NUM_RACKS,)
+        assert np.all(state.rack_utilization >= 0.0)
+        assert np.all(state.rack_utilization <= 1.0)
+        assert np.all(state.rack_intensity >= 0.0)
+
+    def test_jobs_complete(self):
+        scheduler = _scheduler(seed=3)
+        _run(scheduler, dt.datetime(2015, 3, 3), 24 * 7)
+        assert scheduler.completed_count > 50
+
+    def test_bad_dt_rejected(self):
+        scheduler = _scheduler()
+        with pytest.raises(ValueError):
+            scheduler.step(0.0, -1.0)
+
+    def test_queue_cap_bounds_backlog(self):
+        scheduler = _scheduler(seed=3, demand_start=3.0, demand_end=3.0)
+        _run(scheduler, dt.datetime(2015, 3, 3), 24 * 14)
+        assert len(scheduler.queued_jobs) <= scheduler.queue_cap
+
+
+class TestMaintenance:
+    def test_monday_maintenance_kills_user_jobs(self):
+        scheduler = _scheduler(seed=5, maintenance_probability=1.0)
+        # Start Tuesday; run past the following Monday 9 AM.
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 7)
+        maintenance_states = [s for s in states if s.in_maintenance]
+        assert maintenance_states, "expected a maintenance window"
+        assert scheduler.killed_count > 0
+
+    def test_maintenance_runs_burners(self):
+        scheduler = _scheduler(seed=5, maintenance_probability=1.0)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 7)
+        in_maintenance = [s for s in states if s.in_maintenance]
+        # Burners keep most of the floor busy at reduced intensity.
+        coverage = np.mean([s.system_utilization for s in in_maintenance])
+        assert coverage > 0.6
+        intensity = np.mean(
+            [s.rack_intensity[s.rack_utilization > 0].mean() for s in in_maintenance]
+        )
+        assert intensity < 0.9
+
+    def test_maintenance_starts_monday_morning(self):
+        scheduler = _scheduler(seed=5, maintenance_probability=1.0)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 7)
+        first = next(s for s in states if s.in_maintenance)
+        assert int(timeutil.weekdays(first.epoch_s)) == 0
+        assert int(timeutil.hours_of_day(first.epoch_s)) >= 9
+
+    def test_system_recovers_after_maintenance(self):
+        scheduler = _scheduler(seed=5, maintenance_probability=1.0)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 10)
+        assert not states[-1].in_maintenance
+        assert states[-1].system_utilization > 0.5
+
+    def test_no_maintenance_when_probability_zero(self):
+        scheduler = _scheduler(seed=5, maintenance_probability=0.0)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 7)
+        assert not any(s.in_maintenance for s in states)
+
+
+class TestRackOutages:
+    def test_fail_racks_kills_touching_jobs(self):
+        scheduler = _scheduler(seed=7)
+        _run(scheduler, dt.datetime(2015, 3, 3), 48)
+        before = scheduler.killed_count
+        killed = scheduler.fail_racks(tuple(range(48)), timeutil.to_epoch(dt.datetime(2015, 3, 5)))
+        assert killed > 0
+        assert scheduler.killed_count == before + killed
+        assert len(scheduler.running_jobs) == 0
+
+    def test_failed_racks_blocked_until_recovery(self):
+        scheduler = _scheduler(seed=7)
+        _run(scheduler, dt.datetime(2015, 3, 3), 48)
+        scheduler.fail_racks((0, 1), timeutil.to_epoch(dt.datetime(2015, 3, 5)))
+        assert 0 in scheduler.allocator.blocked_racks
+        scheduler.recover_racks((0, 1))
+        assert 0 not in scheduler.allocator.blocked_racks
+
+    def test_partial_failure_spares_other_jobs(self):
+        scheduler = _scheduler(seed=7)
+        _run(scheduler, dt.datetime(2015, 3, 3), 48)
+        running_before = len(scheduler.running_jobs)
+        scheduler.fail_racks((0,), timeutil.to_epoch(dt.datetime(2015, 3, 5)))
+        assert len(scheduler.running_jobs) > 0
+        assert len(scheduler.running_jobs) < running_before + 1
+
+
+class TestBackfill:
+    def test_backfill_fills_around_blocked_head(self):
+        scheduler = _scheduler(seed=11, demand_start=1.5, demand_end=1.5)
+        states = _run(scheduler, dt.datetime(2015, 3, 3), 24 * 5)
+        # With a saturating workload and EASY backfill the machine
+        # should run nearly full.
+        assert states[-1].system_utilization > 0.85
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        s1 = _scheduler(seed=13, maintenance_probability=0.75)
+        s2 = _scheduler(seed=13, maintenance_probability=0.75)
+        states1 = _run(s1, dt.datetime(2015, 3, 3), 24 * 3)
+        states2 = _run(s2, dt.datetime(2015, 3, 3), 24 * 3)
+        for a, b in zip(states1, states2):
+            assert np.allclose(a.rack_utilization, b.rack_utilization)

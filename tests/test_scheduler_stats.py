@@ -1,0 +1,82 @@
+"""Scheduler job accounting."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timeutil
+from repro.scheduler.queues import QueueName
+from repro.scheduler.scheduler import MaintenancePolicy, MiraScheduler, ReservationPolicy
+from repro.scheduler.stats import SchedulingStats
+from repro.scheduler.workload import WorkloadGenerator
+
+
+def _run_scheduler(hours=24 * 14, maintenance_probability=0.75, seed=3):
+    generator = WorkloadGenerator(rng=np.random.default_rng(seed))
+    scheduler = MiraScheduler(
+        generator,
+        rng=np.random.default_rng(seed + 1),
+        maintenance=MaintenancePolicy(probability=maintenance_probability),
+        reservations=ReservationPolicy(rate_per_day=0.0),
+    )
+    epoch = timeutil.to_epoch(dt.datetime(2015, 3, 3))
+    for i in range(hours):
+        scheduler.step(epoch + i * 3600.0, 3600.0)
+    return scheduler
+
+
+class TestAccounting:
+    def test_counts_match_scheduler(self):
+        scheduler = _run_scheduler()
+        stats = scheduler.stats
+        # Scheduler-level counters track user jobs; stats additionally
+        # account for burner jobs under their own queue.
+        user_completed = sum(
+            stats.queue(q).completed for q in QueueName if q is not QueueName.BURNER
+        )
+        killed = sum(stats.queue(q).killed for q in QueueName)
+        assert user_completed == scheduler.completed_count
+        assert killed == scheduler.killed_count
+
+    def test_waits_are_nonnegative_and_finite(self):
+        scheduler = _run_scheduler()
+        for queue in (QueueName.PROD_LONG, QueueName.PROD_SHORT):
+            stats = scheduler.stats.queue(queue)
+            assert stats.started > 0
+            assert stats.mean_wait_s >= 0.0
+            assert stats.mean_wait_s < 7 * 86_400
+
+    def test_delivered_core_hours_positive(self):
+        scheduler = _run_scheduler()
+        assert scheduler.stats.total_delivered_core_h > 1e6
+
+    def test_loss_fraction_small_without_failures(self):
+        scheduler = _run_scheduler(maintenance_probability=0.0)
+        assert scheduler.stats.loss_fraction < 0.02
+
+    def test_maintenance_increases_losses(self):
+        calm = _run_scheduler(maintenance_probability=0.0)
+        churny = _run_scheduler(maintenance_probability=1.0)
+        assert churny.stats.total_lost_core_h > calm.stats.total_lost_core_h
+
+    def test_queue_depth_sampled_every_step(self):
+        scheduler = _run_scheduler(hours=100)
+        assert len(scheduler.stats._queue_depth_samples) == 100
+        assert scheduler.stats.mean_queue_depth() >= 0.0
+        assert scheduler.stats.p95_queue_depth() >= scheduler.stats.mean_queue_depth() * 0.5
+
+    def test_summary_renders(self):
+        scheduler = _run_scheduler(hours=24 * 7)
+        summary = scheduler.stats.summary()
+        assert "prod-long" in summary or "prod-short" in summary
+        assert "queue depth" in summary
+
+
+class TestFreshStats:
+    def test_empty_stats_safe(self):
+        stats = SchedulingStats()
+        assert stats.total_delivered_core_h == 0.0
+        assert stats.loss_fraction == 0.0
+        assert stats.mean_queue_depth() == 0.0
+        assert "queue depth" in stats.summary()

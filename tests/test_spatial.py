@@ -1,0 +1,86 @@
+"""Rack-level analyses (Figs 6-7)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core.spatial import (
+    rack_coolant_profile,
+    rack_power_profile,
+    relative_spread,
+    row_means,
+)
+from repro.facility.topology import RackId
+
+
+class TestHelpers:
+    def test_relative_spread(self):
+        assert relative_spread(np.array([10.0, 11.0])) == pytest.approx(0.1)
+
+    def test_relative_spread_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            relative_spread(np.array([0.0, 1.0]))
+
+    def test_row_means(self):
+        profile = np.concatenate(
+            [np.full(16, 1.0), np.full(16, 2.0), np.full(16, 3.0)]
+        )
+        assert row_means(profile) == (1.0, 2.0, 3.0)
+
+
+class TestRackPowerProfile:
+    def test_shapes(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.power_kw.shape == (constants.NUM_RACKS,)
+        assert profile.utilization.shape == (constants.NUM_RACKS,)
+
+    def test_power_spread_in_band(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        # Paper: up to 15 %.
+        assert 0.08 < profile.power_spread < 0.30
+
+    def test_highest_power_rack_is_0D(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.highest_power_rack == RackId(*constants.HIGHEST_POWER_RACK)
+
+    def test_highest_utilization_rack_is_0A(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.highest_utilization_rack == RackId(
+            *constants.HIGHEST_UTILIZATION_RACK
+        )
+
+    def test_lowest_utilization_rack_is_2D(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.lowest_utilization_rack == RackId(2, 0xD)
+
+    def test_row_zero_highest(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        assert profile.highest_utilization_row == constants.PROD_LONG_ROW
+        assert profile.highest_power_row == constants.PROD_LONG_ROW
+
+    def test_correlation_near_paper(self, full_result):
+        profile = rack_power_profile(full_result.database)
+        # Paper: r = 0.45 — markedly below 1.
+        assert 0.2 < profile.power_utilization_correlation < 0.75
+
+
+class TestRackCoolantProfile:
+    def test_flow_spread_in_band(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        # Paper: up to 11 %.
+        assert 0.05 < profile.flow_spread < 0.18
+
+    def test_inlet_nearly_uniform(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        # Paper: ~1 %.
+        assert profile.inlet_spread < 0.02
+
+    def test_outlet_spread_between_inlet_and_power(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        power = rack_power_profile(full_result.database)
+        assert profile.inlet_spread < profile.outlet_spread < power.power_spread
+
+    def test_mean_flow_per_rack(self, full_result):
+        profile = rack_coolant_profile(full_result.database)
+        # Paper: ~26 GPM per rack.
+        assert 24.0 < profile.mean_flow_per_rack_gpm < 29.0

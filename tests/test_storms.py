@@ -1,0 +1,89 @@
+"""RAS storm generation."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.failures.cmf import CmfSchedule
+from repro.failures.noncmf import AftermathProcess
+from repro.failures.storms import StormConfig, StormGenerator
+from repro.telemetry.ras import Severity
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CmfSchedule.generate(np.random.default_rng(31))
+
+
+class TestStormVolume:
+    def test_storm_has_many_messages(self, schedule):
+        generator = StormGenerator()
+        incident = schedule.incidents[0]
+        events = generator.storm_for_incident(np.random.default_rng(1), incident)
+        # Far more raw messages than true failures.
+        fatal = [e for e in events if e.severity is Severity.FATAL]
+        assert len(fatal) > incident.size * 5
+
+    def test_large_log_reaches_storm_scale(self, schedule):
+        generator = StormGenerator()
+        log = generator.build_ras_log(np.random.default_rng(1), schedule.incidents)
+        # The paper: storms log upwards of 10k messages in aggregate.
+        assert len(log) > constants.STORM_MESSAGE_SCALE
+
+    def test_bystander_warnings_present(self, schedule):
+        generator = StormGenerator()
+        events = generator.storm_for_incident(
+            np.random.default_rng(1), schedule.incidents[0]
+        )
+        warns = [e for e in events if e.severity is Severity.WARN]
+        assert len(warns) == generator.config.bystander_warnings
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            StormConfig(mean_messages_per_rack=0)
+
+
+class TestStormStructure:
+    def test_first_message_at_event_time(self, schedule):
+        generator = StormGenerator()
+        incident = schedule.incidents[0]
+        events = generator.storm_for_incident(np.random.default_rng(1), incident)
+        for cmf_event in incident.events:
+            rack_events = [
+                e
+                for e in events
+                if e.rack_id == cmf_event.rack_id and e.severity is Severity.FATAL
+            ]
+            assert min(e.epoch_s for e in rack_events) == pytest.approx(
+                cmf_event.epoch_s
+            )
+
+    def test_burst_confined_to_duration(self, schedule):
+        config = StormConfig(burst_duration_s=600.0)
+        generator = StormGenerator(config)
+        incident = schedule.incidents[0]
+        events = generator.storm_for_incident(np.random.default_rng(1), incident)
+        for cmf_event in incident.events:
+            rack_events = [
+                e
+                for e in events
+                if e.rack_id == cmf_event.rack_id and e.severity is Severity.FATAL
+            ]
+            last = max(e.epoch_s for e in rack_events)
+            assert last <= cmf_event.epoch_s + config.burst_duration_s
+
+    def test_noncmf_failures_logged_once(self, schedule):
+        generator = StormGenerator()
+        aftermath = AftermathProcess()
+        rng = np.random.default_rng(2)
+        noncmf = aftermath.induced_failures(rng, schedule.incidents[:5])
+        log = generator.build_ras_log(rng, schedule.incidents[:5], noncmf)
+        assert len(log.fatal_noncmf_events()) == len(noncmf)
+
+    def test_log_time_ordered(self, schedule):
+        generator = StormGenerator()
+        log = generator.build_ras_log(
+            np.random.default_rng(1), schedule.incidents[:10]
+        )
+        times = [e.epoch_s for e in log]
+        assert times == sorted(times)

@@ -1,0 +1,92 @@
+"""Vectorized calendar helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timeutil
+
+
+class TestEpochConversions:
+    def test_epoch_zero(self):
+        assert timeutil.to_epoch(dt.datetime(1970, 1, 1)) == 0.0
+
+    def test_roundtrip(self):
+        when = dt.datetime(2016, 7, 1, 9, 30)
+        assert timeutil.from_epoch(timeutil.to_epoch(when)) == when
+
+    def test_known_epoch(self):
+        assert timeutil.to_epoch(dt.datetime(2014, 1, 1)) == 1_388_534_400.0
+
+
+class TestCalendarFields:
+    def test_years(self):
+        epochs = [timeutil.to_epoch(dt.datetime(y, 6, 15)) for y in (2014, 2017, 2019)]
+        assert list(timeutil.years(np.array(epochs))) == [2014, 2017, 2019]
+
+    def test_months(self):
+        epochs = [
+            timeutil.to_epoch(dt.datetime(2015, m, 10)) for m in (1, 6, 12)
+        ]
+        assert list(timeutil.months(np.array(epochs))) == [1, 6, 12]
+
+    def test_weekdays(self):
+        # 2014-01-01 was a Wednesday (weekday 2); 2014-01-06 a Monday.
+        wednesday = timeutil.to_epoch(dt.datetime(2014, 1, 1))
+        monday = timeutil.to_epoch(dt.datetime(2014, 1, 6))
+        assert int(timeutil.weekdays(wednesday)) == 2
+        assert int(timeutil.weekdays(monday)) == 0
+
+    def test_hours_of_day(self):
+        epoch = timeutil.to_epoch(dt.datetime(2015, 3, 3, 14, 59))
+        assert int(timeutil.hours_of_day(epoch)) == 14
+
+    def test_days_of_year(self):
+        assert int(timeutil.days_of_year(timeutil.to_epoch(dt.datetime(2015, 1, 1)))) == 1
+        assert int(timeutil.days_of_year(timeutil.to_epoch(dt.datetime(2015, 12, 31)))) == 365
+        # Leap year.
+        assert int(timeutil.days_of_year(timeutil.to_epoch(dt.datetime(2016, 12, 31)))) == 366
+
+    def test_fractional_year(self):
+        start = timeutil.to_epoch(dt.datetime(2015, 1, 1))
+        mid = timeutil.to_epoch(dt.datetime(2015, 7, 2))
+        frac = timeutil.fractional_year(np.array([start, mid]))
+        assert frac[0] == pytest.approx(2015.0)
+        assert frac[1] == pytest.approx(2015.5, abs=0.01)
+
+
+class TestTimeGrid:
+    def test_grid_spacing(self):
+        grid = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2014, 1, 2), 3600.0
+        )
+        assert len(grid) == 24
+        assert np.allclose(np.diff(grid), 3600.0)
+
+    def test_grid_starts_at_start(self):
+        grid = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2014, 1, 2), 300.0
+        )
+        assert grid[0] == timeutil.to_epoch(dt.datetime(2014, 1, 1))
+
+    def test_grid_excludes_end(self):
+        grid = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2014, 1, 2), 3600.0
+        )
+        assert grid[-1] < timeutil.to_epoch(dt.datetime(2014, 1, 2))
+
+    def test_monitor_cadence_count(self):
+        # 300 s cadence over one day: 288 samples.
+        grid = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2014, 1, 2), 300.0
+        )
+        assert len(grid) == 288
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            timeutil.time_grid(dt.datetime(2015, 1, 1), dt.datetime(2015, 1, 1), 60.0)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            timeutil.time_grid(dt.datetime(2015, 1, 1), dt.datetime(2015, 1, 2), 0.0)

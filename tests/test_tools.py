@@ -1,0 +1,30 @@
+"""The EXPERIMENTS.md generator tool."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.experiments import _HEADER
+
+
+class TestHeader:
+    def test_header_mentions_regeneration_command(self):
+        assert "python -m repro.tools.experiments" in _HEADER
+
+    def test_header_is_markdown(self):
+        assert _HEADER.startswith("# EXPERIMENTS")
+
+
+class TestGeneratedFile:
+    def test_repo_experiments_md_up_to_date_shape(self):
+        """The committed EXPERIMENTS.md has every figure section."""
+        path = Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+        assert path.exists(), "EXPERIMENTS.md missing from the repo root"
+        text = path.read_text()
+        for section in (
+            "Fig 2", "Fig 3", "Fig 4", "Fig 5", "Fig 6", "Fig 7",
+            "Fig 8", "Fig 9", "Figs 10-11", "Fig 12", "Fig 13",
+            "Figs 14-15",
+        ):
+            assert section in text, f"missing section {section}"
+        assert "| source | metric | paper | measured | unit |" in text

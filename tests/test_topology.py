@@ -1,0 +1,127 @@
+"""Rack topology, naming, and airflow factors."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.facility.topology import MiraTopology, Rack, RackId
+
+
+class TestRackId:
+    def test_label_is_hex(self):
+        assert RackId(0, 13).label == "(0, D)"
+        assert RackId(1, 8).label == "(1, 8)"
+        assert RackId(2, 15).label == "(2, F)"
+
+    def test_flat_index_roundtrip(self):
+        for index in range(constants.NUM_RACKS):
+            assert RackId.from_flat_index(index).flat_index == index
+
+    def test_flat_index_row_major(self):
+        assert RackId(0, 0).flat_index == 0
+        assert RackId(1, 0).flat_index == 16
+        assert RackId(2, 15).flat_index == 47
+
+    def test_parse_variants(self):
+        assert RackId.parse("(0, D)") == RackId(0, 13)
+        assert RackId.parse("1,8") == RackId(1, 8)
+        assert RackId.parse("(2,f)") == RackId(2, 15)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            RackId.parse("nope")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            RackId(3, 0)
+        with pytest.raises(ValueError):
+            RackId(-1, 0)
+
+    def test_bad_col_rejected(self):
+        with pytest.raises(ValueError):
+            RackId(0, 16)
+
+    def test_bad_flat_index_rejected(self):
+        with pytest.raises(ValueError):
+            RackId.from_flat_index(48)
+
+    def test_ordering_is_row_major(self):
+        assert RackId(0, 5) < RackId(1, 0)
+        assert sorted([RackId(2, 0), RackId(0, 1)])[0] == RackId(0, 1)
+
+    def test_hashable(self):
+        assert len({RackId(0, 1), RackId(0, 1), RackId(0, 2)}) == 2
+
+
+class TestRack:
+    def test_node_count_matches_paper(self):
+        rack = Rack(RackId(0, 0))
+        assert rack.num_nodes == 1024
+
+    def test_core_count(self):
+        rack = Rack(RackId(0, 0))
+        assert rack.num_cores == 16_384
+
+
+class TestMiraTopology:
+    def test_rack_count(self):
+        assert len(MiraTopology()) == 48
+
+    def test_total_nodes_matches_paper(self):
+        assert MiraTopology().total_nodes == 49_152
+
+    def test_total_cores_constant(self):
+        assert constants.TOTAL_COMPUTE_CORES == 786_432
+
+    def test_rows(self):
+        topology = MiraTopology()
+        row = topology.row(1)
+        assert len(row) == 16
+        assert all(r.row == 1 for r in row)
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            MiraTopology().row(3)
+
+    def test_rack_lookup(self):
+        topology = MiraTopology()
+        rack = topology.rack(RackId(2, 7))
+        assert rack.rack_id == RackId(2, 7)
+
+    def test_airflow_lower_at_row_ends(self):
+        topology = MiraTopology()
+        end = topology.airflow_factor(RackId(0, 0))
+        center = topology.airflow_factor(RackId(0, 7))
+        assert end < center
+        assert center == pytest.approx(1.0)
+
+    def test_airflow_symmetric_about_row_center(self):
+        topology = MiraTopology()
+        left = topology.airflow_factor(RackId(0, 1))
+        right = topology.airflow_factor(RackId(0, 14))
+        assert left == pytest.approx(right)
+
+    def test_default_hotspot_is_rack_1_8(self):
+        topology = MiraTopology()
+        assert RackId(1, 8) in topology.hotspots
+        # The hotspot sits in the row center yet has blocked airflow.
+        assert topology.airflow_factor(RackId(1, 8)) < topology.airflow_factor(
+            RackId(0, 8)
+        )
+
+    def test_custom_hotspots(self):
+        topology = MiraTopology(hotspots=((0, 5), (2, 9)))
+        assert topology.hotspots == {RackId(0, 5), RackId(2, 9)}
+
+    def test_airflow_vector_matches_scalar(self):
+        topology = MiraTopology()
+        vector = topology.airflow_factors()
+        for rack_id in topology.rack_ids:
+            assert vector[rack_id.flat_index] == pytest.approx(
+                topology.airflow_factor(rack_id)
+            )
+
+    def test_airflow_in_unit_range(self):
+        factors = MiraTopology().airflow_factors()
+        assert np.all(factors > 0.0)
+        assert np.all(factors <= 1.0)

@@ -1,0 +1,98 @@
+"""Temporal trend analyses (Figs 2-5) on the short datasets."""
+
+import numpy as np
+import pytest
+
+from repro.core.trends import (
+    coolant_trends,
+    monthly_profile,
+    weekday_profile,
+    yearly_trends,
+)
+from repro.telemetry.records import Channel
+
+
+class TestYearlyTrends:
+    def test_positive_power_trend(self, year_result):
+        trends = yearly_trends(year_result.database)
+        assert trends.power_fit.slope_per_year > 0.0
+
+    def test_fit_endpoints_bracket_series(self, year_result):
+        trends = yearly_trends(year_result.database)
+        assert 2.0 < trends.power_start_mw < 3.2
+        assert trends.power_end_mw > trends.power_start_mw
+
+    def test_utilization_trend_positive(self, year_result):
+        trends = yearly_trends(year_result.database)
+        assert trends.utilization_fit.slope_per_year > 0.0
+        assert 0.7 < trends.utilization_start < 1.0
+
+    def test_smoothing_preserves_length(self, year_result):
+        trends = yearly_trends(year_result.database, smooth_window=48)
+        assert len(trends.power_mw) == year_result.database.num_samples
+
+
+class TestCoolantTrends:
+    def test_means_near_paper_values(self, year_result):
+        trends = coolant_trends(year_result.database)
+        assert trends.inlet_mean_f == pytest.approx(64.5, abs=1.5)
+        assert trends.outlet_mean_f == pytest.approx(79.0, abs=2.5)
+
+    def test_stds_are_small(self, year_result):
+        trends = coolant_trends(year_result.database)
+        assert trends.inlet_std_f < 2.0
+        assert trends.outlet_std_f < 3.0
+
+    def test_flow_near_setpoint(self, year_result):
+        trends = coolant_trends(year_result.database)
+        assert 1150 < trends.flow_pre_theta_gpm < 1350
+
+
+class TestMonthlyProfile:
+    def test_power_profile_has_12_months(self, full_result):
+        profile = monthly_profile(full_result.database)
+        assert set(profile.by_month) == set(range(1, 13))
+
+    def test_power_higher_in_second_half(self, full_result):
+        profile = monthly_profile(full_result.database)
+        assert profile.second_half_ratio > 1.0
+
+    def test_utilization_higher_in_second_half(self, full_result):
+        profile = monthly_profile(full_result.database, Channel.UTILIZATION)
+        assert profile.second_half_ratio > 1.0
+
+    def test_coolant_channels_flat_across_months(self, full_result):
+        # Fig 4 caption: < 1.5 % change from January.
+        for channel in (Channel.FLOW, Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE):
+            profile = monthly_profile(full_result.database, channel)
+            assert profile.max_change_from_january < 0.05
+
+    def test_power_peaks_late_year(self, full_result):
+        profile = monthly_profile(full_result.database)
+        assert profile.peak_month in (10, 11, 12)
+
+
+class TestWeekdayProfile:
+    def test_monday_is_power_minimum(self, full_result):
+        profile = weekday_profile(full_result.database)
+        assert profile.minimum_weekday == 0
+
+    def test_non_monday_power_increase_near_paper(self, full_result):
+        profile = weekday_profile(full_result.database)
+        # Paper: ~6 %.
+        assert 0.02 < profile.non_monday_increase < 0.12
+
+    def test_non_monday_utilization_increase_small(self, full_result):
+        profile = weekday_profile(full_result.database, Channel.UTILIZATION)
+        # Paper: ~1.5 %.
+        assert 0.0 < profile.non_monday_increase < 0.05
+
+    def test_outlet_increase_modest(self, full_result):
+        profile = weekday_profile(full_result.database, Channel.OUTLET_TEMPERATURE)
+        # Paper: ~2 %.
+        assert 0.0 < profile.non_monday_increase < 0.05
+
+    def test_flow_and_inlet_flat(self, full_result):
+        for channel in (Channel.FLOW, Channel.INLET_TEMPERATURE):
+            profile = weekday_profile(full_result.database, channel)
+            assert abs(profile.non_monday_increase) < 0.01

@@ -1,0 +1,128 @@
+"""Unit-conversion and heat-balance arithmetic."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTemperatureConversions:
+    def test_freezing_point(self):
+        assert units.fahrenheit_to_celsius(32.0) == pytest.approx(0.0)
+        assert units.celsius_to_fahrenheit(0.0) == pytest.approx(32.0)
+
+    def test_boiling_point(self):
+        assert units.fahrenheit_to_celsius(212.0) == pytest.approx(100.0)
+
+    def test_minus_forty_fixed_point(self):
+        assert units.fahrenheit_to_celsius(-40.0) == pytest.approx(-40.0)
+
+    def test_roundtrip(self):
+        for value in (-20.0, 0.0, 64.0, 79.0, 98.6):
+            back = units.celsius_to_fahrenheit(units.fahrenheit_to_celsius(value))
+            assert back == pytest.approx(value)
+
+    def test_delta_conversion_has_no_offset(self):
+        assert units.fahrenheit_delta_to_celsius(9.0) == pytest.approx(5.0)
+        assert units.celsius_delta_to_fahrenheit(5.0) == pytest.approx(9.0)
+
+    def test_delta_roundtrip(self):
+        assert units.celsius_delta_to_fahrenheit(
+            units.fahrenheit_delta_to_celsius(15.0)
+        ) == pytest.approx(15.0)
+
+
+class TestFlowConversions:
+    def test_gpm_to_mass_flow(self):
+        # 1 GPM of water is about 0.0629 kg/s.
+        assert units.gpm_to_kg_per_s(1.0) == pytest.approx(0.0629, rel=1e-2)
+
+    def test_roundtrip(self):
+        assert units.kg_per_s_to_gpm(units.gpm_to_kg_per_s(26.0)) == pytest.approx(
+            26.0
+        )
+
+    def test_mira_rack_flow_magnitude(self):
+        # ~26 GPM is ~1.6 kg/s.
+        assert units.gpm_to_kg_per_s(26.0) == pytest.approx(1.636, rel=1e-2)
+
+
+class TestHeatBalance:
+    def test_temperature_rise_scales_with_heat(self):
+        rise1 = units.coolant_temperature_rise_f(25.0, 26.0)
+        rise2 = units.coolant_temperature_rise_f(50.0, 26.0)
+        assert rise2 == pytest.approx(2.0 * rise1)
+
+    def test_temperature_rise_inverse_with_flow(self):
+        rise1 = units.coolant_temperature_rise_f(50.0, 26.0)
+        rise2 = units.coolant_temperature_rise_f(50.0, 52.0)
+        assert rise1 == pytest.approx(2.0 * rise2)
+
+    def test_mira_operating_point(self):
+        # ~55 kW per rack at ~26 GPM gives the paper's ~15 F rise.
+        rise = units.coolant_temperature_rise_f(55.0, 26.0)
+        assert 13.0 < rise < 16.5
+
+    def test_zero_flow_rejected(self):
+        with pytest.raises(ValueError):
+            units.coolant_temperature_rise_f(10.0, 0.0)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError):
+            units.coolant_temperature_rise_f(10.0, -5.0)
+
+    def test_heat_absorbed_inverts_rise(self):
+        heat = 48.0
+        rise = units.coolant_temperature_rise_f(heat, 26.0)
+        assert units.heat_absorbed_kw(rise, 26.0) == pytest.approx(heat)
+
+    def test_tons_to_kw(self):
+        assert units.tons_to_kw(1.0) == pytest.approx(3.517, rel=1e-3)
+        # The plant: two 1,500-ton towers ~ 10.5 MW of heat rejection.
+        assert units.tons_to_kw(3000.0) == pytest.approx(10_550, rel=1e-2)
+
+
+class TestDewpoint:
+    def test_saturated_air(self):
+        # At 100 % RH the dewpoint equals the temperature.
+        assert units.dewpoint_c(25.0, 100.0) == pytest.approx(25.0, abs=0.01)
+
+    def test_dewpoint_below_temperature(self):
+        assert units.dewpoint_c(25.0, 50.0) < 25.0
+
+    def test_dewpoint_monotone_in_humidity(self):
+        d30 = units.dewpoint_c(25.0, 30.0)
+        d60 = units.dewpoint_c(25.0, 60.0)
+        d90 = units.dewpoint_c(25.0, 90.0)
+        assert d30 < d60 < d90
+
+    def test_known_value(self):
+        # 20 C at 50 % RH has a dewpoint near 9.3 C.
+        assert units.dewpoint_c(20.0, 50.0) == pytest.approx(9.27, abs=0.2)
+
+    def test_fahrenheit_wrapper(self):
+        dew_f = units.dewpoint_f(80.0, 33.0)
+        dew_c = units.dewpoint_c(units.fahrenheit_to_celsius(80.0), 33.0)
+        assert dew_f == pytest.approx(units.celsius_to_fahrenheit(dew_c))
+
+    def test_datacenter_margin_is_comfortable(self):
+        # Typical Mira conditions: 80 F air at 33 %RH -> dewpoint in
+        # the high 40s F, well below the 64 F coolant.
+        dew = units.dewpoint_f(80.0, 33.0)
+        assert 40.0 < dew < 55.0
+
+    @pytest.mark.parametrize("bad_rh", [0.0, -5.0, 101.0, 150.0])
+    def test_invalid_humidity_rejected(self, bad_rh):
+        with pytest.raises(ValueError):
+            units.dewpoint_c(25.0, bad_rh)
+
+    def test_saturation_vapor_pressure_at_zero(self):
+        assert units.saturation_vapor_pressure_hpa(0.0) == pytest.approx(
+            6.112, rel=1e-3
+        )
+
+    def test_saturation_vapor_pressure_monotone(self):
+        temps = [-10.0, 0.0, 10.0, 20.0, 30.0]
+        pressures = [units.saturation_vapor_pressure_hpa(t) for t in temps]
+        assert pressures == sorted(pressures)

@@ -1,0 +1,52 @@
+"""Internal consistency validation."""
+
+import pytest
+
+from repro.core.validation import (
+    check_condensation_margins,
+    check_flow_conservation,
+    check_heat_balance,
+    check_outages_follow_log,
+    check_utilization_bounds,
+    validate_result,
+)
+
+
+class TestIndividualChecks:
+    def test_heat_balance_holds(self, year_result):
+        check = check_heat_balance(year_result)
+        assert check.passed, check.detail
+
+    def test_flow_conservation_holds(self, year_result):
+        check = check_flow_conservation(year_result)
+        assert check.passed, check.detail
+
+    def test_condensation_margins_hold(self, year_result):
+        check = check_condensation_margins(year_result)
+        assert check.passed, check.detail
+
+    def test_outages_follow_log(self, year_result):
+        check = check_outages_follow_log(year_result)
+        assert check.passed, check.detail
+
+    def test_utilization_bounds(self, year_result):
+        check = check_utilization_bounds(year_result)
+        assert check.passed, check.detail
+
+
+class TestScorecard:
+    def test_full_validation_passes(self, year_result):
+        scorecard = validate_result(year_result)
+        assert scorecard.passed, scorecard.summary()
+        assert len(scorecard.checks) == 5
+
+    def test_summary_mentions_every_check(self, year_result):
+        scorecard = validate_result(year_result)
+        summary = scorecard.summary()
+        for check in scorecard.checks:
+            assert check.name in summary
+        assert "ALL CHECKS PASSED" in summary
+
+    def test_demo_dataset_also_valid(self, demo_result):
+        scorecard = validate_result(demo_result)
+        assert scorecard.passed, scorecard.summary()

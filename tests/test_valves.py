@@ -1,0 +1,68 @@
+"""Flow regulating and solenoid valves."""
+
+import datetime as dt
+
+import pytest
+
+from repro import constants, timeutil
+from repro.cooling.valves import FlowRegulatingValve, SolenoidValve
+
+
+class TestFlowRegulatingValve:
+    def test_default_history_matches_paper(self):
+        valve = FlowRegulatingValve()
+        before = timeutil.to_epoch(dt.datetime(2015, 6, 1))
+        after = timeutil.to_epoch(dt.datetime(2017, 6, 1))
+        assert valve.setpoint_gpm(before) == constants.FLOW_PRE_THETA_GPM
+        assert valve.setpoint_gpm(after) == constants.FLOW_POST_THETA_GPM
+
+    def test_step_boundary(self):
+        valve = FlowRegulatingValve()
+        theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
+        assert valve.setpoint_gpm(theta - 1) == constants.FLOW_PRE_THETA_GPM
+        assert valve.setpoint_gpm(theta) == constants.FLOW_POST_THETA_GPM
+
+    def test_query_before_history_clamps(self):
+        valve = FlowRegulatingValve()
+        ancient = timeutil.to_epoch(dt.datetime(2000, 1, 1))
+        assert valve.setpoint_gpm(ancient) == constants.FLOW_PRE_THETA_GPM
+
+    def test_new_setpoint_insertion(self):
+        valve = FlowRegulatingValve()
+        valve.set_setpoint(dt.datetime(2018, 1, 1), 1400.0)
+        assert valve.setpoint_gpm(
+            timeutil.to_epoch(dt.datetime(2018, 6, 1))
+        ) == 1400.0
+        assert valve.setpoint_gpm(
+            timeutil.to_epoch(dt.datetime(2017, 6, 1))
+        ) == constants.FLOW_POST_THETA_GPM
+
+    def test_overwrite_same_date(self):
+        valve = FlowRegulatingValve()
+        valve.set_setpoint(constants.THETA_ADDITION_DATE, 1350.0)
+        after = timeutil.to_epoch(dt.datetime(2017, 1, 1))
+        assert valve.setpoint_gpm(after) == 1350.0
+
+    def test_history_sorted(self):
+        valve = FlowRegulatingValve()
+        valve.set_setpoint(dt.datetime(2015, 1, 1), 1275.0)
+        times = [t for t, _ in valve.history]
+        assert times == sorted(times)
+
+    def test_bad_setpoint_rejected(self):
+        with pytest.raises(ValueError):
+            FlowRegulatingValve().set_setpoint(dt.datetime(2018, 1, 1), 0.0)
+
+
+class TestSolenoidValve:
+    def test_starts_open(self):
+        assert SolenoidValve().is_open
+
+    def test_close_and_open(self):
+        valve = SolenoidValve()
+        valve.close()
+        assert not valve.is_open
+        assert valve.flow_multiplier() == 0.0
+        valve.open()
+        assert valve.is_open
+        assert valve.flow_multiplier() == 1.0

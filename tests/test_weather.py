@@ -1,0 +1,86 @@
+"""The synthetic Chicago weather model."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timeutil
+from repro.weather.chicago import ChicagoWeather
+
+
+@pytest.fixture
+def weather():
+    return ChicagoWeather(seed=1)
+
+
+def _epochs(year, month, day_count=28, per_day=4):
+    start = timeutil.to_epoch(dt.datetime(year, month, 1))
+    return start + np.arange(day_count * per_day) * (86_400 / per_day)
+
+
+class TestTemperature:
+    def test_summer_hotter_than_winter(self, weather):
+        july = weather.temperature_f(_epochs(2015, 7)).mean()
+        january = weather.temperature_f(_epochs(2015, 1)).mean()
+        assert july - january > 30.0
+
+    def test_afternoon_warmer_than_night(self, weather):
+        day = timeutil.to_epoch(dt.datetime(2015, 6, 10))
+        afternoon = float(weather.temperature_f(day + 15 * 3600))
+        night = float(weather.temperature_f(day + 4 * 3600))
+        assert afternoon > night
+
+    def test_chicago_range_is_plausible(self, weather):
+        epochs = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2016, 1, 1), 6 * 3600.0
+        )
+        temps = weather.temperature_f(epochs)
+        assert temps.min() > -25.0
+        assert temps.max() < 110.0
+        assert 40.0 < temps.mean() < 60.0
+
+    def test_deterministic_and_order_independent(self):
+        w1 = ChicagoWeather(seed=5)
+        w2 = ChicagoWeather(seed=5)
+        epochs = _epochs(2015, 4)
+        forward = w1.temperature_f(epochs)
+        reverse = w2.temperature_f(epochs[::-1])[::-1]
+        assert np.allclose(forward, reverse)
+
+    def test_different_seed_different_weather(self):
+        epochs = _epochs(2015, 4)
+        assert not np.allclose(
+            ChicagoWeather(seed=1).temperature_f(epochs),
+            ChicagoWeather(seed=2).temperature_f(epochs),
+        )
+
+
+class TestHumidity:
+    def test_summer_more_humid_than_winter(self, weather):
+        july = weather.relative_humidity(_epochs(2015, 7)).mean()
+        january = weather.relative_humidity(_epochs(2015, 1)).mean()
+        assert july > january
+
+    def test_bounded(self, weather):
+        epochs = timeutil.time_grid(
+            dt.datetime(2014, 1, 1), dt.datetime(2015, 1, 1), 3 * 3600.0
+        )
+        rh = weather.relative_humidity(epochs)
+        assert rh.min() >= 15.0
+        assert rh.max() <= 100.0
+
+
+class TestFreeCooling:
+    def test_winter_free_cooling_mostly_available(self, weather):
+        january = weather.free_cooling_available(_epochs(2015, 1))
+        assert january.mean() > 0.5
+
+    def test_summer_free_cooling_unavailable(self, weather):
+        july = weather.free_cooling_available(_epochs(2015, 7))
+        assert july.mean() < 0.05
+
+    def test_sample_convenience(self, weather):
+        sample = weather.sample(timeutil.to_epoch(dt.datetime(2015, 3, 15, 12)))
+        assert -20 < sample.temperature_f < 100
+        assert 15 <= sample.relative_humidity <= 100

@@ -1,0 +1,108 @@
+"""High-resolution lead-up window synthesis."""
+
+import numpy as np
+import pytest
+
+from repro import constants, timeutil
+from repro.simulation import WindowSynthesizer
+from repro.simulation.engine import FacilityEngine
+from repro.simulation.scenarios import MiraScenario
+from repro.simulation.config import SimulationConfig
+from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
+
+HOUR = timeutil.HOUR_S
+
+
+class TestGeometry:
+    def test_positive_count_matches_schedule(self, year_result, year_windows):
+        positives, _ = year_windows
+        eligible = [
+            e
+            for e in year_result.schedule.events
+            if e.epoch_s >= year_result.start_epoch_s + 12.5 * HOUR
+        ]
+        assert len(positives) == len(eligible)
+
+    def test_grid_cadence_is_monitor_native(self, year_windows):
+        positives, _ = year_windows
+        window = positives[0]
+        assert np.allclose(np.diff(window.epoch_s), constants.MONITOR_SAMPLE_PERIOD_S)
+
+    def test_window_ends_at_event(self, year_result, year_windows):
+        positives, _ = year_windows
+        event_times = {e.epoch_s for e in year_result.schedule.events}
+        for window in positives[:10]:
+            assert window.epoch_s[-1] == pytest.approx(window.end_epoch_s)
+            assert window.end_epoch_s in event_times
+
+    def test_all_predictor_channels_present(self, year_windows):
+        positives, negatives = year_windows
+        for window in (positives[0], negatives[0]):
+            assert set(window.channels) == set(PREDICTOR_CHANNELS)
+
+
+class TestSignatureContent:
+    def test_positive_flow_collapses_at_end(self, year_windows):
+        positives, _ = year_windows
+        drops = []
+        for window in positives:
+            flow = window.channels[Channel.FLOW]
+            baseline = window.lead_value(Channel.FLOW, 8 * HOUR)
+            drops.append(flow[-1] / baseline)
+        assert np.median(drops) < 0.5
+
+    def test_positive_inlet_sags_then_rises(self, year_windows):
+        positives, _ = year_windows
+        sags = []
+        finals = []
+        for window in positives:
+            baseline = window.lead_value(Channel.INLET_TEMPERATURE, 11 * HOUR)
+            sags.append(
+                window.lead_value(Channel.INLET_TEMPERATURE, 4 * HOUR) / baseline
+            )
+            finals.append(
+                window.lead_value(Channel.INLET_TEMPERATURE, 0.0) / baseline
+            )
+        assert np.mean(sags) < 0.97
+        assert np.mean(finals) > 1.02
+
+    def test_negative_channels_stay_near_baseline(self, year_windows):
+        _, negatives = year_windows
+        ratios = []
+        for window in negatives:
+            baseline = window.lead_value(Channel.FLOW, 11 * HOUR)
+            if baseline > 1.0:
+                ratios.append(window.lead_value(Channel.FLOW, 0.0) / baseline)
+        assert 0.9 < np.median(ratios) < 1.1
+
+    def test_negatives_avoid_cmf_neighbourhoods(self, year_result, year_windows):
+        _, negatives = year_windows
+        for window in negatives:
+            events = year_result.schedule.events_for_rack(window.rack_id)
+            for event in events:
+                assert abs(event.epoch_s - window.end_epoch_s) >= 24 * HOUR
+
+
+class TestValidation:
+    def test_requires_failure_injection(self):
+        config = SimulationConfig(
+            start=MiraScenario.demo(days=20).start,
+            end=MiraScenario.demo(days=20).end,
+            inject_failures=False,
+        )
+        result = FacilityEngine(config).run()
+        with pytest.raises(ValueError):
+            WindowSynthesizer(result)
+
+    def test_bad_geometry_rejected(self, year_result):
+        with pytest.raises(ValueError):
+            WindowSynthesizer(year_result, dt_s=0.0)
+        with pytest.raises(ValueError):
+            WindowSynthesizer(year_result, dt_s=300.0, history_s=100.0)
+
+    def test_value_interpolation(self, year_windows):
+        positives, _ = year_windows
+        window = positives[0]
+        mid = (window.epoch_s[0] + window.epoch_s[-1]) / 2.0
+        value = window.value_at(Channel.POWER, mid)
+        assert np.isfinite(value)

@@ -1,0 +1,123 @@
+"""The workload generator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro import timeutil
+from repro.scheduler.queues import QueueName
+from repro.scheduler.workload import WorkloadConfig, WorkloadGenerator
+
+
+def _generator(seed=0, **config_overrides):
+    config = WorkloadConfig(**config_overrides) if config_overrides else None
+    return WorkloadGenerator(config=config, rng=np.random.default_rng(seed))
+
+
+def _epoch(year, month, day=15):
+    return timeutil.to_epoch(dt.datetime(year, month, day))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_bad_demand_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(demand_start=0.9, demand_end=0.8)
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(incite_share=0.7, alcc_share=0.5)
+
+    def test_discretionary_share_complement(self):
+        config = WorkloadConfig(incite_share=0.5, alcc_share=0.3)
+        assert config.discretionary_share == pytest.approx(0.2)
+
+
+class TestDemandShaping:
+    def test_secular_growth(self):
+        gen = _generator()
+        assert gen.secular_factor(_epoch(2019, 6)) > gen.secular_factor(_epoch(2014, 6))
+
+    def test_secular_clamped_outside_period(self):
+        gen = _generator()
+        assert gen.secular_factor(_epoch(2010, 1)) == pytest.approx(
+            gen.config.demand_start
+        )
+        assert gen.secular_factor(_epoch(2025, 1)) == pytest.approx(
+            gen.config.demand_end
+        )
+
+    def test_seasonal_peaks_late_year(self):
+        gen = _generator()
+        december = gen.seasonal_factor(_epoch(2015, 12, 20))
+        february = gen.seasonal_factor(_epoch(2015, 2, 10))
+        assert december > february
+
+    def test_seasonal_mean_near_one(self):
+        gen = _generator()
+        months = [gen.seasonal_factor(_epoch(2015, m)) for m in range(1, 13)]
+        assert np.mean(months) == pytest.approx(1.0, abs=0.08)
+
+    def test_intensity_creep(self):
+        gen = _generator()
+        assert gen.intensity_mean(_epoch(2019, 6)) > gen.intensity_mean(_epoch(2014, 6))
+
+
+class TestArrivals:
+    def test_arrival_counts_scale_with_dt(self):
+        gen = _generator(seed=3)
+        short = sum(len(gen.arrivals(_epoch(2015, 5), 3600.0)) for _ in range(200))
+        gen2 = _generator(seed=3)
+        long = sum(len(gen2.arrivals(_epoch(2015, 5), 7200.0)) for _ in range(200))
+        assert long > short
+
+    def test_jobs_have_valid_queues(self):
+        gen = _generator(seed=1)
+        jobs = []
+        for _ in range(100):
+            jobs.extend(gen.arrivals(_epoch(2015, 9), 3600.0))
+        assert jobs, "expected some arrivals"
+        for job in jobs:
+            assert job.queue in (QueueName.PROD_LONG, QueueName.PROD_SHORT)
+            assert job.queue.admits(job.walltime_s)
+
+    def test_job_ids_unique(self):
+        gen = _generator(seed=1)
+        ids = []
+        for _ in range(50):
+            ids.extend(j.job_id for j in gen.arrivals(_epoch(2015, 9), 3600.0))
+        assert len(ids) == len(set(ids))
+
+    def test_intensity_within_clip(self):
+        gen = _generator(seed=2)
+        for _ in range(50):
+            for job in gen.arrivals(_epoch(2018, 3), 3600.0):
+                assert 0.3 <= job.intensity <= 2.5
+
+    def test_sizes_are_valid(self):
+        gen = _generator(seed=4)
+        sizes = set()
+        for _ in range(300):
+            for job in gen.arrivals(_epoch(2016, 11), 3600.0):
+                sizes.add(job.midplanes)
+        assert sizes <= {1, 2, 4, 8, 16, 32, 48, 96}
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            _generator().arrivals(_epoch(2015, 1), 0.0)
+
+    def test_burner_job(self):
+        gen = _generator()
+        burner = gen.make_burner_job(_epoch(2015, 1), 6 * 3600.0, 0.65)
+        assert burner.is_burner
+        assert burner.queue is QueueName.BURNER
+        assert burner.midplanes == 1
+        assert burner.intensity == 0.65
+
+    def test_deterministic_given_seed(self):
+        a = [j.midplanes for j in _generator(seed=9).arrivals(_epoch(2015, 5), 7200.0)]
+        b = [j.midplanes for j in _generator(seed=9).arrivals(_epoch(2015, 5), 7200.0)]
+        assert a == b
