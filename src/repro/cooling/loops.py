@@ -143,6 +143,43 @@ class CoolingLoop:
             raise ValueError("all racks are shut off; the loop has no path")
         return total_flow_gpm * conductance / total_conductance
 
+    def rack_flows_gpm_block(
+        self,
+        total_flow_gpm: np.ndarray,
+        solenoid_open: Optional[np.ndarray] = None,
+        flow_disturbance: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched :meth:`rack_flows_gpm` over a ``(steps, racks)`` block.
+
+        Args:
+            total_flow_gpm: Facility setpoint per step, shape
+                ``(steps,)``.
+            solenoid_open: Optional boolean ``(steps, racks)`` mask.
+            flow_disturbance: Optional multiplicative ``(steps, racks)``
+                disturbance on the conductances.
+
+        Returns:
+            Per-step, per-rack flows ``(steps, racks)``; each row sums
+            to its step's total.  Steps where every rack is shut off
+            yield all-zero rows (a fully-downed floor has no flow path;
+            the solenoids are closed and the pumps dead-head).
+        """
+        total = np.asarray(total_flow_gpm, dtype="float64")
+        if np.any(total <= 0):
+            raise ValueError("total flow must be positive at every step")
+        conductance = np.broadcast_to(
+            self._conductance, (total.shape[0], constants.NUM_RACKS)
+        )
+        if flow_disturbance is not None:
+            conductance = conductance * np.clip(flow_disturbance, 0.0, None)
+        if solenoid_open is not None:
+            conductance = np.where(solenoid_open, conductance, 0.0)
+        row_total = conductance.sum(axis=1, keepdims=True)
+        safe_total = np.where(row_total > 0.0, row_total, 1.0)
+        return np.where(
+            row_total > 0.0, total[:, None] * conductance / safe_total, 0.0
+        )
+
     # -- thermals ------------------------------------------------------------
 
     def rack_inlet_temperatures_f(self, supply_f: float) -> np.ndarray:

@@ -17,7 +17,7 @@ is the default here (a low-lift water-cooled chiller operating point).
 from __future__ import annotations
 
 import dataclasses
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -77,29 +77,44 @@ class ChilledWaterPlant:
     # -- economizer ----------------------------------------------------------
 
     def free_cooling_fraction(
-        self, epoch_s: Union[np.ndarray, float]
+        self,
+        epoch_s: Union[np.ndarray, float],
+        outdoor_f: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Fraction of the cooling load carried by the economizer.
 
         Ramps linearly from 1.0 below the full-free-cooling threshold
         to 0.0 above the no-free-cooling threshold.
+
+        Args:
+            epoch_s: Timestamps to evaluate.
+            outdoor_f: Optional precomputed outdoor temperature for the
+                same timestamps; callers that already hold a weather
+                table (the simulation engine) pass it to avoid
+                re-evaluating the weather field.
         """
-        outdoor_f = np.asarray(self._weather.temperature_f(epoch_s))
+        if outdoor_f is None:
+            outdoor_f = self._weather.temperature_f(epoch_s)
+        outdoor_f = np.asarray(outdoor_f)
         span = self.no_free_cooling_above_f - self.full_free_cooling_below_f
         fraction = (self.no_free_cooling_above_f - outdoor_f) / span
         return np.clip(fraction, 0.0, 1.0)
 
     def supply_temperature_f(
-        self, epoch_s: Union[np.ndarray, float]
+        self,
+        epoch_s: Union[np.ndarray, float],
+        outdoor_f: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Chilled-water supply temperature at the given timestamps.
 
         Mechanical chilling holds the setpoint; free cooling runs up to
         ``free_cooling_penalty_f`` warmer, blended by the economizer
         fraction.  This produces the slightly-warmer-inlet-in-winter
-        pattern of Fig 4(d).
+        pattern of Fig 4(d).  ``outdoor_f`` optionally supplies a
+        precomputed outdoor-temperature table (see
+        :meth:`free_cooling_fraction`).
         """
-        fraction = self.free_cooling_fraction(epoch_s)
+        fraction = self.free_cooling_fraction(epoch_s, outdoor_f=outdoor_f)
         return self.supply_setpoint_f + self.free_cooling_penalty_f * fraction
 
     # -- energy --------------------------------------------------------------

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import bisect
 import datetime as dt
-from typing import List, Tuple
+from typing import List, Tuple, Union
+
+import numpy as np
 
 from repro import constants, timeutil
 
@@ -51,16 +53,25 @@ class FlowRegulatingValve:
             self._times.insert(index, epoch)
             self._setpoints.insert(index, flow_gpm)
 
-    def setpoint_gpm(self, epoch_s: float) -> float:
+    def setpoint_gpm(self, epoch_s: Union[np.ndarray, float]) -> Union[np.ndarray, float]:
         """The setpoint in force at ``epoch_s``.
 
         Queries before the first dated setpoint return that first
         setpoint (the valve existed before our history starts).
+        Accepts a scalar (returns ``float``) or a timestamp array
+        (returns an array) — the engine precomputes whole-grid
+        setpoint tables.
         """
-        index = bisect.bisect_right(self._times, epoch_s) - 1
-        if index < 0:
-            index = 0
-        return self._setpoints[index]
+        if np.ndim(epoch_s) == 0:
+            index = bisect.bisect_right(self._times, epoch_s) - 1
+            if index < 0:
+                index = 0
+            return self._setpoints[index]
+        indices = np.searchsorted(
+            np.asarray(self._times), np.asarray(epoch_s, dtype="float64"), side="right"
+        )
+        indices = np.maximum(indices - 1, 0)
+        return np.asarray(self._setpoints, dtype="float64")[indices]
 
     @property
     def history(self) -> Tuple[Tuple[float, float], ...]:

@@ -29,7 +29,7 @@ exactly.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -132,8 +132,11 @@ class PrecursorSignature:
     def _interp(
         knots: Tuple[Tuple[float, float], ...],
         tau_s: np.ndarray,
-        amplitude: float = 1.0,
+        amplitude: Union[np.ndarray, float] = 1.0,
     ) -> np.ndarray:
+        # ``amplitude`` may be a scalar or an array broadcastable
+        # against ``tau_s`` (the vectorized engine passes per-event
+        # severities for whole blocks of steps at once).
         tau_h = np.asarray(tau_s, dtype="float64") / timeutil.HOUR_S
         taus = np.array([k[0] for k in knots])
         vals = np.array([k[1] for k in knots])
@@ -144,17 +147,23 @@ class PrecursorSignature:
         return 1.0 + amplitude * change
 
     @classmethod
-    def inlet_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+    def inlet_factor(
+        cls, tau_s: np.ndarray, amplitude: Union[np.ndarray, float] = 1.0
+    ) -> np.ndarray:
         """Multiplier on inlet coolant temperature at lead ``tau_s``."""
         return cls._interp(cls.INLET_KNOTS, tau_s, amplitude)
 
     @classmethod
-    def outlet_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+    def outlet_factor(
+        cls, tau_s: np.ndarray, amplitude: Union[np.ndarray, float] = 1.0
+    ) -> np.ndarray:
         """Multiplier on outlet coolant temperature at lead ``tau_s``."""
         return cls._interp(cls.OUTLET_KNOTS, tau_s, amplitude)
 
     @classmethod
-    def flow_factor(cls, tau_s: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+    def flow_factor(
+        cls, tau_s: np.ndarray, amplitude: Union[np.ndarray, float] = 1.0
+    ) -> np.ndarray:
         """Multiplier on coolant flow at lead ``tau_s``.
 
         The flow collapse *is* the failure mechanism for most events,
@@ -162,14 +171,14 @@ class PrecursorSignature:
         weak-precursor events drop a ~26 GPM rack below the 10 GPM
         fatal threshold at the event.
         """
-        return cls._interp(cls.FLOW_KNOTS, tau_s, max(amplitude, 0.9))
+        return cls._interp(cls.FLOW_KNOTS, tau_s, np.maximum(amplitude, 0.9))
 
     @classmethod
     def humidity_factor(
         cls,
         tau_s: np.ndarray,
         condensation_triggered: bool = False,
-        amplitude: float = 1.0,
+        amplitude: Union[np.ndarray, float] = 1.0,
     ) -> np.ndarray:
         """Multiplier on local DC humidity at lead ``tau_s``."""
         if not condensation_triggered:

@@ -17,8 +17,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import Union
+
+import numpy as np
 
 from repro import timeutil
+
+ArrayLike = Union[np.ndarray, float, int]
 
 
 class AllocationProgram(enum.Enum):
@@ -37,29 +42,36 @@ class AllocationProgram(enum.Enum):
             return 7
         return 1  # discretionary: treated as calendar-year, no rush
 
-    def year_progress(self, epoch_s: float) -> float:
+    def year_progress(self, epoch_s: ArrayLike) -> Union[np.ndarray, float]:
         """Fraction (0..1) of this program's allocation year elapsed.
 
         0 at the start of the allocation year, approaching 1 at its
-        deadline.  Drives the deadline-rush demand model.
+        deadline.  Drives the deadline-rush demand model.  Accepts a
+        scalar (returns ``float``) or a timestamp array (returns an
+        array) — the simulation engine evaluates whole grids at once.
         """
-        month = int(timeutil.months(epoch_s))
-        day_in_month = (
-            float(timeutil.days_of_year(epoch_s))
-            - _CUMULATIVE_MONTH_DAYS[month - 1]
-        )
+        month = timeutil.months(epoch_s)
+        day_in_month = timeutil.days_of_year(epoch_s).astype("float64") - np.asarray(
+            _CUMULATIVE_MONTH_DAYS
+        )[month - 1]
         months_elapsed = (month - self.allocation_year_start_month) % 12
-        return min(1.0, (months_elapsed + day_in_month / 30.5) / 12.0)
+        progress = np.minimum(1.0, (months_elapsed + day_in_month / 30.5) / 12.0)
+        return float(progress) if np.ndim(epoch_s) == 0 else progress
 
-    def demand_multiplier(self, epoch_s: float, rush_strength: float = 1.0) -> float:
+    def demand_multiplier(
+        self, epoch_s: ArrayLike, rush_strength: float = 1.0
+    ) -> Union[np.ndarray, float]:
         """Relative job-submission intensity at a moment in time.
 
         Grows from a base level at the start of the allocation year to
         ``1 + rush_strength`` at the deadline: the deadline rush.
-        Discretionary projects submit at a constant rate.
+        Discretionary projects submit at a constant rate.  Scalar in,
+        ``float`` out; array in, array out.
         """
         if self is AllocationProgram.DISCRETIONARY:
-            return 1.0
+            if np.ndim(epoch_s) == 0:
+                return 1.0
+            return np.ones(np.shape(epoch_s), dtype="float64")
         progress = self.year_progress(epoch_s)
         # Quadratic ramp: most of the rush lands in the final third.
         return 1.0 + rush_strength * progress**2

@@ -157,6 +157,11 @@ class MiraScheduler:
         self._killed_count = 0
         #: Per-queue job accounting (wait times, throughput, losses).
         self.stats = SchedulingStats()
+        #: Incremental per-rack occupancy accumulators, maintained on
+        #: every job start/release so the per-step rack vectors cost
+        #: O(racks) instead of O(running jobs x midplanes).
+        self._rack_busy = np.zeros(constants.NUM_RACKS)
+        self._rack_intensity_sum = np.zeros(constants.NUM_RACKS)
 
     # -- introspection -------------------------------------------------------
 
@@ -180,11 +185,30 @@ class MiraScheduler:
     def killed_count(self) -> int:
         return self._killed_count
 
+    # -- occupancy accounting --------------------------------------------------
+
+    def _occupy(self, job: Job) -> None:
+        """Add a started job's midplanes to the rack accumulators."""
+        for mp in job.assigned_midplanes:
+            rack = rack_of_midplane(mp)
+            self._rack_busy[rack] += 1.0
+            self._rack_intensity_sum[rack] += job.intensity
+
+    def _vacate(self, job: Job) -> None:
+        """Remove a finished/killed job's midplanes from the accumulators."""
+        for mp in job.assigned_midplanes:
+            rack = rack_of_midplane(mp)
+            self._rack_busy[rack] -= 1.0
+            self._rack_intensity_sum[rack] -= job.intensity
+
     # -- maintenance window ----------------------------------------------------
 
     def _maintenance_starts_now(self, epoch_s: float, dt_s: float) -> bool:
         """Whether a maintenance window opens during this step."""
-        weekday = int(timeutil.weekdays(epoch_s))
+        # Inline weekday arithmetic (1970-01-01 was a Thursday): this
+        # runs every step, and the numpy datetime64 route in
+        # timeutil.weekdays costs microseconds per scalar call.
+        weekday = (int(epoch_s // timeutil.DAY_S) + 3) % 7
         if weekday != self.maintenance.weekday:
             return False
         hour = (epoch_s % timeutil.DAY_S) / timeutil.HOUR_S
@@ -216,6 +240,7 @@ class MiraScheduler:
             self._killed_count += 1
             self.stats.on_kill(job)
             self.allocator.release(job)
+            self._vacate(job)
             resubmit_at = epoch_s + float(self._rng.uniform(0.0, timeutil.DAY_S))
             requeued = dataclasses.replace(
                 job,
@@ -237,6 +262,7 @@ class MiraScheduler:
             )
             self.allocator.claim(burner.job_id, (mp,))
             burner.start(epoch_s, (mp,))
+            self._occupy(burner)
             self.stats.on_start(burner, epoch_s)
             self._burners.append(burner)
 
@@ -246,6 +272,7 @@ class MiraScheduler:
             burner.complete()
             self.stats.on_complete(burner)
             self.allocator.release(burner)
+            self._vacate(burner)
         self._burners.clear()
 
     # -- reservation holes ---------------------------------------------------------
@@ -285,12 +312,14 @@ class MiraScheduler:
             self._completed_count += 1
             self.stats.on_complete(job)
             self.allocator.release(job)
+            self._vacate(job)
 
     def _start_job(self, job: Job, epoch_s: float) -> bool:
         placement = self.allocator.try_allocate(job)
         if placement is None:
             return False
         job.start(epoch_s, placement)
+        self._occupy(job)
         self.stats.on_start(job, epoch_s)
         heapq.heappush(self._running, (job.end_epoch_s, job.job_id, job))
         return True
@@ -348,6 +377,7 @@ class MiraScheduler:
                 self.stats.on_kill(job)
                 killed += 1
                 self.allocator.release(job)
+                self._vacate(job)
             else:
                 survivors.append((end, job_id, job))
         self._running = survivors
@@ -362,6 +392,7 @@ class MiraScheduler:
             burner.kill(epoch_s)
             self.stats.on_kill(burner)
             self.allocator.release(burner)
+            self._vacate(burner)
             self._burners.remove(burner)
         self.allocator.block_racks(sorted(failed))
         return killed
@@ -373,28 +404,38 @@ class MiraScheduler:
     # -- per-rack outputs -----------------------------------------------------------------
 
     def _rack_vectors(self) -> Tuple[np.ndarray, np.ndarray]:
-        weighted_intensity = np.zeros(constants.NUM_RACKS)
-        busy = np.zeros(constants.NUM_RACKS)
-        for _, _, job in self._running:
-            for mp in job.assigned_midplanes:
-                rack = rack_of_midplane(mp)
-                busy[rack] += 1.0
-                weighted_intensity[rack] += job.intensity
-        for burner in self._burners:
-            for mp in burner.assigned_midplanes:
-                rack = rack_of_midplane(mp)
-                busy[rack] += 1.0
-                weighted_intensity[rack] += burner.intensity
+        """Per-rack utilization/intensity from the incremental accumulators.
+
+        The accumulators are updated on every job start/release, so
+        this is O(racks) per step rather than a scan over every running
+        job's midplanes (which dominated the engine profile at long
+        horizons).
+        """
+        busy = self._rack_busy
         utilization = busy / MIDPLANES_PER_RACK
-        intensity = np.where(busy > 0, weighted_intensity / np.maximum(busy, 1.0), 1.0)
+        intensity = np.where(
+            busy > 0.5, self._rack_intensity_sum / np.maximum(busy, 1.0), 1.0
+        )
         return utilization, intensity
 
     # -- the step -----------------------------------------------------------------------
 
-    def step(self, epoch_s: float, dt_s: float) -> SchedulerState:
+    def step(
+        self,
+        epoch_s: float,
+        dt_s: float,
+        arrivals: Optional[List[Job]] = None,
+    ) -> SchedulerState:
         """Advance the scheduler to ``epoch_s`` and return the rack state.
 
         Steps must be called with non-decreasing timestamps.
+
+        Args:
+            epoch_s: Step timestamp.
+            dt_s: Step width.
+            arrivals: Optional pre-generated submissions for this step
+                (see :meth:`WorkloadGenerator.pregenerate_arrivals`);
+                when omitted the workload generator is asked directly.
         """
         if dt_s <= 0:
             raise ValueError(f"dt must be positive, got {dt_s}")
@@ -414,7 +455,8 @@ class MiraScheduler:
         while self._delayed and self._delayed[0][0] <= epoch_s:
             _, _, job = heapq.heappop(self._delayed)
             self._queue.append(job)
-        arrivals = self.workload.arrivals(epoch_s, dt_s)
+        if arrivals is None:
+            arrivals = self.workload.arrivals(epoch_s, dt_s)
         room = max(0, self.queue_cap - len(self._queue))
         self._queue.extend(arrivals[:room])
         if self._maintenance_until is None:

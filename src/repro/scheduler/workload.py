@@ -152,21 +152,29 @@ class WorkloadGenerator:
 
     # -- demand shaping --------------------------------------------------------
 
-    def secular_factor(self, epoch_s: float) -> float:
-        """Linear demand growth over the production period."""
-        frac = (epoch_s - self._start) / max(1.0, self._end - self._start)
-        frac = min(1.0, max(0.0, frac))
-        return self.config.demand_start + frac * (
+    def secular_factor(self, epoch_s):
+        """Linear demand growth over the production period.
+
+        Accepts a scalar or a timestamp array (the engine precomputes
+        whole-grid driver tables).
+        """
+        frac = (np.asarray(epoch_s, dtype="float64") - self._start) / max(
+            1.0, self._end - self._start
+        )
+        frac = np.clip(frac, 0.0, 1.0)
+        factor = self.config.demand_start + frac * (
             self.config.demand_end - self.config.demand_start
         )
+        return float(factor) if np.ndim(epoch_s) == 0 else factor
 
-    def seasonal_factor(self, epoch_s: float) -> float:
+    def seasonal_factor(self, epoch_s):
         """Allocation-year demand factor, normalized to mean ~1 over a year.
 
         The mean of ``1 + s * progress**2`` over an allocation year is
         ``1 + s/3``; each program's rush curve is divided by that so
         the seasonal factor redistributes load within the year without
-        changing the annual total.
+        changing the annual total.  Scalar in, ``float`` out; array in,
+        array out.
         """
         cfg = self.config
         incite = AllocationProgram.INCITE.demand_multiplier(
@@ -181,22 +189,36 @@ class WorkloadGenerator:
             + cfg.discretionary_share * 1.0
         )
 
-    def arrival_rate_per_hour(self, epoch_s: float) -> float:
-        """Expected production-job arrivals per hour at this moment."""
+    def arrival_rate_per_hour(self, epoch_s, seasonal: Optional[np.ndarray] = None):
+        """Expected production-job arrivals per hour at this moment.
+
+        Args:
+            epoch_s: Scalar timestamp or timestamp array.
+            seasonal: Optional precomputed :meth:`seasonal_factor` for
+                the same timestamps; pass it to avoid evaluating the
+                allocation-year curves twice per step (the engine
+                already needs the seasonal factor for its flow trim).
+        """
+        if seasonal is None:
+            seasonal = self.seasonal_factor(epoch_s)
         offered_midplane_hours = (
-            self._total_midplanes
-            * self.secular_factor(epoch_s)
-            * self.seasonal_factor(epoch_s)
+            self._total_midplanes * self.secular_factor(epoch_s) * seasonal
         )
         return offered_midplane_hours / self._mean_job_midplane_hours
 
-    def intensity_mean(self, epoch_s: float) -> float:
-        """Mean CPU intensity of jobs submitted at this moment."""
-        frac = (epoch_s - self._start) / max(1.0, self._end - self._start)
-        frac = min(1.0, max(0.0, frac))
-        return self.config.intensity_mean_start + frac * (
+    def intensity_mean(self, epoch_s):
+        """Mean CPU intensity of jobs submitted at this moment.
+
+        Accepts a scalar or a timestamp array.
+        """
+        frac = (np.asarray(epoch_s, dtype="float64") - self._start) / max(
+            1.0, self._end - self._start
+        )
+        frac = np.clip(frac, 0.0, 1.0)
+        mean = self.config.intensity_mean_start + frac * (
             self.config.intensity_mean_end - self.config.intensity_mean_start
         )
+        return float(mean) if np.ndim(epoch_s) == 0 else mean
 
     # -- job fabrication ----------------------------------------------------------
 
@@ -287,3 +309,127 @@ class WorkloadGenerator:
             walltime_s = float(self._rng.uniform(4.0, 10.0)) * 3600.0
             jobs.append(self._make_job(epoch_s, midplanes, walltime_s))
         return jobs
+
+    def _assemble_job(
+        self,
+        epoch_s: float,
+        midplanes: int,
+        walltime_s: float,
+        program_roll: float,
+        project_roll: float,
+        intensity: float,
+    ) -> Job:
+        """Build one job from pre-drawn attribute values."""
+        cfg = self.config
+        if program_roll < cfg.incite_share:
+            program = AllocationProgram.INCITE
+        elif program_roll < cfg.incite_share + cfg.alcc_share:
+            program = AllocationProgram.ALCC
+        else:
+            program = AllocationProgram.DISCRETIONARY
+        project_list = self._projects[program]
+        project = project_list[int(project_roll * len(project_list))]
+        job = Job(
+            job_id=self._next_job_id,
+            project=project,
+            queue=queue_for_walltime(walltime_s),
+            midplanes=int(midplanes),
+            walltime_s=float(walltime_s),
+            intensity=float(intensity),
+            submit_epoch_s=float(epoch_s),
+        )
+        self._next_job_id += 1
+        return job
+
+    def pregenerate_arrivals(
+        self,
+        epochs: np.ndarray,
+        dt_s: float,
+        rates_per_hour: Optional[np.ndarray] = None,
+    ) -> List[List[Job]]:
+        """Draw every arrival for a whole time grid in one batched pass.
+
+        Statistically equivalent to calling :meth:`arrivals` once per
+        step, but all random draws (Poisson counts, sizes, walltimes,
+        intensities, program/project choices) happen as whole-grid
+        vector operations; only the final ``Job`` construction runs
+        per job.  The per-step driver evaluation this replaces was the
+        single largest scalar cost in the simulation engine.
+
+        Args:
+            epochs: Step timestamps, ascending.
+            dt_s: Step width in seconds.
+            rates_per_hour: Optional precomputed
+                :meth:`arrival_rate_per_hour` over ``epochs``.
+
+        Returns:
+            One list of jobs per step, in step order.
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt must be positive, got {dt_s}")
+        epochs = np.asarray(epochs, dtype="float64")
+        n = len(epochs)
+        if rates_per_hour is None:
+            rates_per_hour = self.arrival_rate_per_hour(epochs)
+        quantization = 1.0 + dt_s / (2.0 * 3600.0 * self._mean_walltime_h)
+        expected = np.asarray(rates_per_hour, dtype="float64") * (
+            dt_s / 3600.0 / quantization
+        )
+        counts = self._rng.poisson(expected)
+        cap_counts = self._rng.poisson(
+            self.config.capability_job_rate_per_day * dt_s / 86_400.0, size=n
+        )
+        total = int(counts.sum())
+        cap_total = int(cap_counts.sum())
+
+        # Production-job attributes, drawn in bulk.
+        sizes = self._rng.choice(_SIZE_CHOICES, p=_SIZE_PROBS, size=total)
+        long_flags = self._rng.random(total) < self.config.long_job_fraction
+        long_h = np.clip(self._rng.lognormal(np.log(11.0), 0.35, size=total), 6.0, 24.0)
+        short_h = np.clip(self._rng.lognormal(np.log(2.2), 0.55, size=total), 0.5, 6.0)
+        walltimes_s = np.where(long_flags, long_h, short_h) * 3600.0
+        # Capability-job attributes.
+        cap_sizes = self._rng.choice(np.asarray(_CAPABILITY_SIZES), size=cap_total)
+        cap_walltimes_s = self._rng.uniform(4.0, 10.0, size=cap_total) * 3600.0
+        # Draws shared by both streams: production jobs first, then
+        # capability jobs, each grouped by step.
+        job_epochs = np.concatenate(
+            [np.repeat(epochs, counts), np.repeat(epochs, cap_counts)]
+        )
+        sigma = self.config.intensity_sigma
+        mu = np.log(self.intensity_mean(job_epochs)) - sigma**2 / 2.0
+        intensities = np.clip(self._rng.lognormal(mu, sigma), 0.3, 2.5)
+        program_rolls = self._rng.random(total + cap_total)
+        project_rolls = self._rng.random(total + cap_total)
+
+        per_step: List[List[Job]] = []
+        prod_at = 0
+        cap_at = total
+        for i in range(n):
+            jobs: List[Job] = []
+            for _ in range(int(counts[i])):
+                jobs.append(
+                    self._assemble_job(
+                        epochs[i],
+                        int(sizes[prod_at]),
+                        walltimes_s[prod_at],
+                        program_rolls[prod_at],
+                        project_rolls[prod_at],
+                        intensities[prod_at],
+                    )
+                )
+                prod_at += 1
+            for _ in range(int(cap_counts[i])):
+                jobs.append(
+                    self._assemble_job(
+                        epochs[i],
+                        int(cap_sizes[cap_at - total]),
+                        cap_walltimes_s[cap_at - total],
+                        program_rolls[cap_at],
+                        project_rolls[cap_at],
+                        intensities[cap_at],
+                    )
+                )
+                cap_at += 1
+            per_step.append(jobs)
+        return per_step

@@ -2,16 +2,145 @@
 
 The six-year simulation takes tens of seconds; analyses, benchmarks,
 and examples all need the *same* realization (the study analyzed one
-Mira, not fifty).  These builders memoize per process so the cost is
-paid once.
+Mira, not fifty).  These builders memoize at two levels:
+
+* **in process** via :func:`functools.lru_cache`, so one Python
+  session pays the cost once, and
+* **on disk** under ``~/.cache/repro/`` (override with
+  ``REPRO_CACHE_DIR``), so *subsequent sessions* skip the simulation
+  entirely and reopen the telemetry as a memory-mapped
+  :class:`~repro.telemetry.archive.TelemetryArchive`.
+
+Cache entries are keyed by the package version plus a hash of the
+simulation configuration, so a new release or a changed config never
+serves stale telemetry.  Only the environmental database and the job
+counters are persisted; the failure schedule, RAS log, machine, and
+weather models are rebuilt from the (cheap, deterministic) engine
+constructor.  Set ``REPRO_DATASET_CACHE=0`` to disable the disk layer.
 """
 
 from __future__ import annotations
 
 import functools
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
 
+from repro import __version__
+from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import FacilityEngine, SimulationResult
 from repro.simulation.scenarios import MiraScenario
+
+#: Environment variable: set to ``0`` to disable the on-disk cache.
+CACHE_ENV = "REPRO_DATASET_CACHE"
+#: Environment variable: overrides the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_META_FILE = "result.json"
+_TELEMETRY_DIR = "telemetry"
+
+
+def cache_root() -> Path:
+    """The dataset cache directory (not necessarily existing yet)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def _disk_cache_enabled() -> bool:
+    return os.environ.get(CACHE_ENV, "1") != "0"
+
+
+def _config_digest(config: SimulationConfig) -> str:
+    """Cache key: package version + full configuration repr.
+
+    ``SimulationConfig`` is a frozen dataclass of plain values, so its
+    ``repr`` is a complete, stable description of the run.
+    """
+    payload = f"{__version__}\n{config!r}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _load_from_disk(
+    config: SimulationConfig, entry: Path
+) -> Optional[SimulationResult]:
+    """Reassemble a cached result, or ``None`` if absent/corrupt."""
+    # Imported lazily so importing this module never costs archive I/O.
+    from repro.telemetry.archive import TelemetryArchive
+
+    meta_path = entry / _META_FILE
+    if not meta_path.exists():
+        return None
+    try:
+        meta = json.loads(meta_path.read_text())
+        database = TelemetryArchive.load(entry / _TELEMETRY_DIR)
+    except (OSError, ValueError, KeyError):
+        return None
+    # The engine constructor is deterministic and cheap relative to a
+    # run: it regenerates the failure schedule, RAS log, machine, and
+    # weather models that the archive does not persist.
+    engine = FacilityEngine(config)
+    return SimulationResult(
+        config=config,
+        database=database,
+        ras_log=engine.ras_log,
+        schedule=engine.schedule,
+        noncmf_failures=engine.noncmf_failures,
+        machine=engine.machine,
+        weather=engine.weather,
+        jobs_completed=int(meta["jobs_completed"]),
+        jobs_killed=int(meta["jobs_killed"]),
+    )
+
+
+def _store_to_disk(result: SimulationResult, entry: Path) -> None:
+    """Atomically publish a result into the cache (best effort).
+
+    The archive is written to a temp directory next to the entry and
+    renamed into place, so concurrent sessions never observe a
+    half-written cache; any I/O failure silently skips caching.
+    """
+    from repro.telemetry.archive import TelemetryArchive
+
+    try:
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(tempfile.mkdtemp(dir=entry.parent, prefix=".tmp-"))
+    except OSError:
+        return
+    try:
+        TelemetryArchive.save(result.database, tmp / _TELEMETRY_DIR)
+        (tmp / _META_FILE).write_text(
+            json.dumps(
+                {
+                    "version": __version__,
+                    "jobs_completed": result.jobs_completed,
+                    "jobs_killed": result.jobs_killed,
+                }
+            )
+        )
+        os.replace(tmp, entry)
+    except OSError:
+        # Another session may have won the rename race, or the disk is
+        # full/read-only; either way the in-memory result stands.
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def build_dataset(config: SimulationConfig) -> SimulationResult:
+    """Build (or load from the disk cache) the realization of ``config``."""
+    if not _disk_cache_enabled():
+        return FacilityEngine(config).run()
+    entry = cache_root() / _config_digest(config)
+    cached = _load_from_disk(config, entry)
+    if cached is not None:
+        return cached
+    result = FacilityEngine(config).run()
+    _store_to_disk(result, entry)
+    return result
 
 
 @functools.lru_cache(maxsize=1)
@@ -22,10 +151,10 @@ def canonical_dataset() -> SimulationResult:
     deterministic: the same package version always produces the same
     telemetry and failure schedule.
     """
-    return FacilityEngine(MiraScenario.full_study()).run()
+    return build_dataset(MiraScenario.full_study())
 
 
 @functools.lru_cache(maxsize=1)
 def small_dataset() -> SimulationResult:
     """A fast ~4-month realization for unit tests (30 min cadence)."""
-    return FacilityEngine(MiraScenario.demo(days=120, seed=11)).run()
+    return build_dataset(MiraScenario.demo(days=120, seed=11))

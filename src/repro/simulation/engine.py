@@ -185,6 +185,23 @@ class FacilityEngine:
             if e.start_epoch_s <= epoch_s < e.end_epoch_s
         )
 
+    def _excursion_delta_grid_f(self, grid: np.ndarray) -> np.ndarray:
+        """Excursion temperature deltas over a whole sorted time grid.
+
+        A difference array over the grid replaces the per-step O(events)
+        scan of :meth:`_excursion_delta_f`: each excursion contributes
+        +magnitude at its first covered step and -magnitude at the
+        first step past its end, and a cumulative sum recovers the
+        per-step totals.
+        """
+        deltas = np.zeros(len(grid) + 1)
+        for excursion in self._excursions:
+            first = int(np.searchsorted(grid, excursion.start_epoch_s, side="left"))
+            past = int(np.searchsorted(grid, excursion.end_epoch_s, side="left"))
+            deltas[first] += excursion.magnitude_f
+            deltas[past] -= excursion.magnitude_f
+        return np.cumsum(deltas[:-1])
+
     # -- Theta heat load ---------------------------------------------------------------
 
     def _theta_supply_excess_f(self, epoch_s: float) -> float:
@@ -205,13 +222,122 @@ class FacilityEngine:
             return theta.heat_excess_f * (1.0 - (epoch_s - settled) / ramp_s)
         return 0.0
 
+    def _theta_supply_excess_grid_f(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_theta_supply_excess_f` over a time grid."""
+        theta = self.config.theta
+        if not theta.enabled:
+            return np.zeros(len(grid))
+        added = timeutil.to_epoch(theta.addition_date)
+        settled = timeutil.to_epoch(theta.settled_date)
+        ramp_s = max(theta.ramp_days * timeutil.DAY_S, 1e-9)
+        knots_t = np.array([added, added + ramp_s, settled, settled + ramp_s])
+        knots_v = np.array([0.0, theta.heat_excess_f, theta.heat_excess_f, 0.0])
+        return np.interp(grid, knots_t, knots_v, left=0.0, right=0.0)
+
+    # -- precursor signatures -----------------------------------------------------------
+
+    @staticmethod
+    def _precursor_factors_block(
+        times: np.ndarray,
+        rack_events: Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-rack precursor factors for a block of timestamps.
+
+        For each rack, the precursor signature is driven by the *next*
+        scheduled CMF event at or after each timestamp, provided it
+        falls within :attr:`PrecursorSignature.WINDOW_S`.  A
+        ``searchsorted`` next-event lookup replaces the per-step
+        pointer walk of the scalar engine.
+
+        Args:
+            times: Sorted timestamps, shape ``(steps,)``.
+            rack_events: Per-rack ``(event_times, severities,
+                condensation_flags)`` tuples, or ``None`` when failure
+                injection is disabled.
+
+        Returns:
+            ``(inlet, outlet, flow, humidity)`` factor matrices, each
+            of shape ``(steps, racks)`` and defaulting to 1.0.
+        """
+        m = len(times)
+        inlet = np.ones((m, constants.NUM_RACKS))
+        outlet = np.ones((m, constants.NUM_RACKS))
+        flow = np.ones((m, constants.NUM_RACKS))
+        humidity = np.ones((m, constants.NUM_RACKS))
+        if rack_events is None:
+            return inlet, outlet, flow, humidity
+        window_s = PrecursorSignature.WINDOW_S
+        for flat, (event_times, severities, condensation) in enumerate(rack_events):
+            if len(event_times) == 0 or times[0] > event_times[-1]:
+                continue
+            next_idx = np.searchsorted(event_times, times, side="left")
+            clipped = np.minimum(next_idx, len(event_times) - 1)
+            tau = event_times[clipped] - times
+            active = (next_idx < len(event_times)) & (tau <= window_s)
+            if not active.any():
+                continue
+            rows = np.flatnonzero(active)
+            tau_active = tau[rows]
+            severity = severities[clipped[rows]]
+            inlet[rows, flat] = PrecursorSignature.inlet_factor(tau_active, severity)
+            outlet[rows, flat] = PrecursorSignature.outlet_factor(tau_active, severity)
+            flow[rows, flat] = PrecursorSignature.flow_factor(tau_active, severity)
+            condensing = condensation[clipped[rows]]
+            if condensing.any():
+                crows = rows[condensing]
+                humidity[crows, flat] = PrecursorSignature.humidity_factor(
+                    tau[crows],
+                    condensation_triggered=True,
+                    amplitude=severities[clipped[crows]],
+                )
+        return inlet, outlet, flow, humidity
+
     # -- the run ------------------------------------------------------------------------
 
+    #: Steps per vectorized telemetry chunk.  Large enough to amortize
+    #: numpy call overhead, small enough that the per-chunk noise and
+    #: factor matrices stay cache- and memory-friendly at 300 s cadence.
+    CHUNK_STEPS = 2560
+
     def run(self) -> SimulationResult:
-        """Execute the configured period and return all artifacts."""
+        """Execute the configured period and return all artifacts.
+
+        The run is organized as *precompute + chunked vector steps*
+        rather than one scalar pass per timestamp:
+
+        1. **Driver tables** — every pure function of the timestamp
+           (outdoor weather, plant supply temperature, valve setpoint,
+           Theta excess, seasonal trim, arrival rates, excursion
+           deltas) is evaluated once over the whole grid.
+        2. **Sequential pass** — the stateful scheduler and the failure
+           processes advance step by step (they must: job placement and
+           rack outages feed back), writing per-rack utilization,
+           intensity, and power state into preallocated
+           ``(steps, racks)`` buffers.
+        3. **Vector pass** — power, precursor factors, cooling, and
+           ambient telemetry are computed over ``CHUNK_STEPS``-sized
+           blocks with per-chunk batched noise draws, and bulk-ingested
+           into the environmental database.
+        """
         cfg = self.config
         grid = timeutil.time_grid(cfg.start, cfg.end, cfg.dt_s)
-        database = EnvironmentalDatabase(capacity_hint=len(grid))
+        num_steps = len(grid)
+        num_racks = constants.NUM_RACKS
+        database = EnvironmentalDatabase(capacity_hint=num_steps)
+
+        # -- Phase 1: whole-grid driver tables ------------------------------
+        outdoor_f, outdoor_rh = self.weather.conditions(grid)
+        supply_f = np.asarray(
+            self.plant.supply_temperature_f(grid, outdoor_f=outdoor_f)
+        ) + self._theta_supply_excess_grid_f(grid)
+        setpoint_gpm = np.asarray(self.valve.setpoint_gpm(grid))
+        seasonal = np.asarray(self.workload.seasonal_factor(grid))
+        seasonal_trim = 1.0 + cfg.seasonal_flow_gain * (seasonal - 1.0)
+        arrival_rates = self.workload.arrival_rate_per_hour(grid, seasonal=seasonal)
+        excursion_f = self._excursion_delta_grid_f(grid)
+        arrivals_by_step = self.workload.pregenerate_arrivals(
+            grid, cfg.dt_s, rates_per_hour=arrival_rates
+        )
 
         # Failure bookkeeping.
         if self.schedule is not None:
@@ -225,43 +351,46 @@ class FacilityEngine:
             cmf_recoveries = np.empty(0)
         cmf_pointer = 0
         noncmf_pointer = 0
-        down_until = np.zeros(constants.NUM_RACKS)
-        blocked_by_failure = np.zeros(constants.NUM_RACKS, dtype=bool)
+        down_until = np.zeros(num_racks)
+        blocked_by_failure = np.zeros(num_racks, dtype=bool)
 
-        # Precursor bookkeeping: per-rack next-event pointers.
-        rack_event_times: List[np.ndarray] = []
-        rack_event_condensation: List[np.ndarray] = []
-        rack_event_severity: List[np.ndarray] = []
+        # Per-rack precursor event tables for the vector pass.
+        rack_events: Optional[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = None
         if self.schedule is not None:
             condensation_all = np.array(
                 [e.reason == "condensation_risk" for e in self.schedule.events]
             )
             severity_all = np.array([e.severity for e in self.schedule.events])
-            for flat in range(constants.NUM_RACKS):
+            rack_events = []
+            for flat in range(num_racks):
                 mask = cmf_racks == flat
-                rack_event_times.append(cmf_times[mask])
-                rack_event_condensation.append(condensation_all[mask])
-                rack_event_severity.append(severity_all[mask])
-        rack_pointers = np.zeros(constants.NUM_RACKS, dtype=int)
+                rack_events.append(
+                    (cmf_times[mask], severity_all[mask], condensation_all[mask])
+                )
 
-        noise = cfg.noise
-        ambient = cfg.ambient
+        # -- Phase 2: sequential scheduler/failure pass ----------------------
+        utilization = np.empty((num_steps, num_racks))
+        intensity = np.empty((num_steps, num_racks))
+        powered_mask = np.empty((num_steps, num_racks), dtype=bool)
+        num_cmfs = len(cmf_times)
+        num_noncmf = len(self.noncmf_failures)
 
-        for t in grid:
-            # 1. Failure firing and recovery -----------------------------------
+        for index in range(num_steps):
+            t = grid[index]
+            # Failure firing and recovery.
             recovered = blocked_by_failure & (down_until <= t)
             if recovered.any():
                 racks = tuple(int(i) for i in np.flatnonzero(recovered))
                 self.scheduler.recover_racks(racks)
                 blocked_by_failure[list(racks)] = False
-            while cmf_pointer < len(cmf_times) and cmf_times[cmf_pointer] < t + cfg.dt_s:
+            while cmf_pointer < num_cmfs and cmf_times[cmf_pointer] < t + cfg.dt_s:
                 rack = int(cmf_racks[cmf_pointer])
                 self.scheduler.fail_racks((rack,), float(cmf_times[cmf_pointer]))
                 down_until[rack] = max(down_until[rack], cmf_recoveries[cmf_pointer])
                 blocked_by_failure[rack] = True
                 cmf_pointer += 1
             while (
-                noncmf_pointer < len(self.noncmf_failures)
+                noncmf_pointer < num_noncmf
                 and self.noncmf_failures[noncmf_pointer].epoch_s < t + cfg.dt_s
             ):
                 failure = self.noncmf_failures[noncmf_pointer]
@@ -274,109 +403,91 @@ class FacilityEngine:
                 noncmf_pointer += 1
             powered = down_until <= t
 
-            # 2. Scheduler ------------------------------------------------------
-            state = self.scheduler.step(t, cfg.dt_s)
-            utilization = np.where(powered, state.rack_utilization, 0.0)
-            intensity = state.rack_intensity
+            state = self.scheduler.step(
+                t, cfg.dt_s, arrivals=arrivals_by_step[index]
+            )
+            utilization[index] = np.where(powered, state.rack_utilization, 0.0)
+            intensity[index] = state.rack_intensity
+            powered_mask[index] = powered
 
-            # 3. Power ----------------------------------------------------------
+        # -- Phase 3: chunked vector telemetry -------------------------------
+        noise = cfg.noise
+        ambient = cfg.ambient
+        airflow = self._airflow
+        rng = self._noise_rng
+        airflow_term = ambient.humidity_airflow_floor + (
+            1.0 - ambient.humidity_airflow_floor
+        ) * airflow
+
+        for start in range(0, num_steps, self.CHUNK_STEPS):
+            end = min(start + self.CHUNK_STEPS, num_steps)
+            m = end - start
+            chunk_times = grid[start:end]
+            powered = powered_mask[start:end]
+
+            # Power, with batched per-chunk noise.
             ac_kw = self.machine.rack_ac_draw_kw(
-                utilization, intensity, powered=powered
+                utilization[start:end], intensity[start:end], powered=powered
             )
             ac_kw = ac_kw * (
-                1.0 + noise.power_noise * self._noise_rng.standard_normal(
-                    constants.NUM_RACKS
-                )
+                1.0 + noise.power_noise * rng.standard_normal((m, num_racks))
             )
             ac_kw = np.maximum(ac_kw, 0.0)
 
-            # 4. Precursor factors ------------------------------------------------
-            inlet_factor = np.ones(constants.NUM_RACKS)
-            outlet_factor = np.ones(constants.NUM_RACKS)
-            flow_factor = np.ones(constants.NUM_RACKS)
-            humidity_factor = np.ones(constants.NUM_RACKS)
-            if self.schedule is not None:
-                for flat in range(constants.NUM_RACKS):
-                    times = rack_event_times[flat]
-                    ptr = rack_pointers[flat]
-                    while ptr < len(times) and times[ptr] < t:
-                        ptr += 1
-                    rack_pointers[flat] = ptr
-                    if ptr >= len(times):
-                        continue
-                    tau = times[ptr] - t
-                    if tau > PrecursorSignature.WINDOW_S:
-                        continue
-                    severity = float(rack_event_severity[flat][ptr])
-                    inlet_factor[flat] = PrecursorSignature.inlet_factor(tau, severity)
-                    outlet_factor[flat] = PrecursorSignature.outlet_factor(tau, severity)
-                    flow_factor[flat] = PrecursorSignature.flow_factor(tau, severity)
-                    if rack_event_condensation[flat][ptr]:
-                        humidity_factor[flat] = PrecursorSignature.humidity_factor(
-                            tau, condensation_triggered=True, amplitude=severity
-                        )
+            # Precursor factors over the block.
+            (
+                inlet_factor,
+                outlet_factor,
+                flow_factor,
+                humidity_factor,
+            ) = self._precursor_factors_block(chunk_times, rack_events)
 
-            # 5. Cooling ------------------------------------------------------------
-            seasonal_trim = 1.0 + cfg.seasonal_flow_gain * (
-                self.workload.seasonal_factor(t) - 1.0
-            )
+            # Cooling.
             total_flow = (
-                self.valve.setpoint_gpm(t)
-                * seasonal_trim
-                * (1.0 + noise.total_flow_jitter * self._noise_rng.standard_normal())
+                setpoint_gpm[start:end]
+                * seasonal_trim[start:end]
+                * (1.0 + noise.total_flow_jitter * rng.standard_normal(m))
             )
-            flows = self.loop.rack_flows_gpm(
-                max(total_flow, 1.0),
-                solenoid_open=powered,
-                flow_disturbance=flow_factor,
+            total_flow = np.maximum(total_flow, 1.0)
+            flows = self.loop.rack_flows_gpm_block(
+                total_flow, solenoid_open=powered, flow_disturbance=flow_factor
             )
             flows = flows * (
-                1.0
-                + noise.rack_flow_noise
-                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+                1.0 + noise.rack_flow_noise * rng.standard_normal((m, num_racks))
             )
             flows = np.maximum(flows, 0.0)
 
-            supply_f = float(self.plant.supply_temperature_f(t)) + (
-                self._theta_supply_excess_f(t)
-            )
-            inlet = self.loop.rack_inlet_temperatures_f(supply_f)
-            inlet = inlet * inlet_factor + noise.inlet_noise_f * (
-                self._noise_rng.standard_normal(constants.NUM_RACKS)
+            inlet = self.loop.rack_inlet_temperatures_f(supply_f[start:end, None])
+            inlet = inlet * inlet_factor + noise.inlet_noise_f * rng.standard_normal(
+                (m, num_racks)
             )
             outlet = self.loop.rack_outlet_temperatures_f(inlet, ac_kw, flows)
             outlet = outlet * outlet_factor + noise.outlet_noise_f * (
-                self._noise_rng.standard_normal(constants.NUM_RACKS)
+                rng.standard_normal((m, num_racks))
             )
             outlet = np.maximum(outlet, inlet - 2.0)
 
-            # 6. Ambient ----------------------------------------------------------------
-            outdoor_rh = float(self.weather.relative_humidity(t))
-            outdoor_f = float(self.weather.temperature_f(t))
-            excursion = self._excursion_delta_f(t)
+            # Ambient.
             dc_temp = (
                 ambient.base_temp_f
-                + ambient.outdoor_temp_coupling * (outdoor_f - 50.0)
-                + ambient.blockage_temp_gain_f * (1.0 - self._airflow)
+                + ambient.outdoor_temp_coupling * (outdoor_f[start:end, None] - 50.0)
+                + ambient.blockage_temp_gain_f * (1.0 - airflow)
                 + ambient.heat_coupling_f_per_kw
                 * (ac_kw - ambient.nominal_rack_power_kw)
-                + excursion
-                + ambient.temp_noise_f
-                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+                + excursion_f[start:end, None]
+                + ambient.temp_noise_f * rng.standard_normal((m, num_racks))
             )
-            base_rh = ambient.humidity_offset_rh + ambient.humidity_slope * outdoor_rh
-            airflow_term = ambient.humidity_airflow_floor + (
-                1.0 - ambient.humidity_airflow_floor
-            ) * self._airflow
+            base_rh = (
+                ambient.humidity_offset_rh
+                + ambient.humidity_slope * outdoor_rh[start:end, None]
+            )
             dc_rh = base_rh * airflow_term * humidity_factor + (
-                ambient.humidity_noise_rh
-                * self._noise_rng.standard_normal(constants.NUM_RACKS)
+                ambient.humidity_noise_rh * rng.standard_normal((m, num_racks))
             )
             dc_rh = np.clip(dc_rh, 5.0, 99.0)
 
-            # 7. Store ---------------------------------------------------------------------
-            database.append_snapshot(
-                float(t),
+            database.append_block(
+                chunk_times,
                 {
                     Channel.DC_TEMPERATURE: dc_temp,
                     Channel.DC_HUMIDITY: dc_rh,
@@ -384,7 +495,7 @@ class FacilityEngine:
                     Channel.INLET_TEMPERATURE: inlet,
                     Channel.OUTLET_TEMPERATURE: outlet,
                     Channel.POWER: ac_kw,
-                    Channel.UTILIZATION: utilization,
+                    Channel.UTILIZATION: utilization[start:end],
                 },
             )
 

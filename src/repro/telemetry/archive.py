@@ -125,6 +125,9 @@ class _ArchivedDatabase(EnvironmentalDatabase):
     def append_snapshot(self, epoch_s, channel_values) -> None:
         raise TypeError("archived databases are read-only")
 
+    def append_block(self, epoch_s, channel_values) -> None:
+        raise TypeError("archived databases are read-only")
+
     def ingest_reading(self, reading, utilization=np.nan) -> None:
         raise TypeError("archived databases are read-only")
 

@@ -94,6 +94,55 @@ class EnvironmentalDatabase:
             self._columns[channel][index] = values
         self._size += 1
 
+    def append_block(
+        self, epoch_s: np.ndarray, channel_values: Dict[Channel, np.ndarray]
+    ) -> None:
+        """Append a whole block of samples in one bulk write.
+
+        The fast path for the vectorized simulation engine: one call
+        ingests ``(steps, racks)`` matrices per channel instead of
+        ``steps`` dict-validated rows.
+
+        Args:
+            epoch_s: Sample timestamps, shape ``(steps,)``, ascending;
+                the first must not precede the last stored sample.
+            channel_values: Per-channel matrices of shape
+                ``(steps, num_racks)``.  Channels not supplied are
+                stored as NaN.
+
+        Raises:
+            ValueError: on out-of-order timestamps or wrong-shape
+                matrices.
+        """
+        epochs = np.asarray(epoch_s, dtype="float64")
+        if epochs.ndim != 1:
+            raise ValueError(f"epoch_s must be 1-D, got shape {epochs.shape}")
+        count = epochs.shape[0]
+        if count == 0:
+            return
+        if np.any(np.diff(epochs) < 0):
+            raise ValueError("block timestamps must be non-decreasing")
+        if self._size > 0 and epochs[0] < self._epoch[self._size - 1]:
+            raise ValueError(
+                f"out-of-order block: {epochs[0]} after {self._epoch[self._size - 1]}"
+            )
+        matrices = {}
+        for channel, values in channel_values.items():
+            matrix = np.asarray(values, dtype="float64")
+            if matrix.shape != (count, self._num_racks):
+                raise ValueError(
+                    f"{channel}: expected shape ({count}, {self._num_racks}), "
+                    f"got {matrix.shape}"
+                )
+            matrices[channel] = matrix
+        while self._size + count > self._capacity:
+            self._grow()
+        start, end = self._size, self._size + count
+        self._epoch[start:end] = epochs
+        for channel, matrix in matrices.items():
+            self._columns[channel][start:end] = matrix
+        self._size = end
+
     def ingest_reading(self, reading: SensorReading, utilization: float = np.nan) -> None:
         """Ingest a single-rack :class:`SensorReading` (slow path).
 

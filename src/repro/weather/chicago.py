@@ -25,7 +25,7 @@ produce the same weather.
 from __future__ import annotations
 
 import dataclasses
-from typing import Union
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -110,6 +110,11 @@ class ChicagoWeather:
     def temperature_f(self, epoch_s: Union[np.ndarray, float]) -> np.ndarray:
         """Outdoor dry-bulb temperature (F) at the given timestamps."""
         epoch = np.asarray(epoch_s, dtype="float64")
+        return self._temperature_from_noise(epoch, self._front_noise(epoch))
+
+    def _temperature_from_noise(
+        self, epoch: np.ndarray, front_noise: np.ndarray
+    ) -> np.ndarray:
         seasonal = self.MEAN_TEMP_F + self.SEASONAL_AMPLITUDE_F * self._seasonal_phase(
             epoch
         )
@@ -117,7 +122,7 @@ class ChicagoWeather:
         diurnal = self.DIURNAL_AMPLITUDE_F * np.cos(
             2.0 * np.pi * (hours - self.PEAK_HOUR) / 24.0
         )
-        return seasonal + diurnal + self._front_noise(epoch)
+        return seasonal + diurnal + front_noise
 
     def relative_humidity(self, epoch_s: Union[np.ndarray, float]) -> np.ndarray:
         """Outdoor moisture proxy as relative humidity (%).
@@ -127,11 +132,32 @@ class ChicagoWeather:
         temperature noise (cold fronts are dry).
         """
         epoch = np.asarray(epoch_s, dtype="float64")
+        return self._humidity_from_noise(epoch, self._front_noise(epoch))
+
+    def _humidity_from_noise(
+        self, epoch: np.ndarray, front_noise: np.ndarray
+    ) -> np.ndarray:
         seasonal = self.MEAN_RH + self.SEASONAL_RH_AMPLITUDE * self._seasonal_phase(
             epoch
         )
-        noise = -0.30 * self._front_noise(epoch)
-        return np.clip(seasonal + noise, 15.0, 100.0)
+        return np.clip(seasonal - 0.30 * front_noise, 15.0, 100.0)
+
+    def conditions(
+        self, epoch_s: Union[np.ndarray, float]
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Temperature (F) and relative humidity (%) in one pass.
+
+        Evaluating both channels together shares the random-Fourier
+        front-noise field (the expensive part: ``_NOISE_COMPONENTS``
+        sinusoids per timestamp), halving the cost of whole-grid
+        weather tables in the simulation engine.
+        """
+        epoch = np.asarray(epoch_s, dtype="float64")
+        front = self._front_noise(epoch)
+        return (
+            self._temperature_from_noise(epoch, front),
+            self._humidity_from_noise(epoch, front),
+        )
 
     def sample(self, epoch_s: float) -> WeatherSample:
         """Scalar convenience sampler."""

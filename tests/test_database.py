@@ -66,6 +66,99 @@ class TestIngest:
         assert db.channel(Channel.UTILIZATION).values[0, flat] == 0.9
 
 
+def _block(epochs, value=1.0):
+    n = len(epochs)
+    return {ch: np.full((n, constants.NUM_RACKS), value) for ch in Channel}
+
+
+class TestAppendBlock:
+    def test_block_and_query(self):
+        db = EnvironmentalDatabase()
+        epochs = np.arange(5) * 300.0
+        db.append_block(epochs, _block(epochs, 7.0))
+        assert db.num_samples == 5
+        assert np.array_equal(db.epoch_s, epochs)
+        assert (db.channel(Channel.POWER).values == 7.0).all()
+
+    def test_empty_block_is_noop(self):
+        db = EnvironmentalDatabase()
+        db.append_block(np.empty(0), {})
+        assert db.num_samples == 0
+
+    def test_growth_across_block_boundaries(self):
+        db = EnvironmentalDatabase(capacity_hint=16)
+        for start in range(0, 100, 7):
+            epochs = (start + np.arange(7)) * 60.0
+            db.append_block(epochs, _block(epochs, float(start)))
+        assert db.num_samples == 105
+        assert db.channel(Channel.FLOW).values[104, 0] == 98.0
+        assert np.all(np.diff(db.epoch_s) > 0)
+
+    def test_non_1d_epochs_rejected(self):
+        db = EnvironmentalDatabase()
+        with pytest.raises(ValueError):
+            db.append_block(np.zeros((2, 2)), {})
+
+    def test_internally_unsorted_rejected(self):
+        db = EnvironmentalDatabase()
+        epochs = np.array([0.0, 300.0, 200.0])
+        with pytest.raises(ValueError):
+            db.append_block(epochs, _block(epochs))
+
+    def test_out_of_order_against_stored_rejected(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(1000.0, _snapshot())
+        epochs = np.array([500.0, 600.0])
+        with pytest.raises(ValueError):
+            db.append_block(epochs, _block(epochs))
+
+    def test_wrong_shape_rejected_without_partial_write(self):
+        db = EnvironmentalDatabase()
+        epochs = np.arange(3) * 100.0
+        bad = _block(epochs)
+        bad[Channel.POWER] = np.ones((3, 10))
+        with pytest.raises(ValueError):
+            db.append_block(epochs, bad)
+        # The rejected block must not have been partially ingested.
+        assert db.num_samples == 0
+
+    def test_missing_channels_are_nan(self):
+        db = EnvironmentalDatabase()
+        epochs = np.arange(4) * 100.0
+        db.append_block(
+            epochs, {Channel.POWER: np.ones((4, constants.NUM_RACKS))}
+        )
+        assert np.isnan(db.channel(Channel.FLOW).values).all()
+
+    def test_compact_then_append_block(self):
+        db = EnvironmentalDatabase(capacity_hint=64)
+        epochs = np.arange(5) * 100.0
+        db.append_block(epochs, _block(epochs, 1.0))
+        db.compact()
+        later = 500.0 + np.arange(5) * 100.0
+        db.append_block(later, _block(later, 2.0))
+        assert db.num_samples == 10
+        assert db.channel(Channel.POWER).values[9, 0] == 2.0
+
+    def test_block_matches_row_ingest(self):
+        """One bulk block and step-by-step snapshots store identically."""
+        rng = np.random.default_rng(3)
+        epochs = np.arange(20) * 300.0
+        data = {
+            ch: rng.normal(size=(20, constants.NUM_RACKS)) for ch in Channel
+        }
+        bulk = EnvironmentalDatabase(capacity_hint=4)
+        bulk.append_block(epochs, data)
+        rows = EnvironmentalDatabase(capacity_hint=4)
+        for i, t in enumerate(epochs):
+            rows.append_snapshot(float(t), {ch: data[ch][i] for ch in Channel})
+        assert np.array_equal(bulk.epoch_s, rows.epoch_s)
+        for ch in Channel:
+            assert np.array_equal(
+                bulk.channel(ch).values, rows.channel(ch).values
+            )
+
+
 class TestQueries:
     def test_rack_channel(self):
         db = EnvironmentalDatabase()

@@ -1,12 +1,22 @@
 """Canonical dataset contracts: caching, determinism, coverage."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro import constants, timeutil
 from repro.simulation import FacilityEngine, MiraScenario
-from repro.simulation.datasets import canonical_dataset, small_dataset
-from repro.telemetry.records import Channel
+from repro.simulation.datasets import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    _config_digest,
+    build_dataset,
+    cache_root,
+    canonical_dataset,
+    small_dataset,
+)
+from repro.telemetry.records import CHANNELS, Channel
 
 
 class TestMemoization:
@@ -36,6 +46,62 @@ class TestCanonicalCoverage:
             (full_result.end_epoch_s - full_result.start_epoch_s) / 3600.0
         )
         assert full_result.database.num_samples == expected
+
+
+class TestDiskCache:
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        return tmp_path
+
+    @pytest.fixture
+    def tiny_config(self):
+        return MiraScenario.demo(days=3, seed=5)
+
+    def test_cache_root_honors_env(self, cache_dir):
+        assert cache_root() == cache_dir
+
+    def test_second_build_loads_identical_telemetry(self, cache_dir, tiny_config):
+        first = build_dataset(tiny_config)
+        entry = cache_dir / _config_digest(tiny_config)
+        assert (entry / "result.json").exists()
+        second = build_dataset(tiny_config)
+        assert np.array_equal(first.database.epoch_s, second.database.epoch_s)
+        for channel in CHANNELS:
+            assert np.array_equal(
+                first.database.channel(channel).values,
+                second.database.channel(channel).values,
+                equal_nan=True,
+            )
+        assert second.jobs_completed == first.jobs_completed
+        assert second.jobs_killed == first.jobs_killed
+        # The failure schedule is rebuilt, not persisted, and must match.
+        assert [e.epoch_s for e in second.schedule.events] == [
+            e.epoch_s for e in first.schedule.events
+        ]
+
+    def test_opt_out_skips_disk(self, cache_dir, tiny_config, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, "0")
+        build_dataset(tiny_config)
+        assert not any(cache_dir.iterdir())
+
+    def test_corrupt_entry_falls_back_to_rebuild(self, cache_dir, tiny_config):
+        build_dataset(tiny_config)
+        entry = cache_dir / _config_digest(tiny_config)
+        (entry / "result.json").write_text("{not json")
+        rebuilt = build_dataset(tiny_config)
+        # demo() runs at 30-minute cadence: 48 samples per day.
+        assert rebuilt.database.num_samples == 3 * 48
+
+    def test_digest_separates_configs_and_versions(self, tiny_config, monkeypatch):
+        other = MiraScenario.demo(days=3, seed=6)
+        before = _config_digest(tiny_config)
+        assert before != _config_digest(other)
+        import repro.simulation.datasets as datasets
+
+        monkeypatch.setattr(datasets, "__version__", "0.0.0-test")
+        assert _config_digest(tiny_config) != before
 
 
 class TestDeterminism:
