@@ -50,6 +50,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="simulate the whole 2014-2019 production period (hourly)",
     )
+    simulate.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help=(
+            "degrade the delivered telemetry with calibrated sensor/"
+            "delivery faults (dropout, stuck-at, spikes, skew, blackouts)"
+        ),
+    )
 
     report = commands.add_parser(
         "report", help="print paper-vs-measured tables for the core figures"
@@ -91,8 +99,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config = MiraScenario.full_study(seed=args.seed)
     else:
         config = MiraScenario.demo(days=args.days, seed=args.seed, dt_s=args.dt)
+    if args.inject_faults:
+        import dataclasses
+
+        from repro.faults import FaultConfig
+
+        config = dataclasses.replace(config, faults=FaultConfig())
     print(f"simulating {config.start} .. {config.end} at dt={config.dt_s:.0f}s ...")
     result = FacilityEngine(config).run()
+    if result.fault_truth is not None:
+        print(result.fault_truth.summary())
+        print(f"ingest counters: {result.database.counters.as_dict()}")
     args.out.mkdir(parents=True, exist_ok=True)
     telemetry_path = args.out / "telemetry.csv"
     ras_path = args.out / "ras.jsonl"

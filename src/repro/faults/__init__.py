@@ -1,0 +1,32 @@
+"""Deterministic sensor-fault injection for telemetry streams.
+
+Real coolant monitors do not deliver the pristine matrices the
+simulator emits: readings drop out, sensors stick or spike, monitor
+clocks skew, rows arrive twice, and whole monitors go dark around the
+very incidents one most wants data for.  This package perturbs a clean
+:class:`~repro.telemetry.database.EnvironmentalDatabase` realization
+into a realistically degraded delivery stream — and records the exact
+ground truth of every injected fault so tests can assert that the
+hardened pipeline accounts for them.
+
+* :class:`FaultConfig` — calibrated fault rates (frozen, hashable, and
+  ``repr``-stable so it can participate in dataset cache keys),
+* :class:`FaultInjector` — applies the faults; same config + seed
+  always yields a bit-identical faulted stream,
+* :class:`FaultTruth` / :class:`InjectedFault` — per-kind ground-truth
+  masks and the discrete fault event list.
+"""
+
+from repro.faults.injector import (
+    FaultConfig,
+    FaultInjector,
+    FaultTruth,
+    InjectedFault,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultTruth",
+    "InjectedFault",
+]

@@ -14,7 +14,11 @@ checkpoint the jobs at risk, and build CMF-aware resource management
   predictor is operationally worth deploying.
 """
 
-from repro.monitoring.online import OnlineCmfPredictor, train_online_predictor
+from repro.monitoring.online import (
+    OnlineCmfPredictor,
+    PredictorCounters,
+    train_online_predictor,
+)
 from repro.monitoring.alerts import Alert, AlertLog, AlertPolicy
 from repro.monitoring.anomaly import CusumAlarm, CusumConfig, CusumDetector
 from repro.monitoring.localization import (
@@ -31,6 +35,7 @@ from repro.monitoring.mitigation import (
 
 __all__ = [
     "OnlineCmfPredictor",
+    "PredictorCounters",
     "train_online_predictor",
     "Alert",
     "AlertLog",

@@ -10,18 +10,36 @@ a new coolant monitor sample arrives.
 pooled across prediction leads (so the model fires progressively as a
 failure approaches rather than being tuned to one horizon), and
 :class:`OnlineCmfPredictor` serves it over per-rack ring buffers.
+
+Degraded-stream tolerance
+-------------------------
+
+Production telemetry arrives with holes, duplicates, and gaps (see
+:mod:`repro.faults`).  By default the predictor *absorbs* delivery
+problems instead of raising:
+
+* missing or NaN channels are filled by last-observation-carried-
+  forward, capped at :attr:`~OnlineCmfPredictor.locf_staleness_s`;
+  samples too incomplete to repair are dropped,
+* late or duplicate-timestamp samples are dropped,
+* a rack whose stream goes silent longer than
+  :attr:`~OnlineCmfPredictor.gap_reset_s` has its history reset, so
+  features never interpolate across an outage.
+
+Every such decision increments :class:`PredictorCounters`.  Passing
+``strict=True`` restores the historical contract: missing channels and
+out-of-order samples raise ``ValueError``.
 """
 
 from __future__ import annotations
 
-import collections
 import dataclasses
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import constants, timeutil
-from repro.core.prediction import FEATURE_LAGS_H, build_dataset, window_features
+from repro.core.prediction import FEATURE_LAGS_H, build_dataset
 from repro.facility.topology import RackId
 from repro.ml.network import NeuralNetwork
 from repro.ml.train import TrainConfig, TrainResult, train_classifier
@@ -68,6 +86,87 @@ class Prediction:
     probability: float
 
 
+@dataclasses.dataclass
+class PredictorCounters:
+    """Observability counters for every degraded-stream decision."""
+
+    #: Samples offered via :meth:`OnlineCmfPredictor.consume`.
+    consumed: int = 0
+    #: Predictions emitted.
+    predictions: int = 0
+    #: Individual channel values filled by carry-forward.
+    locf_fills: int = 0
+    #: Samples dropped because too stale/incomplete to repair.
+    dropped_incomplete: int = 0
+    #: Samples dropped for arriving behind the rack's newest timestamp.
+    dropped_late: int = 0
+    #: Samples dropped for duplicating the rack's newest timestamp.
+    dropped_duplicate: int = 0
+    #: Rack histories reset after a silent gap.
+    gap_resets: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class _RackHistory:
+    """A growable (times, values) window with O(1) amortized append.
+
+    Replaces the old per-sample ``Deque[Tuple[float, Dict]]`` whose
+    every feature evaluation rebuilt full numpy arrays — O(history)
+    per sample.  Here interpolation reads contiguous array views
+    directly, so a sample costs O(channels x lags x log history).
+    """
+
+    __slots__ = ("times", "values", "start", "size")
+
+    def __init__(self, num_channels: int, capacity: int = 128) -> None:
+        self.times = np.empty(capacity, dtype="float64")
+        self.values = np.empty((capacity, num_channels), dtype="float64")
+        self.start = 0
+        self.size = 0
+
+    def append(self, epoch_s: float, row: np.ndarray) -> None:
+        end = self.start + self.size
+        if end == len(self.times):
+            if self.start > 0:
+                # Slide the live window back to the front.
+                self.times[: self.size] = self.times[self.start : end]
+                self.values[: self.size] = self.values[self.start : end]
+                self.start = 0
+                end = self.size
+            if end == len(self.times):
+                self.times = np.concatenate([self.times, np.empty_like(self.times)])
+                self.values = np.concatenate(
+                    [self.values, np.empty_like(self.values)]
+                )
+        self.times[end] = epoch_s
+        self.values[end] = row
+        self.size += 1
+
+    def prune_before(self, cutoff_s: float) -> None:
+        times = self.times
+        while self.size and times[self.start] < cutoff_s:
+            self.start += 1
+            self.size -= 1
+
+    @property
+    def times_view(self) -> np.ndarray:
+        return self.times[self.start : self.start + self.size]
+
+    @property
+    def values_view(self) -> np.ndarray:
+        return self.values[self.start : self.start + self.size]
+
+    @property
+    def last_time(self) -> float:
+        return float(self.times[self.start + self.size - 1])
+
+    @property
+    def last_row(self) -> np.ndarray:
+        return self.values[self.start + self.size - 1]
+
+
 class OnlineCmfPredictor:
     """Per-rack rolling-history inference.
 
@@ -79,7 +178,17 @@ class OnlineCmfPredictor:
         model: A trained classifier from
             :func:`train_online_predictor` (or the offline pipeline).
         sample_period_s: Expected cadence; history is pruned to the
-            feature span plus slack.
+            feature span plus slack, and the tolerance defaults below
+            scale with it.
+        strict: Restore the historical contract — missing channels and
+            out-of-order arrivals raise ``ValueError`` instead of
+            being repaired/dropped.
+        locf_staleness_s: How old the rack's newest sample may be and
+            still donate carry-forward values (default: six sample
+            periods).
+        gap_reset_s: Silent gap after which a rack's history is
+            discarded rather than interpolated across (default: the
+            larger of two hours and eight sample periods).
     """
 
     #: Extra history retained beyond the longest lag, seconds.
@@ -89,29 +198,41 @@ class OnlineCmfPredictor:
         self,
         model: TrainResult,
         sample_period_s: float = float(constants.MONITOR_SAMPLE_PERIOD_S),
+        strict: bool = False,
+        locf_staleness_s: Optional[float] = None,
+        gap_reset_s: Optional[float] = None,
     ) -> None:
         if sample_period_s <= 0:
             raise ValueError("sample period must be positive")
         self.model = model
         self.sample_period_s = sample_period_s
-        self._span_s = max(FEATURE_LAGS_H) * timeutil.HOUR_S + self.HISTORY_SLACK_S
-        self._history: Dict[RackId, Deque[Tuple[float, Dict[Channel, float]]]] = (
-            collections.defaultdict(collections.deque)
+        self.strict = strict
+        self.locf_staleness_s = (
+            6.0 * sample_period_s if locf_staleness_s is None else locf_staleness_s
         )
+        self.gap_reset_s = (
+            max(2.0 * timeutil.HOUR_S, 8.0 * sample_period_s)
+            if gap_reset_s is None
+            else gap_reset_s
+        )
+        if self.locf_staleness_s < 0 or self.gap_reset_s <= 0:
+            raise ValueError("tolerance windows must be positive")
+        self.counters = PredictorCounters()
+        self._span_s = max(FEATURE_LAGS_H) * timeutil.HOUR_S + self.HISTORY_SLACK_S
+        self._lag_offsets_s = np.array(FEATURE_LAGS_H) * timeutil.HOUR_S
+        self._history: Dict[RackId, _RackHistory] = {}
 
     # -- history management ------------------------------------------------------
 
-    def _prune(self, rack_id: RackId, now_s: float) -> None:
-        history = self._history[rack_id]
-        while history and history[0][0] < now_s - self._span_s:
-            history.popleft()
+    def _rack(self, rack_id: RackId) -> Optional[_RackHistory]:
+        return self._history.get(rack_id)
 
     def history_span_s(self, rack_id: RackId) -> float:
         """Seconds of history currently held for a rack."""
-        history = self._history[rack_id]
-        if len(history) < 2:
+        history = self._rack(rack_id)
+        if history is None or history.size < 2:
             return 0.0
-        return history[-1][0] - history[0][0]
+        return history.last_time - float(history.times[history.start])
 
     def ready(self, rack_id: RackId) -> bool:
         """Whether the rack has enough history for a prediction."""
@@ -119,23 +240,37 @@ class OnlineCmfPredictor:
 
     # -- inference ---------------------------------------------------------------
 
-    def _value_at(self, rack_id: RackId, channel: Channel, epoch_s: float) -> float:
-        history = self._history[rack_id]
-        times = np.array([t for t, _ in history])
-        values = np.array([sample[channel] for _, sample in history])
-        return float(np.interp(epoch_s, times, values))
+    @staticmethod
+    def _values_at(history: _RackHistory, query_times: np.ndarray) -> np.ndarray:
+        """Linearly interpolated rows at each query time, ``np.interp``
+        clip semantics (before-first -> first row, after-last -> last)."""
+        times = history.times_view
+        values = history.values_view
+        n = len(times)
+        indices = np.searchsorted(times, query_times, side="left")
+        out = np.empty((len(query_times), values.shape[1]))
+        for k, (query, i) in enumerate(zip(query_times, indices)):
+            if i <= 0:
+                out[k] = values[0]
+            elif i >= n:
+                out[k] = values[-1]
+            elif times[i] == query:
+                out[k] = values[i]
+            else:
+                left = times[i - 1]
+                weight = (query - left) / (times[i] - left)
+                out[k] = values[i - 1] + weight * (values[i] - values[i - 1])
+        return out
 
-    def _features(self, rack_id: RackId, now_s: float) -> np.ndarray:
-        features: List[float] = []
-        for channel in PREDICTOR_CHANNELS:
-            now_value = self._value_at(rack_id, channel, now_s)
-            for lag_h in FEATURE_LAGS_H:
-                then = self._value_at(
-                    rack_id, channel, now_s - lag_h * timeutil.HOUR_S
-                )
-                denominator = abs(then) if abs(then) > 1e-9 else 1.0
-                features.append((now_value - then) / denominator)
-        return np.array(features)
+    def _features(self, history: _RackHistory, now_s: float) -> np.ndarray:
+        now_values = self._values_at(history, np.array([now_s]))[0]
+        then_values = self._values_at(history, now_s - self._lag_offsets_s)
+        denominator = np.where(
+            np.abs(then_values) > 1e-9, np.abs(then_values), 1.0
+        )
+        # (lags, channels) -> channel-major/lag-minor, matching
+        # repro.core.prediction.window_features.
+        return ((now_values[None, :] - then_values) / denominator).T.ravel()
 
     def consume(
         self,
@@ -145,22 +280,72 @@ class OnlineCmfPredictor:
     ) -> Optional[Prediction]:
         """Ingest one sample; return a prediction once history suffices.
 
+        Missing or NaN predictor channels are repaired by carry-forward
+        when recent history allows; late and duplicate samples are
+        dropped.  With ``strict=True`` missing channels and late
+        arrivals raise ``ValueError`` as they historically did.
+
         Raises:
-            ValueError: if a predictor channel is missing.
+            ValueError: strict mode only — on missing channels or
+                out-of-order arrival.
         """
-        missing = [ch for ch in PREDICTOR_CHANNELS if ch not in channel_values]
-        if missing:
-            raise ValueError(f"missing channels: {[m.column for m in missing]}")
-        history = self._history[rack_id]
-        if history and epoch_s < history[-1][0]:
-            raise ValueError("samples must arrive in time order per rack")
-        history.append((epoch_s, dict(channel_values)))
-        self._prune(rack_id, epoch_s)
+        self.counters.consumed += 1
+        row = np.array(
+            [float(channel_values.get(ch, np.nan)) for ch in PREDICTOR_CHANNELS]
+        )
+        holes = ~np.isfinite(row)
+        if self.strict:
+            missing = [ch for ch in PREDICTOR_CHANNELS if ch not in channel_values]
+            if missing:
+                raise ValueError(
+                    f"missing channels: {[m.column for m in missing]}"
+                )
+        history = self._rack(rack_id)
+
+        if history is not None and history.size:
+            last = history.last_time
+            if epoch_s < last:
+                if self.strict:
+                    raise ValueError("samples must arrive in time order per rack")
+                self.counters.dropped_late += 1
+                return None
+            if not self.strict and epoch_s == last:
+                self.counters.dropped_duplicate += 1
+                return None
+            if epoch_s - last > self.gap_reset_s:
+                # The stream went silent; interpolating across the gap
+                # would fabricate six hours of physics.  Start over.
+                self.reset(rack_id)
+                history = None
+                self.counters.gap_resets += 1
+
+        if holes.any():
+            filled = False
+            if (
+                history is not None
+                and history.size
+                and epoch_s - history.last_time <= self.locf_staleness_s
+            ):
+                donor = history.last_row
+                if np.isfinite(donor[holes]).all():
+                    row = np.where(holes, donor, row)
+                    self.counters.locf_fills += int(holes.sum())
+                    filled = True
+            if not filled:
+                self.counters.dropped_incomplete += 1
+                return None
+
+        if history is None:
+            history = _RackHistory(len(PREDICTOR_CHANNELS))
+            self._history[rack_id] = history
+        history.append(epoch_s, row)
+        history.prune_before(epoch_s - self._span_s)
         if not self.ready(rack_id):
             return None
         probability = float(
-            self.model.predict_proba(self._features(rack_id, epoch_s)[None, :])[0]
+            self.model.predict_proba(self._features(history, epoch_s)[None, :])[0]
         )
+        self.counters.predictions += 1
         return Prediction(epoch_s=epoch_s, rack_id=rack_id, probability=probability)
 
     def consume_window(self, window: LeadupWindow) -> List[Prediction]:

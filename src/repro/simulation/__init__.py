@@ -11,6 +11,7 @@
   tests, benchmarks, and examples.
 """
 
+from repro.faults import FaultConfig
 from repro.simulation.config import SimulationConfig
 from repro.simulation.engine import FacilityEngine, SimulationResult
 from repro.simulation.scenarios import MiraScenario
@@ -18,6 +19,7 @@ from repro.simulation.windows import LeadupWindow, WindowSynthesizer
 from repro.simulation.datasets import canonical_dataset, small_dataset
 
 __all__ = [
+    "FaultConfig",
     "SimulationConfig",
     "FacilityEngine",
     "SimulationResult",

@@ -12,6 +12,7 @@ import datetime as dt
 from typing import Optional
 
 from repro import constants
+from repro.faults import FaultConfig
 
 
 @dataclasses.dataclass(frozen=True)
@@ -109,6 +110,11 @@ class SimulationConfig:
     theta: ThetaConfig = dataclasses.field(default_factory=ThetaConfig)
     #: Whether the CMF/aftermath failure processes are active.
     inject_failures: bool = True
+    #: Sensor/delivery fault injection (:mod:`repro.faults`).  ``None``
+    #: (the default) leaves telemetry pristine and keeps the realization
+    #: byte-identical to historical runs; a :class:`FaultConfig` degrades
+    #: the delivered stream after the physics pass.
+    faults: Optional[FaultConfig] = None
     #: Seasonal flow-trim amplitude (operators nudge flow up with
     #: seasonal load; Fig 4(c)'s <1.5 % monthly variation).
     seasonal_flow_gain: float = 0.04

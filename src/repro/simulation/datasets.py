@@ -131,8 +131,13 @@ def _store_to_disk(result: SimulationResult, entry: Path) -> None:
 
 
 def build_dataset(config: SimulationConfig) -> SimulationResult:
-    """Build (or load from the disk cache) the realization of ``config``."""
-    if not _disk_cache_enabled():
+    """Build (or load from the disk cache) the realization of ``config``.
+
+    Fault-injecting configs skip the disk layer: the archive format
+    persists neither quality masks nor fault ground truth, and a
+    reloaded entry would silently lose :attr:`SimulationResult.fault_truth`.
+    """
+    if not _disk_cache_enabled() or config.faults is not None:
         return FacilityEngine(config).run()
     entry = cache_root() / _config_digest(config)
     cached = _load_from_disk(config, entry)

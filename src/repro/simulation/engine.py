@@ -38,6 +38,7 @@ from repro.facility.machine import Machine
 from repro.failures.cmf import CmfSchedule, PrecursorSignature
 from repro.failures.noncmf import AftermathProcess, NonCmfFailure
 from repro.failures.storms import StormGenerator
+from repro.faults import FaultInjector, FaultTruth
 from repro.scheduler.scheduler import MiraScheduler
 from repro.scheduler.workload import WorkloadGenerator
 from repro.simulation.config import SimulationConfig
@@ -60,6 +61,9 @@ class SimulationResult:
     weather: ChicagoWeather
     jobs_completed: int
     jobs_killed: int
+    #: Ground truth of injected sensor faults, or ``None`` when the
+    #: run's telemetry is pristine (``config.faults is None``).
+    fault_truth: Optional[FaultTruth] = None
 
     @property
     def start_epoch_s(self) -> float:
@@ -150,6 +154,15 @@ class FacilityEngine:
             self.schedule = None
             self.noncmf_failures = ()
             self.ras_log = RasLog()
+
+        # The fault seed is spawned *after* the nine component seeds, so
+        # children 0-8 — every RNG stream of the clean simulation — are
+        # unchanged and a faults-off run stays byte-identical to
+        # historical realizations.
+        if self.config.faults is not None:
+            (self._fault_seed,) = seed_seq.spawn(1)
+        else:
+            self._fault_seed = None
 
         self._excursions = self._generate_excursions(
             np.random.default_rng(excursion_seed)
@@ -500,6 +513,18 @@ class FacilityEngine:
             )
 
         database.compact()
+
+        # -- optional post-run sensor-fault injection ------------------------
+        fault_truth: Optional[FaultTruth] = None
+        if cfg.faults is not None:
+            injector = FaultInjector(cfg.faults, self._fault_seed)
+            events = [
+                (float(t), int(r)) for t, r in zip(cmf_times, cmf_racks)
+            ]
+            database, fault_truth = injector.apply(
+                database, cfg.dt_s, cmf_events=events
+            )
+
         return SimulationResult(
             config=cfg,
             database=database,
@@ -510,4 +535,5 @@ class FacilityEngine:
             weather=self.weather,
             jobs_completed=self.scheduler.completed_count,
             jobs_killed=self.scheduler.killed_count,
+            fault_truth=fault_truth,
         )

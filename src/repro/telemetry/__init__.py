@@ -9,11 +9,28 @@ RAS log of real Mira:
 * :mod:`repro.telemetry.series` — resampling, rolling statistics,
   linear fits and calendar group-bys used throughout the analyses,
 * :mod:`repro.telemetry.ras` — reliability/availability/serviceability
-  event log with severity and category taxonomies.
+  event log with severity and category taxonomies,
+* :mod:`repro.telemetry.quality` — the data-quality scrubber (stuck
+  runs, spikes, gaps) writing per-channel quality masks,
+* :mod:`repro.telemetry.nanstats` — NaN-aware reductions that stay
+  silent on all-NaN slices.
 """
 
-from repro.telemetry.records import CHANNELS, Channel
-from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import CHANNELS, Channel, Quality
+from repro.telemetry.database import (
+    EnvironmentalDatabase,
+    IngestCounters,
+    IngestPolicy,
+)
+from repro.telemetry.quality import (
+    Gap,
+    ScrubPolicy,
+    ScrubReport,
+    find_gaps,
+    scrub_database,
+    spike_mask,
+    stuck_mask,
+)
 from repro.telemetry.series import TimeSeries, linear_fit
 from repro.telemetry.ras import RasEvent, RasLog, Severity
 from repro.telemetry.archive import TelemetryArchive
@@ -27,7 +44,17 @@ from repro.telemetry.export import (
 __all__ = [
     "CHANNELS",
     "Channel",
+    "Quality",
     "EnvironmentalDatabase",
+    "IngestCounters",
+    "IngestPolicy",
+    "Gap",
+    "ScrubPolicy",
+    "ScrubReport",
+    "find_gaps",
+    "scrub_database",
+    "spike_mask",
+    "stuck_mask",
     "TimeSeries",
     "linear_fit",
     "RasEvent",

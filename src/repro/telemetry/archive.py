@@ -27,7 +27,11 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.database import (
+    EnvironmentalDatabase,
+    IngestCounters,
+    IngestPolicy,
+)
 from repro.telemetry.records import CHANNELS, Channel
 
 PathLike = Union[str, Path]
@@ -121,6 +125,14 @@ class _ArchivedDatabase(EnvironmentalDatabase):
         self._capacity = self._size
         self._epoch = epoch
         self._columns = columns
+        # Archives carry no quality files; flags are derived from
+        # NaN-ness on demand (see EnvironmentalDatabase._quality_matrix).
+        self._quality = None
+        self._derived_quality = {}
+        self.policy = IngestPolicy()
+        self.counters = IngestCounters()
+        self._pending = []
+        self._watermark = float(epoch[-1]) if self._size else -np.inf
 
     def append_snapshot(self, epoch_s, channel_values) -> None:
         raise TypeError("archived databases are read-only")

@@ -11,19 +11,121 @@ windows, and system-level aggregates.
 Single :class:`~repro.cooling.monitor.SensorReading` records can also
 be ingested (the slow path used when exercising the monitor objects
 directly).
+
+Data quality
+------------
+
+Production facility telemetry is not pristine: readings arrive late,
+twice, or never.  Two mechanisms make the store robust to that:
+
+* an **ingest policy** (:class:`IngestPolicy`).  The default,
+  *strict*, policy preserves the historical contract — out-of-order
+  samples raise ``ValueError``.  A *lenient* policy instead holds
+  late-but-close samples in a bounded reorder buffer, resolves
+  duplicate timestamps (first/last/merge), drops hopelessly late rows,
+  and counts every degraded decision in :class:`IngestCounters`;
+* per-channel **quality masks** — a ``uint8``
+  :class:`~repro.telemetry.records.Quality` matrix parallel to each
+  value matrix, marking every cell ``ok``/``missing`` at ingest and
+  letting the scrubber (:mod:`repro.telemetry.quality`) escalate cells
+  to ``suspect``/``scrubbed`` later.
+
+All query accessors return arrays with ``writeable=False`` so callers
+cannot silently corrupt the store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import dataclasses
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro import constants
-from repro.cooling.monitor import SensorReading
 from repro.facility.topology import RackId
-from repro.telemetry.records import CHANNELS, Channel
+from repro.telemetry import nanstats
+from repro.telemetry.records import CHANNELS, Channel, Quality
 from repro.telemetry.series import TimeSeries
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # Imported only for annotations: a module-level import would close
+    # the cycle telemetry.database -> cooling -> cooling.balancer ->
+    # telemetry.database and make ``import repro.telemetry`` order-
+    # dependent.
+    from repro.cooling.monitor import SensorReading
+
+#: Duplicate-timestamp resolutions available to a lenient policy.
+_DUPLICATE_POLICIES = ("first", "last", "merge")
+
+
+@dataclasses.dataclass(frozen=True)
+class IngestPolicy:
+    """How the database treats imperfectly delivered samples.
+
+    Attributes:
+        strict: With the default strict policy the database behaves as
+            it always has: out-of-order samples raise ``ValueError``
+            and equal timestamps append as distinct rows.  A lenient
+            policy (``strict=False``) never raises on delivery-order
+            problems.
+        reorder_window_s: Lenient only — samples no older than the
+            newest seen timestamp minus this window are buffered and
+            committed in timestamp order; older samples are dropped
+            (and counted).
+        duplicate_policy: Lenient only — what to do when a sample's
+            timestamp matches a stored or buffered row: ``"first"``
+            keeps the original, ``"last"`` overwrites with the new
+            values, ``"merge"`` fills only the cells the original is
+            missing.
+    """
+
+    strict: bool = True
+    reorder_window_s: float = 0.0
+    duplicate_policy: str = "merge"
+
+    def __post_init__(self) -> None:
+        if self.reorder_window_s < 0:
+            raise ValueError("reorder window cannot be negative")
+        if self.duplicate_policy not in _DUPLICATE_POLICIES:
+            raise ValueError(
+                f"duplicate_policy must be one of {_DUPLICATE_POLICIES}, "
+                f"got {self.duplicate_policy!r}"
+            )
+
+    @staticmethod
+    def lenient(
+        reorder_window_s: float = 0.0, duplicate_policy: str = "merge"
+    ) -> "IngestPolicy":
+        """A non-raising policy for realistically faulty streams."""
+        return IngestPolicy(
+            strict=False,
+            reorder_window_s=reorder_window_s,
+            duplicate_policy=duplicate_policy,
+        )
+
+
+@dataclasses.dataclass
+class IngestCounters:
+    """Observability counters for every degraded ingest decision."""
+
+    #: Rows committed to the store (pending rows count on commit).
+    accepted_rows: int = 0
+    #: Rows that arrived behind a newer timestamp and were re-sorted.
+    reordered_rows: int = 0
+    #: Rows whose timestamp matched an existing row and were resolved.
+    duplicate_rows: int = 0
+    #: Rows older than the reorder window, dropped outright.
+    dropped_late_rows: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    """A non-writable view of ``array`` (the base stays writable)."""
+    view = array[...]
+    view.flags.writeable = False
+    return view
 
 
 class EnvironmentalDatabase:
@@ -33,12 +135,15 @@ class EnvironmentalDatabase:
         num_racks: Width of the rack axis (48 for Mira).
         capacity_hint: Expected number of samples; preallocating
             avoids repeated growth for long simulations.
+        policy: Ingest policy; defaults to the historical strict
+            contract.
     """
 
     def __init__(
         self,
         num_racks: int = constants.NUM_RACKS,
         capacity_hint: int = 1024,
+        policy: Optional[IngestPolicy] = None,
     ) -> None:
         if num_racks <= 0:
             raise ValueError("num_racks must be positive")
@@ -49,6 +154,19 @@ class EnvironmentalDatabase:
         self._columns: Dict[Channel, np.ndarray] = {
             ch: np.full((self._capacity, num_racks), np.nan) for ch in CHANNELS
         }
+        self._quality: Optional[Dict[Channel, np.ndarray]] = {
+            ch: np.full(
+                (self._capacity, num_racks), int(Quality.MISSING), dtype=np.uint8
+            )
+            for ch in CHANNELS
+        }
+        self._derived_quality: Dict[Channel, np.ndarray] = {}
+        self.policy = policy if policy is not None else IngestPolicy()
+        self.counters = IngestCounters()
+        #: Arrived-but-uncommitted rows (lenient reorder buffer).
+        self._pending: List[Tuple[float, Dict[Channel, np.ndarray]]] = []
+        #: Newest timestamp ever seen (committed or pending).
+        self._watermark = -np.inf
 
     # -- ingest ---------------------------------------------------------------
 
@@ -61,7 +179,46 @@ class EnvironmentalDatabase:
             new_column = np.full((new_capacity, self._num_racks), np.nan)
             new_column[: self._size] = column[: self._size]
             self._columns[channel] = new_column
+        if self._quality is not None:
+            for channel, matrix in self._quality.items():
+                new_matrix = np.full(
+                    (new_capacity, self._num_racks),
+                    int(Quality.MISSING),
+                    dtype=np.uint8,
+                )
+                new_matrix[: self._size] = matrix[: self._size]
+                self._quality[channel] = new_matrix
         self._capacity = new_capacity
+
+    def _validate_row(
+        self, channel_values: Dict[Channel, np.ndarray]
+    ) -> Dict[Channel, np.ndarray]:
+        validated = {}
+        for channel, vector in channel_values.items():
+            values = np.array(vector, dtype="float64", copy=True)
+            if values.shape != (self._num_racks,):
+                raise ValueError(
+                    f"{channel}: expected shape ({self._num_racks},), got {values.shape}"
+                )
+            validated[channel] = values
+        return validated
+
+    def _append_row(
+        self, epoch_s: float, channel_values: Dict[Channel, np.ndarray]
+    ) -> None:
+        """Commit one validated row at the end of the store."""
+        if self._size == self._capacity:
+            self._grow()
+        index = self._size
+        self._epoch[index] = epoch_s
+        for channel, values in channel_values.items():
+            self._columns[channel][index] = values
+            if self._quality is not None:
+                self._quality[channel][index] = np.where(
+                    np.isfinite(values), int(Quality.OK), int(Quality.MISSING)
+                )
+        self._size += 1
+        self.counters.accepted_rows += 1
 
     def append_snapshot(
         self, epoch_s: float, channel_values: Dict[Channel, np.ndarray]
@@ -69,30 +226,123 @@ class EnvironmentalDatabase:
         """Append one whole-floor sample.
 
         Args:
-            epoch_s: Sample timestamp; must not precede the last one.
+            epoch_s: Sample timestamp.  Under the strict policy it must
+                not precede the last one; a lenient policy buffers,
+                reorders, deduplicates, or drops it instead.
             channel_values: Per-channel vectors of length ``num_racks``.
-                Channels not supplied are stored as NaN.
+                Channels not supplied are stored as NaN (quality
+                ``missing``).
 
         Raises:
-            ValueError: on out-of-order timestamps or wrong-width
-                vectors.
+            ValueError: on wrong-width vectors; under the strict
+                policy, also on out-of-order timestamps.
         """
-        if self._size > 0 and epoch_s < self._epoch[self._size - 1]:
-            raise ValueError(
-                f"out-of-order snapshot: {epoch_s} after {self._epoch[self._size - 1]}"
-            )
-        if self._size == self._capacity:
-            self._grow()
-        index = self._size
-        self._epoch[index] = epoch_s
-        for channel, vector in channel_values.items():
-            values = np.asarray(vector, dtype="float64")
-            if values.shape != (self._num_racks,):
+        validated = self._validate_row(channel_values)
+        if self.policy.strict:
+            if self._size > 0 and epoch_s < self._epoch[self._size - 1]:
                 raise ValueError(
-                    f"{channel}: expected shape ({self._num_racks},), got {values.shape}"
+                    f"out-of-order snapshot: {epoch_s} after "
+                    f"{self._epoch[self._size - 1]}"
                 )
-            self._columns[channel][index] = values
-        self._size += 1
+            self._append_row(epoch_s, validated)
+            self._watermark = max(self._watermark, epoch_s)
+            return
+        self._lenient_ingest(float(epoch_s), validated)
+
+    def _lenient_ingest(
+        self, epoch_s: float, validated: Dict[Channel, np.ndarray]
+    ) -> None:
+        # Duplicate of a buffered row?
+        for i, (pending_epoch, pending_values) in enumerate(self._pending):
+            if pending_epoch == epoch_s:
+                self._pending[i] = (
+                    pending_epoch,
+                    self._merge_rows(pending_values, validated),
+                )
+                self.counters.duplicate_rows += 1
+                return
+        last_committed = self._epoch[self._size - 1] if self._size else -np.inf
+        if epoch_s <= last_committed:
+            # Duplicate of a committed row, or hopelessly late.
+            index = int(np.searchsorted(self._epoch[: self._size], epoch_s))
+            if index < self._size and self._epoch[index] == epoch_s:
+                self._merge_committed(index, validated)
+                self.counters.duplicate_rows += 1
+            else:
+                self.counters.dropped_late_rows += 1
+            return
+        if epoch_s < self._watermark:
+            self.counters.reordered_rows += 1
+        self._pending.append((epoch_s, validated))
+        self._watermark = max(self._watermark, epoch_s)
+        self._commit_ready()
+
+    def _merge_rows(
+        self,
+        existing: Dict[Channel, np.ndarray],
+        incoming: Dict[Channel, np.ndarray],
+    ) -> Dict[Channel, np.ndarray]:
+        """Resolve two rows with the same timestamp per the policy."""
+        mode = self.policy.duplicate_policy
+        if mode == "first":
+            return existing
+        if mode == "last":
+            merged = dict(existing)
+            merged.update(incoming)
+            return merged
+        merged = dict(existing)
+        for channel, values in incoming.items():
+            current = merged.get(channel)
+            if current is None:
+                merged[channel] = values
+            else:
+                holes = ~np.isfinite(current)
+                if holes.any():
+                    filled = current.copy()
+                    filled[holes] = values[holes]
+                    merged[channel] = filled
+        return merged
+
+    def _merge_committed(
+        self, index: int, incoming: Dict[Channel, np.ndarray]
+    ) -> None:
+        """Resolve a duplicate against an already-committed row."""
+        mode = self.policy.duplicate_policy
+        if mode == "first":
+            return
+        for channel, values in incoming.items():
+            column = self._columns[channel]
+            if mode == "last":
+                column[index] = values
+            else:  # merge: fill only the holes
+                holes = ~np.isfinite(column[index])
+                if holes.any():
+                    column[index, holes] = values[holes]
+            if self._quality is not None:
+                self._quality[channel][index] = np.where(
+                    np.isfinite(column[index]),
+                    int(Quality.OK),
+                    int(Quality.MISSING),
+                )
+
+    def _commit_ready(self, force: bool = False) -> None:
+        """Commit buffered rows that can no longer be reordered."""
+        if not self._pending:
+            return
+        cutoff = (
+            np.inf if force else self._watermark - self.policy.reorder_window_s
+        )
+        ready = [row for row in self._pending if row[0] <= cutoff]
+        if not ready:
+            return
+        self._pending = [row for row in self._pending if row[0] > cutoff]
+        ready.sort(key=lambda row: row[0])
+        for epoch_s, values in ready:
+            self._append_row(epoch_s, values)
+
+    def flush(self) -> None:
+        """Commit every buffered row (end of stream, or before a query)."""
+        self._commit_ready(force=True)
 
     def append_block(
         self, epoch_s: np.ndarray, channel_values: Dict[Channel, np.ndarray]
@@ -101,18 +351,21 @@ class EnvironmentalDatabase:
 
         The fast path for the vectorized simulation engine: one call
         ingests ``(steps, racks)`` matrices per channel instead of
-        ``steps`` dict-validated rows.
+        ``steps`` dict-validated rows.  Under a lenient policy the
+        block is routed row-by-row through the reorder/duplicate
+        machinery instead.
 
         Args:
-            epoch_s: Sample timestamps, shape ``(steps,)``, ascending;
-                the first must not precede the last stored sample.
+            epoch_s: Sample timestamps, shape ``(steps,)``; under the
+                strict policy they must be ascending and the first must
+                not precede the last stored sample.
             channel_values: Per-channel matrices of shape
                 ``(steps, num_racks)``.  Channels not supplied are
                 stored as NaN.
 
         Raises:
-            ValueError: on out-of-order timestamps or wrong-shape
-                matrices.
+            ValueError: on wrong-shape matrices; under the strict
+                policy, also on out-of-order timestamps.
         """
         epochs = np.asarray(epoch_s, dtype="float64")
         if epochs.ndim != 1:
@@ -120,12 +373,6 @@ class EnvironmentalDatabase:
         count = epochs.shape[0]
         if count == 0:
             return
-        if np.any(np.diff(epochs) < 0):
-            raise ValueError("block timestamps must be non-decreasing")
-        if self._size > 0 and epochs[0] < self._epoch[self._size - 1]:
-            raise ValueError(
-                f"out-of-order block: {epochs[0]} after {self._epoch[self._size - 1]}"
-            )
         matrices = {}
         for channel, values in channel_values.items():
             matrix = np.asarray(values, dtype="float64")
@@ -135,20 +382,43 @@ class EnvironmentalDatabase:
                     f"got {matrix.shape}"
                 )
             matrices[channel] = matrix
+        if not self.policy.strict:
+            for i in range(count):
+                self._lenient_ingest(
+                    float(epochs[i]),
+                    {ch: matrix[i].copy() for ch, matrix in matrices.items()},
+                )
+            return
+        if np.any(np.diff(epochs) < 0):
+            raise ValueError("block timestamps must be non-decreasing")
+        if self._size > 0 and epochs[0] < self._epoch[self._size - 1]:
+            raise ValueError(
+                f"out-of-order block: {epochs[0]} after {self._epoch[self._size - 1]}"
+            )
         while self._size + count > self._capacity:
             self._grow()
         start, end = self._size, self._size + count
         self._epoch[start:end] = epochs
         for channel, matrix in matrices.items():
             self._columns[channel][start:end] = matrix
+            if self._quality is not None:
+                self._quality[channel][start:end] = np.where(
+                    np.isfinite(matrix), int(Quality.OK), int(Quality.MISSING)
+                )
         self._size = end
+        self.counters.accepted_rows += count
+        self._watermark = max(self._watermark, float(epochs[-1]))
 
-    def ingest_reading(self, reading: SensorReading, utilization: float = np.nan) -> None:
+    def ingest_reading(
+        self, reading: "SensorReading", utilization: float = np.nan
+    ) -> None:
         """Ingest a single-rack :class:`SensorReading` (slow path).
 
         Creates a new snapshot row in which all racks other than the
-        reading's are NaN.  Intended for unit tests and small-scale
-        monitor exercises, not the bulk simulation path.
+        reading's are NaN.  Under a lenient ``merge`` policy, readings
+        from *different* racks at the same timestamp merge into one
+        row.  Intended for unit tests and small-scale monitor
+        exercises, not the bulk simulation path.
         """
         row = {
             Channel.DC_TEMPERATURE: reading.dc_temperature_f,
@@ -170,6 +440,7 @@ class EnvironmentalDatabase:
 
     @property
     def num_samples(self) -> int:
+        self.flush()
         return self._size
 
     @property
@@ -177,27 +448,30 @@ class EnvironmentalDatabase:
         return self._num_racks
 
     def __len__(self) -> int:
-        return self._size
+        return self.num_samples
 
     @property
     def epoch_s(self) -> np.ndarray:
-        """All sample timestamps (view; do not mutate)."""
-        return self._epoch[: self._size]
+        """All sample timestamps (read-only)."""
+        self.flush()
+        return _readonly(self._epoch[: self._size])
 
     def channel(self, channel: Channel) -> TimeSeries:
-        """Full per-rack series for one channel."""
+        """Full per-rack series for one channel (values read-only)."""
+        self.flush()
         return TimeSeries(
-            self._epoch[: self._size],
-            self._columns[channel][: self._size],
+            _readonly(self._epoch[: self._size]),
+            _readonly(self._columns[channel][: self._size]),
             name=channel.column,
             unit=channel.unit,
         )
 
     def rack_channel(self, channel: Channel, rack_id: RackId) -> TimeSeries:
-        """One rack's series for one channel."""
+        """One rack's series for one channel (values read-only)."""
+        self.flush()
         return TimeSeries(
-            self._epoch[: self._size],
-            self._columns[channel][: self._size, rack_id.flat_index],
+            _readonly(self._epoch[: self._size]),
+            _readonly(self._columns[channel][: self._size, rack_id.flat_index]),
             name=f"{channel.column}@{rack_id.label}",
             unit=channel.unit,
         )
@@ -208,36 +482,149 @@ class EnvironmentalDatabase:
         """Per-rack series for a channel restricted to a time window."""
         return self.channel(channel).between(start_epoch_s, end_epoch_s)
 
+    # -- quality ---------------------------------------------------------------
+
+    def _quality_matrix(self, channel: Channel) -> np.ndarray:
+        """The live (writable) quality matrix for one channel."""
+        if self._quality is not None:
+            return self._quality[channel][: self._size]
+        # Archived stores carry no quality files; derive from NaN-ness
+        # once and cache so scrubbers can still annotate in memory.
+        cached = self._derived_quality.get(channel)
+        if cached is None or cached.shape[0] != self._size:
+            values = self._columns[channel][: self._size]
+            cached = np.where(
+                np.isfinite(values), int(Quality.OK), int(Quality.MISSING)
+            ).astype(np.uint8)
+            self._derived_quality[channel] = cached
+        return cached
+
+    def quality(self, channel: Channel) -> np.ndarray:
+        """Per-cell :class:`Quality` flags, shape ``(n, racks)`` (read-only)."""
+        self.flush()
+        return _readonly(self._quality_matrix(channel))
+
+    def rack_quality(self, channel: Channel, rack_id: RackId) -> np.ndarray:
+        """One rack's :class:`Quality` flags, shape ``(n,)`` (read-only)."""
+        self.flush()
+        return _readonly(self._quality_matrix(channel)[:, rack_id.flat_index])
+
+    def update_quality(
+        self,
+        channel: Channel,
+        mask: np.ndarray,
+        quality: Quality,
+        only_ok: bool = True,
+    ) -> int:
+        """Escalate quality flags for the cells selected by ``mask``.
+
+        Args:
+            channel: The channel whose flags to update.
+            mask: Boolean matrix of shape ``(num_samples, num_racks)``.
+            quality: The flag to write (typically ``SUSPECT`` or
+                ``SCRUBBED``).
+            only_ok: Only escalate cells currently flagged ``OK`` —
+                never relabel a cell already known missing or worse.
+
+        Returns:
+            The number of cells updated.
+        """
+        self.flush()
+        matrix = self._quality_matrix(channel)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != matrix.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match quality shape {matrix.shape}"
+            )
+        if only_ok:
+            mask = mask & (matrix == int(Quality.OK))
+        matrix[mask] = int(quality)
+        return int(mask.sum())
+
+    def missing_cells(self, channel: Channel) -> int:
+        """Number of cells flagged ``MISSING`` for one channel."""
+        return int(np.count_nonzero(self.quality(channel) == int(Quality.MISSING)))
+
+    def coverage(self, channel: Channel) -> TimeSeries:
+        """Fraction of racks with a usable value per sample.
+
+        Usable means quality ``OK`` or ``SUSPECT`` — present and not
+        scrubbed.  This is what the system-level aggregates report
+        alongside their values under partial coverage.
+        """
+        self.flush()
+        flags = self._quality_matrix(channel)
+        usable = (flags == int(Quality.OK)) | (flags == int(Quality.SUSPECT))
+        return TimeSeries(
+            _readonly(self._epoch[: self._size]),
+            usable.mean(axis=1) if self._size else np.empty(0),
+            name=f"{channel.column}_coverage",
+            unit="fraction",
+        )
+
     # -- system-level aggregates -------------------------------------------------
 
+    def _covered_sum(self, channel: Channel) -> Tuple[TimeSeries, np.ndarray]:
+        """Coverage-corrected across-rack sum.
+
+        Missing racks are estimated at the mean of the reporting racks
+        (the sum is scaled by ``racks / reporting``), so partial sensor
+        dropout does not deflate facility totals.  Fully-covered
+        samples are exactly the plain sum; samples where *no* rack
+        reported are NaN rather than a silent zero.
+        """
+        series = self.channel(channel)
+        finite = np.isfinite(series.values)
+        counts = finite.sum(axis=1)
+        total = np.nansum(series.values, axis=1)
+        scale = np.divide(
+            float(self._num_racks),
+            counts,
+            out=np.full(len(counts), np.nan),
+            where=counts > 0,
+        )
+        return series, total * scale
+
     def system_power_mw(self) -> TimeSeries:
-        """Total facility power (MW) over time (Fig 2a)."""
-        power = self.channel(Channel.POWER)
-        total_kw = np.nansum(power.values, axis=1)
+        """Total facility power (MW) over time (Fig 2a).
+
+        Coverage-corrected: non-reporting racks are estimated at the
+        reporting-rack mean, and samples with no coverage are NaN.
+        """
+        power, total_kw = self._covered_sum(Channel.POWER)
         return TimeSeries(power.epoch_s, total_kw / 1000.0, name="system_power", unit="MW")
 
     def system_utilization(self) -> TimeSeries:
-        """System utilization (fraction of nodes busy) over time (Fig 2b)."""
+        """System utilization (fraction of nodes busy) over time (Fig 2b).
+
+        Coverage-aware: samples where every rack is NaN yield NaN
+        without a ``Mean of empty slice`` warning.
+        """
         util = self.channel(Channel.UTILIZATION)
         return TimeSeries(
             util.epoch_s,
-            np.nanmean(util.values, axis=1),
+            nanstats.nanmean(util.values, axis=1),
             name="system_utilization",
             unit="fraction",
         )
 
     def total_flow_gpm(self) -> TimeSeries:
-        """Total facility coolant flow (GPM) over time (Fig 3a)."""
-        flow = self.channel(Channel.FLOW)
-        return TimeSeries(
-            flow.epoch_s, np.nansum(flow.values, axis=1), name="total_flow", unit="GPM"
-        )
+        """Total facility coolant flow (GPM) over time (Fig 3a).
+
+        Coverage-corrected like :meth:`system_power_mw`.
+        """
+        flow, total = self._covered_sum(Channel.FLOW)
+        return TimeSeries(flow.epoch_s, total, name="total_flow", unit="GPM")
 
     # -- maintenance ---------------------------------------------------------------
 
     def compact(self) -> None:
         """Shrink internal buffers to the exact data size."""
+        self.flush()
         self._epoch = self._epoch[: self._size].copy()
         for channel in list(self._columns):
             self._columns[channel] = self._columns[channel][: self._size].copy()
+        if self._quality is not None:
+            for channel in list(self._quality):
+                self._quality[channel] = self._quality[channel][: self._size].copy()
         self._capacity = max(1, self._size)

@@ -1,0 +1,59 @@
+"""NaN-aware reductions that stay silent on empty slices.
+
+Real facility telemetry has holes: a rack's monitor goes dark, a whole
+floor snapshot is lost, a scrubber masks a stuck sensor.  Every
+analysis in this package reduces over such data with the ``nan*``
+family, and numpy emits ``RuntimeWarning: Mean of empty slice`` (or
+``All-NaN slice encountered``) whenever a reduction slice holds no
+finite value.  Under partial coverage that is the *expected* case, not
+an anomaly — and the test suite promotes ``RuntimeWarning`` to an
+error precisely so that unexpected numerical warnings cannot slip by.
+
+These wrappers return NaN for empty slices, exactly like their numpy
+counterparts, but without the warning.  Use them anywhere an all-NaN
+slice is a legitimate input.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+__all__ = ["nanmean", "nanmedian", "nanstd", "nansum", "nanmin", "nanmax"]
+
+
+def _silent(func, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        return func(*args, **kwargs)
+
+
+def nanmean(a, **kwargs):
+    """``np.nanmean`` that returns NaN for empty slices without warning."""
+    return _silent(np.nanmean, a, **kwargs)
+
+
+def nanmedian(a, **kwargs):
+    """``np.nanmedian`` that returns NaN for empty slices without warning."""
+    return _silent(np.nanmedian, a, **kwargs)
+
+
+def nanstd(a, **kwargs):
+    """``np.nanstd`` that returns NaN for empty slices without warning."""
+    return _silent(np.nanstd, a, **kwargs)
+
+
+def nansum(a, **kwargs):
+    """``np.nansum`` (kept for symmetry; numpy's never warns)."""
+    return np.nansum(a, **kwargs)
+
+
+def nanmin(a, **kwargs):
+    """``np.nanmin`` that returns NaN for empty slices without warning."""
+    return _silent(np.nanmin, a, **kwargs)
+
+
+def nanmax(a, **kwargs):
+    """``np.nanmax`` that returns NaN for empty slices without warning."""
+    return _silent(np.nanmax, a, **kwargs)

@@ -1,0 +1,253 @@
+"""Data-quality scrubbing for facility telemetry.
+
+Operational-data-analytics deployments report that real facility
+streams are full of *plausible-looking garbage*: sensors stick at the
+last value before dying, transient electrical noise produces
+single-sample spikes, and whole collection windows go missing.  This
+module detects those patterns and records the verdicts in the
+database's per-channel quality masks
+(:meth:`~repro.telemetry.database.EnvironmentalDatabase.update_quality`):
+
+* **stuck runs** — ``min_run`` or more consecutive *identical* values
+  on one rack-channel (real sensors always jitter) — flagged
+  ``SUSPECT``;
+* **transient spikes** — a single sample deviating from *both*
+  neighbors in the same direction by more than ``spike_threshold_sigma``
+  robust standard deviations — flagged ``SCRUBBED``;
+* **gaps** — sample spacing larger than ``gap_factor`` times the
+  nominal cadence — reported (a gap has no cells to flag; the missing
+  rows simply do not exist).
+
+Detection is intentionally conservative: the thresholds are calibrated
+so that the simulator's own sensor noise is essentially never flagged
+(false-positive rate well under 0.1 %), while injected faults at the
+magnitudes of :mod:`repro.faults` are caught at high rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.telemetry import nanstats
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import CHANNELS, Channel, Quality
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubPolicy:
+    """Detection thresholds for the telemetry scrubber."""
+
+    #: Minimum length (in samples) of an identical-value run to flag.
+    stuck_min_run: int = 6
+    #: Spike threshold in robust (MAD-based) standard deviations.
+    spike_threshold_sigma: float = 6.0
+    #: A sample gap longer than this multiple of the nominal cadence
+    #: is reported as a telemetry gap.
+    gap_factor: float = 1.5
+    #: Floor on the per-rack noise scale, guarding against zero-MAD
+    #: channels (e.g. a constant utilization column).
+    min_sigma: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.stuck_min_run < 2:
+            raise ValueError("stuck_min_run must be at least 2")
+        if self.spike_threshold_sigma <= 0:
+            raise ValueError("spike threshold must be positive")
+        if self.gap_factor <= 1.0:
+            raise ValueError("gap_factor must exceed 1.0")
+
+
+@dataclasses.dataclass(frozen=True)
+class Gap:
+    """One detected telemetry gap."""
+
+    start_epoch_s: float
+    end_epoch_s: float
+    #: Estimated number of whole-floor samples lost in the gap.
+    missing_samples: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_epoch_s - self.start_epoch_s
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelScrubStats:
+    """Per-channel outcome of one scrub pass."""
+
+    channel: Channel
+    stuck_cells: int
+    spike_cells: int
+    missing_cells: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubReport:
+    """Everything one scrub pass found and recorded."""
+
+    per_channel: Dict[Channel, ChannelScrubStats]
+    gaps: List[Gap]
+
+    @property
+    def stuck_cells(self) -> int:
+        return sum(s.stuck_cells for s in self.per_channel.values())
+
+    @property
+    def spike_cells(self) -> int:
+        return sum(s.spike_cells for s in self.per_channel.values())
+
+    @property
+    def missing_cells(self) -> int:
+        return sum(s.missing_cells for s in self.per_channel.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"scrub: {self.stuck_cells} stuck, {self.spike_cells} spike, "
+            f"{self.missing_cells} missing cells; {len(self.gaps)} gaps"
+        ]
+        for channel, stats in self.per_channel.items():
+            lines.append(
+                f"  {channel.column}: stuck={stats.stuck_cells} "
+                f"spikes={stats.spike_cells} missing={stats.missing_cells}"
+            )
+        return "\n".join(lines)
+
+
+def stuck_mask(values: np.ndarray, min_run: int) -> np.ndarray:
+    """Cells belonging to an identical-value run of ``min_run``+ samples.
+
+    NaNs break runs (a missing sample is not *stuck*, it is missing).
+    Works on ``(n,)`` or ``(n, racks)`` arrays; returns a boolean mask
+    of the same shape.
+    """
+    v = np.asarray(values, dtype="float64")
+    flat = v.ndim == 1
+    if flat:
+        v = v[:, None]
+    n, racks = v.shape
+    mask = np.zeros((n, racks), dtype=bool)
+    pairs_needed = min_run - 1
+    if n >= min_run:
+        eq = np.zeros((n, racks), dtype=bool)
+        eq[1:] = v[1:] == v[:-1]  # NaN == NaN is False: runs break at holes
+        run = np.zeros(racks, dtype=np.int64)
+        for i in range(1, n):
+            run = np.where(eq[i], run + 1, 0)
+            crossing = run == pairs_needed
+            if crossing.any():
+                # The run just reached threshold: backfill its start.
+                for column in np.flatnonzero(crossing):
+                    mask[i - pairs_needed : i + 1, column] = True
+            mask[i, run > pairs_needed] = True
+    return mask[:, 0] if flat else mask
+
+
+def spike_mask(
+    values: np.ndarray,
+    threshold_sigma: float = 6.0,
+    min_sigma: float = 1e-6,
+) -> np.ndarray:
+    """Single-sample transients deviating from both neighbors.
+
+    A cell is a spike when it differs from its previous *and* next
+    sample in the same direction by more than ``threshold_sigma``
+    robust standard deviations (1.4826 x median absolute first
+    difference, per rack).  Endpoints are never flagged (no second
+    neighbor to confirm against).
+    """
+    v = np.asarray(values, dtype="float64")
+    flat = v.ndim == 1
+    if flat:
+        v = v[:, None]
+    n, racks = v.shape
+    mask = np.zeros((n, racks), dtype=bool)
+    if n >= 3:
+        diffs = np.diff(v, axis=0)
+        # Robust per-rack noise scale from first differences; a step of
+        # white noise has sqrt(2) the sample sigma.
+        sigma = 1.4826 * nanstats.nanmedian(np.abs(diffs), axis=0) / np.sqrt(2.0)
+        threshold = threshold_sigma * np.maximum(sigma, min_sigma)
+        to_prev = v[1:-1] - v[:-2]
+        to_next = v[1:-1] - v[2:]
+        mask[1:-1] = (
+            (np.abs(to_prev) > threshold)
+            & (np.abs(to_next) > threshold)
+            & (to_prev * to_next > 0)
+        )
+    return mask[:, 0] if flat else mask
+
+
+def find_gaps(
+    epoch_s: np.ndarray,
+    gap_factor: float = 1.5,
+    nominal_dt_s: Optional[float] = None,
+) -> List[Gap]:
+    """Sample-spacing gaps in a timestamp vector.
+
+    Args:
+        epoch_s: Ascending sample timestamps.
+        gap_factor: Spacings beyond ``gap_factor * nominal`` are gaps.
+        nominal_dt_s: The expected cadence; the median spacing when
+            omitted.
+    """
+    t = np.asarray(epoch_s, dtype="float64")
+    if t.shape[0] < 2:
+        return []
+    dt = np.diff(t)
+    nominal = float(nominal_dt_s) if nominal_dt_s else float(np.median(dt))
+    if nominal <= 0:
+        return []
+    gaps = []
+    for index in np.flatnonzero(dt > gap_factor * nominal):
+        gaps.append(
+            Gap(
+                start_epoch_s=float(t[index]),
+                end_epoch_s=float(t[index + 1]),
+                missing_samples=max(int(round(dt[index] / nominal)) - 1, 1),
+            )
+        )
+    return gaps
+
+
+def scrub_database(
+    database: EnvironmentalDatabase,
+    policy: Optional[ScrubPolicy] = None,
+    channels: Optional[Sequence[Channel]] = None,
+) -> ScrubReport:
+    """Run the full scrub pass and record verdicts in the quality masks.
+
+    Stuck runs are escalated to ``SUSPECT``, spikes to ``SCRUBBED``;
+    cells already flagged (e.g. ``MISSING``) are never relabeled.
+
+    Args:
+        database: The store to scrub (masks are updated in place).
+        policy: Detection thresholds.
+        channels: Channels to scrub; defaults to the sensor channels
+            (utilization comes from the scheduler join, not a sensor).
+
+    Returns:
+        A :class:`ScrubReport` with per-channel counts and gap list.
+    """
+    policy = policy if policy is not None else ScrubPolicy()
+    if channels is None:
+        channels = [ch for ch in CHANNELS if ch.is_sensor]
+    per_channel: Dict[Channel, ChannelScrubStats] = {}
+    for channel in channels:
+        values = database.channel(channel).values
+        stuck = stuck_mask(values, policy.stuck_min_run)
+        stuck_applied = database.update_quality(channel, stuck, Quality.SUSPECT)
+        spikes = spike_mask(
+            values, policy.spike_threshold_sigma, policy.min_sigma
+        )
+        spike_applied = database.update_quality(channel, spikes, Quality.SCRUBBED)
+        per_channel[channel] = ChannelScrubStats(
+            channel=channel,
+            stuck_cells=stuck_applied,
+            spike_cells=spike_applied,
+            missing_cells=database.missing_cells(channel),
+        )
+    gaps = find_gaps(database.epoch_s, gap_factor=policy.gap_factor)
+    return ScrubReport(per_channel=per_channel, gaps=gaps)

@@ -17,6 +17,28 @@ import enum
 from typing import Tuple
 
 
+class Quality(enum.IntEnum):
+    """Per-cell data-quality flag stored alongside every telemetry value.
+
+    The environmental database keeps one ``uint8`` quality matrix per
+    channel, parallel to the value matrix.  The taxonomy follows what
+    operational-data-analytics deployments actually need:
+
+    * ``OK`` — the sensor reported and nothing downstream doubts it.
+    * ``MISSING`` — no reading was stored (the cell is NaN: dropout,
+      monitor blackout, or the channel simply was not supplied).
+    * ``SUSPECT`` — a value is present but the scrubber flagged it
+      (stuck-at runs, slow drift); analyses may keep or drop it.
+    * ``SCRUBBED`` — the scrubber rejected the value outright
+      (transient spikes); analyses should treat it as unusable.
+    """
+
+    OK = 0
+    MISSING = 1
+    SUSPECT = 2
+    SCRUBBED = 3
+
+
 class Channel(enum.Enum):
     """A coolant monitor (or joined) telemetry channel."""
 

@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro import timeutil
+from repro.telemetry import nanstats
 
 
 @dataclasses.dataclass(frozen=True)
@@ -149,15 +150,21 @@ class TimeSeries:
         """Time-average of each rack: the spatial profile (Figs 6/7/9)."""
         if not self.is_per_rack:
             raise ValueError("series is not per-rack")
-        return np.nanmean(self._values, axis=0)
+        return nanstats.nanmean(self._values, axis=0)
 
     def overall_std(self) -> float:
         """Standard deviation over all samples (the Fig 3/8 captions)."""
-        return float(np.nanstd(self._values))
+        return float(nanstats.nanstd(self._values))
 
     def overall_mean(self) -> float:
         """Mean over all samples."""
-        return float(np.nanmean(self._values))
+        return float(nanstats.nanmean(self._values))
+
+    def coverage(self) -> float:
+        """Fraction of cells holding a finite value (data completeness)."""
+        if self._values.size == 0:
+            return 0.0
+        return float(np.isfinite(self._values).mean())
 
     # -- resampling -----------------------------------------------------------
 
@@ -213,7 +220,7 @@ class TimeSeries:
             series are first averaged across racks.
         """
         values = (
-            np.nanmean(self._values, axis=1) if self.is_per_rack else self._values
+            nanstats.nanmean(self._values, axis=1) if self.is_per_rack else self._values
         )
         keys = _CALENDAR_FIELDS[field](self._epoch)
         func = _REDUCERS[reducer]
@@ -246,15 +253,15 @@ class TimeSeries:
     def trend(self) -> LinearFit:
         """Linear trend of the (rack-averaged) series (the Fig 2 red line)."""
         values = (
-            np.nanmean(self._values, axis=1) if self.is_per_rack else self._values
+            nanstats.nanmean(self._values, axis=1) if self.is_per_rack else self._values
         )
         return linear_fit(self._epoch, values)
 
 
 _REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
-    "mean": np.nanmean,
-    "median": np.nanmedian,
-    "sum": np.nansum,
+    "mean": nanstats.nanmean,
+    "median": nanstats.nanmedian,
+    "sum": nanstats.nansum,
 }
 
 _CALENDAR_FIELDS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {

@@ -6,8 +6,8 @@ import pytest
 from repro import constants
 from repro.cooling.monitor import SensorReading
 from repro.facility.topology import RackId
-from repro.telemetry.database import EnvironmentalDatabase
-from repro.telemetry.records import Channel
+from repro.telemetry.database import EnvironmentalDatabase, IngestPolicy
+from repro.telemetry.records import Channel, Quality
 
 
 def _snapshot(value=1.0):
@@ -203,3 +203,236 @@ class TestQueries:
     def test_bad_num_racks_rejected(self):
         with pytest.raises(ValueError):
             EnvironmentalDatabase(num_racks=0)
+
+    def test_query_views_are_read_only(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, _snapshot(1.0))
+        for view in (
+            db.epoch_s,
+            db.channel(Channel.FLOW).values,
+            db.rack_channel(Channel.FLOW, RackId(0, 0)).values,
+            db.quality(Channel.FLOW),
+            db.rack_quality(Channel.FLOW, RackId(0, 0)),
+        ):
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0] = 0
+
+    def test_read_only_views_do_not_freeze_the_store(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, _snapshot(1.0))
+        _ = db.channel(Channel.FLOW)
+        db.append_snapshot(300.0, _snapshot(2.0))
+        assert db.channel(Channel.FLOW).values[1, 0] == 2.0
+
+
+class TestSlowIngestPaths:
+    """The row-at-a-time paths the bulk simulator never exercises."""
+
+    def _reading(self, epoch_s, rack, flow=26.0):
+        return SensorReading(
+            epoch_s=epoch_s,
+            rack_id=rack,
+            dc_temperature_f=80.0,
+            dc_humidity_rh=33.0,
+            flow_gpm=flow,
+            inlet_temperature_f=64.0,
+            outlet_temperature_f=79.0,
+            power_kw=55.0,
+        )
+
+    def test_ingest_reading_roundtrip_through_rack_channel(self):
+        db = EnvironmentalDatabase()
+        rack = RackId(2, 7)
+        for i, flow in enumerate((25.0, 26.5, 24.8)):
+            db.ingest_reading(self._reading(i * 300.0, rack, flow=flow))
+        series = db.rack_channel(Channel.FLOW, rack)
+        assert list(series.values) == [25.0, 26.5, 24.8]
+        assert list(series.epoch_s) == [0.0, 300.0, 600.0]
+        # Every other rack stayed NaN and is flagged MISSING.
+        other = RackId(0, 0)
+        assert np.isnan(db.rack_channel(Channel.FLOW, other).values).all()
+        assert (db.rack_quality(Channel.FLOW, other) == Quality.MISSING).all()
+        assert (db.rack_quality(Channel.FLOW, rack) == Quality.OK).all()
+
+    def test_ingest_reading_merges_same_timestamp(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(duplicate_policy="merge")
+        )
+        db.ingest_reading(self._reading(0.0, RackId(0, 0), flow=20.0))
+        db.ingest_reading(self._reading(0.0, RackId(1, 1), flow=30.0))
+        assert db.num_samples == 1
+        flow = db.channel(Channel.FLOW).values
+        assert flow[0, RackId(0, 0).flat_index] == 20.0
+        assert flow[0, RackId(1, 1).flat_index] == 30.0
+
+    def test_strict_duplicate_snapshot_appends_distinct_rows(self):
+        # The historical strict contract: only *regressions* raise;
+        # equal timestamps append as distinct rows.
+        db = EnvironmentalDatabase()
+        db.append_snapshot(100.0, _snapshot(1.0))
+        db.append_snapshot(100.0, _snapshot(2.0))
+        assert db.num_samples == 2
+        assert list(db.channel(Channel.POWER).values[:, 0]) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            db.append_snapshot(99.0, _snapshot(3.0))
+
+    def test_compact_then_append_snapshot(self):
+        db = EnvironmentalDatabase(capacity_hint=64)
+        for i in range(5):
+            db.append_snapshot(i * 100.0, _snapshot(float(i)))
+        db.compact()
+        db.append_snapshot(500.0, _snapshot(9.0))
+        assert db.num_samples == 6
+        assert db.channel(Channel.POWER).values[5, 0] == 9.0
+        assert (db.quality(Channel.POWER) == Quality.OK).all()
+
+
+class TestIngestPolicy:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IngestPolicy(reorder_window_s=-1.0)
+        with pytest.raises(ValueError):
+            IngestPolicy(duplicate_policy="nonsense")
+
+    def test_lenient_reorders_within_window(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(reorder_window_s=600.0)
+        )
+        db.append_snapshot(0.0, _snapshot(1.0))
+        db.append_snapshot(300.0, _snapshot(3.0))
+        db.append_snapshot(150.0, _snapshot(2.0))
+        db.flush()
+        assert list(db.epoch_s) == [0.0, 150.0, 300.0]
+        assert db.counters.reordered_rows == 1
+        assert db.counters.accepted_rows == 3
+
+    def test_lenient_drops_hopelessly_late(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(reorder_window_s=100.0)
+        )
+        for i in range(5):
+            db.append_snapshot(i * 1000.0, _snapshot(float(i)))
+        db.append_snapshot(1500.0, _snapshot(99.0))
+        db.flush()
+        assert db.counters.dropped_late_rows == 1
+        assert 1500.0 not in db.epoch_s
+
+    def test_duplicate_first_keeps_original(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(duplicate_policy="first")
+        )
+        db.append_snapshot(0.0, _snapshot(1.0))
+        db.append_snapshot(0.0, _snapshot(2.0))
+        db.flush()
+        assert db.num_samples == 1
+        assert db.channel(Channel.POWER).values[0, 0] == 1.0
+        assert db.counters.duplicate_rows == 1
+
+    def test_duplicate_last_overwrites(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(duplicate_policy="last")
+        )
+        db.append_snapshot(0.0, _snapshot(1.0))
+        db.append_snapshot(0.0, _snapshot(2.0))
+        db.flush()
+        assert db.channel(Channel.POWER).values[0, 0] == 2.0
+
+    def test_duplicate_merge_fills_holes_only(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(duplicate_policy="merge")
+        )
+        first = _snapshot(1.0)
+        first[Channel.FLOW][:] = np.nan
+        db.append_snapshot(0.0, first)
+        db.append_snapshot(0.0, _snapshot(2.0))
+        db.flush()
+        assert db.channel(Channel.POWER).values[0, 0] == 1.0  # kept
+        assert db.channel(Channel.FLOW).values[0, 0] == 2.0  # filled
+        assert (db.quality(Channel.FLOW) == Quality.OK).all()
+
+    def test_duplicate_against_committed_row(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(duplicate_policy="last")
+        )
+        db.append_snapshot(0.0, _snapshot(1.0))
+        db.append_snapshot(1000.0, _snapshot(2.0))
+        db.flush()
+        db.append_snapshot(0.0, _snapshot(5.0))
+        db.flush()
+        assert db.num_samples == 2
+        assert db.channel(Channel.POWER).values[0, 0] == 5.0
+        assert db.counters.duplicate_rows == 1
+
+    def test_queries_flush_pending_rows(self):
+        db = EnvironmentalDatabase(
+            policy=IngestPolicy.lenient(reorder_window_s=1e9)
+        )
+        db.append_snapshot(0.0, _snapshot(1.0))
+        db.append_snapshot(300.0, _snapshot(2.0))
+        # No explicit flush: num_samples/queries must see both rows.
+        assert db.num_samples == 2
+        assert db.channel(Channel.POWER).values[1, 0] == 2.0
+
+
+class TestQualityMasks:
+    def test_ok_and_missing_at_ingest(self):
+        db = EnvironmentalDatabase()
+        row = _snapshot(1.0)
+        row[Channel.FLOW][3] = np.nan
+        db.append_snapshot(0.0, row)
+        quality = db.quality(Channel.FLOW)
+        assert quality[0, 3] == Quality.MISSING
+        assert quality[0, 0] == Quality.OK
+        assert db.missing_cells(Channel.FLOW) == 1
+
+    def test_update_quality_escalates_only_ok(self):
+        db = EnvironmentalDatabase()
+        row = _snapshot(1.0)
+        row[Channel.FLOW][0] = np.nan
+        db.append_snapshot(0.0, row)
+        mask = np.ones((1, constants.NUM_RACKS), dtype=bool)
+        changed = db.update_quality(Channel.FLOW, mask, Quality.SUSPECT)
+        assert changed == constants.NUM_RACKS - 1
+        quality = db.quality(Channel.FLOW)
+        assert quality[0, 0] == Quality.MISSING  # not downgraded
+        assert quality[0, 1] == Quality.SUSPECT
+
+    def test_coverage_counts_usable_cells(self):
+        db = EnvironmentalDatabase()
+        row = _snapshot(1.0)
+        row[Channel.FLOW][:24] = np.nan
+        db.append_snapshot(0.0, row)
+        coverage = db.coverage(Channel.FLOW)
+        assert coverage.values[0] == pytest.approx(0.5)
+
+    def test_quality_survives_growth_and_compact(self):
+        db = EnvironmentalDatabase(capacity_hint=2)
+        for i in range(10):
+            row = _snapshot(float(i))
+            row[Channel.FLOW][i % constants.NUM_RACKS] = np.nan
+            db.append_snapshot(i * 100.0, row)
+        db.compact()
+        quality = db.quality(Channel.FLOW)
+        assert quality.shape == (10, constants.NUM_RACKS)
+        assert db.missing_cells(Channel.FLOW) == 10
+
+
+class TestAggregatesWithHoles:
+    def test_system_utilization_all_nan_sample(self):
+        db = EnvironmentalDatabase()
+        db.append_snapshot(0.0, {Channel.POWER: np.ones(constants.NUM_RACKS)})
+        series = db.system_utilization()
+        assert np.isnan(series.values).all()
+
+    def test_system_power_scales_by_coverage(self):
+        db = EnvironmentalDatabase()
+        row = {Channel.POWER: np.full(constants.NUM_RACKS, np.nan)}
+        row[Channel.POWER][:12] = 55.0  # a quarter of the racks report
+        db.append_snapshot(0.0, row)
+        db.append_snapshot(300.0, {Channel.FLOW: np.ones(constants.NUM_RACKS)})
+        power = db.system_power_mw()
+        # Missing racks are estimated at the reporting-rack mean, so
+        # the total matches a fully-reporting floor.
+        assert power.values[0] == pytest.approx(48 * 55.0 / 1000.0)
+        assert np.isnan(power.values[1])

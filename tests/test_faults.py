@@ -1,0 +1,134 @@
+"""The sensor fault injector: calibration, determinism, ground truth."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultInjector
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import CHANNELS, Channel, Quality
+
+DT_S = 300.0
+N_SAMPLES = 3000
+N_RACKS = 12
+
+
+@pytest.fixture(scope="module")
+def clean_db():
+    rng = np.random.default_rng(11)
+    db = EnvironmentalDatabase(num_racks=N_RACKS, capacity_hint=N_SAMPLES)
+    t = np.arange(N_SAMPLES) * DT_S
+    db.append_block(
+        t, {ch: rng.normal(60.0, 1.0, (N_SAMPLES, N_RACKS)) for ch in CHANNELS}
+    )
+    db.compact()
+    return db
+
+
+@pytest.fixture(scope="module")
+def faulted(clean_db):
+    injector = FaultInjector(FaultConfig(), seed=99)
+    events = [(1000 * DT_S, 2), (2500 * DT_S, 7)]
+    return injector.apply(clean_db, DT_S, cmf_events=events)
+
+
+class TestDeterminism:
+    def test_bit_identical_on_reapply(self, clean_db, faulted):
+        db1, truth1 = faulted
+        injector = FaultInjector(FaultConfig(), seed=99)
+        db2, truth2 = injector.apply(
+            clean_db, DT_S, cmf_events=[(1000 * DT_S, 2), (2500 * DT_S, 7)]
+        )
+        assert np.array_equal(db1.epoch_s, db2.epoch_s)
+        for ch in CHANNELS:
+            assert np.array_equal(
+                db1.channel(ch).values, db2.channel(ch).values, equal_nan=True
+            )
+        assert np.array_equal(truth1.dropout, truth2.dropout)
+        assert np.array_equal(truth1.delivery_delay_s, truth2.delivery_delay_s)
+        assert len(truth1.faults) == len(truth2.faults)
+
+    def test_different_seed_differs(self, clean_db, faulted):
+        _, truth1 = faulted
+        _, truth2 = FaultInjector(FaultConfig(), seed=100).apply(clean_db, DT_S)
+        assert not np.array_equal(truth1.dropout, truth2.dropout)
+
+
+class TestCalibration:
+    def test_dropout_near_configured_rate(self, faulted):
+        _, truth = faulted
+        rate = truth.dropout.mean()
+        assert rate == pytest.approx(FaultConfig().dropout_rate, rel=0.35)
+
+    def test_clock_skew_bounded(self, faulted):
+        _, truth = faulted
+        assert truth.delivery_delay_s.max() <= FaultConfig().skew_max_periods * DT_S
+
+    def test_untouched_cells_identical_to_clean(self, clean_db, faulted):
+        db, truth = faulted
+        kept = ~truth.floor_gap
+        for ch in (Channel.POWER, Channel.FLOW):
+            clean = clean_db.channel(ch).values[kept]
+            dirty = db.channel(ch).values
+            untouched = ~(truth.missing_mask() | truth.corrupted_mask(ch))[kept]
+            assert np.array_equal(clean[untouched], dirty[untouched])
+
+    def test_blackout_tied_to_events(self, faulted):
+        _, truth = faulted
+        cfg = FaultConfig()
+        lo = int(1000 - cfg.blackout_before_cmf_s / DT_S)
+        assert truth.blackout[lo:1000, 2].all()
+        assert not truth.blackout[:, 0].any()
+
+
+class TestDeliveredStream:
+    def test_ingest_never_raises_and_orders_rows(self, faulted):
+        db, truth = faulted
+        assert (np.diff(db.epoch_s) > 0).all()
+        assert db.num_samples == N_SAMPLES - int(truth.floor_gap.sum())
+        assert db.counters.dropped_late_rows == 0
+
+    def test_missing_cells_are_nan_and_flagged(self, faulted):
+        db, truth = faulted
+        kept = np.flatnonzero(~truth.floor_gap)
+        missing = truth.missing_mask()[kept]
+        for ch in CHANNELS:
+            if not ch.is_sensor:
+                continue
+            assert np.isnan(db.channel(ch).values[missing]).all()
+            assert (db.quality(ch)[missing] == Quality.MISSING).all()
+
+    def test_duplicates_counted_not_stored(self, faulted):
+        db, truth = faulted
+        duplicates_kept = int((truth.duplicated & ~truth.floor_gap).sum())
+        assert db.counters.duplicate_rows == duplicates_kept
+        assert len(np.unique(db.epoch_s)) == db.num_samples
+
+
+class TestConfigValidation:
+    def test_rates_bounded(self):
+        with pytest.raises(ValueError):
+            FaultConfig(dropout_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(skew_rate=-0.1)
+
+    def test_ranges_ordered(self):
+        with pytest.raises(ValueError):
+            FaultConfig(stuck_min_samples=10, stuck_max_samples=5)
+        with pytest.raises(ValueError):
+            FaultConfig(floor_gap_min_s=100.0, floor_gap_max_s=10.0)
+        with pytest.raises(ValueError):
+            FaultConfig(spike_min_sigma=5.0, spike_max_sigma=1.0)
+
+    def test_config_is_hashable_and_repr_stable(self):
+        a = FaultConfig()
+        b = FaultConfig()
+        assert hash(a) == hash(b)
+        assert repr(a) == repr(b)
+        assert repr(a) != repr(dataclasses.replace(a, dropout_rate=0.5))
+
+    def test_empty_database_rejected(self):
+        db = EnvironmentalDatabase(num_racks=2)
+        with pytest.raises(ValueError):
+            FaultInjector(FaultConfig(), seed=0).apply(db, DT_S)

@@ -79,18 +79,86 @@ class TestOnlinePredictor:
         final = predictions[-1]
         assert final.probability > 0.9
 
-    def test_missing_channel_rejected(self, online_model):
-        predictor = OnlineCmfPredictor(online_model)
+    def test_missing_channel_rejected_in_strict_mode(self, online_model):
+        predictor = OnlineCmfPredictor(online_model, strict=True)
         sample = _healthy_sample()
         del sample[Channel.FLOW]
         with pytest.raises(ValueError):
             predictor.consume(0.0, RackId(0, 0), sample)
 
-    def test_out_of_order_rejected(self, online_model):
-        predictor = OnlineCmfPredictor(online_model)
+    def test_out_of_order_rejected_in_strict_mode(self, online_model):
+        predictor = OnlineCmfPredictor(online_model, strict=True)
         predictor.consume(1000.0, RackId(0, 0), _healthy_sample())
         with pytest.raises(ValueError):
             predictor.consume(500.0, RackId(0, 0), _healthy_sample())
+
+    def test_missing_channel_filled_by_carry_forward(self, online_model):
+        predictor = OnlineCmfPredictor(online_model)
+        predictor.consume(0.0, RackId(0, 0), _healthy_sample())
+        sample = _healthy_sample()
+        del sample[Channel.FLOW]
+        sample[Channel.POWER] = float("nan")
+        predictor.consume(300.0, RackId(0, 0), sample)
+        assert predictor.counters.locf_fills == 2
+        assert predictor.counters.dropped_incomplete == 0
+        assert predictor.history_span_s(RackId(0, 0)) == 300.0
+
+    def test_incomplete_sample_without_history_dropped(self, online_model):
+        predictor = OnlineCmfPredictor(online_model)
+        sample = _healthy_sample()
+        del sample[Channel.FLOW]
+        assert predictor.consume(0.0, RackId(0, 0), sample) is None
+        assert predictor.counters.dropped_incomplete == 1
+        assert predictor.history_span_s(RackId(0, 0)) == 0.0
+
+    def test_stale_carry_forward_refused(self, online_model):
+        predictor = OnlineCmfPredictor(
+            online_model, locf_staleness_s=600.0, gap_reset_s=10 * HOUR
+        )
+        predictor.consume(0.0, RackId(0, 0), _healthy_sample())
+        sample = _healthy_sample()
+        del sample[Channel.FLOW]
+        assert predictor.consume(5000.0, RackId(0, 0), sample) is None
+        assert predictor.counters.dropped_incomplete == 1
+        assert predictor.counters.locf_fills == 0
+
+    def test_late_and_duplicate_dropped_with_counters(self, online_model):
+        predictor = OnlineCmfPredictor(online_model)
+        predictor.consume(1000.0, RackId(0, 0), _healthy_sample())
+        assert predictor.consume(500.0, RackId(0, 0), _healthy_sample()) is None
+        assert predictor.consume(1000.0, RackId(0, 0), _healthy_sample()) is None
+        assert predictor.counters.dropped_late == 1
+        assert predictor.counters.dropped_duplicate == 1
+        assert predictor.history_span_s(RackId(0, 0)) == 0.0
+
+    def test_large_gap_resets_history(self, online_model):
+        predictor = OnlineCmfPredictor(online_model)
+        for i in range(80):
+            predictor.consume(i * 300.0, RackId(0, 0), _healthy_sample())
+        assert predictor.ready(RackId(0, 0))
+        predictor.consume(80 * 300.0 + 3 * HOUR, RackId(0, 0), _healthy_sample())
+        assert predictor.counters.gap_resets == 1
+        assert not predictor.ready(RackId(0, 0))
+        assert predictor.history_span_s(RackId(0, 0)) == 0.0
+
+    def test_online_agrees_with_offline_features(self, online_model, holdout):
+        from repro.core.prediction import window_features
+
+        positives, _ = holdout
+        window = positives[0]
+        predictor = OnlineCmfPredictor(online_model)
+        predictions = predictor.consume_window(window)
+        assert predictions
+        final = predictions[-1]
+        offline = window_features(window, lead_h=0.0)
+        streamed = predictor._features(
+            predictor._history[window.rack_id], float(window.epoch_s[-1])
+        )
+        np.testing.assert_allclose(streamed, offline, rtol=1e-9, atol=1e-12)
+        offline_probability = float(
+            online_model.predict_proba(offline[None, :])[0]
+        )
+        assert final.probability == pytest.approx(offline_probability, abs=1e-9)
 
     def test_reset_clears_history(self, online_model):
         predictor = OnlineCmfPredictor(online_model)

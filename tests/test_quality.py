@@ -1,0 +1,177 @@
+"""The telemetry scrubber and NaN-silent statistics."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.telemetry import nanstats
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.quality import (
+    ScrubPolicy,
+    find_gaps,
+    scrub_database,
+    spike_mask,
+    stuck_mask,
+)
+from repro.telemetry.records import CHANNELS, Channel, Quality
+
+
+class TestNanStats:
+    def test_all_nan_slice_is_silent(self):
+        values = np.full((4, 3), np.nan)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert np.isnan(nanstats.nanmean(values))
+            assert np.isnan(nanstats.nanmedian(values))
+            assert np.isnan(nanstats.nanstd(values))
+            assert np.isnan(nanstats.nanmean(values, axis=1)).all()
+
+    def test_matches_numpy_on_finite_data(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(50, 4))
+        assert nanstats.nanmean(values) == np.nanmean(values)
+        assert nanstats.nanmedian(values) == np.nanmedian(values)
+        assert nanstats.nanstd(values) == np.nanstd(values)
+
+    def test_partial_nan_columns(self):
+        values = np.array([[1.0, np.nan], [3.0, np.nan]])
+        per_column = nanstats.nanmean(values, axis=0)
+        assert per_column[0] == 2.0
+        assert np.isnan(per_column[1])
+
+
+class TestStuckMask:
+    def test_flags_whole_run_including_start(self):
+        values = np.ones(20)
+        values[:] = np.linspace(0, 1, 20)
+        values[5:12] = values[5]
+        mask = stuck_mask(values, min_run=6)
+        assert mask[5:12].all()
+        assert not mask[:5].any()
+        assert not mask[12:].any()
+
+    def test_short_runs_not_flagged(self):
+        values = np.linspace(0, 1, 20)
+        values[3:7] = values[3]  # 4-run < min_run 6
+        assert not stuck_mask(values, min_run=6).any()
+
+    def test_nan_breaks_runs(self):
+        values = np.full(11, 5.0)
+        values[5] = np.nan
+        mask = stuck_mask(values, min_run=6)
+        # Two five-sample identical segments split by the NaN: neither
+        # side alone reaches six samples.
+        assert not mask.any()
+
+    def test_per_rack_independence(self):
+        values = np.random.default_rng(1).normal(size=(30, 2))
+        values[10:20, 1] = values[10, 1]
+        mask = stuck_mask(values, min_run=6)
+        assert mask[10:20, 1].all()
+        assert not mask[:, 0].any()
+
+
+class TestSpikeMask:
+    def test_single_spike_detected(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(50.0, 1.0, 200)
+        values[100] += 30.0
+        mask = spike_mask(values, threshold_sigma=6.0)
+        assert mask[100]
+        assert mask.sum() == 1
+
+    def test_step_change_not_flagged(self):
+        values = np.concatenate([np.zeros(50), np.ones(50) * 30.0])
+        values += np.random.default_rng(3).normal(0, 0.5, 100)
+        mask = spike_mask(values, threshold_sigma=6.0)
+        # A level shift deviates from one neighbor only.
+        assert not mask.any()
+
+    def test_endpoints_never_flagged(self):
+        values = np.zeros(10)
+        values[0] = 100.0
+        values[-1] = 100.0
+        assert not spike_mask(values, threshold_sigma=3.0).any()
+
+    def test_constant_channel_guarded_by_min_sigma(self):
+        values = np.zeros(50)
+        values[25] = 1e-9
+        assert not spike_mask(values, threshold_sigma=6.0).any()
+
+
+class TestFindGaps:
+    def test_no_gaps_on_regular_grid(self):
+        assert find_gaps(np.arange(10) * 300.0) == []
+
+    def test_gap_detected_and_sized(self):
+        t = np.concatenate([np.arange(5) * 300.0, 3000.0 + np.arange(5) * 300.0])
+        gaps = find_gaps(t, nominal_dt_s=300.0)
+        assert len(gaps) == 1
+        gap = gaps[0]
+        assert gap.start_epoch_s == 1200.0
+        assert gap.end_epoch_s == 3000.0
+        assert gap.missing_samples == 5
+        assert gap.duration_s == 1800.0
+
+    def test_short_vector_no_gaps(self):
+        assert find_gaps(np.array([0.0])) == []
+
+
+class TestScrubDatabase:
+    def _database(self, values):
+        n = values.shape[0]
+        db = EnvironmentalDatabase(capacity_hint=n)
+        t = np.arange(n) * 300.0
+        block = {
+            ch: np.array(values, copy=True) for ch in CHANNELS if ch.is_sensor
+        }
+        db.append_block(t, block)
+        db.compact()
+        return db
+
+    def test_verdicts_written_to_masks(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(60.0, 1.0, (120, constants.NUM_RACKS))
+        values[40:50, 7] = values[40, 7]  # stuck run
+        values[80, 11] += 40.0  # spike
+        db = self._database(values)
+        report = scrub_database(db)
+        assert report.stuck_cells >= 10 * 6  # every sensor channel
+        quality = db.quality(Channel.FLOW)
+        assert (quality[40:50, 7] == Quality.SUSPECT).all()
+        assert quality[80, 11] == Quality.SCRUBBED
+
+    def test_missing_cells_not_relabelled(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(60.0, 1.0, (60, constants.NUM_RACKS))
+        values[10:30, 3] = np.nan
+        db = self._database(values)
+        scrub_database(db)
+        assert (db.quality(Channel.POWER)[10:30, 3] == Quality.MISSING).all()
+
+    def test_clean_noise_rarely_flagged(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(60.0, 1.0, (500, constants.NUM_RACKS))
+        db = self._database(values)
+        report = scrub_database(db)
+        cells = 500 * constants.NUM_RACKS * 6  # six sensor channels
+        false_positives = report.stuck_cells + report.spike_cells
+        assert false_positives / cells < 1e-3
+
+    def test_utilization_not_scrubbed_by_default(self):
+        values = np.zeros((60, constants.NUM_RACKS))  # constant: max stuck
+        db = EnvironmentalDatabase(capacity_hint=60)
+        t = np.arange(60) * 300.0
+        db.append_block(t, {Channel.UTILIZATION: values})
+        report = scrub_database(db)
+        assert Channel.UTILIZATION not in report.per_channel
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ScrubPolicy(stuck_min_run=1)
+        with pytest.raises(ValueError):
+            ScrubPolicy(gap_factor=0.5)
+        with pytest.raises(ValueError):
+            ScrubPolicy(spike_threshold_sigma=0.0)
