@@ -1,0 +1,179 @@
+"""Service-layer throughput: streamed samples/sec and queries/sec.
+
+Times the two hot paths of the live operations stack over a one-year,
+48-rack realization at hourly cadence:
+
+* **streaming** — an unpaced :class:`~repro.service.ReplayBus` replay
+  with the rollup store subscribed (the ingest path every live sample
+  takes), and
+* **queries** — a dashboard-shaped workload against the
+  :class:`~repro.service.QueryEngine` on the hourly rollup level:
+  per-day windows across the year, mixed statistics and scopes,
+  served cold (cache misses), warm (cache hits), and concurrently via
+  ``serve_many``.
+
+Results are written to ``BENCH_service.json`` at the repo root so
+throughput regressions are visible in CI diffs.  The assertion floors
+are far below measured throughput on a development machine; they catch
+order-of-magnitude regressions (e.g. the cache being bypassed or the
+rollup update degenerating to per-cell work), not scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro import __version__, timeutil
+from repro.service import (
+    CountingSubscriber,
+    Query,
+    QueryEngine,
+    ReplayBus,
+    RollupStore,
+    RollupSubscriber,
+)
+from repro.simulation import FacilityEngine, MiraScenario
+from repro.telemetry.records import Channel
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUTPUT = _REPO_ROOT / "BENCH_service.json"
+
+#: Floor on the mixed (cold + warm) hourly query workload.  The warm
+#: path is a dict hit (~1 us); even the cold path reduces only a
+#: 24 x 48 window.  Measured: well over 100k queries/s.
+MIN_QUERIES_PER_SEC = 10_000.0
+#: Floor on unpaced replay with the rollup subscriber attached.
+MIN_SAMPLES_PER_SEC = 500.0
+
+_DAYS = 365
+
+
+def _year_result():
+    config = MiraScenario.demo(days=_DAYS, seed=17, dt_s=3600.0)
+    return FacilityEngine(config).run()
+
+
+def _dashboard_workload(start_epoch_s: float) -> List[Query]:
+    """One year of per-day dashboard queries: stats x scopes x days."""
+    queries: List[Query] = []
+    for day in range(_DAYS):
+        window = (
+            start_epoch_s + day * timeutil.DAY_S,
+            start_epoch_s + (day + 1) * timeutil.DAY_S,
+        )
+        stat = ("mean", "max", "coverage")[day % 3]
+        scope = ("facility", "rack", "row")[day % 3]
+        queries.append(
+            Query(
+                "aggregate",
+                Channel.POWER,
+                window[0],
+                window[1],
+                stat="mean",
+                resolution_s=3600.0,
+            )
+        )
+        queries.append(
+            Query(
+                "aggregate",
+                Channel.INLET_TEMPERATURE,
+                window[0],
+                window[1],
+                stat=stat,
+                scope=scope,
+                rack=day % 48 if scope == "rack" else None,
+                row=day % 3 if scope == "row" else None,
+                resolution_s=3600.0,
+            )
+        )
+        queries.append(
+            Query(
+                "series",
+                Channel.POWER,
+                window[0],
+                window[1],
+                stat="max",
+                resolution_s=3600.0,
+            )
+        )
+    return queries
+
+
+def test_service_throughput():
+    result = _year_result()
+    database = result.database
+
+    # -- streaming: unpaced replay with the rollup store riding along --
+    store = RollupStore(num_racks=database.num_racks)
+    bus = ReplayBus(database)
+    bus.subscribe("rollups", RollupSubscriber(store), policy="block")
+    counter = CountingSubscriber()
+    bus.subscribe("counter", counter, policy="block")
+    bus_report = bus.run()
+    assert bus_report.published == database.num_samples
+    assert counter.received == database.num_samples
+
+    # -- queries: cold, warm, and concurrent over the hourly level --
+    engine = QueryEngine(store, cache_size=2048)
+    workload = _dashboard_workload(result.start_epoch_s)
+
+    t0 = time.perf_counter()
+    for query in workload:
+        engine.execute(query)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for query in workload:
+        engine.execute(query)
+    warm_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    engine.serve_many(workload, workers=4)
+    concurrent_s = time.perf_counter() - t0
+
+    total = 3 * len(workload)
+    mixed_qps = total / (cold_s + warm_s + concurrent_s)
+    info = engine.cache_info()
+    assert info["hits"] >= 2 * len(workload)
+
+    def _qps(elapsed: float) -> float:
+        return round(len(workload) / elapsed, 1)
+
+    report: Dict[str, object] = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "scenario": f"demo(days={_DAYS}, seed=17, dt_s=3600)",
+        "streaming": {
+            "samples": bus_report.published,
+            "seconds": round(bus_report.duration_s, 4),
+            "samples_per_sec": round(bus_report.rows_per_sec, 1),
+            "achieved_speedup": round(bus_report.achieved_speedup, 1),
+        },
+        "queries": {
+            "workload": len(workload),
+            "cold_queries_per_sec": _qps(cold_s),
+            "warm_queries_per_sec": _qps(warm_s),
+            "concurrent_queries_per_sec": _qps(concurrent_s),
+            "mixed_queries_per_sec": round(mixed_qps, 1),
+            "cache": info,
+        },
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print("\nservice throughput (1-year hourly, 48 racks):")
+    print(
+        f"  streaming: {bus_report.published} samples in"
+        f" {bus_report.duration_s:.3f}s"
+        f" -> {bus_report.rows_per_sec:.0f} samples/s"
+    )
+    print(
+        f"  queries: cold {_qps(cold_s):.0f}/s, warm {_qps(warm_s):.0f}/s,"
+        f" concurrent {_qps(concurrent_s):.0f}/s, mixed {mixed_qps:.0f}/s"
+    )
+
+    assert bus_report.rows_per_sec > MIN_SAMPLES_PER_SEC
+    assert mixed_qps > MIN_QUERIES_PER_SEC

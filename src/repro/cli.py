@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands, mirroring how the package is used:
+Subcommands, mirroring how the package is used:
 
 * ``simulate`` — run the facility simulator and export the telemetry
   CSV and RAS JSONL,
@@ -8,7 +8,13 @@ Four subcommands, mirroring how the package is used:
   figures,
 * ``predict`` — train and evaluate the CMF predictor (Fig 13),
 * ``experiments`` — regenerate EXPERIMENTS.md from the canonical
-  six-year dataset.
+  six-year dataset,
+* ``validate`` — run the physics/bookkeeping consistency checks,
+* ``serve-replay`` — re-serve a simulated realization as a live
+  telemetry stream through the service layer (bus -> rollups ->
+  query engine) and print the operational summary,
+* ``query`` — run one dashboard-style query against the rollup store
+  built from a simulation.
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -88,6 +94,85 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--days", type=int, default=180, help="simulated days")
     validate.add_argument("--seed", type=int, default=7, help="master seed")
+
+    serve = commands.add_parser(
+        "serve-replay",
+        help="replay a simulated realization as a live telemetry service",
+    )
+    serve.add_argument("--days", type=int, default=30, help="simulated days")
+    serve.add_argument("--seed", type=int, default=7, help="master seed")
+    serve.add_argument(
+        "--dt", type=float, default=1800.0, help="engine step in seconds"
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=0.0,
+        help="simulated seconds per wall-clock second (0 = unpaced, flat out)",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        action="store_true",
+        help="degrade the replayed telemetry with calibrated sensor faults",
+    )
+    serve.add_argument(
+        "--queue-capacity", type=int, default=512, help="per-subscriber queue size"
+    )
+    serve.add_argument(
+        "--policy",
+        choices=("block", "drop_oldest", "coalesce"),
+        default="drop_oldest",
+        help="backpressure policy for the analytics subscribers",
+    )
+    serve.add_argument(
+        "--no-cusum",
+        action="store_true",
+        help="skip the CUSUM change-detector subscriber",
+    )
+
+    query = commands.add_parser(
+        "query", help="run one dashboard query against the rollup store"
+    )
+    query.add_argument("--days", type=int, default=30, help="simulated days")
+    query.add_argument("--seed", type=int, default=7, help="master seed")
+    query.add_argument(
+        "--dt", type=float, default=1800.0, help="engine step in seconds"
+    )
+    query.add_argument(
+        "--channel", default="power_kw", help="telemetry channel column name"
+    )
+    query.add_argument(
+        "--kind",
+        choices=("aggregate", "series", "point"),
+        default="aggregate",
+        help="query shape",
+    )
+    query.add_argument(
+        "--stat",
+        choices=("mean", "min", "max", "sum", "coverage", "covered_sum"),
+        default="mean",
+        help="statistic",
+    )
+    query.add_argument(
+        "--scope",
+        choices=("facility", "rack", "row"),
+        default="facility",
+        help="rack-axis scope",
+    )
+    query.add_argument("--rack", type=int, default=None, help="flat rack index")
+    query.add_argument("--row", type=int, default=None, help="row index")
+    query.add_argument(
+        "--start-day", type=float, default=0.0, help="window start, days from t0"
+    )
+    query.add_argument(
+        "--end-day", type=float, default=None, help="window end, days from t0"
+    )
+    query.add_argument(
+        "--resolution",
+        type=float,
+        default=None,
+        help="explicit rollup resolution in seconds (default: snap)",
+    )
     return parser
 
 
@@ -188,12 +273,111 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if scorecard.passed else 1
 
 
+def _simulated_database(days: int, seed: int, dt_s: float, faults: bool = False):
+    import dataclasses
+
+    from repro.simulation import FacilityEngine, MiraScenario
+
+    config = MiraScenario.demo(days=days, seed=seed, dt_s=dt_s)
+    if faults:
+        from repro.faults import FaultConfig
+
+        config = dataclasses.replace(config, faults=FaultConfig())
+    print(f"simulating {config.start} .. {config.end} at dt={config.dt_s:.0f}s ...")
+    return FacilityEngine(config).run()
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.service import LiveOperationsService, Query, ServiceConfig
+    from repro.telemetry.records import Channel
+
+    result = _simulated_database(
+        args.days, args.seed, args.dt, faults=args.inject_faults
+    )
+    speedup = args.speedup if args.speedup > 0 else float("inf")
+    service = LiveOperationsService(
+        result.database,
+        cusum=not args.no_cusum,
+        config=ServiceConfig(
+            speedup=speedup,
+            queue_capacity=args.queue_capacity,
+            analytics_policy=args.policy,
+        ),
+    )
+    label = "unpaced" if speedup == float("inf") else f"{speedup:g}x"
+    print(f"replaying {result.database.num_samples} snapshots ({label}) ...")
+    report = service.run()
+    print(
+        f"published {report.bus.published} rows in {report.bus.duration_s:.2f}s "
+        f"({report.bus.rows_per_sec:.0f} rows/s, "
+        f"speedup ~{report.bus.achieved_speedup:.0f}x)"
+    )
+    for name, counters in report.bus.subscribers.items():
+        print(f"  {name}: {counters.as_dict()}")
+    print(f"rollup buckets: {report.rollup_buckets}")
+    if report.alarms:
+        print(f"CUSUM alarms: {len(report.alarms)}")
+    # A taste of the live query surface over what was just streamed.
+    start = result.start_epoch_s
+    end = result.end_epoch_s
+    for stat, unit in (("mean", "kW"), ("max", "kW"), ("coverage", "")):
+        answer = service.engine.execute(
+            Query("aggregate", Channel.POWER, start, end, stat=stat)
+        )
+        print(f"  power {stat} over replay: {answer.value:.3f} {unit}".rstrip())
+    print(f"query cache: {service.engine.cache_info()}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro import timeutil
+    from repro.service import Query, QueryEngine, RollupStore
+    from repro.telemetry.records import Channel
+
+    try:
+        channel = Channel(args.channel)
+    except ValueError:
+        columns = ", ".join(ch.column for ch in Channel)
+        print(f"unknown channel {args.channel!r}; choose one of: {columns}")
+        return 1
+    result = _simulated_database(args.days, args.seed, args.dt)
+    store = RollupStore.from_database(result.database)
+    engine = QueryEngine(store)
+    start = result.start_epoch_s + args.start_day * timeutil.DAY_S
+    end_day = args.end_day if args.end_day is not None else float(args.days)
+    end = result.start_epoch_s + end_day * timeutil.DAY_S
+    query = Query(
+        args.kind,
+        channel,
+        start,
+        end,
+        stat=args.stat,
+        scope=args.scope,
+        rack=args.rack,
+        row=args.row,
+        resolution_s=args.resolution,
+    )
+    answer = engine.execute(query)
+    engine.execute(query)  # the repeat shows the cache hit below
+    print(f"resolution: {answer.resolution_s:.0f}s")
+    if args.kind == "series":
+        for epoch, value in zip(answer.epoch_s, answer.values):
+            when = timeutil.from_epoch(epoch)
+            print(f"  {when:%Y-%m-%d %H:%M}  {value:.4f}")
+    else:
+        print(f"{args.stat}({channel.column}) [{args.scope}] = {answer.value:.6f}")
+    print(f"cache: {engine.cache_info()}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "report": _cmd_report,
     "predict": _cmd_predict,
     "experiments": _cmd_experiments,
     "validate": _cmd_validate,
+    "serve-replay": _cmd_serve_replay,
+    "query": _cmd_query,
 }
 
 

@@ -1,0 +1,70 @@
+"""The live operations-data service layer.
+
+Turns a finished simulation into the system the paper's operators
+actually ran: telemetry re-served as a live stream, analytics riding
+it, and an aggregated store answering dashboard queries.
+
+* :mod:`repro.service.bus` — :class:`ReplayBus`, a paced pub/sub
+  dispatcher with bounded per-subscriber queues and explicit
+  backpressure policies (block / drop-oldest / coalesce),
+* :mod:`repro.service.rollup` — :class:`RollupStore`, incremental
+  multi-resolution min/mean/max/count downsamples with quality-aware
+  coverage,
+* :mod:`repro.service.query` — :class:`QueryEngine`, point/series/
+  aggregate queries behind a version-validated LRU cache with a
+  thread-pool batch path,
+* :mod:`repro.service.subscribers` — adapters wiring the online CMF
+  predictor, CUSUM detector, and alert engine onto the bus,
+* :mod:`repro.service.live` — :class:`LiveOperationsService`, the
+  assembled bus -> rollups -> query-engine stack.
+"""
+
+from repro.service.bus import (
+    BACKPRESSURE_POLICIES,
+    BusReport,
+    BusSample,
+    ReplayBus,
+    SubscriberCounters,
+    Subscription,
+)
+from repro.service.live import LiveOperationsService, ServiceConfig, ServiceReport
+from repro.service.query import (
+    CacheCounters,
+    Query,
+    QueryEngine,
+    QueryResult,
+)
+from repro.service.rollup import (
+    DEFAULT_RESOLUTIONS_S,
+    BucketWindow,
+    RollupStore,
+)
+from repro.service.subscribers import (
+    CountingSubscriber,
+    CusumSubscriber,
+    PredictorSubscriber,
+    RollupSubscriber,
+)
+
+__all__ = [
+    "BACKPRESSURE_POLICIES",
+    "BusReport",
+    "BusSample",
+    "ReplayBus",
+    "SubscriberCounters",
+    "Subscription",
+    "LiveOperationsService",
+    "ServiceConfig",
+    "ServiceReport",
+    "CacheCounters",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "DEFAULT_RESOLUTIONS_S",
+    "BucketWindow",
+    "RollupStore",
+    "CountingSubscriber",
+    "CusumSubscriber",
+    "PredictorSubscriber",
+    "RollupSubscriber",
+]

@@ -1,0 +1,313 @@
+"""The streaming replay bus: finished telemetry re-served as live data.
+
+The paper's environmental database was not a static file — ALCF
+operators queried it *continuously*, and every downstream consumer
+(dashboards, weekly reports, the CMF response workflow) rode a live
+stream.  :class:`ReplayBus` turns a finished
+:class:`~repro.telemetry.database.EnvironmentalDatabase` realization
+back into that stream: whole-floor snapshots are published in
+timestamp order, paced at a configurable speedup over simulated time
+(or as fast as the machine allows), through a pub/sub dispatcher.
+
+Every subscriber gets its **own bounded queue and worker thread**, so
+one slow consumer cannot corrupt another's view of the stream.  What
+happens when a queue fills is the subscriber's declared
+**backpressure policy**:
+
+* ``"block"`` — the publisher waits for space.  Nothing is lost, but a
+  slow subscriber throttles the whole bus (every other subscriber
+  advances at the slow one's pace).  The right choice for consumers
+  that must see every sample, e.g. the rollup store.
+* ``"drop_oldest"`` — the oldest queued sample is evicted to make
+  room.  The subscriber sees a gapped but *fresh* stream; the
+  publisher never stalls.
+* ``"coalesce"`` — the newest queued sample is replaced by the
+  incoming one.  The subscriber sees the latest state with intermediate
+  samples superseded — dashboard semantics.
+
+Every degraded decision is counted per subscriber
+(:class:`SubscriberCounters`), including the maximum observed queue
+depth and *lag* (samples published but not yet processed), so tests
+and operators can see exactly what each consumer missed.
+
+Payload vectors in a :class:`BusSample` are read-only views into the
+source store; subscribers that retain them across callbacks must copy.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import Channel
+
+#: Accepted backpressure policies.
+BACKPRESSURE_POLICIES = ("block", "drop_oldest", "coalesce")
+
+#: A source row: (epoch_s, channel -> values, channel -> quality).
+SourceRow = Tuple[float, Mapping[Channel, np.ndarray], Mapping[Channel, np.ndarray]]
+
+
+@dataclasses.dataclass(frozen=True)
+class BusSample:
+    """One published whole-floor snapshot.
+
+    Attributes:
+        seq: Publish sequence number (0-based, gap-free at the bus;
+            a subscriber under a lossy policy may observe gaps).
+        epoch_s: Simulated sample timestamp.
+        values: Channel -> per-rack value vector (read-only view).
+        quality: Channel -> per-rack quality flags (read-only view).
+    """
+
+    seq: int
+    epoch_s: float
+    values: Mapping[Channel, np.ndarray]
+    quality: Mapping[Channel, np.ndarray]
+
+
+@dataclasses.dataclass
+class SubscriberCounters:
+    """Observability counters for one subscription."""
+
+    #: Samples appended to the subscriber's queue.
+    enqueued: int = 0
+    #: Samples whose callback completed.
+    delivered: int = 0
+    #: Samples evicted under ``drop_oldest``.
+    dropped: int = 0
+    #: Samples superseded under ``coalesce``.
+    coalesced: int = 0
+    #: Callback exceptions (swallowed; the stream continues).
+    errors: int = 0
+    #: Deepest queue backlog observed at publish time.
+    max_queue_depth: int = 0
+    #: Largest published-but-unprocessed sample count observed.
+    max_lag: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class Subscription:
+    """One subscriber's queue, worker thread, and counters."""
+
+    def __init__(
+        self,
+        name: str,
+        callback: Callable[[BusSample], None],
+        capacity: int,
+        policy: str,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
+            )
+        self.name = name
+        self.callback = callback
+        self.capacity = capacity
+        self.policy = policy
+        self.counters = SubscriberCounters()
+        self._queue: collections.deque = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._drain, name=f"bus-sub-{name}", daemon=True
+        )
+        self._worker.start()
+
+    # -- publisher side -----------------------------------------------------------
+
+    def _offer(self, sample: BusSample) -> None:
+        """Enqueue one sample per the backpressure policy."""
+        counters = self.counters
+        with self._cond:
+            if self.policy == "block":
+                while len(self._queue) >= self.capacity and not self._closed:
+                    self._cond.wait(timeout=0.2)
+            elif len(self._queue) >= self.capacity:
+                if self.policy == "drop_oldest":
+                    self._queue.popleft()
+                    counters.dropped += 1
+                else:  # coalesce: the incoming sample supersedes the newest
+                    self._queue.pop()
+                    counters.coalesced += 1
+            self._queue.append(sample)
+            counters.enqueued += 1
+            depth = len(self._queue)
+            if depth > counters.max_queue_depth:
+                counters.max_queue_depth = depth
+            processed = counters.delivered + counters.dropped + counters.coalesced
+            lag = sample.seq + 1 - processed
+            if lag > counters.max_lag:
+                counters.max_lag = lag
+            self._cond.notify()
+
+    def _close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def _join(self, timeout_s: float) -> None:
+        self._worker.join(timeout=timeout_s)
+
+    # -- consumer side ------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait(timeout=0.2)
+                if self._queue:
+                    sample = self._queue.popleft()
+                    # Wake a publisher waiting for space (block policy).
+                    self._cond.notify_all()
+                elif self._closed:
+                    return
+                else:
+                    continue
+            try:
+                self.callback(sample)
+            except Exception:
+                with self._cond:
+                    self.counters.errors += 1
+                    self.counters.delivered += 1
+                continue
+            with self._cond:
+                self.counters.delivered += 1
+
+    @property
+    def backlog(self) -> int:
+        """Samples currently queued and unprocessed."""
+        with self._cond:
+            return len(self._queue)
+
+
+@dataclasses.dataclass(frozen=True)
+class BusReport:
+    """What one replay produced."""
+
+    #: Whole-floor snapshots published.
+    published: int
+    #: Wall-clock replay duration, seconds.
+    duration_s: float
+    #: Simulated seconds covered by the replay.
+    simulated_span_s: float
+    #: Final per-subscriber counters, by subscriber name.
+    subscribers: Dict[str, SubscriberCounters]
+
+    @property
+    def rows_per_sec(self) -> float:
+        return self.published / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def achieved_speedup(self) -> float:
+        """Simulated seconds replayed per wall-clock second."""
+        if self.duration_s <= 0:
+            return float("inf")
+        return self.simulated_span_s / self.duration_s
+
+
+class ReplayBus:
+    """Streams telemetry rows in timestamp order to subscribers.
+
+    Args:
+        source: An :class:`EnvironmentalDatabase` (replayed via
+            :meth:`~EnvironmentalDatabase.iter_snapshots`) or any
+            iterable of ``(epoch_s, values, quality)`` rows in
+            ascending timestamp order.
+        speedup: Simulated seconds streamed per wall-clock second.
+            ``inf`` (the default) paces not at all — every row is
+            published as fast as subscribers' policies allow.
+        start_epoch_s / end_epoch_s: Restrict a database source to a
+            replay window ``[start, end)``.
+    """
+
+    def __init__(
+        self,
+        source: "EnvironmentalDatabase | Iterable[SourceRow]",
+        speedup: float = float("inf"),
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+    ) -> None:
+        if speedup <= 0:
+            raise ValueError(f"speedup must be positive, got {speedup}")
+        self._source = source
+        self.speedup = float(speedup)
+        self._start = start_epoch_s
+        self._end = end_epoch_s
+        self._subscriptions: List[Subscription] = []
+        self.published = 0
+
+    def subscribe(
+        self,
+        name: str,
+        callback: Callable[[BusSample], None],
+        capacity: int = 256,
+        policy: str = "block",
+    ) -> Subscription:
+        """Register a consumer; its worker thread starts immediately.
+
+        Raises:
+            ValueError: on a duplicate name, non-positive capacity, or
+                unknown policy.
+        """
+        if any(s.name == name for s in self._subscriptions):
+            raise ValueError(f"duplicate subscriber name: {name!r}")
+        subscription = Subscription(name, callback, capacity, policy)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def _rows(self) -> Iterator[SourceRow]:
+        if isinstance(self._source, EnvironmentalDatabase):
+            return self._source.iter_snapshots(self._start, self._end)
+        return iter(self._source)
+
+    def run(self, join_timeout_s: float = 60.0) -> BusReport:
+        """Publish every source row, drain all queues, and report.
+
+        Blocks until the stream is exhausted and every subscriber has
+        processed its backlog (subscribers under lossy policies only
+        process what survived their queues).
+        """
+        pace = np.isfinite(self.speedup)
+        started = time.perf_counter()
+        next_wall = started
+        previous_epoch: Optional[float] = None
+        first_epoch = last_epoch = 0.0
+        for epoch_s, values, quality in self._rows():
+            if previous_epoch is None:
+                first_epoch = epoch_s
+            elif pace:
+                next_wall += (epoch_s - previous_epoch) / self.speedup
+                delay = next_wall - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            previous_epoch = last_epoch = epoch_s
+            sample = BusSample(
+                seq=self.published, epoch_s=epoch_s, values=values, quality=quality
+            )
+            for subscription in self._subscriptions:
+                subscription._offer(sample)
+            self.published += 1
+        for subscription in self._subscriptions:
+            subscription._close()
+        for subscription in self._subscriptions:
+            subscription._join(join_timeout_s)
+        duration = time.perf_counter() - started
+        return BusReport(
+            published=self.published,
+            duration_s=duration,
+            simulated_span_s=(last_epoch - first_epoch) if self.published else 0.0,
+            subscribers={
+                s.name: dataclasses.replace(s.counters) for s in self._subscriptions
+            },
+        )

@@ -1,0 +1,152 @@
+"""The live operations service: bus -> rollups -> query engine.
+
+:class:`LiveOperationsService` assembles the full service layer over a
+finished simulation: a :class:`~repro.service.bus.ReplayBus` streams
+the environmental database; the rollup store and (optionally) the
+online CMF predictor + alert policy and the CUSUM detector ride the
+stream as subscribers; the :class:`~repro.service.query.QueryEngine`
+serves dashboard queries over the rollups — during the replay or
+after it.
+
+The rollup subscriber uses the ``block`` policy (the store must see
+every sample for streaming/batch equivalence); the analytics
+subscribers default to ``drop_oldest`` so a slow model can never stall
+ingest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.monitoring.alerts import Alert, AlertEngine, AlertLog, AlertPolicy
+from repro.monitoring.anomaly import CusumAlarm, CusumDetector
+from repro.monitoring.online import OnlineCmfPredictor
+from repro.service.bus import BusReport, ReplayBus
+from repro.service.query import QueryEngine
+from repro.service.rollup import DEFAULT_RESOLUTIONS_S, RollupStore
+from repro.service.subscribers import (
+    CusumSubscriber,
+    PredictorSubscriber,
+    RollupSubscriber,
+)
+from repro.telemetry.database import EnvironmentalDatabase
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the service layer."""
+
+    #: Simulated seconds replayed per wall-clock second (inf = flat out).
+    speedup: float = float("inf")
+    #: Per-subscriber queue capacity.
+    queue_capacity: int = 512
+    #: Backpressure policy for the analytics subscribers (the rollup
+    #: subscriber always blocks: it must see every sample).
+    analytics_policy: str = "drop_oldest"
+    #: Rollup resolution ladder, finest first.
+    resolutions_s: Tuple[float, ...] = DEFAULT_RESOLUTIONS_S
+    #: Query-cache capacity.
+    cache_size: int = 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceReport:
+    """Everything one replay produced."""
+
+    bus: BusReport
+    alerts: Tuple[Alert, ...]
+    alarms: Tuple[CusumAlarm, ...]
+    predictions: int
+    rollup_buckets: Dict[float, int]
+    cache: Dict[str, int]
+
+
+class LiveOperationsService:
+    """Replay a realization through the full online stack.
+
+    Args:
+        database: The telemetry to re-serve as a live stream.
+        model: Optional trained classifier
+            (:func:`~repro.monitoring.online.train_online_predictor`);
+            when given, the streaming predictor and alert engine ride
+            the bus.
+        alert_policy: Alert policy for the predictor stream.
+        cusum: Attach the classical CUSUM detector as a subscriber.
+        config: Service tunables.
+        start_epoch_s / end_epoch_s: Replay window ``[start, end)``.
+    """
+
+    def __init__(
+        self,
+        database: EnvironmentalDatabase,
+        model=None,
+        alert_policy: Optional[AlertPolicy] = None,
+        cusum: bool = False,
+        config: Optional[ServiceConfig] = None,
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.database = database
+        self.bus = ReplayBus(
+            database,
+            speedup=self.config.speedup,
+            start_epoch_s=start_epoch_s,
+            end_epoch_s=end_epoch_s,
+        )
+        self.rollups = RollupStore(
+            num_racks=database.num_racks, resolutions_s=self.config.resolutions_s
+        )
+        self.engine = QueryEngine(self.rollups, cache_size=self.config.cache_size)
+        self.bus.subscribe(
+            "rollups",
+            RollupSubscriber(self.rollups),
+            capacity=self.config.queue_capacity,
+            policy="block",
+        )
+        self.predictor_subscriber: Optional[PredictorSubscriber] = None
+        if model is not None:
+            predictor = OnlineCmfPredictor(model)
+            self.predictor_subscriber = PredictorSubscriber(
+                predictor,
+                alert_engine=AlertEngine(alert_policy),
+                alert_log=AlertLog(),
+            )
+            self.bus.subscribe(
+                "predictor",
+                self.predictor_subscriber,
+                capacity=self.config.queue_capacity,
+                policy=self.config.analytics_policy,
+            )
+        self.cusum_subscriber: Optional[CusumSubscriber] = None
+        if cusum:
+            self.cusum_subscriber = CusumSubscriber(CusumDetector())
+            self.bus.subscribe(
+                "cusum",
+                self.cusum_subscriber,
+                capacity=self.config.queue_capacity,
+                policy=self.config.analytics_policy,
+            )
+
+    def run(self) -> ServiceReport:
+        """Replay the stream to completion and summarize."""
+        bus_report = self.bus.run()
+        alerts: List[Alert] = []
+        predictions = 0
+        if self.predictor_subscriber is not None:
+            alerts = self.predictor_subscriber.alerts
+            predictions = len(self.predictor_subscriber.predictions)
+        alarms: List[CusumAlarm] = []
+        if self.cusum_subscriber is not None:
+            alarms = self.cusum_subscriber.alarms
+        return ServiceReport(
+            bus=bus_report,
+            alerts=tuple(alerts),
+            alarms=tuple(alarms),
+            predictions=predictions,
+            rollup_buckets=self.rollups.bucket_counts(),
+            cache=self.engine.cache_info(),
+        )

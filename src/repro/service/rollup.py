@@ -1,0 +1,371 @@
+"""Multi-resolution telemetry rollups, maintained incrementally.
+
+A dashboard asking "mean facility power last month" must not scan six
+years of 300 s samples.  Production monitoring stores therefore keep
+*rollups*: per-channel, per-rack downsamples at a ladder of
+resolutions (raw cadence -> hourly -> daily here), updated as each
+sample arrives rather than recomputed on query.
+
+Each bucket of each level carries, per rack:
+
+* ``min`` / ``max`` — NaN-aware extrema of the finite values,
+* ``sum`` / ``count`` — finite-value total and count (mean is
+  ``sum/count``, composable across buckets and racks),
+* ``usable`` — cells whose quality flag is ``OK`` or ``SUSPECT``
+  (present and not scrubbed), the coverage numerator,
+
+plus the bucket's total sample-row count.  ``count`` follows the
+*finite* semantics of
+:meth:`~repro.telemetry.database.EnvironmentalDatabase._covered_sum`
+(a scrubbed-but-present value still contributes to means and
+coverage-corrected totals, exactly as in the offline aggregates),
+while ``usable`` follows the quality-mask semantics of
+:meth:`~repro.telemetry.database.EnvironmentalDatabase.coverage` — so
+faulted streams roll up with the same numbers the batch pipeline
+reports.
+
+At the finest level every sample lands in its own bucket whenever the
+stream cadence is a multiple of the level resolution, which makes
+raw-level rollup queries *exactly* equal to offline aggregates over
+the environmental database (the streaming/batch equivalence contract
+the query engine's tests enforce).
+
+The store is thread-safe (one lock; writers are the bus subscriber
+thread, readers the query engine's pool) and versioned: every ingest
+bumps :attr:`~RollupStore.version` and records the mutated timestamp
+in a bounded history so the query cache can invalidate *only* entries
+whose window the new data actually touches.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro import constants
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import CHANNELS, Channel, Quality
+
+#: The default resolution ladder: the coolant monitors' native 300 s
+#: cadence, hourly, and daily.
+DEFAULT_RESOLUTIONS_S = (300.0, 3600.0, 86400.0)
+
+#: Mutation history depth for targeted cache invalidation; entries
+#: older than this force a conservative "invalidate everything".
+_MUTATION_HISTORY = 4096
+
+#: Quality flags counting toward coverage (present and not scrubbed).
+_USABLE_FLAGS = (int(Quality.OK), int(Quality.SUSPECT))
+
+
+@dataclasses.dataclass
+class _ChannelBuckets:
+    """Growable per-channel accumulator matrices for one level."""
+
+    minimum: np.ndarray  # (cap, racks) float64, NaN-initialized
+    maximum: np.ndarray  # (cap, racks) float64, NaN-initialized
+    total: np.ndarray  # (cap, racks) float64, zero-initialized
+    count: np.ndarray  # (cap, racks) int64
+    usable: np.ndarray  # (cap, racks) int64
+
+
+class _Level:
+    """One resolution of the rollup ladder."""
+
+    def __init__(self, resolution_s: float, num_racks: int, capacity: int = 64):
+        self.resolution_s = float(resolution_s)
+        self.num_racks = num_racks
+        self.capacity = capacity
+        self.size = 0
+        self.epoch = np.empty(capacity, dtype="float64")
+        self.samples = np.zeros(capacity, dtype="int64")
+        self.channels: Dict[Channel, _ChannelBuckets] = {
+            ch: self._new_buckets(capacity) for ch in CHANNELS
+        }
+
+    def _new_buckets(self, capacity: int) -> _ChannelBuckets:
+        shape = (capacity, self.num_racks)
+        return _ChannelBuckets(
+            minimum=np.full(shape, np.nan),
+            maximum=np.full(shape, np.nan),
+            total=np.zeros(shape),
+            count=np.zeros(shape, dtype="int64"),
+            usable=np.zeros(shape, dtype="int64"),
+        )
+
+    def _grow(self) -> None:
+        new_capacity = self.capacity * 2
+        self.epoch = np.concatenate([self.epoch, np.empty(self.capacity)])
+        self.samples = np.concatenate(
+            [self.samples, np.zeros(self.capacity, dtype="int64")]
+        )
+        for channel, buckets in self.channels.items():
+            fresh = self._new_buckets(new_capacity)
+            for field in dataclasses.fields(_ChannelBuckets):
+                getattr(fresh, field.name)[: self.size] = getattr(
+                    buckets, field.name
+                )[: self.size]
+            self.channels[channel] = fresh
+        self.capacity = new_capacity
+
+    def bucket_start(self, epoch_s: float) -> float:
+        return float(np.floor(epoch_s / self.resolution_s) * self.resolution_s)
+
+    def locate(self, epoch_s: float) -> int:
+        """Index of the bucket holding ``epoch_s``, creating it if new."""
+        start = self.bucket_start(epoch_s)
+        if self.size and start == self.epoch[self.size - 1]:
+            return self.size - 1  # the common in-order fast path
+        index = int(np.searchsorted(self.epoch[: self.size], start))
+        if index < self.size and self.epoch[index] == start:
+            return index
+        if self.size == self.capacity:
+            self._grow()
+        if index < self.size:
+            # Out-of-order bucket creation (late sample): shift right.
+            self.epoch[index + 1 : self.size + 1] = self.epoch[index : self.size]
+            self.samples[index + 1 : self.size + 1] = self.samples[index : self.size]
+            for buckets in self.channels.values():
+                for field in dataclasses.fields(_ChannelBuckets):
+                    matrix = getattr(buckets, field.name)
+                    matrix[index + 1 : self.size + 1] = matrix[index : self.size]
+        self.epoch[index] = start
+        self.samples[index] = 0
+        for buckets in self.channels.values():
+            buckets.minimum[index] = np.nan
+            buckets.maximum[index] = np.nan
+            buckets.total[index] = 0.0
+            buckets.count[index] = 0
+            buckets.usable[index] = 0
+        self.size += 1
+        return index
+
+    def add(
+        self,
+        epoch_s: float,
+        values: Mapping[Channel, np.ndarray],
+        quality: Optional[Mapping[Channel, np.ndarray]],
+    ) -> None:
+        index = self.locate(epoch_s)
+        self.samples[index] += 1
+        for channel, vector in values.items():
+            buckets = self.channels[channel]
+            finite = np.isfinite(vector)
+            buckets.minimum[index] = np.fmin(buckets.minimum[index], vector)
+            buckets.maximum[index] = np.fmax(buckets.maximum[index], vector)
+            buckets.total[index] += np.where(finite, vector, 0.0)
+            buckets.count[index] += finite
+            if quality is not None and channel in quality:
+                flags = quality[channel]
+                buckets.usable[index] += (flags == _USABLE_FLAGS[0]) | (
+                    flags == _USABLE_FLAGS[1]
+                )
+            else:
+                buckets.usable[index] += finite
+
+
+@dataclasses.dataclass(frozen=True)
+class BucketWindow:
+    """A consistent copy of one level's buckets inside a time window.
+
+    All arrays share the bucket axis; per-rack matrices have shape
+    ``(buckets, racks)``.  ``version`` is the store version the copy
+    was taken at (for cache stamping).
+    """
+
+    resolution_s: float
+    version: int
+    epoch: np.ndarray
+    samples: np.ndarray
+    minimum: np.ndarray
+    maximum: np.ndarray
+    total: np.ndarray
+    count: np.ndarray
+    usable: np.ndarray
+
+
+class RollupStore:
+    """Incremental multi-resolution rollups of every per-rack channel.
+
+    Args:
+        num_racks: Width of the rack axis.
+        resolutions_s: Strictly ascending bucket lengths, finest
+            first.  The finest level should divide the stream cadence
+            (300 s divides every cadence the simulator emits) so that
+            raw-level queries are sample-exact.
+    """
+
+    def __init__(
+        self,
+        num_racks: int = constants.NUM_RACKS,
+        resolutions_s: Tuple[float, ...] = DEFAULT_RESOLUTIONS_S,
+    ) -> None:
+        if num_racks <= 0:
+            raise ValueError("num_racks must be positive")
+        if not resolutions_s:
+            raise ValueError("at least one resolution is required")
+        if any(r <= 0 for r in resolutions_s):
+            raise ValueError("resolutions must be positive")
+        if list(resolutions_s) != sorted(set(resolutions_s)):
+            raise ValueError("resolutions must be strictly ascending")
+        self.num_racks = num_racks
+        self.resolutions_s = tuple(float(r) for r in resolutions_s)
+        self._levels = [_Level(r, num_racks) for r in self.resolutions_s]
+        self._lock = threading.RLock()
+        self._version = 0
+        self._mutations: collections.deque = collections.deque(
+            maxlen=_MUTATION_HISTORY
+        )
+        self.ingested_rows = 0
+
+    # -- ingest -------------------------------------------------------------------
+
+    def add(
+        self,
+        epoch_s: float,
+        values: Mapping[Channel, np.ndarray],
+        quality: Optional[Mapping[Channel, np.ndarray]] = None,
+    ) -> None:
+        """Fold one whole-floor sample into every level.
+
+        Args:
+            epoch_s: Sample timestamp.
+            values: Channel -> per-rack vector.  Channels not supplied
+                contribute nothing (their counts stay put).
+            quality: Optional parallel quality flags; without them
+                coverage falls back to finite-ness.
+        """
+        with self._lock:
+            for level in self._levels:
+                level.add(epoch_s, values, quality)
+            self._version += 1
+            self._mutations.append((self._version, float(epoch_s)))
+            self.ingested_rows += 1
+
+    def ingest_database(
+        self,
+        database: EnvironmentalDatabase,
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+    ) -> int:
+        """Fold every committed row of a database in; returns the count."""
+        rows = 0
+        for epoch_s, values, quality in database.iter_snapshots(
+            start_epoch_s, end_epoch_s
+        ):
+            self.add(epoch_s, values, quality)
+            rows += 1
+        return rows
+
+    @classmethod
+    def from_database(
+        cls,
+        database: EnvironmentalDatabase,
+        resolutions_s: Tuple[float, ...] = DEFAULT_RESOLUTIONS_S,
+    ) -> "RollupStore":
+        """The offline construction: one pass over a finished store."""
+        store = cls(database.num_racks, resolutions_s)
+        store.ingest_database(database)
+        return store
+
+    # -- versioning / invalidation ------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic ingest counter (one bump per :meth:`add`)."""
+        with self._lock:
+            return self._version
+
+    def earliest_mutation_since(self, version: int) -> float:
+        """Oldest timestamp touched by any ingest after ``version``.
+
+        Returns ``+inf`` when nothing changed and ``-inf`` when the
+        bounded history no longer covers ``version`` (callers must
+        then treat everything as potentially stale).
+        """
+        with self._lock:
+            if version >= self._version:
+                return np.inf if version == self._version else -np.inf
+            earliest = np.inf
+            complete = False
+            for mutated_version, epoch_s in reversed(self._mutations):
+                if mutated_version <= version:
+                    complete = True
+                    break
+                earliest = min(earliest, epoch_s)
+            if not complete:
+                # History must reach back to version + 1 to be trusted.
+                if not self._mutations or self._mutations[0][0] > version + 1:
+                    return -np.inf
+            return earliest
+
+    # -- query surface ------------------------------------------------------------
+
+    def level_resolutions(self) -> Tuple[float, ...]:
+        return self.resolutions_s
+
+    def snap_resolution(self, start_epoch_s: float, end_epoch_s: float) -> float:
+        """The coarsest resolution whose buckets tile ``[start, end)``.
+
+        Falls back to the finest level for windows aligned to no
+        level (answers are then bucket-start selected, i.e. exact
+        whenever the stream cadence is a multiple of the finest
+        resolution).
+        """
+        for resolution in reversed(self.resolutions_s):
+            if (
+                start_epoch_s % resolution == 0.0
+                and end_epoch_s % resolution == 0.0
+            ):
+                return resolution
+        return self.resolutions_s[0]
+
+    def _level(self, resolution_s: float) -> _Level:
+        for level in self._levels:
+            if level.resolution_s == resolution_s:
+                return level
+        raise KeyError(
+            f"no rollup level at {resolution_s}s; have {self.resolutions_s}"
+        )
+
+    def window(
+        self,
+        resolution_s: float,
+        channel: Channel,
+        start_epoch_s: float,
+        end_epoch_s: float,
+    ) -> BucketWindow:
+        """A consistent copy of one channel's buckets in ``[start, end)``.
+
+        Buckets are selected by bucket *start* timestamp.  An empty
+        window returns zero-length arrays rather than raising.
+
+        Raises:
+            KeyError: when no level exists at ``resolution_s``.
+        """
+        with self._lock:
+            level = self._level(resolution_s)
+            epochs = level.epoch[: level.size]
+            lo = int(np.searchsorted(epochs, start_epoch_s, side="left"))
+            hi = int(np.searchsorted(epochs, end_epoch_s, side="left"))
+            buckets = level.channels[channel]
+            return BucketWindow(
+                resolution_s=level.resolution_s,
+                version=self._version,
+                epoch=epochs[lo:hi].copy(),
+                samples=level.samples[lo:hi].copy(),
+                minimum=buckets.minimum[lo:hi].copy(),
+                maximum=buckets.maximum[lo:hi].copy(),
+                total=buckets.total[lo:hi].copy(),
+                count=buckets.count[lo:hi].copy(),
+                usable=buckets.usable[lo:hi].copy(),
+            )
+
+    def bucket_counts(self) -> Dict[float, int]:
+        """Buckets held per resolution (observability)."""
+        with self._lock:
+            return {level.resolution_s: level.size for level in self._levels}

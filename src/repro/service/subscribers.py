@@ -1,0 +1,148 @@
+"""First-class bus subscribers: the online analytics ride the stream.
+
+Adapters that wire the existing monitoring stack —
+:class:`~repro.monitoring.online.OnlineCmfPredictor`, the
+:class:`~repro.monitoring.anomaly.CusumDetector`, and the
+:class:`~repro.monitoring.alerts.AlertEngine` — onto
+:class:`~repro.service.bus.ReplayBus` samples, plus the
+:class:`RollupSubscriber` that keeps the
+:class:`~repro.service.rollup.RollupStore` current and a
+:class:`CountingSubscriber` used by tests and benchmarks (optionally
+artificially slow, to exercise backpressure).
+
+Each adapter is a plain callable: ``subscription =
+bus.subscribe(name, adapter)``.  Adapters run on their subscription's
+worker thread; the objects they wrap are not shared across
+subscriptions, so no extra locking is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro import constants
+from repro.facility.topology import RackId
+from repro.monitoring.alerts import Alert, AlertEngine, AlertLog
+from repro.monitoring.anomaly import CusumAlarm, CusumDetector
+from repro.monitoring.online import OnlineCmfPredictor, Prediction
+from repro.service.bus import BusSample
+from repro.service.rollup import RollupStore
+from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
+
+#: Flat index -> RackId, precomputed (adapters touch it per sample).
+_RACK_IDS = tuple(
+    RackId.from_flat_index(i) for i in range(constants.NUM_RACKS)
+)
+
+
+class RollupSubscriber:
+    """Folds every sample into a :class:`RollupStore` as it arrives."""
+
+    def __init__(self, store: RollupStore) -> None:
+        self.store = store
+
+    def __call__(self, sample: BusSample) -> None:
+        self.store.add(sample.epoch_s, sample.values, sample.quality)
+
+
+class PredictorSubscriber:
+    """Fans whole-floor samples into the streaming CMF predictor.
+
+    Racks with no finite predictor channel in a sample are skipped
+    (the rack is down or dark; offering the sample would only inflate
+    the predictor's ``dropped_incomplete`` counter).  Emitted
+    predictions are recorded and, when an alert engine is attached,
+    pushed through the alert policy into the alert log.
+    """
+
+    def __init__(
+        self,
+        predictor: OnlineCmfPredictor,
+        alert_engine: Optional[AlertEngine] = None,
+        alert_log: Optional[AlertLog] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.alert_engine = alert_engine
+        self.alert_log = alert_log if alert_log is not None else AlertLog()
+        self.predictions: List[Prediction] = []
+
+    def __call__(self, sample: BusSample) -> None:
+        columns = [sample.values[ch] for ch in PREDICTOR_CHANNELS]
+        finite_any = np.isfinite(columns[0])
+        for column in columns[1:]:
+            finite_any = finite_any | np.isfinite(column)
+        for rack in np.flatnonzero(finite_any):
+            channel_values = {
+                ch: float(column[rack])
+                for ch, column in zip(PREDICTOR_CHANNELS, columns)
+            }
+            prediction = self.predictor.consume(
+                sample.epoch_s, _RACK_IDS[rack], channel_values
+            )
+            if prediction is None:
+                continue
+            self.predictions.append(prediction)
+            if self.alert_engine is not None:
+                alert = self.alert_engine.process(prediction)
+                if alert is not None:
+                    self.alert_log.record(alert)
+
+    @property
+    def alerts(self) -> List[Alert]:
+        return list(self.alert_log.alerts)
+
+
+class CusumSubscriber:
+    """Feeds the classical change detector from the stream."""
+
+    def __init__(self, detector: Optional[CusumDetector] = None) -> None:
+        self.detector = detector if detector is not None else CusumDetector()
+        self.alarms: List[CusumAlarm] = []
+
+    def __call__(self, sample: BusSample) -> None:
+        for rack in range(len(_RACK_IDS)):
+            channel_values: Dict[Channel, float] = {}
+            for channel in PREDICTOR_CHANNELS:
+                value = float(sample.values[channel][rack])
+                if np.isfinite(value):
+                    channel_values[channel] = value
+            if not channel_values:
+                continue
+            self.alarms.extend(
+                self.detector.consume(sample.epoch_s, _RACK_IDS[rack], channel_values)
+            )
+
+
+@dataclasses.dataclass
+class CountingSubscriber:
+    """Test/benchmark consumer: counts samples, optionally slowly.
+
+    Attributes:
+        delay_s: Artificial per-sample processing time (simulates a
+            slow consumer to exercise backpressure policies).
+        keep_seqs: Record every delivered sequence number (ordering
+            and gap assertions).
+    """
+
+    delay_s: float = 0.0
+    keep_seqs: bool = False
+    received: int = 0
+    last_seq: int = -1
+    last_epoch_s: float = float("nan")
+    seqs: List[int] = dataclasses.field(default_factory=list)
+    monotonic: bool = True
+
+    def __call__(self, sample: BusSample) -> None:
+        if self.delay_s > 0:
+            time.sleep(self.delay_s)
+        if sample.seq <= self.last_seq:
+            self.monotonic = False
+        self.received += 1
+        self.last_seq = sample.seq
+        self.last_epoch_s = sample.epoch_s
+        if self.keep_seqs:
+            self.seqs.append(sample.seq)

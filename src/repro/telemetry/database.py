@@ -37,7 +37,7 @@ cannot silently corrupt the store.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -479,8 +479,41 @@ class EnvironmentalDatabase:
     def window(
         self, channel: Channel, start_epoch_s: float, end_epoch_s: float
     ) -> TimeSeries:
-        """Per-rack series for a channel restricted to a time window."""
+        """Per-rack series for a channel restricted to a time window.
+
+        An empty window (no samples in ``[start, end)``) returns an
+        empty series; downstream aggregates reduce it to NaN without
+        raising or warning.
+        """
         return self.channel(channel).between(start_epoch_s, end_epoch_s)
+
+    def iter_snapshots(
+        self,
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+    ) -> Iterator[Tuple[float, Dict[Channel, np.ndarray], Dict[Channel, np.ndarray]]]:
+        """Yield committed rows in timestamp order as whole-floor snapshots.
+
+        Each item is ``(epoch_s, values, quality)`` where ``values``
+        maps every channel to its length-``num_racks`` vector and
+        ``quality`` to the parallel :class:`Quality` flags.  Vectors
+        are read-only views into the store — consumers that hold onto
+        them across iterations must copy.
+
+        This is the replay surface used by
+        :class:`repro.service.ReplayBus` to re-stream a finished
+        realization as live telemetry.
+        """
+        self.flush()
+        epochs = self._epoch[: self._size]
+        lo = int(np.searchsorted(epochs, start_epoch_s, side="left"))
+        hi = int(np.searchsorted(epochs, end_epoch_s, side="left"))
+        columns = {ch: self._columns[ch] for ch in CHANNELS}
+        qualities = {ch: self._quality_matrix(ch) for ch in CHANNELS}
+        for i in range(lo, hi):
+            values = {ch: _readonly(columns[ch][i]) for ch in CHANNELS}
+            quality = {ch: _readonly(qualities[ch][i]) for ch in CHANNELS}
+            yield float(epochs[i]), values, quality
 
     # -- quality ---------------------------------------------------------------
 

@@ -8,8 +8,17 @@ on exported files.
 Formats:
 
 * **telemetry CSV** — one row per (timestamp, rack), columns for every
-  channel; NaNs exported as empty fields;
+  channel; NaNs exported as empty fields.  One trailing quality column
+  per channel carries the :class:`~repro.telemetry.records.Quality`
+  flag whenever it differs from what NaN-ness alone would imply, so a
+  scrubbed/faulted dataset round-trips losslessly (legacy files
+  without quality columns still import);
 * **RAS JSONL** — one JSON object per event.
+
+The telemetry exporter streams the store in bounded chunks of samples
+rather than materializing every channel's full ``(n_samples, racks)``
+matrix up front, so exporting a six-year faulted dataset holds only
+``chunk_size`` rows of each channel in flight at a time.
 """
 
 from __future__ import annotations
@@ -17,43 +26,114 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Tuple, Union
 
 import numpy as np
 
 from repro.facility.topology import RackId
 from repro.telemetry.database import EnvironmentalDatabase
 from repro.telemetry.ras import RasEvent, RasLog, Severity
-from repro.telemetry.records import CHANNELS, Channel
+from repro.telemetry.records import CHANNELS, Channel, Quality
 
 PathLike = Union[str, Path]
 
 _TELEMETRY_HEADER = ["epoch_s", "rack"] + [ch.column for ch in CHANNELS]
+_QUALITY_COLUMNS = [ch.column + "_q" for ch in CHANNELS]
+_QUALITY_HEADER = _TELEMETRY_HEADER + _QUALITY_COLUMNS
+
+#: Samples per export chunk; bounds peak memory at
+#: ``chunk x racks x channels`` cells regardless of dataset length.
+_EXPORT_CHUNK_SAMPLES = 1024
 
 
-def export_telemetry_csv(database: EnvironmentalDatabase, path: PathLike) -> int:
-    """Write the database as CSV; returns the number of data rows."""
+def _derived_flags(values: np.ndarray) -> np.ndarray:
+    """The quality a cell would be assigned from NaN-ness alone."""
+    return np.where(
+        np.isfinite(values), int(Quality.OK), int(Quality.MISSING)
+    ).astype(np.uint8)
+
+
+def export_telemetry_csv(
+    database: EnvironmentalDatabase,
+    path: PathLike,
+    include_quality: bool = True,
+    chunk_size: int = _EXPORT_CHUNK_SAMPLES,
+) -> int:
+    """Write the database as CSV; returns the number of data rows.
+
+    Args:
+        database: The store to export.
+        path: Destination file.
+        include_quality: Append one ``<channel>_q`` column per channel
+            holding the quality flag for every cell where it differs
+            from the NaN-derived default (``OK`` when finite,
+            ``MISSING`` when NaN).  Pristine datasets therefore export
+            empty quality cells; scrubbed/faulted ones keep their
+            SUSPECT/SCRUBBED verdicts across a round-trip.
+        chunk_size: Samples processed per chunk (memory bound).
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    n = database.num_samples
+    num_racks = database.num_racks
     epochs = database.epoch_s
+    # Read-only whole-store *views* (no copies); per-chunk slices below
+    # are the only materialized working set.
     columns = {ch: database.channel(ch).values for ch in CHANNELS}
+    qualities = (
+        {ch: database.quality(ch) for ch in CHANNELS} if include_quality else None
+    )
+    labels = [RackId.from_flat_index(r).label for r in range(num_racks)]
+    header = _QUALITY_HEADER if include_quality else _TELEMETRY_HEADER
     rows = 0
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(_TELEMETRY_HEADER)
-        for i, epoch in enumerate(epochs):
-            for rack in range(database.num_racks):
-                values = [columns[ch][i, rack] for ch in CHANNELS]
-                if all(np.isnan(v) for v in values):
+        writer.writerow(header)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            chunk = {ch: np.asarray(columns[ch][start:stop]) for ch in CHANNELS}
+            finite = {ch: np.isfinite(chunk[ch]) for ch in CHANNELS}
+            keep = np.zeros((stop - start, num_racks), dtype=bool)
+            for ch in CHANNELS:
+                keep |= finite[ch]
+            if qualities is not None:
+                qchunk = {
+                    ch: np.asarray(qualities[ch][start:stop]) for ch in CHANNELS
+                }
+                nondefault = {
+                    ch: qchunk[ch] != _derived_flags(chunk[ch]) for ch in CHANNELS
+                }
+                for ch in CHANNELS:
+                    keep |= nondefault[ch]
+            for i in range(stop - start):
+                racks = np.flatnonzero(keep[i])
+                if racks.size == 0:
                     continue
-                writer.writerow(
-                    [f"{epoch:.1f}", RackId.from_flat_index(rack).label]
-                    + ["" if np.isnan(v) else f"{v:.6g}" for v in values]
-                )
-                rows += 1
+                epoch_text = f"{epochs[start + i]:.1f}"
+                for rack in racks:
+                    record = [epoch_text, labels[rack]]
+                    for ch in CHANNELS:
+                        value = chunk[ch][i, rack]
+                        record.append("" if np.isnan(value) else f"{value:.6g}")
+                    if qualities is not None:
+                        for ch in CHANNELS:
+                            record.append(
+                                str(int(qchunk[ch][i, rack]))
+                                if nondefault[ch][i, rack]
+                                else ""
+                            )
+                    writer.writerow(record)
+                    rows += 1
     return rows
 
 
 def import_telemetry_csv(path: PathLike) -> EnvironmentalDatabase:
     """Rebuild an :class:`EnvironmentalDatabase` from an exported CSV.
+
+    Accepts both the legacy header (values only) and the current one
+    with trailing per-channel quality columns; explicit quality flags
+    are re-applied after ingest so SUSPECT/SCRUBBED verdicts survive a
+    round-trip.
 
     Raises:
         ValueError: on a malformed header.
@@ -61,30 +141,54 @@ def import_telemetry_csv(path: PathLike) -> EnvironmentalDatabase:
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader)
-        if header != _TELEMETRY_HEADER:
+        if header == _QUALITY_HEADER:
+            with_quality = True
+        elif header == _TELEMETRY_HEADER:
+            with_quality = False
+        else:
             raise ValueError(f"unexpected telemetry header: {header}")
         pending_epoch = None
         snapshot: Dict[Channel, np.ndarray] = {}
         database = EnvironmentalDatabase()
+        sample_index = -1
+        #: (sample, rack, flag) overrides to re-apply after ingest.
+        overrides: Dict[Channel, List[Tuple[int, int, int]]] = {
+            ch: [] for ch in CHANNELS
+        }
 
         def flush() -> None:
             if pending_epoch is not None and snapshot:
                 database.append_snapshot(pending_epoch, snapshot)
 
+        channel_count = len(CHANNELS)
         for row in reader:
             epoch = float(row[0])
             rack = RackId.parse(row[1]).flat_index
             if epoch != pending_epoch:
                 flush()
                 pending_epoch = epoch
+                sample_index += 1
                 snapshot = {
                     ch: np.full(database.num_racks, np.nan) for ch in CHANNELS
                 }
-            for channel, cell in zip(CHANNELS, row[2:]):
+            for channel, cell in zip(CHANNELS, row[2 : 2 + channel_count]):
                 if cell != "":
                     snapshot[channel][rack] = float(cell)
+            if with_quality:
+                for channel, cell in zip(CHANNELS, row[2 + channel_count :]):
+                    if cell != "":
+                        overrides[channel].append((sample_index, rack, int(cell)))
         flush()
     database.compact()
+    for channel, cells in overrides.items():
+        if not cells:
+            continue
+        for flag in sorted({flag for _, _, flag in cells}):
+            mask = np.zeros((database.num_samples, database.num_racks), dtype=bool)
+            for sample, rack, cell_flag in cells:
+                if cell_flag == flag:
+                    mask[sample, rack] = True
+            database.update_quality(channel, mask, Quality(flag), only_ok=False)
     return database
 
 

@@ -29,6 +29,18 @@ def _silent(func, *args, **kwargs):
         return func(*args, **kwargs)
 
 
+def _nan_like_reduction(a, **kwargs):
+    """The NaN result a reduction of a zero-size array should produce.
+
+    ``np.nanmin``/``np.nanmax`` raise ``ValueError`` ("zero-size array
+    to reduction operation") instead of warning, so empty time windows
+    (a legitimate query) would crash.  ``np.nanmean`` already has the
+    right shape semantics for every ``axis``/``keepdims`` combination,
+    so delegate to it for the empty case.
+    """
+    return _silent(np.nanmean, np.asarray(a, dtype="float64"), **kwargs)
+
+
 def nanmean(a, **kwargs):
     """``np.nanmean`` that returns NaN for empty slices without warning."""
     return _silent(np.nanmean, a, **kwargs)
@@ -50,10 +62,22 @@ def nansum(a, **kwargs):
 
 
 def nanmin(a, **kwargs):
-    """``np.nanmin`` that returns NaN for empty slices without warning."""
+    """``np.nanmin`` that returns NaN for empty slices without warning.
+
+    Zero-size inputs (an empty time window) return NaN instead of
+    raising ``ValueError`` as numpy does.
+    """
+    if np.asarray(a).size == 0:
+        return _nan_like_reduction(a, **kwargs)
     return _silent(np.nanmin, a, **kwargs)
 
 
 def nanmax(a, **kwargs):
-    """``np.nanmax`` that returns NaN for empty slices without warning."""
+    """``np.nanmax`` that returns NaN for empty slices without warning.
+
+    Zero-size inputs (an empty time window) return NaN instead of
+    raising ``ValueError`` as numpy does.
+    """
+    if np.asarray(a).size == 0:
+        return _nan_like_reduction(a, **kwargs)
     return _silent(np.nanmax, a, **kwargs)

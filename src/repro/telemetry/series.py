@@ -139,7 +139,7 @@ class TimeSeries:
         """Reduce the rack axis, keeping the time axis.
 
         Args:
-            reducer: "mean", "median", or "sum".
+            reducer: "mean", "median", "sum", "min", or "max".
         """
         if not self.is_per_rack:
             raise ValueError("series is not per-rack")
@@ -213,7 +213,7 @@ class TimeSeries:
         Args:
             field: "year", "month" (1..12), "weekday" (0=Monday), or
                 "hour" (0..23).
-            reducer: "mean", "median", or "sum".
+            reducer: "mean", "median", "sum", "min", or "max".
 
         Returns:
             Mapping from field value to the reduced scalar.  Per-rack
@@ -262,6 +262,8 @@ _REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
     "mean": nanstats.nanmean,
     "median": nanstats.nanmedian,
     "sum": nanstats.nansum,
+    "min": nanstats.nanmin,
+    "max": nanstats.nanmax,
 }
 
 _CALENDAR_FIELDS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {

@@ -13,17 +13,37 @@ shared across test modules:
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
 
+from repro.faults import FaultConfig
 from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
 from repro.simulation.datasets import canonical_dataset, small_dataset
+from repro.telemetry.quality import scrub_database
 
 
 @pytest.fixture(scope="session")
 def demo_result():
     """A ~4-month simulation (cached in-process)."""
     return small_dataset()
+
+
+@pytest.fixture(scope="session")
+def faulted_result():
+    """A ~6-week run with sensor faults injected (quality masks set).
+
+    Used by the service-layer and export tests to exercise the
+    quality-aware paths against telemetry that actually has MISSING/
+    SUSPECT/SCRUBBED cells.
+    """
+    config = dataclasses.replace(
+        MiraScenario.demo(days=45, seed=3), faults=FaultConfig()
+    )
+    result = FacilityEngine(config).run()
+    scrub_database(result.database)
+    return result
 
 
 @pytest.fixture(scope="session")

@@ -61,3 +61,88 @@ class TestReport:
         assert "Fig 2" in output
         assert "paper=" in output
         assert "Fig 14" in output
+
+
+class TestServeReplay:
+    def test_unpaced_replay_prints_report(self, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--days", "2",
+                "--seed", "3",
+                "--dt", "3600",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "published 48 rows" in output
+        assert "rollups:" in output
+        assert "rollup buckets" in output
+        assert "query cache" in output
+
+    def test_faulted_replay_with_policy(self, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--days", "2",
+                "--seed", "3",
+                "--dt", "3600",
+                "--inject-faults",
+                "--policy", "coalesce",
+                "--no-cusum",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "published 48 rows" in output
+        assert "cusum" not in output
+
+
+class TestQuery:
+    def test_aggregate_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "--days", "2",
+                "--seed", "3",
+                "--dt", "3600",
+                "--channel", "power_kw",
+                "--stat", "mean",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean(power_kw) [facility] =" in output
+        assert "hits': 1" in output or '"hits": 1' in output or "'hits': 1" in output
+
+    def test_series_query_scoped_to_row(self, capsys):
+        code = main(
+            [
+                "query",
+                "--days", "2",
+                "--seed", "3",
+                "--dt", "3600",
+                "--channel", "inlet_temperature_f",
+                "--kind", "series",
+                "--scope", "row",
+                "--row", "1",
+                "--start-day", "0",
+                "--end-day", "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resolution: 86400s" in output
+
+    def test_unknown_channel_fails_cleanly(self, capsys):
+        code = main(
+            [
+                "query",
+                "--days", "2",
+                "--seed", "3",
+                "--dt", "3600",
+                "--channel", "warp_core_temp",
+            ]
+        )
+        assert code == 1
+        assert "unknown channel" in capsys.readouterr().out

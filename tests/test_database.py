@@ -436,3 +436,55 @@ class TestAggregatesWithHoles:
         # the total matches a fully-reporting floor.
         assert power.values[0] == pytest.approx(48 * 55.0 / 1000.0)
         assert np.isnan(power.values[1])
+
+
+class TestEmptyWindows:
+    """Empty time windows reduce to NaN/empty silently.
+
+    pytest promotes ``RuntimeWarning`` to an error and ``np.nanmin`` /
+    ``np.nanmax`` raise outright on zero-size input, so simply
+    executing these is the assertion.
+    """
+
+    @pytest.fixture()
+    def db(self):
+        db = EnvironmentalDatabase()
+        for i in range(4):
+            db.append_snapshot(i * 300.0, _snapshot(float(i + 1)))
+        return db
+
+    def test_window_past_the_data_is_empty(self, db):
+        series = db.window(Channel.POWER, 10_000.0, 20_000.0)
+        assert len(series) == 0
+        assert series.values.shape[0] == 0
+
+    @pytest.mark.parametrize("reducer", ["mean", "median", "sum", "min", "max"])
+    def test_across_racks_on_empty_window(self, db, reducer):
+        series = db.window(Channel.POWER, 10_000.0, 20_000.0)
+        reduced = series.across_racks(reducer)
+        assert len(reduced) == 0
+
+    @pytest.mark.parametrize("reducer", ["mean", "min", "max"])
+    def test_scalar_reduction_of_empty_window(self, db, reducer):
+        from repro.telemetry import nanstats
+
+        func = getattr(nanstats, f"nan{reducer}")
+        assert np.isnan(func(db.window(Channel.POWER, 10_000.0, 20_000.0).values))
+
+    def test_empty_window_reduction_keeps_axis_shape(self, db):
+        from repro.telemetry import nanstats
+
+        values = db.window(Channel.POWER, 10_000.0, 20_000.0).values
+        for func in (nanstats.nanmin, nanstats.nanmax, nanstats.nanmean):
+            assert func(values, axis=1).shape == (0,)
+
+    def test_coverage_on_empty_database(self):
+        db = EnvironmentalDatabase()
+        coverage = db.coverage(Channel.POWER)
+        assert len(coverage) == 0
+
+    def test_aggregates_on_empty_database(self):
+        db = EnvironmentalDatabase()
+        assert len(db.system_power_mw()) == 0
+        assert len(db.system_utilization()) == 0
+        assert len(db.total_flow_gpm()) == 0
