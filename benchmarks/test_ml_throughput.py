@@ -1,0 +1,170 @@
+"""Predictor-pipeline throughput: batch featurization and the parallel sweep.
+
+Times the two optimizations behind the Fig 13 pipeline:
+
+1. **Featurization** — the per-window reference loop
+   (:func:`window_features` over every window and lead) against
+   :func:`batch_change_features`, which extracts the same features in
+   one columnar interpolation pass.  The two outputs are asserted
+   equal, so the speedup is never bought with a numerics change.
+2. **Lead sweep** — ``sweep_leads`` serially (``workers=1``) against
+   the process pool (``workers=resolve_workers(None)``), over the
+   paper's seven leads with 5-fold CV.  The two reports are asserted
+   bit-identical; per-task reseeding makes worker count invisible to
+   the results.
+
+Results are written to ``BENCH_ml.json`` at the repo root so CI can
+surface regressions.  The parallel-speedup floor is only enforced on
+machines with at least four cores (CI runners qualify); on smaller
+boxes the numbers are recorded but not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import __version__
+from repro.core.prediction import (
+    DEFAULT_LEADS_H,
+    batch_change_features,
+    sweep_leads,
+    window_features,
+)
+from repro.facility.topology import RackId
+from repro.parallel import resolve_workers
+from repro.simulation.windows import LeadupWindow
+from repro.telemetry.records import PREDICTOR_CHANNELS
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUTPUT = _REPO_ROOT / "BENCH_ml.json"
+
+#: Minimum batch-over-loop featurization speedup (measured: >30x).
+MIN_FEATURIZATION_SPEEDUP = 5.0
+
+#: Minimum parallel-over-serial sweep speedup, enforced only when the
+#: machine has at least this many cores.
+MIN_SWEEP_SPEEDUP = 3.0
+SWEEP_GATE_CORES = 4
+
+
+def _synthetic_windows(n_pos, n_neg, seed=0, history_h=12.5, dt_s=300.0):
+    rng = np.random.default_rng(seed)
+    count = int(round(history_h * 3600.0 / dt_s))
+    windows = []
+    for i in range(n_pos + n_neg):
+        positive = i < n_pos
+        end = 1.6e9 + i * 7211.0
+        grid = end - dt_s * np.arange(count, -1, -1, dtype="float64")
+        rel = grid - end
+        channels = {}
+        for c, channel in enumerate(PREDICTOR_CHANNELS):
+            base = 40.0 + 11.0 * c
+            series = (
+                base
+                + rng.normal(0.0, 0.4, grid.shape)
+                + rng.normal(0.0, 0.05) * rel / 3600.0
+            )
+            if positive:
+                series = series * (1.0 + 0.1 * np.exp(rel / 7200.0))
+            channels[channel] = series
+        windows.append(
+            LeadupWindow(
+                rack_id=RackId.from_flat_index(i % 48),
+                end_epoch_s=end,
+                epoch_s=grid,
+                channels=channels,
+                is_positive=positive,
+            )
+        )
+    return windows[:n_pos], windows[n_pos:]
+
+
+def test_ml_throughput():
+    positives, negatives = _synthetic_windows(220, 220, seed=7)
+    all_windows = positives + negatives
+    leads = DEFAULT_LEADS_H
+
+    # -- featurization: per-window loop vs one columnar pass --------------
+    start = time.perf_counter()
+    loop = np.stack(
+        [[window_features(w, lead) for w in all_windows] for lead in leads]
+    )
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = batch_change_features(all_windows, leads)
+    batch_s = time.perf_counter() - start
+
+    np.testing.assert_allclose(batch, loop, rtol=1e-9, atol=1e-9)
+    n_extractions = len(all_windows) * len(leads)
+    featurization = {
+        "windows": len(all_windows),
+        "leads": len(leads),
+        "loop_seconds": round(loop_s, 4),
+        "batch_seconds": round(batch_s, 4),
+        "loop_windows_per_sec": round(n_extractions / loop_s, 1),
+        "batch_windows_per_sec": round(n_extractions / batch_s, 1),
+        "speedup": round(loop_s / batch_s, 2),
+    }
+
+    # -- lead sweep: serial vs process pool -------------------------------
+    sweep_kwargs = dict(epochs=50, folds=5, seed=5)
+    start = time.perf_counter()
+    serial = sweep_leads(positives, negatives, workers=1, **sweep_kwargs)
+    serial_s = time.perf_counter() - start
+
+    pool_workers = resolve_workers(None)
+    start = time.perf_counter()
+    parallel = sweep_leads(
+        positives, negatives, workers=pool_workers, **sweep_kwargs
+    )
+    parallel_s = time.perf_counter() - start
+
+    assert [e.lead_h for e in serial] == [e.lead_h for e in parallel]
+    for a, b in zip(serial, parallel):
+        assert a.cross_validation == b.cross_validation, (
+            "parallel sweep diverged from serial"
+        )
+
+    sweep = {
+        "leads": len(leads),
+        "folds": 5,
+        "epochs": 50,
+        "tasks": len(leads) * 5,
+        "workers": pool_workers,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "featurization": featurization,
+        "lead_sweep": sweep,
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print("\npredictor throughput (440 windows, 7 leads):")
+    print(
+        f"  featurization: loop {loop_s:.3f}s vs batch {batch_s:.3f}s"
+        f" -> {featurization['speedup']:.1f}x"
+    )
+    print(
+        f"  lead sweep: serial {serial_s:.2f}s vs {pool_workers} workers"
+        f" {parallel_s:.2f}s -> {sweep['speedup']:.2f}x"
+    )
+
+    assert featurization["speedup"] > MIN_FEATURIZATION_SPEEDUP
+    if (os.cpu_count() or 1) >= SWEEP_GATE_CORES:
+        assert sweep["speedup"] >= MIN_SWEEP_SPEEDUP, (
+            f"parallel sweep speedup {sweep['speedup']}x below "
+            f"{MIN_SWEEP_SPEEDUP}x on a {os.cpu_count()}-core machine"
+        )

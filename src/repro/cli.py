@@ -81,6 +81,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     predict.add_argument("--days", type=int, default=730, help="simulated days")
     predict.add_argument("--seed", type=int, default=5, help="master seed")
+    predict.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool size for the lead sweep (default: REPRO_WORKERS "
+            "or all cores; 1 = serial; results are identical either way)"
+        ),
+    )
 
     experiments = commands.add_parser(
         "experiments", help="regenerate EXPERIMENTS.md from the canonical dataset"
@@ -230,7 +239,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    from repro.core.prediction import evaluate_at_leads
+    from repro.core.prediction import sweep_leads
+    from repro.parallel import resolve_workers
     from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
 
     print(f"simulating {args.days} days (seed {args.seed}) ...")
@@ -241,10 +251,14 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     synthesizer = WindowSynthesizer(result)
     positives = synthesizer.positive_windows()
     negatives = synthesizer.negative_windows(len(positives))
-    print(f"{len(positives)} failures; training and sweeping leads ...")
+    workers = resolve_workers(args.workers)
+    print(
+        f"{len(positives)} failures; sweeping leads on {workers} "
+        f"worker{'s' if workers != 1 else ''} ..."
+    )
     print(f"\n{'lead':>6}  {'accuracy':>8}  {'precision':>9}  {'recall':>7}  "
           f"{'F1':>6}  {'FPR':>6}")
-    for evaluation in evaluate_at_leads(positives, negatives):
+    for evaluation in sweep_leads(positives, negatives, workers=workers):
         report = evaluation.report
         print(
             f"{evaluation.lead_h:>5.1f}h  {report.accuracy:>8.3f}  "

@@ -41,8 +41,12 @@ from repro.core.leadup import LeadupAggregate, aggregate_leadup
 from repro.core.prediction import (
     PredictorDataset,
     PredictorEvaluation,
+    batch_change_features,
+    batch_level_features,
     build_dataset,
+    build_datasets,
     evaluate_at_leads,
+    sweep_leads,
     tune_architecture,
 )
 from repro.core.aftermath import AftermathAnalysis, StormSpreadExample, analyze_aftermath
@@ -78,6 +82,10 @@ __all__ = [
     "LeadupAggregate",
     "aggregate_leadup",
     "PredictorDataset",
+    "batch_change_features",
+    "batch_level_features",
+    "build_datasets",
+    "sweep_leads",
     "PredictorEvaluation",
     "build_dataset",
     "evaluate_at_leads",

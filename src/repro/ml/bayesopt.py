@@ -147,12 +147,23 @@ class BayesianOptimizer:
         self,
         objective: Callable[[Tuple[float, ...]], float],
         budget: int = 12,
+        evaluate_batch: Optional[
+            Callable[[List[Tuple[float, ...]]], Sequence[float]]
+        ] = None,
     ) -> Tuple[Observation, List[Observation]]:
         """Find the candidate maximizing a (noisy, expensive) objective.
 
         Args:
             objective: Called once per evaluated candidate.
             budget: Total objective evaluations allowed.
+            evaluate_batch: Optional hook that scores a list of
+                candidates at once (e.g. on a process pool).  Only the
+                initial random design — the one batch of trials that is
+                independent by construction — goes through it; the
+                expected-improvement phase is inherently sequential.
+                Must return the same scores ``objective`` would, in
+                candidate order, so the search trajectory is identical
+                with or without it.
 
         Returns:
             (best observation, full evaluation history).
@@ -167,21 +178,37 @@ class BayesianOptimizer:
         history: List[Observation] = []
         evaluated_indices: List[int] = []
 
-        def evaluate(index: int) -> None:
-            candidate = self._candidates[index]
-            score = float(objective(candidate))
-            history.append(Observation(candidate=candidate, score=score))
+        def record(index: int, score: float) -> None:
+            history.append(
+                Observation(candidate=self._candidates[index], score=float(score))
+            )
             evaluated_indices.append(index)
             unevaluated.remove(index)
 
+        def evaluate(index: int) -> None:
+            record(index, objective(self._candidates[index]))
+
         # Initial random design.
-        initial = self._rng.choice(
-            len(self._candidates),
-            size=min(self.initial_points, budget),
-            replace=False,
-        )
-        for index in initial:
-            evaluate(int(index))
+        initial = [
+            int(i)
+            for i in self._rng.choice(
+                len(self._candidates),
+                size=min(self.initial_points, budget),
+                replace=False,
+            )
+        ]
+        if evaluate_batch is not None:
+            scores = evaluate_batch([self._candidates[i] for i in initial])
+            if len(scores) != len(initial):
+                raise ValueError(
+                    f"evaluate_batch returned {len(scores)} scores for "
+                    f"{len(initial)} candidates"
+                )
+            for index, score in zip(initial, scores):
+                record(index, score)
+        else:
+            for index in initial:
+                evaluate(index)
 
         while len(history) < budget and unevaluated:
             gp = GaussianProcess(length_scale=0.5, noise_variance=1e-4)

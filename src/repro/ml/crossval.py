@@ -8,11 +8,12 @@ reproduces that protocol for any model factory.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ml.metrics import BinaryClassificationReport, evaluate_binary
+from repro.parallel import pmap, require_generator
 
 
 def stratified_k_fold(
@@ -26,7 +27,9 @@ def stratified_k_fold(
     Raises:
         ValueError: if ``k`` < 2 or any class has fewer than ``k``
             samples.
+        TypeError: if ``rng`` is not an explicit Generator.
     """
+    require_generator(rng)
     y = np.asarray(labels).astype(int).ravel()
     if k < 2:
         raise ValueError(f"k must be >= 2, got {k}")
@@ -89,6 +92,11 @@ class CrossValidationResult:
         )
 
 
+def _fold_run(payload: tuple) -> BinaryClassificationReport:
+    fit_predict, x_train, y_train, x_test, y_test = payload
+    return evaluate_binary(y_test, fit_predict(x_train, y_train, x_test))
+
+
 def cross_validate(
     fit_predict: Callable[
         [np.ndarray, np.ndarray, np.ndarray], np.ndarray
@@ -96,23 +104,31 @@ def cross_validate(
     features: np.ndarray,
     labels: np.ndarray,
     k: int = 5,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
 ) -> CrossValidationResult:
     """Run stratified k-fold CV for an arbitrary fit-and-predict callable.
 
+    Fold assignment happens up front with the explicit generator; the
+    folds themselves are independent and can run on a process pool.
+
     Args:
         fit_predict: Called as ``fit_predict(x_train, y_train, x_test)``
-            and must return 0/1 predictions for ``x_test``.
+            and must return 0/1 predictions for ``x_test``.  For
+            ``workers > 1`` it must be picklable (module-level, not a
+            closure) — which is why the default stays serial.
         features: Full feature matrix ``(n, d)``.
         labels: Full binary label vector ``(n,)``.
         k: Number of folds (paper: 5).
         rng: Fold-assignment randomness.
+        workers: Process-pool size for the fold loop (1 = serial).
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     x = np.asarray(features, dtype="float64")
     y = np.asarray(labels).astype(int).ravel()
-    reports = []
-    for train_idx, test_idx in stratified_k_fold(y, k, rng):
-        predictions = fit_predict(x[train_idx], y[train_idx], x[test_idx])
-        reports.append(evaluate_binary(y[test_idx], predictions))
+    payloads = [
+        (fit_predict, x[train_idx], y[train_idx], x[test_idx], y[test_idx])
+        for train_idx, test_idx in stratified_k_fold(y, k, rng)
+    ]
+    reports = pmap(_fold_run, payloads, workers=workers)
     return CrossValidationResult(fold_reports=tuple(reports))

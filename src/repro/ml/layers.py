@@ -65,12 +65,15 @@ class Dense:
             x: Input batch.
             train: Cache intermediates for a subsequent backward pass.
         """
-        x = np.atleast_2d(np.asarray(x, dtype="float64"))
+        x = np.asarray(x, dtype="float64")
+        if x.ndim == 1:
+            x = x[None, :]
         if x.shape[1] != self.input_size:
             raise ValueError(
                 f"expected {self.input_size} features, got {x.shape[1]}"
             )
-        pre = x @ self.weights + self.biases
+        pre = x @ self.weights
+        pre += self.biases
         if train:
             self._cached_input = x
             self._cached_preactivation = pre
@@ -87,11 +90,13 @@ class Dense:
         """
         if self._cached_input is None or self._cached_preactivation is None:
             raise RuntimeError("backward called before forward(train=True)")
-        grad_pre = grad_output * self.activation.derivative(
-            self._cached_preactivation
-        )
-        self.grad_weights = self._cached_input.T @ grad_pre
-        self.grad_biases = grad_pre.sum(axis=0)
+        grad_pre = self.activation.derivative(self._cached_preactivation)
+        grad_pre *= grad_output
+        # Gradients land in the preallocated buffers (their shapes are
+        # fixed by the layer, not the batch), saving two allocations
+        # per layer per minibatch step.
+        np.matmul(self._cached_input.T, grad_pre, out=self.grad_weights)
+        grad_pre.sum(axis=0, out=self.grad_biases)
         return grad_pre @ self.weights.T
 
     # -- parameter access for optimizers ------------------------------------

@@ -17,6 +17,7 @@ import numpy as np
 from repro.ml.losses import BinaryCrossEntropy, Loss
 from repro.ml.network import NeuralNetwork
 from repro.ml.optimizers import Adam, Optimizer
+from repro.parallel import require_generator
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,7 +84,11 @@ def three_way_split(
 
     Raises:
         ValueError: on bad ratios or mismatched lengths.
+        TypeError: if ``rng`` is not an explicit ``np.random.Generator``
+            (implicit/legacy seeding could silently diverge between the
+            serial and per-process reseeded parallel paths).
     """
+    require_generator(rng)
     x = np.asarray(features, dtype="float64")
     y = np.asarray(labels).astype(int).ravel()
     if x.shape[0] != y.shape[0]:
@@ -154,20 +159,29 @@ def train_classifier(
     train_losses: List[float] = []
     val_losses: List[float] = []
     n = x.shape[0]
-    for _ in range(cfg.epochs):
-        order = np.arange(n)
-        if cfg.shuffle:
-            rng.shuffle(order)
+    # Preshuffled epoch index matrix: every epoch's visit order is drawn
+    # up front (same generator stream as per-epoch shuffles), so the
+    # inner loop is pure slicing.
+    if cfg.shuffle:
+        orders = np.empty((cfg.epochs, n), dtype=np.intp)
+        for epoch in range(cfg.epochs):
+            orders[epoch] = rng.permutation(n)
+    else:
+        orders = np.broadcast_to(np.arange(n, dtype=np.intp), (cfg.epochs, n))
+    batch_starts = range(0, n, cfg.batch_size)
+    batches = max(1, len(batch_starts))
+    for epoch in range(cfg.epochs):
+        order = orders[epoch]
         epoch_loss = 0.0
-        batches = 0
-        for start in range(0, n, cfg.batch_size):
+        for start in batch_starts:
             batch = order[start : start + cfg.batch_size]
-            predicted = network.forward(x[batch], train=True)
-            epoch_loss += criterion.value(predicted, y[batch])
-            batches += 1
-            network.backward(criterion.gradient(predicted, y[batch]))
+            x_batch = x[batch]
+            y_batch = y[batch]
+            predicted = network.forward(x_batch, train=True)
+            epoch_loss += criterion.value(predicted, y_batch)
+            network.backward(criterion.gradient(predicted, y_batch))
             opt.step(network)
-        train_losses.append(epoch_loss / max(1, batches))
+        train_losses.append(epoch_loss / batches)
         if x_val is not None and y_val is not None:
             predicted = network.forward(x_val, train=False)
             val_losses.append(

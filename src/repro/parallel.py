@@ -1,0 +1,182 @@
+"""Process-pool parallelism with deterministic seeding.
+
+The predictor pipeline (and, over time, the other analysis suites)
+fans its outer loops — cross-validation folds, Bayesian-optimization
+trials, the Fig 13 lead sweep — out over a :class:`ProcessPoolExecutor`.
+This module centralizes the three things every call site needs:
+
+* **one worker-count rule** (:func:`resolve_workers`): an explicit
+  argument wins verbatim (so determinism tests can oversubscribe a
+  small machine), otherwise the ``REPRO_WORKERS`` environment variable,
+  otherwise all cores; the env/auto paths are capped at
+  ``os.cpu_count()`` and everything is capped at the task count;
+* **deterministic per-task randomness** (:func:`spawn_seeds` /
+  :func:`task_rngs`): ``SeedSequence.spawn`` children derived from one
+  master seed, so a task's stream depends only on its index — never on
+  which worker ran it or in what order;
+* **a chunked, order-preserving map** (:func:`pmap`) with a serial
+  fallback at ``workers=1`` and first-error propagation, so results
+  are bit-identical between the serial and parallel paths.
+
+Workers are separate processes (``fork`` where available), so mapped
+functions and their payloads must be picklable: module-level functions
+and plain data, not closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(
+    workers: Optional[int] = None, max_tasks: Optional[int] = None
+) -> int:
+    """The shared worker-count rule for every parallel entry point.
+
+    Args:
+        workers: Explicit request; honored verbatim (even above the
+            core count, which the determinism tests rely on).
+        max_tasks: Number of tasks available; the result never exceeds
+            it (no point spawning idle workers).
+
+    Returns:
+        The number of workers to use, always >= 1.
+
+    Raises:
+        ValueError: on a non-positive request or a malformed
+            ``REPRO_WORKERS`` value.
+    """
+    cores = os.cpu_count() or 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+            if workers < 1:
+                raise ValueError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+            workers = min(workers, cores)
+        else:
+            workers = cores
+    else:
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_tasks is not None:
+        workers = min(workers, max(1, int(max_tasks)))
+    return workers
+
+
+def require_generator(rng: np.random.Generator) -> np.random.Generator:
+    """Insist on an explicit ``numpy`` Generator.
+
+    The parallel pipeline reseeds per task; accepting ints or legacy
+    ``RandomState`` objects would let a call site silently draw from a
+    different stream than the serial path, which is exactly the
+    divergence the explicit-Generator rule exists to prevent.
+
+    Raises:
+        TypeError: if ``rng`` is not a ``np.random.Generator``.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "rng must be a numpy Generator (e.g. np.random.default_rng(seed)); "
+            f"got {type(rng).__name__}"
+        )
+    return rng
+
+
+def spawn_seeds(seed: int, count: int) -> List[np.random.SeedSequence]:
+    """``count`` independent child seed sequences from one master seed.
+
+    Task ``i`` always receives the same child regardless of worker
+    count or completion order, which is what keeps ``workers=1`` and
+    ``workers=N`` runs bit-identical.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return list(np.random.SeedSequence(seed).spawn(count))
+
+
+def task_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Per-task generators over :func:`spawn_seeds` children."""
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Prefer ``fork`` (cheap, inherits the parent image) where offered."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def pmap(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[_R]:
+    """Map ``fn`` over ``items`` on a process pool, preserving order.
+
+    Falls back to a plain in-process loop when the resolved worker
+    count is 1 (or there is at most one item), so the serial path runs
+    exactly the same code on exactly the same inputs.  The first
+    exception raised by any task propagates to the caller and cancels
+    the pool.
+
+    Args:
+        fn: A picklable (module-level) single-argument callable.
+        items: Task payloads; must be picklable for ``workers > 1``.
+        workers: See :func:`resolve_workers`.
+        chunksize: Tasks per worker dispatch; defaults to roughly four
+            dispatches per worker to amortize IPC on long task lists.
+
+    Returns:
+        ``[fn(item) for item in items]``, in input order.
+    """
+    items = list(items)
+    count = resolve_workers(workers, max_tasks=len(items))
+    if count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if chunksize is None:
+        chunksize = max(1, len(items) // (count * 4))
+    with ProcessPoolExecutor(
+        max_workers=count, mp_context=_fork_context()
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+
+def pstarmap(
+    fn: Callable[..., _R],
+    items: Iterable[Sequence[Any]],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[_R]:
+    """:func:`pmap` for multi-argument callables (payloads are tuples)."""
+    return pmap(
+        _StarCall(fn), [tuple(item) for item in items], workers, chunksize
+    )
+
+
+class _StarCall:
+    """Picklable ``lambda args: fn(*args)``."""
+
+    def __init__(self, fn: Callable[..., Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, args: Sequence[Any]) -> Any:
+        return self.fn(*args)

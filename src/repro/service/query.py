@@ -53,6 +53,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import constants
+from repro.parallel import resolve_workers
 from repro.service.rollup import BucketWindow, RollupStore
 from repro.telemetry import nanstats
 from repro.telemetry.records import Channel
@@ -337,11 +338,16 @@ class QueryEngine:
         queries: Sequence[Query],
         workers: Optional[int] = None,
     ) -> List[QueryResult]:
-        """Execute a batch concurrently; results keep request order."""
+        """Execute a batch concurrently; results keep request order.
+
+        The thread count follows the shared
+        :func:`repro.parallel.resolve_workers` rule (explicit argument,
+        else ``REPRO_WORKERS``, else the core count, capped at the
+        batch size) — the same rule the predictor's process pools use.
+        """
         if not queries:
             return []
-        if workers is None:
-            workers = min(8, len(queries))
+        workers = resolve_workers(workers, max_tasks=len(queries))
         if workers <= 1:
             return [self.execute(q) for q in queries]
         with ThreadPoolExecutor(max_workers=workers) as pool:

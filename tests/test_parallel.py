@@ -1,0 +1,122 @@
+"""The process-pool helpers: worker resolution, seeding, pmap."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    WORKERS_ENV,
+    pmap,
+    pstarmap,
+    require_generator,
+    resolve_workers,
+    spawn_seeds,
+    task_rngs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_seven(x):
+    if x == 7:
+        raise ValueError("seven is right out")
+    return x
+
+
+def _add(a, b):
+    return a + b
+
+
+class TestResolveWorkers:
+    def test_explicit_wins_even_above_core_count(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers((os.cpu_count() or 1) + 5) == (os.cpu_count() or 1) + 5
+
+    def test_env_var_used_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert resolve_workers(None) == 1
+
+    def test_env_var_capped_at_cores(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "9999")
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_default_is_core_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_task_count_caps(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(8, max_tasks=3) == 3
+        assert resolve_workers(None, max_tasks=0) == 1
+
+    def test_bad_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "zero")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestSeeding:
+    def test_spawned_seeds_deterministic(self):
+        a = [s.generate_state(4).tolist() for s in spawn_seeds(42, 5)]
+        b = [s.generate_state(4).tolist() for s in spawn_seeds(42, 5)]
+        assert a == b
+
+    def test_spawned_streams_distinct(self):
+        rngs = task_rngs(7, 4)
+        draws = [r.standard_normal(8).tolist() for r in rngs]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert draws[i] != draws[j]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_require_generator(self):
+        rng = np.random.default_rng(0)
+        assert require_generator(rng) is rng
+        with pytest.raises(TypeError):
+            require_generator(1234)
+        with pytest.raises(TypeError):
+            require_generator(np.random.RandomState(0))
+
+
+class TestPmap:
+    def test_serial_matches_parallel(self):
+        items = list(range(20))
+        assert pmap(_square, items, workers=1) == pmap(_square, items, workers=3)
+
+    def test_order_preserved(self):
+        assert pmap(_square, [3, 1, 2], workers=2) == [9, 1, 4]
+
+    def test_empty(self):
+        assert pmap(_square, [], workers=4) == []
+
+    def test_error_propagates_serial(self):
+        with pytest.raises(ValueError, match="seven"):
+            pmap(_fail_on_seven, range(10), workers=1)
+
+    def test_error_propagates_parallel(self):
+        with pytest.raises(ValueError, match="seven"):
+            pmap(_fail_on_seven, range(10), workers=2)
+
+    def test_chunked(self):
+        items = list(range(37))
+        assert pmap(_square, items, workers=2, chunksize=5) == [
+            x * x for x in items
+        ]
+
+    def test_env_var_drives_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert pmap(_square, range(6)) == [x * x for x in range(6)]
+
+    def test_pstarmap(self):
+        assert pstarmap(_add, [(1, 2), (3, 4)], workers=2) == [3, 7]
