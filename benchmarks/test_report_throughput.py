@@ -1,0 +1,96 @@
+"""Full-report throughput: the parallel figure pipeline vs serial.
+
+Times :func:`repro.core.experiments.full_report` over the canonical
+six-year realization twice — ``workers=1`` (everything in-process)
+against the process pool with the zero-copy fan-out (workers reopen
+the telemetry archive memory-mapped; only the archive *path* crosses
+the process boundary).  The window synthesis for Figs 12/13 — the
+dominant serial cost — is sharded across the pool, and the two reports
+are asserted identical row for row, so the speedup is never bought
+with a numerics change.
+
+Results are written to ``BENCH_report.json`` at the repo root so CI
+can surface regressions.  The parallel-speedup floor is only enforced
+on machines with at least four cores (CI runners qualify); on smaller
+boxes the numbers are recorded but not gated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.core.experiments import full_report
+from repro.parallel import resolve_workers
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUTPUT = _REPO_ROOT / "BENCH_report.json"
+
+#: Minimum parallel-over-serial report speedup, enforced only when the
+#: machine has at least this many cores.
+MIN_REPORT_SPEEDUP = 2.0
+REPORT_GATE_CORES = 4
+
+
+def _rows_equal(a, b):
+    measured_match = a.measured_value == b.measured_value or (
+        math.isnan(a.measured_value) and math.isnan(b.measured_value)
+    )
+    return (
+        measured_match
+        and a.figure == b.figure
+        and a.metric == b.metric
+        and a.paper_value == b.paper_value
+        and a.unit == b.unit
+    )
+
+
+def test_report_throughput(canonical):
+    start = time.perf_counter()
+    serial = full_report(canonical, workers=1, synthesize_windows=True)
+    serial_s = time.perf_counter() - start
+
+    pool_workers = resolve_workers(None)
+    start = time.perf_counter()
+    parallel = full_report(
+        canonical, workers=pool_workers, synthesize_windows=True
+    )
+    parallel_s = time.perf_counter() - start
+
+    # Identity first: the parallel report must be the serial report.
+    assert list(serial) == list(parallel)
+    for title in serial:
+        assert len(serial[title]) == len(parallel[title]), title
+        for a, b in zip(serial[title], parallel[title]):
+            assert _rows_equal(a, b), f"{title}: {a} != {b}"
+
+    total_rows = sum(len(rows) for rows in serial.values())
+    report = {
+        "version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "sections": len(serial),
+        "rows": total_rows,
+        "workers": pool_workers,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+    _OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"\nfull report ({len(serial)} sections, {total_rows} rows):"
+        f" serial {serial_s:.2f}s vs {pool_workers} workers"
+        f" {parallel_s:.2f}s -> {report['speedup']:.2f}x"
+    )
+
+    if (os.cpu_count() or 1) >= REPORT_GATE_CORES:
+        assert report["speedup"] >= MIN_REPORT_SPEEDUP, (
+            f"parallel report speedup {report['speedup']}x below "
+            f"{MIN_REPORT_SPEEDUP}x on a {os.cpu_count()}-core machine"
+        )

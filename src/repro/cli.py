@@ -9,6 +9,8 @@ Subcommands, mirroring how the package is used:
 * ``predict`` — train and evaluate the CMF predictor (Fig 13),
 * ``experiments`` — regenerate EXPERIMENTS.md from the canonical
   six-year dataset,
+* ``cache`` — inspect (``info``) or prune (``clear``) the on-disk
+  dataset cache under ``~/.cache/repro``,
 * ``validate`` — run the physics/bookkeeping consistency checks,
 * ``serve-replay`` — re-serve a simulated realization as a live
   telemetry stream through the service layer (bus -> rollups ->
@@ -75,6 +77,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the canonical six-year dataset (slower, exact paper scope)",
     )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool size for the figure sections (default: "
+            "REPRO_WORKERS or all cores; 1 = serial; tables are "
+            "byte-identical either way)"
+        ),
+    )
+    report.add_argument(
+        "--windows",
+        action="store_true",
+        help="also synthesize the 300 s windows and report Figs 12-13",
+    )
 
     predict = commands.add_parser(
         "predict", help="train and evaluate the CMF predictor (Fig 13)"
@@ -97,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--out", type=Path, default=Path("EXPERIMENTS.md"), help="output file"
     )
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "process-pool size for the report pipeline (default: "
+            "REPRO_WORKERS or all cores; 1 = serial)"
+        ),
+    )
+
+    cache = commands.add_parser(
+        "cache", help="inspect or prune the on-disk dataset cache"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_commands.add_parser(
+        "info", help="list cache entries with size, version, and config digest"
+    )
+    cache_commands.add_parser("clear", help="remove every cache entry")
 
     validate = commands.add_parser(
         "validate", help="run physics/bookkeeping consistency checks"
@@ -222,6 +257,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.core.experiments import full_report
     from repro.core.report import format_table
+    from repro.parallel import resolve_workers
     from repro.simulation import FacilityEngine, MiraScenario
     from repro.simulation.datasets import canonical_dataset
 
@@ -233,7 +269,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
         result = FacilityEngine(
             MiraScenario.demo(days=args.days, seed=args.seed)
         ).run()
-    for title, rows in full_report(result).items():
+    workers = resolve_workers(args.workers)
+    print(f"building the report on {workers} worker{'s' if workers != 1 else ''} ...")
+    sections = full_report(
+        result, workers=workers, synthesize_windows=args.windows
+    )
+    for title, rows in sections.items():
         print("\n" + format_table(rows, title))
     return 0
 
@@ -271,8 +312,31 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.tools.experiments import write_experiments_md
 
-    path = write_experiments_md(args.out)
+    path = write_experiments_md(args.out, workers=args.workers)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.simulation.datasets import cache_entries, cache_root, clear_cache
+
+    root = cache_root()
+    if args.cache_command == "clear":
+        removed = clear_cache()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from {root}")
+        return 0
+    entries = cache_entries()
+    if not entries:
+        print(f"no dataset-cache entries under {root}")
+        return 0
+    print(f"dataset cache at {root}:")
+    print(f"{'digest':<18} {'version':<10} {'size':>10}")
+    total = 0
+    for entry in entries:
+        total += entry.size_bytes
+        print(f"{entry.digest:<18} {entry.version:<10} {entry.size_mb:>8.1f}MB")
+    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+          f"{total / 1e6:.1f}MB total")
     return 0
 
 
@@ -389,6 +453,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "predict": _cmd_predict,
     "experiments": _cmd_experiments,
+    "cache": _cmd_cache,
     "validate": _cmd_validate,
     "serve-replay": _cmd_serve_replay,
     "query": _cmd_query,

@@ -118,36 +118,43 @@ def analyze_aftermath(
         raise ValueError("no CMF events in the RAS log")
 
     cmf_times = cmfs.times()
-    lags_h: List[float] = []
+    max_window_h = max(lag_buckets_h)
+
+    # One searchsorted pass maps every non-CMF failure to its nearest
+    # preceding CMF; the per-event Python loop this replaces spent
+    # interpreter time on each of the thousands of deduplicated events.
+    event_times = np.array([e.epoch_s for e in noncmfs.events], dtype="float64")
+    cmf_index = np.searchsorted(cmf_times, event_times, side="right") - 1
+    lag_all_h = (
+        event_times - cmf_times[np.clip(cmf_index, 0, None)]
+    ) / timeutil.HOUR_S
+    kept = (cmf_index >= 0) & (lag_all_h > 0) & (lag_all_h <= max_window_h)
+    lags = lag_all_h[kept]
+
+    # Category counts and follower lists keep first-appearance order
+    # (dict insertion order), exactly as the event-at-a-time loop did.
     categories: Dict[str, int] = {}
     followers_by_cmf: Dict[int, List[RackId]] = {}
-
-    max_window_h = max(lag_buckets_h)
-    for event in noncmfs.events:
-        index = int(np.searchsorted(cmf_times, event.epoch_s, side="right")) - 1
-        if index < 0:
-            continue
-        lag_h = (event.epoch_s - cmf_times[index]) / timeutil.HOUR_S
-        if lag_h <= 0 or lag_h > max_window_h:
-            continue
-        lags_h.append(lag_h)
+    for position in np.flatnonzero(kept):
+        event = noncmfs.events[position]
         categories[event.category] = categories.get(event.category, 0) + 1
-        followers_by_cmf.setdefault(index, []).append(event.rack_id)
+        followers_by_cmf.setdefault(int(cmf_index[position]), []).append(
+            event.rack_id
+        )
 
-    lags = np.array(lags_h)
-    rates: Dict[float, float] = {}
-    base_rate = None
-    previous_edge = 0.0
-    for window_h in lag_buckets_h:
-        width = window_h - previous_edge
-        if width <= 0:
-            raise ValueError("lag buckets must be strictly increasing")
-        count = float(np.sum((lags > previous_edge) & (lags <= window_h)))
-        rate = count / width
-        if base_rate is None:
-            base_rate = rate if rate > 0 else 1.0
-        rates[float(window_h)] = rate / base_rate
-        previous_edge = window_h
+    edges = np.concatenate([[0.0], np.asarray(lag_buckets_h, dtype="float64")])
+    widths = np.diff(edges)
+    if np.any(widths <= 0):
+        raise ValueError("lag buckets must be strictly increasing")
+    # Counts in (edge_{i-1}, edge_i] via two searchsorted cuts of the
+    # sorted lags instead of one masked scan per bucket.
+    counts = np.diff(np.searchsorted(np.sort(lags), edges, side="right"))
+    bucket_rates = counts / widths
+    base_rate = bucket_rates[0] if bucket_rates[0] > 0 else 1.0
+    rates: Dict[float, float] = {
+        float(window_h): float(rate / base_rate)
+        for window_h, rate in zip(lag_buckets_h, bucket_rates)
+    }
 
     total = max(1, sum(categories.values()))
     mix = {name: count / total for name, count in categories.items()}

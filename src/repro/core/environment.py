@@ -113,11 +113,9 @@ class AmbientSpatial:
             channel's units.
         """
         n = constants.RACKS_PER_ROW
-        end_mask = np.zeros(constants.NUM_RACKS, dtype=bool)
-        for row in range(constants.NUM_ROWS):
-            base = row * n
-            end_mask[base : base + edge_racks] = True
-            end_mask[base + n - edge_racks : base + n] = True
+        offsets = np.arange(n)
+        edge_cols = (offsets < edge_racks) | (offsets >= n - edge_racks)
+        end_mask = np.tile(edge_cols, constants.NUM_ROWS)
         temp_delta = float(
             self.temperature_f[end_mask].mean() - self.temperature_f[~end_mask].mean()
         )
@@ -134,16 +132,13 @@ class AmbientSpatial:
         a localized blockage like rack (1, 8).
         """
         n = constants.RACKS_PER_ROW
-        found = []
-        for row in range(constants.NUM_ROWS):
-            base = row * n
-            center = self.humidity_rh[base + 4 : base + n - 4]
-            median = float(np.median(center))
-            for offset in range(4, n - 4):
-                value = self.humidity_rh[base + offset]
-                if value < median * (1.0 - threshold):
-                    found.append(RackId(row, offset))
-        return tuple(found)
+        center = self.humidity_rh.reshape(constants.NUM_ROWS, n)[:, 4 : n - 4]
+        medians = np.median(center, axis=1, keepdims=True)
+        flagged = center < medians * (1.0 - threshold)
+        # argwhere walks row-major, matching the nested row/offset scan.
+        return tuple(
+            RackId(int(row), int(offset) + 4) for row, offset in np.argwhere(flagged)
+        )
 
 
 def ambient_spatial(database: EnvironmentalDatabase) -> AmbientSpatial:

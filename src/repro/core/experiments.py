@@ -10,7 +10,9 @@ the same rows — one source of truth for what "reproduced" means.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import constants
 from repro.core.aftermath import analyze_aftermath
@@ -18,16 +20,17 @@ from repro.core.environment import ambient_spatial, ambient_trends
 from repro.core.failure_analysis import analyze_cmfs
 from repro.core.leadup import aggregate_leadup
 from repro.core.prediction import evaluate_at_leads
-from repro.core.report import ReportRow
+from repro.core.report import ReportRow, format_value
 from repro.core.spatial import rack_coolant_profile, rack_power_profile
 from repro.core.trends import (
     coolant_trends,
-    monthly_profile,
-    weekday_profile,
+    monthly_profiles,
+    weekday_profiles,
     yearly_trends,
 )
+from repro.parallel import pstarmap, resolve_workers
 from repro.simulation.engine import SimulationResult
-from repro.simulation.windows import LeadupWindow
+from repro.simulation.windows import LeadupWindow, WindowSynthesizer
 from repro.telemetry.records import Channel
 
 
@@ -66,40 +69,50 @@ def fig3_rows(result: SimulationResult) -> List[ReportRow]:
 
 
 def fig4_rows(result: SimulationResult) -> List[ReportRow]:
-    db = result.database
+    # All five monthly profiles share one group-by pass over the
+    # database's common timestamp grid (see trends.monthly_profiles).
+    power, util, flow, inlet, outlet = monthly_profiles(
+        result.database,
+        (None, Channel.UTILIZATION, Channel.FLOW,
+         Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE),
+    )
     return [
         ReportRow("Fig 4a", "power H2/H1 median ratio", 1.04,
-                  monthly_profile(db).second_half_ratio),
+                  power.second_half_ratio),
         ReportRow("Fig 4b", "utilization H2/H1 median ratio", 1.02,
-                  monthly_profile(db, Channel.UTILIZATION).second_half_ratio),
+                  util.second_half_ratio),
         ReportRow("Fig 4c", "flow max monthly change vs January",
                   constants.MONTHLY_COOLANT_MAX_CHANGE,
-                  monthly_profile(db, Channel.FLOW).max_change_from_january),
+                  flow.max_change_from_january),
         ReportRow("Fig 4d", "inlet max monthly change vs January",
                   constants.MONTHLY_COOLANT_MAX_CHANGE,
-                  monthly_profile(db, Channel.INLET_TEMPERATURE).max_change_from_january),
+                  inlet.max_change_from_january),
         ReportRow("Fig 4e", "outlet max monthly change vs January",
                   constants.MONTHLY_COOLANT_MAX_CHANGE,
-                  monthly_profile(db, Channel.OUTLET_TEMPERATURE).max_change_from_january),
+                  outlet.max_change_from_january),
     ]
 
 
 def fig5_rows(result: SimulationResult) -> List[ReportRow]:
-    db = result.database
+    power, util, flow, inlet, outlet = weekday_profiles(
+        result.database,
+        (None, Channel.UTILIZATION, Channel.FLOW,
+         Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE),
+    )
     return [
         ReportRow("Fig 5a", "non-Monday power increase",
                   constants.NON_MONDAY_POWER_INCREASE,
-                  weekday_profile(db).non_monday_increase),
+                  power.non_monday_increase),
         ReportRow("Fig 5b", "non-Monday utilization increase",
                   constants.NON_MONDAY_UTILIZATION_INCREASE,
-                  weekday_profile(db, Channel.UTILIZATION).non_monday_increase),
+                  util.non_monday_increase),
         ReportRow("Fig 5c", "non-Monday flow change", 0.0,
-                  weekday_profile(db, Channel.FLOW).non_monday_increase),
+                  flow.non_monday_increase),
         ReportRow("Fig 5d", "non-Monday inlet change", 0.0,
-                  weekday_profile(db, Channel.INLET_TEMPERATURE).non_monday_increase),
+                  inlet.non_monday_increase),
         ReportRow("Fig 5e", "non-Monday outlet increase",
                   constants.NON_MONDAY_OUTLET_INCREASE,
-                  weekday_profile(db, Channel.OUTLET_TEMPERATURE).non_monday_increase),
+                  outlet.non_monday_increase),
     ]
 
 
@@ -219,9 +232,11 @@ def fig12_rows(positive_windows: Sequence[LeadupWindow]) -> List[ReportRow]:
 def fig13_rows(
     positive_windows: Sequence[LeadupWindow],
     negative_windows: Sequence[LeadupWindow],
+    workers: Optional[int] = None,
 ) -> List[ReportRow]:
     evaluations = evaluate_at_leads(
-        positive_windows, negative_windows, leads_h=(6.0, 3.0, 0.5)
+        positive_windows, negative_windows, leads_h=(6.0, 3.0, 0.5),
+        workers=workers,
     )
     by_lead = {e.lead_h: e.report for e in evaluations}
     return [
@@ -269,34 +284,179 @@ def _rack(pair: Tuple[int, int]):
     return RackId(*pair)
 
 
+# -- parallel dispatch -------------------------------------------------------
+
+#: Canonical section order: (title, per-section builder).  Each entry is
+#: an independent task for the process pool; the assembled report dict
+#: always iterates in this order regardless of completion order.
+SECTION_BUILDERS: Tuple[Tuple[str, Callable[[SimulationResult], List[ReportRow]]], ...] = (
+    ("Fig 2 — year-over-year power and utilization", fig2_rows),
+    ("Fig 3 — coolant flow and temperatures", fig3_rows),
+    ("Fig 4 — monthly medians (allocation years)", fig4_rows),
+    ("Fig 5 — weekday profiles (Monday maintenance)", fig5_rows),
+    ("Fig 6 — rack-level power and utilization", fig6_rows),
+    ("Fig 7 — rack-level coolant telemetry", fig7_rows),
+    ("Fig 8 — ambient trends", fig8_rows),
+    ("Fig 9 — ambient spatial variation", fig9_rows),
+    ("Figs 10-11 — CMF timeline and per-rack distribution", fig10_11_rows),
+    ("Figs 14-15 — the aftermath of a CMF", fig14_15_rows),
+)
+
+FIG12_TITLE = "Fig 12 — the lead-up to a CMF"
+FIG13_TITLE = "Fig 13 — the CMF predictor"
+
+_BUILDERS_BY_NAME = {fn.__name__: fn for _, fn in SECTION_BUILDERS}
+
+#: Worker-side memo: archive directory -> reassembled result, so one
+#: worker process reopens the memory-mapped telemetry once however many
+#: tasks it executes.  Keyed by path; populated lazily in each worker.
+_WORKER_RESULTS: Dict[str, SimulationResult] = {}
+
+
+def _result_spec(result: SimulationResult, workers: int):
+    """How to hand ``result`` to a task.
+
+    With one worker everything runs in-process, so the result object is
+    passed through untouched.  With a pool, the telemetry is
+    materialized as an on-disk archive and workers get the *path* —
+    they reopen the columns with ``TelemetryArchive.load(mmap=True)``
+    instead of receiving the multi-hundred-MB database through a
+    pickle.  Results that cannot be archived (fault-injected runs,
+    whose quality masks the archive format does not carry) fall back to
+    inline pickling.
+    """
+    if workers <= 1:
+        return ("inline", result)
+    from repro.simulation.datasets import materialize_archive
+
+    archive = materialize_archive(result)
+    if archive is None:
+        return ("inline", result)
+    return (
+        "archive",
+        result.config,
+        str(archive),
+        result.jobs_completed,
+        result.jobs_killed,
+    )
+
+
+def _resolve_spec(spec) -> SimulationResult:
+    """Worker-side half of :func:`_result_spec` (memoized per process)."""
+    if spec[0] == "inline":
+        return spec[1]
+    _, config, archive_dir, jobs_completed, jobs_killed = spec
+    cached = _WORKER_RESULTS.get(archive_dir)
+    if cached is not None and cached.config == config:
+        return cached
+    from repro.simulation.datasets import result_from_archive
+
+    result = result_from_archive(config, archive_dir, jobs_completed, jobs_killed)
+    _WORKER_RESULTS[archive_dir] = result
+    return result
+
+
+def _report_task(spec, task):
+    """One unit of parallel report work (must stay module-level picklable).
+
+    ``task`` is ``("section", builder_name)``,
+    ``("positives", lo, hi)``, or ``("negatives", count, lo, hi)``; the
+    window slices are bit-identical to the serial synthesis because
+    window *i*'s noise depends only on its index (see
+    :class:`~repro.simulation.windows.WindowSynthesizer`).
+    """
+    result = _resolve_spec(spec)
+    kind = task[0]
+    if kind == "section":
+        return _BUILDERS_BY_NAME[task[1]](result)
+    synthesizer = WindowSynthesizer(result)
+    if kind == "positives":
+        return synthesizer.positive_windows(task[1], task[2])
+    if kind == "negatives":
+        return synthesizer.negative_windows(task[1], lo=task[2], hi=task[3])
+    raise ValueError(f"unknown report task {kind!r}")
+
+
+def _chunk_bounds(total: int, chunks: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into at most ``chunks`` contiguous slices."""
+    chunks = max(1, min(chunks, total))
+    edges = np.linspace(0, total, chunks + 1).astype(int)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(chunks)
+        if edges[i + 1] > edges[i]
+    ]
+
+
 def full_report(
     result: SimulationResult,
     positive_windows: Optional[Sequence[LeadupWindow]] = None,
     negative_windows: Optional[Sequence[LeadupWindow]] = None,
+    workers: Optional[int] = None,
+    synthesize_windows: bool = False,
 ) -> Dict[str, List[ReportRow]]:
     """All figures' comparisons, keyed by a section title.
 
-    The Fig 12/13 sections are included only when windows are given
-    (they require the 300 s synthesis pass).
+    Every figure section is an independent task fanned out over a
+    process pool (:func:`repro.parallel.pstarmap`); the assembled
+    report is bit-identical at any worker count, and ``workers=1``
+    runs the exact same task functions serially in-process.
+
+    The Fig 12/13 sections are included when windows are given, or
+    when ``synthesize_windows`` asks the report to build them itself —
+    in which case the 300 s window synthesis (the dominant serial
+    cost) is sharded across the pool too.
+
+    Args:
+        result: The simulation to report on.
+        positive_windows: Pre-built CMF lead-up windows (optional).
+        negative_windows: Pre-built negative-class windows (optional).
+        workers: Pool size (see :func:`repro.parallel.resolve_workers`).
+        synthesize_windows: Build the Fig 12/13 windows in-report when
+            none were passed.
     """
+    synthesize = synthesize_windows and positive_windows is None
+    positives_total = 0
+    if synthesize:
+        positives_total = len(WindowSynthesizer(result).eligible_events())
+        synthesize = positives_total > 0
+
+    section_tasks = [("section", fn.__name__) for _, fn in SECTION_BUILDERS]
+    count = resolve_workers(workers, max_tasks=None)
+    window_tasks: List[Tuple] = []
+    if synthesize:
+        for lo, hi in _chunk_bounds(positives_total, count * 4):
+            window_tasks.append(("positives", lo, hi))
+        for lo, hi in _chunk_bounds(positives_total, count * 4):
+            window_tasks.append(("negatives", positives_total, lo, hi))
+    # Window chunks lead the task list: they are the long poles, so
+    # they should hit the pool first.
+    tasks = window_tasks + section_tasks
+    count = min(count, len(tasks))
+    spec = _result_spec(result, count)
+    outputs = pstarmap(
+        _report_task, [(spec, task) for task in tasks], workers=count, chunksize=1
+    )
+
+    section_rows = outputs[len(window_tasks):]
     sections: Dict[str, List[ReportRow]] = {
-        "Fig 2 — year-over-year power and utilization": fig2_rows(result),
-        "Fig 3 — coolant flow and temperatures": fig3_rows(result),
-        "Fig 4 — monthly medians (allocation years)": fig4_rows(result),
-        "Fig 5 — weekday profiles (Monday maintenance)": fig5_rows(result),
-        "Fig 6 — rack-level power and utilization": fig6_rows(result),
-        "Fig 7 — rack-level coolant telemetry": fig7_rows(result),
-        "Fig 8 — ambient trends": fig8_rows(result),
-        "Fig 9 — ambient spatial variation": fig9_rows(result),
-        "Figs 10-11 — CMF timeline and per-rack distribution": fig10_11_rows(result),
-        "Figs 14-15 — the aftermath of a CMF": fig14_15_rows(result),
+        title: rows
+        for (title, _), rows in zip(SECTION_BUILDERS, section_rows)
     }
+    if synthesize:
+        n_pos_chunks = len(window_tasks) // 2
+        positive_windows = [
+            w for chunk in outputs[:n_pos_chunks] for w in chunk
+        ]
+        negative_windows = [
+            w for chunk in outputs[n_pos_chunks : len(window_tasks)] for w in chunk
+        ]
     if positive_windows is not None:
-        sections["Fig 12 — the lead-up to a CMF"] = fig12_rows(positive_windows)
-    if positive_windows is not None and negative_windows is not None:
-        sections["Fig 13 — the CMF predictor"] = fig13_rows(
-            positive_windows, negative_windows
-        )
+        sections[FIG12_TITLE] = fig12_rows(positive_windows)
+        if negative_windows is not None:
+            sections[FIG13_TITLE] = fig13_rows(
+                positive_windows, negative_windows, workers=count
+            )
     return sections
 
 
@@ -310,8 +470,8 @@ def render_markdown(sections: Dict[str, List[ReportRow]]) -> str:
         lines.append("|---|---|---:|---:|---|")
         for row in rows:
             lines.append(
-                f"| {row.figure} | {row.metric} | {row.paper_value:.4g} "
-                f"| {row.measured_value:.4g} | {row.unit} |"
+                f"| {row.figure} | {row.metric} | {format_value(row.paper_value)} "
+                f"| {format_value(row.measured_value)} | {row.unit} |"
             )
         lines.append("")
     return "\n".join(lines)

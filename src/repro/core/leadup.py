@@ -14,13 +14,16 @@ findings this reproduces:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro import timeutil
 from repro.simulation.windows import LeadupWindow
-from repro.telemetry.records import Channel
+from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.prediction import WindowStack
 
 #: Default lead times at which the aggregate is sampled (hours).
 DEFAULT_LEADS_H: Tuple[float, ...] = (6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.0)
@@ -73,12 +76,88 @@ class LeadupAggregate:
         return float(leads[moved].max())
 
 
+#: Channels the Fig 12 aggregate reports, in presentation order.
+_AGGREGATE_CHANNELS: Tuple[Channel, ...] = (
+    Channel.FLOW,
+    Channel.INLET_TEMPERATURE,
+    Channel.OUTLET_TEMPERATURE,
+    Channel.POWER,
+    Channel.DC_TEMPERATURE,
+    Channel.DC_HUMIDITY,
+)
+
+
+def _summed_changes_loop(
+    positives: Sequence[LeadupWindow],
+    leads_h: Tuple[float, ...],
+    baseline_lead_h: float,
+) -> Dict[Channel, np.ndarray]:
+    """Per-window reference path, kept for heterogeneous geometries."""
+    sums: Dict[Channel, np.ndarray] = {
+        ch: np.zeros(len(leads_h)) for ch in _AGGREGATE_CHANNELS
+    }
+    for window in positives:
+        for channel in _AGGREGATE_CHANNELS:
+            baseline = window.lead_value(
+                channel, baseline_lead_h * timeutil.HOUR_S
+            )
+            if abs(baseline) < 1e-9:
+                continue
+            values = np.array(
+                [
+                    window.lead_value(channel, lead * timeutil.HOUR_S)
+                    for lead in leads_h
+                ]
+            )
+            sums[channel] += values / baseline - 1.0
+    return sums
+
+
+def _summed_changes_batch(
+    stack: "WindowStack",
+    leads_h: Tuple[float, ...],
+    baseline_lead_h: float,
+) -> Dict[Channel, np.ndarray]:
+    """One interpolation pass over the stacked windows.
+
+    A single ``_batch_interp`` samples every (window, channel) at the
+    baseline and at all leads at once, replacing the triple
+    window x channel x lead ``np.interp`` loop.  The baseline-skip rule
+    is reproduced exactly: ``|baseline| < 1e-9`` contributes zero,
+    while a NaN baseline (masked telemetry) still poisons the sum just
+    as the division in the loop path does.
+    """
+    from repro.core.prediction import _batch_interp
+
+    n_w = stack.values.shape[0]
+    offsets = -np.array((baseline_lead_h,) + tuple(leads_h)) * timeutil.HOUR_S
+    rel_q = np.broadcast_to(offsets, (n_w, offsets.size))
+    sampled = _batch_interp(stack, rel_q)  # (n_w, n_channels, 1 + n_leads)
+    order = [PREDICTOR_CHANNELS.index(ch) for ch in _AGGREGATE_CHANNELS]
+    baseline = sampled[:, order, :1]  # (n_w, n_ch, 1)
+    values = sampled[:, order, 1:]  # (n_w, n_ch, n_leads)
+    keep = ~(np.abs(baseline) < 1e-9)  # NaN baselines stay in, as in the loop
+    ratio = np.divide(
+        values,
+        baseline,
+        out=np.ones_like(values),
+        where=np.broadcast_to(keep, values.shape),
+    )
+    summed = np.sum(ratio - 1.0, axis=0)  # skipped entries contribute 1-1=0
+    return {ch: summed[j] for j, ch in enumerate(_AGGREGATE_CHANNELS)}
+
+
 def aggregate_leadup(
     windows: Sequence[LeadupWindow],
     leads_h: Tuple[float, ...] = DEFAULT_LEADS_H,
     baseline_lead_h: float = 6.5,
 ) -> LeadupAggregate:
     """Aggregate positive lead-up windows into the Fig 12 curves.
+
+    Same-geometry windows (the output of one
+    :class:`~repro.simulation.windows.WindowSynthesizer`) are sampled
+    in a single vectorized interpolation pass; heterogeneous windows
+    fall back to the per-window reference loop.
 
     Args:
         windows: Positive (CMF-terminated) windows.
@@ -92,34 +171,16 @@ def aggregate_leadup(
     positives = [w for w in windows if w.is_positive]
     if not positives:
         raise ValueError("no positive lead-up windows to aggregate")
-    channels = (
-        Channel.FLOW,
-        Channel.INLET_TEMPERATURE,
-        Channel.OUTLET_TEMPERATURE,
-        Channel.POWER,
-        Channel.DC_TEMPERATURE,
-        Channel.DC_HUMIDITY,
-    )
-    sums: Dict[Channel, np.ndarray] = {
-        ch: np.zeros(len(leads_h)) for ch in channels
-    }
-    for window in positives:
-        for channel in channels:
-            baseline = window.lead_value(
-                channel, baseline_lead_h * timeutil.HOUR_S
-            )
-            if abs(baseline) < 1e-9:
-                continue
-            values = np.array(
-                [
-                    window.lead_value(channel, lead * timeutil.HOUR_S)
-                    for lead in leads_h
-                ]
-            )
-            sums[channel] += values / baseline - 1.0
+    from repro.core.prediction import stack_windows
+
+    stack = stack_windows(positives)
+    if stack is None:
+        sums = _summed_changes_loop(positives, tuple(leads_h), baseline_lead_h)
+    else:
+        sums = _summed_changes_batch(stack, tuple(leads_h), baseline_lead_h)
     count = len(positives)
     return LeadupAggregate(
         leads_h=tuple(leads_h),
-        relative_change={ch: sums[ch] / count for ch in channels},
+        relative_change={ch: sums[ch] / count for ch in _AGGREGATE_CHANNELS},
         windows_used=count,
     )

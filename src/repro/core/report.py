@@ -26,7 +26,14 @@ class ReportRow:
 
     @property
     def relative_error(self) -> float:
-        """|measured - paper| / |paper| (inf when the paper value is 0)."""
+        """|measured - paper| / |paper| (inf when the paper value is 0).
+
+        A NaN measurement (an analysis with no data, e.g. empty
+        windows) reports NaN rather than letting the comparison
+        silently claim agreement or blow-up.
+        """
+        if np.isnan(self.measured_value) or np.isnan(self.paper_value):
+            return float("nan")
         if self.paper_value == 0:
             return float("inf") if self.measured_value != 0 else 0.0
         return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
@@ -34,9 +41,21 @@ class ReportRow:
     def formatted(self) -> str:
         return (
             f"{self.figure:<8} {self.metric:<46} "
-            f"paper={self.paper_value:>10.4g} "
-            f"measured={self.measured_value:>10.4g} {self.unit}"
+            f"paper={format_value(self.paper_value):>10} "
+            f"measured={format_value(self.measured_value):>10} {self.unit}"
         )
+
+
+def format_value(value: float) -> str:
+    """``{:.4g}`` rendering, with NaN shown as ``n/a``.
+
+    NaN measured values are legitimate (an empty-window analysis);
+    ``nan`` propagating into tables and EXPERIMENTS.md reads like a
+    bug, so render the honest ``n/a`` instead.
+    """
+    if np.isnan(value):
+        return "n/a"
+    return f"{value:.4g}"
 
 
 def format_table(rows: Iterable[ReportRow], title: Optional[str] = None) -> str:

@@ -31,10 +31,8 @@ def relative_spread(per_rack_means: np.ndarray) -> float:
 def row_means(per_rack_means: np.ndarray) -> Tuple[float, ...]:
     """Mean of a per-rack profile per row (rows of 16 racks)."""
     profile = np.asarray(per_rack_means, dtype="float64")
-    return tuple(
-        float(profile[r * constants.RACKS_PER_ROW : (r + 1) * constants.RACKS_PER_ROW].mean())
-        for r in range(constants.NUM_ROWS)
-    )
+    grid = profile.reshape(constants.NUM_ROWS, constants.RACKS_PER_ROW)
+    return tuple(float(v) for v in grid.mean(axis=1))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -9,14 +9,14 @@ database.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import constants, timeutil
 from repro.telemetry.database import EnvironmentalDatabase
 from repro.telemetry.records import Channel
-from repro.telemetry.series import LinearFit, TimeSeries
+from repro.telemetry.series import LinearFit, TimeSeries, reduce_by_calendar
 
 
 @dataclasses.dataclass(frozen=True)
@@ -160,6 +160,45 @@ class MonthlyProfile:
         return max(self.by_month, key=self.by_month.get)
 
 
+def _system_series(
+    database: EnvironmentalDatabase, channel: Optional[Channel]
+) -> Tuple[TimeSeries, str]:
+    """The 1-D system-level series a calendar profile reduces.
+
+    ``None`` profiles system power; per-rack channels are averaged
+    across racks first (matching what ``groupby_calendar`` would do).
+    """
+    if channel is None:
+        return database.system_power_mw(), "system_power_mw"
+    if channel is Channel.FLOW:
+        return database.total_flow_gpm(), "total_flow_gpm"
+    if channel is Channel.UTILIZATION:
+        return database.system_utilization(), "system_utilization"
+    return database.channel(channel).across_racks(), channel.column
+
+
+def _calendar_profiles_matrix(
+    database: EnvironmentalDatabase,
+    channels: Sequence[Optional[Channel]],
+    field: str,
+    reducer: str,
+) -> Tuple[Tuple[str, ...], Dict[int, np.ndarray]]:
+    """One shared group-by pass over several channels' system series.
+
+    All system-level series of one database share the same timestamp
+    vector, so the calendar keys, the stable sort, and the group
+    boundaries are computed once and every channel is reduced as one
+    column of a single ``(time, channel)`` matrix.
+    """
+    extracted = [_system_series(database, ch) for ch in channels]
+    names = tuple(name for _, name in extracted)
+    matrix = np.column_stack([series.values for series, _ in extracted])
+    by_key = reduce_by_calendar(
+        extracted[0][0].epoch_s, matrix, field, reducer
+    )
+    return names, by_key
+
+
 def monthly_profile(
     database: EnvironmentalDatabase, channel: Optional[Channel] = None
 ) -> MonthlyProfile:
@@ -169,21 +208,23 @@ def monthly_profile(
         database: The environmental database.
         channel: The channel to profile; None profiles system power.
     """
-    if channel is None:
-        series = database.system_power_mw()
-        name = "system_power_mw"
-    elif channel is Channel.FLOW:
-        series = database.total_flow_gpm()
-        name = "total_flow_gpm"
-    elif channel is Channel.UTILIZATION:
-        series = database.system_utilization()
-        name = "system_utilization"
-    else:
-        series = database.channel(channel).across_racks()
-        name = channel.column
-    return MonthlyProfile(
-        channel_name=name, by_month=series.groupby_calendar("month", "median")
+    return monthly_profiles(database, (channel,))[0]
+
+
+def monthly_profiles(
+    database: EnvironmentalDatabase, channels: Sequence[Optional[Channel]]
+) -> List[MonthlyProfile]:
+    """Fig 4's per-month medians for several channels in one pass."""
+    names, by_month = _calendar_profiles_matrix(
+        database, channels, "month", "median"
     )
+    return [
+        MonthlyProfile(
+            channel_name=name,
+            by_month={k: float(row[j]) for k, row in by_month.items()},
+        )
+        for j, name in enumerate(names)
+    ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -224,18 +265,20 @@ def weekday_profile(
     database: EnvironmentalDatabase, channel: Optional[Channel] = None
 ) -> WeekdayProfile:
     """Per-weekday mean profile (None profiles system power)."""
-    if channel is None:
-        series = database.system_power_mw()
-        name = "system_power_mw"
-    elif channel is Channel.FLOW:
-        series = database.total_flow_gpm()
-        name = "total_flow_gpm"
-    elif channel is Channel.UTILIZATION:
-        series = database.system_utilization()
-        name = "system_utilization"
-    else:
-        series = database.channel(channel).across_racks()
-        name = channel.column
-    return WeekdayProfile(
-        channel_name=name, by_weekday=series.groupby_calendar("weekday", "mean")
+    return weekday_profiles(database, (channel,))[0]
+
+
+def weekday_profiles(
+    database: EnvironmentalDatabase, channels: Sequence[Optional[Channel]]
+) -> List[WeekdayProfile]:
+    """Fig 5's per-weekday means for several channels in one pass."""
+    names, by_weekday = _calendar_profiles_matrix(
+        database, channels, "weekday", "mean"
     )
+    return [
+        WeekdayProfile(
+            channel_name=name,
+            by_weekday={k: float(row[j]) for k, row in by_weekday.items()},
+        )
+        for j, name in enumerate(names)
+    ]

@@ -21,6 +21,7 @@ constructor.  Set ``REPRO_DATASET_CACHE=0`` to disable the disk layer.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import hashlib
 import json
@@ -28,7 +29,7 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional, Union
 
 from repro import __version__
 from repro.simulation.config import SimulationConfig
@@ -146,6 +147,139 @@ def build_dataset(config: SimulationConfig) -> SimulationResult:
     result = FacilityEngine(config).run()
     _store_to_disk(result, entry)
     return result
+
+
+def result_from_archive(
+    config: SimulationConfig,
+    archive_dir: Union[str, Path],
+    jobs_completed: int = 0,
+    jobs_killed: int = 0,
+) -> SimulationResult:
+    """Reassemble a result from an on-disk telemetry archive.
+
+    The telemetry columns are reopened *memory-mapped*, so a worker
+    process pays no RAM or deserialization cost for channels it never
+    touches; the failure schedule, RAS log, machine, and weather models
+    are regenerated by the (cheap, deterministic) engine constructor.
+    This is the worker-side half of the parallel report's zero-copy
+    fan-out: the parent sends the archive *path*, never the database.
+    """
+    from repro.telemetry.archive import TelemetryArchive
+
+    database = TelemetryArchive.load(archive_dir, mmap=True)
+    engine = FacilityEngine(config)
+    return SimulationResult(
+        config=config,
+        database=database,
+        ras_log=engine.ras_log,
+        schedule=engine.schedule,
+        noncmf_failures=engine.noncmf_failures,
+        machine=engine.machine,
+        weather=engine.weather,
+        jobs_completed=int(jobs_completed),
+        jobs_killed=int(jobs_killed),
+    )
+
+
+def materialize_archive(result: SimulationResult) -> Optional[Path]:
+    """The on-disk archive directory for a result, spilling it if needed.
+
+    Returns the directory whose columns hold exactly
+    ``result.database``'s telemetry, so worker processes can reopen it
+    via :func:`result_from_archive` instead of receiving the pickled
+    database:
+
+    * a database that was itself loaded from an archive answers with
+      its source directory (nothing is written);
+    * an in-memory pristine result is spilled once — into its dataset
+      cache entry when the disk cache is enabled, otherwise into a
+      fresh temporary directory;
+    * faulted results return ``None``: the archive format persists
+      neither quality masks nor fault ground truth, so a round-trip
+      would silently change the analysis inputs.
+    """
+    source = getattr(result.database, "source_dir", None)
+    if source is not None:
+        return Path(source)
+    if result.fault_truth is not None or result.config.faults is not None:
+        return None
+    if _disk_cache_enabled():
+        entry = cache_root() / _config_digest(result.config)
+        if not (entry / _META_FILE).exists():
+            _store_to_disk(result, entry)
+        telemetry = entry / _TELEMETRY_DIR
+        if (entry / _META_FILE).exists() and telemetry.exists():
+            return telemetry
+    # Cache disabled (or unwritable): spill to a session-local temp dir.
+    from repro.telemetry.archive import TelemetryArchive
+
+    try:
+        tmp = Path(tempfile.mkdtemp(prefix="repro-archive-"))
+        return TelemetryArchive.save(result.database, tmp / _TELEMETRY_DIR)
+    except OSError:
+        return None
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk dataset-cache entry (for ``repro cache info``)."""
+
+    digest: str
+    path: Path
+    version: str
+    size_bytes: int
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 1e6
+
+
+def _tree_size(path: Path) -> int:
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+def cache_entries() -> List[CacheEntry]:
+    """Describe every complete dataset-cache entry, newest first."""
+    root = cache_root()
+    if not root.is_dir():
+        return []
+    entries: List[CacheEntry] = []
+    for child in sorted(root.iterdir()):
+        meta_path = child / _META_FILE
+        if not meta_path.is_file():
+            continue
+        try:
+            version = str(json.loads(meta_path.read_text()).get("version", "?"))
+            size = _tree_size(child)
+        except (OSError, ValueError):
+            version, size = "corrupt", 0
+        entries.append(
+            CacheEntry(
+                digest=child.name, path=child, version=version, size_bytes=size
+            )
+        )
+    entries.sort(key=lambda e: e.path.stat().st_mtime, reverse=True)
+    return entries
+
+
+def clear_cache() -> int:
+    """Remove every dataset-cache entry (and stale temp dirs).
+
+    Returns:
+        The number of entries removed.
+    """
+    root = cache_root()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for child in root.iterdir():
+        if not child.is_dir():
+            continue
+        is_entry = (child / _META_FILE).is_file()
+        if is_entry or child.name.startswith(".tmp-"):
+            shutil.rmtree(child, ignore_errors=True)
+            removed += int(is_entry)
+    return removed
 
 
 @functools.lru_cache(maxsize=1)

@@ -27,12 +27,25 @@ channels read zero after the event).
 This mirrors the paper's dataset construction: positive samples from
 the six hours before each CMF, negative samples evenly drawn across
 the production period (Section VI-B).
+
+Determinism and parallelism
+---------------------------
+
+Window *i* of either class draws its sensor noise from a dedicated
+child generator spawned from the synthesizer seed (via
+:class:`numpy.random.SeedSequence`), and the negative (time, rack)
+candidates come from their own child stream drawn up front.  A
+window's realization therefore depends only on its index — never on
+how many windows were built before it or in which process — which is
+what lets the parallel report pipeline fan ``positive_windows(lo, hi)``
+slices out across workers and reassemble a list bit-identical to the
+serial one.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,7 +92,10 @@ class WindowSynthesizer:
         dt_s: Window cadence (the monitor's 300 s by default).
         history_s: Window length; must cover the feature lookback (6 h)
             plus the largest prediction lead (6 h).
-        seed: Noise seed for the synthesized fine structure.
+        seed: Noise seed for the synthesized fine structure.  The
+            default defines the canonical window realization; it moved
+            with the 1.3 per-index reseeding (window noise now depends
+            only on the window's index, see the module docstring).
     """
 
     def __init__(
@@ -87,7 +103,7 @@ class WindowSynthesizer:
         result: SimulationResult,
         dt_s: float = float(constants.MONITOR_SAMPLE_PERIOD_S),
         history_s: float = 12.5 * timeutil.HOUR_S,
-        seed: int = 73,
+        seed: int = 55,
     ) -> None:
         if result.schedule is None:
             raise ValueError("simulation was run without failure injection")
@@ -96,6 +112,10 @@ class WindowSynthesizer:
         self._result = result
         self.dt_s = dt_s
         self.history_s = history_s
+        self._seed = seed
+        #: Sequential stream for the ad-hoc single-window builders; the
+        #: bulk ``*_windows`` builders use per-index child generators
+        #: instead (see the module docstring).
         self._rng = np.random.default_rng(seed)
         self._db = result.database
         self._epoch = self._db.epoch_s
@@ -146,9 +166,24 @@ class WindowSynthesizer:
             values = values / divide_factor[usable]
         return np.interp(grid, epochs, values)
 
-    def _noisy(self, channel: Channel, values: np.ndarray) -> np.ndarray:
+    def _noisy(
+        self,
+        channel: Channel,
+        values: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
         sigma = self._noise_sigma[channel]
-        return values + sigma * self._rng.standard_normal(values.shape)
+        generator = self._rng if rng is None else rng
+        return values + sigma * generator.standard_normal(values.shape)
+
+    def _seed_roots(self) -> Tuple[np.random.SeedSequence, ...]:
+        """(positive-noise, negative-candidate, negative-noise) roots.
+
+        Re-derived on every call: ``SeedSequence`` spawning is
+        stateful, so index-stable children require starting from a
+        fresh root each time.
+        """
+        return tuple(np.random.SeedSequence(self._seed).spawn(3))
 
     def _coarse_signature_factors(
         self, event: CmfEvent
@@ -175,8 +210,17 @@ class WindowSynthesizer:
 
     # -- window construction -------------------------------------------------------
 
-    def positive_window(self, event: CmfEvent) -> LeadupWindow:
-        """The lead-up window ending at one CMF event."""
+    def positive_window(
+        self, event: CmfEvent, rng: Optional[np.random.Generator] = None
+    ) -> LeadupWindow:
+        """The lead-up window ending at one CMF event.
+
+        Args:
+            event: The terminating CMF.
+            rng: Noise generator; defaults to the synthesizer's
+                sequential stream (the bulk builders pass the window's
+                own index-derived child instead).
+        """
         grid = self._grid(event.epoch_s)
         rack = event.rack_id.flat_index
         tau = event.epoch_s - grid  # time remaining until failure
@@ -204,7 +248,7 @@ class WindowSynthesizer:
                 divide_factor=coarse_factors.get(channel),
             )
             series = clean * fine_factors.get(channel, 1.0)
-            channels[channel] = self._noisy(channel, series)
+            channels[channel] = self._noisy(channel, series, rng)
         return LeadupWindow(
             rack_id=event.rack_id,
             end_epoch_s=event.epoch_s,
@@ -213,7 +257,12 @@ class WindowSynthesizer:
             is_positive=True,
         )
 
-    def negative_window(self, rack_id: RackId, end_epoch_s: float) -> LeadupWindow:
+    def negative_window(
+        self,
+        rack_id: RackId,
+        end_epoch_s: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> LeadupWindow:
         """A no-failure window for one rack ending at a reference time."""
         grid = self._grid(end_epoch_s)
         rack = rack_id.flat_index
@@ -223,6 +272,7 @@ class WindowSynthesizer:
                 self._coarse_series(
                     channel, rack, grid, cutoff_epoch_s=end_epoch_s
                 ),
+                rng,
             )
             for channel in PREDICTOR_CHANNELS
         }
@@ -236,19 +286,43 @@ class WindowSynthesizer:
 
     # -- dataset assembly -------------------------------------------------------------
 
-    def positive_windows(self) -> List[LeadupWindow]:
-        """One window per CMF event in the schedule."""
+    def eligible_events(self) -> List[CmfEvent]:
+        """The CMF events far enough in to carry a full lead-up window."""
         schedule = self._result.schedule
         assert schedule is not None
         start = self._result.start_epoch_s + self.history_s
+        return [event for event in schedule.events if event.epoch_s >= start]
+
+    def positive_windows(
+        self, lo: int = 0, hi: Optional[int] = None
+    ) -> List[LeadupWindow]:
+        """One window per eligible CMF event in the schedule.
+
+        Args:
+            lo: First eligible-event index to build (inclusive).
+            hi: One past the last index (default: all).  Window ``i``
+                is identical whichever slice it is built in, so
+                ``positive_windows(0, k) + positive_windows(k, None)``
+                equals ``positive_windows()`` bit for bit — the
+                parallel report relies on this to shard the synthesis.
+        """
+        events = self.eligible_events()
+        seeds = self._seed_roots()[0].spawn(len(events))
+        stop = len(events) if hi is None else min(hi, len(events))
         return [
-            self.positive_window(event)
-            for event in schedule.events
-            if event.epoch_s >= start
+            self.positive_window(events[i], np.random.default_rng(seeds[i]))
+            for i in range(lo, stop)
         ]
 
-    def negative_windows(self, count: int, exclusion_s: float = 24 * 3600.0) -> List[LeadupWindow]:
-        """``count`` windows drawn evenly across the production period.
+    def negative_candidates(
+        self, count: int, exclusion_s: float = 24 * 3600.0
+    ) -> List[Tuple[RackId, float]]:
+        """The deterministic (rack, end-time) pairs of the negative class.
+
+        Candidates are rejection-sampled from a dedicated child stream
+        — cheap (no window construction), so a worker building one
+        slice of the negatives re-derives the full pair list and picks
+        its share.
 
         A candidate (time, rack) is rejected if the rack has a CMF
         within ``exclusion_s`` of the window end, mirroring the paper's
@@ -264,16 +338,45 @@ class WindowSynthesizer:
         }
         lo = self._result.start_epoch_s + self.history_s
         hi = self._result.end_epoch_s - 1.0
-        windows: List[LeadupWindow] = []
+        rng = np.random.default_rng(self._seed_roots()[1])
+        pairs: List[Tuple[RackId, float]] = []
         guard = 0
-        while len(windows) < count:
+        while len(pairs) < count:
             guard += 1
             if guard > 50 * count:
                 raise RuntimeError("negative window sampling failed to converge")
-            end = float(self._rng.uniform(lo, hi))
-            rack = int(self._rng.integers(constants.NUM_RACKS))
+            end = float(rng.uniform(lo, hi))
+            rack = int(rng.integers(constants.NUM_RACKS))
             times = per_rack_times[rack]
             if times.size and np.min(np.abs(times - end)) < exclusion_s:
                 continue
-            windows.append(self.negative_window(RackId.from_flat_index(rack), end))
-        return windows
+            pairs.append((RackId.from_flat_index(rack), end))
+        return pairs
+
+    def negative_windows(
+        self,
+        count: int,
+        exclusion_s: float = 24 * 3600.0,
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> List[LeadupWindow]:
+        """``count`` windows drawn evenly across the production period.
+
+        Args:
+            count: Total negative-class size (fixes the candidate list
+                and the per-window noise seeds).
+            exclusion_s: CMF exclusion radius for candidates.
+            lo: First window index to build (inclusive).
+            hi: One past the last index (default: all ``count``); as
+                with :meth:`positive_windows`, slices concatenate to
+                the full list bit for bit.
+        """
+        pairs = self.negative_candidates(count, exclusion_s)
+        seeds = self._seed_roots()[2].spawn(count)
+        stop = count if hi is None else min(hi, count)
+        return [
+            self.negative_window(
+                pairs[i][0], pairs[i][1], np.random.default_rng(seeds[i])
+            )
+            for i in range(lo, stop)
+        ]

@@ -33,7 +33,7 @@ from repro.telemetry.quality import (
 )
 from repro.telemetry.series import TimeSeries, linear_fit
 from repro.telemetry.ras import RasEvent, RasLog, Severity
-from repro.telemetry.archive import TelemetryArchive
+from repro.telemetry.archive import ArchiveError, TelemetryArchive
 from repro.telemetry.export import (
     export_ras_jsonl,
     export_telemetry_csv,
@@ -60,6 +60,7 @@ __all__ = [
     "RasEvent",
     "RasLog",
     "Severity",
+    "ArchiveError",
     "TelemetryArchive",
     "export_ras_jsonl",
     "export_telemetry_csv",

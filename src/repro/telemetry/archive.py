@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -40,6 +40,18 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 _MANIFEST = "manifest.json"
+
+
+class ArchiveError(ValueError):
+    """A telemetry archive is inconsistent with its manifest.
+
+    Raised when the manifest's channel list disagrees with the schema
+    or with the ``.npy`` files actually on disk, so a stale or
+    half-copied archive fails at load time with the offending column
+    named, rather than as a bare ``FileNotFoundError`` halfway through
+    an analysis.  Subclasses ``ValueError`` so the dataset cache treats
+    a bad entry as corrupt and rebuilds it.
+    """
 
 
 class TelemetryArchive:
@@ -83,6 +95,8 @@ class TelemetryArchive:
 
         Raises:
             FileNotFoundError: if the manifest is missing.
+            ArchiveError: if the manifest's channel list disagrees with
+                the schema or with the ``.npy`` files present.
             ValueError: on version/shape mismatches.
         """
         root = Path(directory)
@@ -94,6 +108,7 @@ class TelemetryArchive:
             raise ValueError(
                 f"unsupported archive format {manifest.get('format_version')}"
             )
+        _validate_channels(root, manifest)
         mmap_mode = "r" if mmap else None
         epoch = np.load(root / "epoch_s.npy", mmap_mode=mmap_mode)
         num_samples = int(manifest["num_samples"])
@@ -107,17 +122,56 @@ class TelemetryArchive:
             if values.shape != (num_samples, num_racks):
                 raise ValueError(f"{path.name} does not match the manifest")
             columns[channel] = values
-        return _ArchivedDatabase(epoch, columns, num_racks)
+        return _ArchivedDatabase(epoch, columns, num_racks, source_dir=root)
+
+
+def _validate_channels(root: Path, manifest: dict) -> None:
+    """Cross-check the manifest's channel list against schema and disk.
+
+    Raises:
+        ArchiveError: naming the first missing/extra column found.
+    """
+    listed = list(manifest.get("channels", []))
+    expected = [channel.column for channel in CHANNELS]
+    missing_from_manifest = sorted(set(expected) - set(listed))
+    if missing_from_manifest:
+        raise ArchiveError(
+            f"archive {root} manifest is missing channel "
+            f"{missing_from_manifest[0]!r} (schema expects {expected})"
+        )
+    extra_in_manifest = sorted(set(listed) - set(expected))
+    if extra_in_manifest:
+        raise ArchiveError(
+            f"archive {root} manifest lists unknown channel "
+            f"{extra_in_manifest[0]!r} (schema expects {expected})"
+        )
+    if not (root / "epoch_s.npy").exists():
+        raise ArchiveError(f"archive {root} is missing the epoch_s column file")
+    for column in expected:
+        if not (root / f"{column}.npy").exists():
+            raise ArchiveError(
+                f"archive {root} is missing the {column!r} column file "
+                "listed in its manifest"
+            )
 
 
 class _ArchivedDatabase(EnvironmentalDatabase):
-    """A read-only database view over memory-mapped columns."""
+    """A read-only database view over memory-mapped columns.
+
+    Attributes:
+        source_dir: The archive directory this view was loaded from
+            (``None`` for views constructed directly).  Lets the
+            parallel report fan workers out with the *path* and have
+            each reopen the columns memory-mapped instead of pickling
+            the matrices.
+    """
 
     def __init__(
         self,
         epoch: np.ndarray,
         columns: Dict[Channel, np.ndarray],
         num_racks: int,
+        source_dir: Optional[Path] = None,
     ) -> None:
         # Bypass the parent's buffer allocation entirely.
         self._num_racks = num_racks
@@ -133,6 +187,7 @@ class _ArchivedDatabase(EnvironmentalDatabase):
         self.counters = IngestCounters()
         self._pending = []
         self._watermark = float(epoch[-1]) if self._size else -np.inf
+        self.source_dir = source_dir
 
     def append_snapshot(self, epoch_s, channel_values) -> None:
         raise TypeError("archived databases are read-only")

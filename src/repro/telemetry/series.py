@@ -178,30 +178,21 @@ class TimeSeries:
             raise ValueError(f"bucket must be positive, got {bucket_s}")
         if len(self) == 0:
             return self._like(self._epoch, self._values)
-        func = _REDUCERS[reducer]
         start = self._epoch[0]
         bucket_index = ((self._epoch - start) // bucket_s).astype(np.int64)
         return self._group_reduce(
-            bucket_index, func, lambda b: start + b * bucket_s
+            bucket_index, reducer, lambda b: start + b * bucket_s
         )
 
     def _group_reduce(
         self,
         keys: np.ndarray,
-        func: Callable[..., np.ndarray],
+        reducer: str,
         key_to_epoch: Callable[[np.ndarray], np.ndarray],
     ) -> "TimeSeries":
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        sorted_vals = self._values[order]
-        unique_keys, starts = np.unique(sorted_keys, return_index=True)
-        boundaries = np.append(starts, len(sorted_keys))
-        chunks = [
-            func(sorted_vals[boundaries[i] : boundaries[i + 1]], axis=0)
-            for i in range(len(unique_keys))
-        ]
+        unique_keys, reduced = _reduce_by_key(keys, self._values, reducer)
         new_epoch = np.asarray(key_to_epoch(unique_keys), dtype="float64")
-        return self._like(new_epoch, np.stack(chunks, axis=0))
+        return self._like(new_epoch, reduced)
 
     # -- calendar group-bys -----------------------------------------------------
 
@@ -222,12 +213,11 @@ class TimeSeries:
         values = (
             nanstats.nanmean(self._values, axis=1) if self.is_per_rack else self._values
         )
+        if len(self) == 0:
+            return {}
         keys = _CALENDAR_FIELDS[field](self._epoch)
-        func = _REDUCERS[reducer]
-        out: Dict[int, float] = {}
-        for key in np.unique(keys):
-            out[int(key)] = float(func(values[keys == key], axis=0))
-        return out
+        unique_keys, reduced = _reduce_by_key(keys, values, reducer)
+        return {int(k): float(v) for k, v in zip(unique_keys, reduced)}
 
     # -- smoothing and trends -----------------------------------------------------
 
@@ -256,6 +246,78 @@ class TimeSeries:
             nanstats.nanmean(self._values, axis=1) if self.is_per_rack else self._values
         )
         return linear_fit(self._epoch, values)
+
+
+def reduce_by_calendar(
+    epoch_s: np.ndarray, values: np.ndarray, field: str, reducer: str
+) -> Dict[int, np.ndarray]:
+    """Calendar group-by of a value matrix over a shared timestamp vector.
+
+    The multi-channel sibling of :meth:`TimeSeries.groupby_calendar`:
+    ``values`` may be ``(n,)`` or ``(n, k)`` — with one column per
+    channel — and the calendar keys, the stable sort, and the group
+    boundaries are computed *once* for all columns.
+
+    Returns:
+        Mapping from calendar field value to the reduced row (scalar
+        for 1-D input, ``(k,)`` for matrix input).
+    """
+    epoch = np.asarray(epoch_s, dtype="float64")
+    if epoch.size == 0:
+        return {}
+    keys = _CALENDAR_FIELDS[field](epoch)
+    unique_keys, reduced = _reduce_by_key(keys, np.asarray(values, dtype="float64"), reducer)
+    return {int(k): reduced[i] for i, k in enumerate(unique_keys)}
+
+
+def _reduce_by_key(
+    keys: np.ndarray, values: np.ndarray, reducer: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group ``values`` rows by ``keys`` and reduce each group.
+
+    One stable sort + ``ufunc.reduceat`` over the group boundaries
+    replaces the per-key boolean-mask scan (O(n · groups)) the
+    calendar group-bys and resampling used to do.  Median has no
+    reduceat ufunc, so it keeps a per-*group* loop over the sorted
+    slabs (still one pass over the data).
+
+    Semantics match the ``nanstats`` reducers: NaNs are ignored, a
+    group with no finite value reduces to NaN (``sum``: 0), and no
+    RuntimeWarning is ever emitted.
+
+    Returns:
+        (unique keys ascending, reduced rows aligned to them).
+    """
+    if reducer not in _REDUCERS:
+        raise KeyError(reducer)
+    if keys.size == 0:
+        return keys, values
+    order = np.argsort(keys, kind="stable")
+    sorted_vals = values[order]
+    unique_keys, starts = np.unique(keys[order], return_index=True)
+    if reducer == "median":
+        boundaries = np.append(starts, len(keys))
+        reduced = np.stack(
+            [
+                nanstats.nanmedian(sorted_vals[boundaries[i] : boundaries[i + 1]], axis=0)
+                for i in range(len(unique_keys))
+            ],
+            axis=0,
+        )
+        return unique_keys, reduced
+    finite = np.isfinite(sorted_vals)
+    counts = np.add.reduceat(finite.astype("float64"), starts, axis=0)
+    if reducer in ("sum", "mean"):
+        sums = np.add.reduceat(np.where(finite, sorted_vals, 0.0), starts, axis=0)
+        if reducer == "sum":
+            return unique_keys, sums
+        return unique_keys, np.divide(
+            sums, counts, out=np.full_like(sums, np.nan), where=counts > 0
+        )
+    fill = np.inf if reducer == "min" else -np.inf
+    ufunc = np.minimum if reducer == "min" else np.maximum
+    extremes = ufunc.reduceat(np.where(finite, sorted_vals, fill), starts, axis=0)
+    return unique_keys, np.where(counts > 0, extremes, np.nan)
 
 
 _REDUCERS: Dict[str, Callable[..., np.ndarray]] = {

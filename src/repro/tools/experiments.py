@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 _HEADER = """# EXPERIMENTS — paper vs measured
 
@@ -34,17 +34,23 @@ Benchmarks asserting these bands: `pytest benchmarks/ --benchmark-only`
 """
 
 
-def write_experiments_md(path: Union[str, Path] = "EXPERIMENTS.md") -> Path:
-    """Build the full report and write the markdown file."""
+def write_experiments_md(
+    path: Union[str, Path] = "EXPERIMENTS.md",
+    workers: Optional[int] = None,
+) -> Path:
+    """Build the full report and write the markdown file.
+
+    The figure sections and the 300 s window synthesis fan out over a
+    process pool (see :func:`repro.core.experiments.full_report`); the
+    file is byte-identical at any worker count.
+    """
     from repro.core.experiments import full_report, render_markdown
-    from repro.simulation import WindowSynthesizer
     from repro.simulation.datasets import canonical_dataset
 
     result = canonical_dataset()
-    synthesizer = WindowSynthesizer(result)
-    positives = synthesizer.positive_windows()
-    negatives = synthesizer.negative_windows(len(positives))
-    sections = full_report(result, positives, negatives)
+    sections = full_report(
+        result, workers=workers, synthesize_windows=True
+    )
     body = render_markdown(sections)
     out = Path(path)
     out.write_text(_HEADER + body + "\n")

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.trends import coolant_trends, yearly_trends
-from repro.telemetry.archive import TelemetryArchive
+from repro.telemetry.archive import ArchiveError, TelemetryArchive
 from repro.telemetry.database import EnvironmentalDatabase
 from repro.telemetry.records import Channel
 
@@ -80,3 +80,48 @@ class TestValidation:
         np.save(root / "power_kw.npy", np.zeros((3, 3)))
         with pytest.raises(ValueError):
             TelemetryArchive.load(root)
+
+
+class TestManifestChannelValidation:
+    """Satellite: manifest-vs-disk cross-checks name the offending column."""
+
+    def _saved(self, demo_result, tmp_path):
+        return TelemetryArchive.save(demo_result.database, tmp_path / "arch")
+
+    def test_channel_missing_from_manifest(self, demo_result, tmp_path):
+        root = self._saved(demo_result, tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["channels"].remove("flow_gpm")
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="flow_gpm"):
+            TelemetryArchive.load(root)
+
+    def test_unknown_channel_in_manifest(self, demo_result, tmp_path):
+        root = self._saved(demo_result, tmp_path)
+        manifest = json.loads((root / "manifest.json").read_text())
+        manifest["channels"].append("plasma_flux")
+        (root / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArchiveError, match="plasma_flux"):
+            TelemetryArchive.load(root)
+
+    def test_missing_column_file(self, demo_result, tmp_path):
+        root = self._saved(demo_result, tmp_path)
+        (root / "inlet_temperature_f.npy").unlink()
+        with pytest.raises(ArchiveError, match="inlet_temperature_f"):
+            TelemetryArchive.load(root)
+
+    def test_missing_epoch_file(self, demo_result, tmp_path):
+        root = self._saved(demo_result, tmp_path)
+        (root / "epoch_s.npy").unlink()
+        with pytest.raises(ArchiveError, match="epoch_s"):
+            TelemetryArchive.load(root)
+
+    def test_archive_error_is_value_error(self):
+        # The dataset cache catches ValueError to rebuild corrupt
+        # entries; ArchiveError must ride that path.
+        assert issubclass(ArchiveError, ValueError)
+
+    def test_source_dir_recorded(self, demo_result, tmp_path):
+        root = self._saved(demo_result, tmp_path)
+        restored = TelemetryArchive.load(root)
+        assert restored.source_dir == root

@@ -146,3 +146,50 @@ class TestQuery:
         )
         assert code == 1
         assert "unknown channel" in capsys.readouterr().out
+
+class TestCache:
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        from repro.simulation.datasets import CACHE_DIR_ENV, CACHE_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        return tmp_path
+
+    def test_info_on_empty_cache(self, cache_dir, capsys):
+        assert main(["cache", "info"]) == 0
+        assert "no dataset-cache entries" in capsys.readouterr().out
+
+    def test_info_lists_entries(self, cache_dir, capsys):
+        from repro.simulation import MiraScenario
+        from repro.simulation.datasets import build_dataset
+
+        build_dataset(MiraScenario.demo(days=3, seed=5))
+        assert main(["cache", "info"]) == 0
+        output = capsys.readouterr().out
+        assert "digest" in output
+        assert "MB total" in output
+
+    def test_clear_empties_cache(self, cache_dir, capsys):
+        from repro.simulation import MiraScenario
+        from repro.simulation.datasets import build_dataset, cache_entries
+
+        build_dataset(MiraScenario.demo(days=3, seed=5))
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert cache_entries() == []
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+
+class TestReportWorkers:
+    def test_parallel_report_output_matches_serial(self, capsys):
+        assert main(["report", "--days", "90", "--seed", "11", "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["report", "--days", "90", "--seed", "11", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # The banner names the worker count; everything below it must
+        # be byte-identical.
+        assert serial.split(" ...\n", 2)[2] == parallel.split(" ...\n", 2)[2]

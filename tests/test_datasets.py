@@ -7,13 +7,18 @@ import pytest
 
 from repro import constants, timeutil
 from repro.simulation import FacilityEngine, MiraScenario
+from repro import __version__
 from repro.simulation.datasets import (
     CACHE_DIR_ENV,
     CACHE_ENV,
     _config_digest,
     build_dataset,
+    cache_entries,
     cache_root,
     canonical_dataset,
+    clear_cache,
+    materialize_archive,
+    result_from_archive,
     small_dataset,
 )
 from repro.telemetry.records import CHANNELS, Channel
@@ -119,3 +124,63 @@ class TestDeterminism:
         assert [e.epoch_s for e in fresh.schedule.events] == [
             e.epoch_s for e in full_result.schedule.events
         ]
+
+
+class TestCacheManagement:
+    """Satellite: the helpers behind ``repro cache info`` / ``clear``."""
+
+    @pytest.fixture
+    def cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        return tmp_path
+
+    def test_empty_cache_lists_nothing(self, cache_dir):
+        assert cache_entries() == []
+        assert clear_cache() == 0
+
+    def test_entries_describe_builds(self, cache_dir):
+        result = build_dataset(MiraScenario.demo(days=3, seed=5))
+        entries = cache_entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.digest == _config_digest(result.config)
+        assert entry.version == __version__
+        assert entry.size_bytes > 0
+        assert entry.size_mb == pytest.approx(entry.size_bytes / 1e6)
+
+    def test_clear_removes_entries(self, cache_dir):
+        build_dataset(MiraScenario.demo(days=3, seed=5))
+        build_dataset(MiraScenario.demo(days=3, seed=6))
+        assert clear_cache() == 2
+        assert cache_entries() == []
+
+    def test_materialize_archive_spills_and_reuses(self, cache_dir):
+        result = build_dataset(MiraScenario.demo(days=3, seed=5))
+        archive = materialize_archive(result)
+        assert archive is not None
+        again = materialize_archive(result)
+        assert again == archive
+
+    def test_materialize_archive_refuses_faulted(self, cache_dir):
+        import dataclasses as dc
+
+        from repro.faults import FaultConfig
+
+        config = dc.replace(MiraScenario.demo(days=3, seed=5), faults=FaultConfig())
+        result = FacilityEngine(config).run()
+        assert materialize_archive(result) is None
+
+    def test_archive_roundtrip_is_bit_exact(self, cache_dir):
+        result = build_dataset(MiraScenario.demo(days=3, seed=5))
+        archive = materialize_archive(result)
+        restored = result_from_archive(result.config, archive)
+        assert np.array_equal(
+            restored.database.epoch_s, result.database.epoch_s
+        )
+        for channel in CHANNELS:
+            assert np.array_equal(
+                restored.database.channel(channel).values,
+                result.database.channel(channel).values,
+                equal_nan=True,
+            )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.report import ReportRow, format_table, sparkline
+from repro.core.report import ReportRow, format_table, format_value, sparkline
 
 
 class TestReportRow:
@@ -52,3 +52,36 @@ class TestSparkline:
     def test_monotone_series_rises(self):
         line = sparkline(np.linspace(0, 1, 30), width=30)
         assert line[0] != line[-1]
+
+
+class TestNanRendering:
+    """Satellite: NaN measurements render as ``n/a``, never ``nan``."""
+
+    def test_format_value_nan(self):
+        assert format_value(float("nan")) == "n/a"
+        assert format_value(1.23456) == "1.235"
+
+    def test_relative_error_nan_measurement(self):
+        row = ReportRow("Fig X", "empty-window metric", 2.0, float("nan"))
+        assert np.isnan(row.relative_error)
+
+    def test_relative_error_nan_paper_value(self):
+        row = ReportRow("Fig X", "unreported metric", float("nan"), 2.0)
+        assert np.isnan(row.relative_error)
+
+    def test_format_table_shows_na(self):
+        table = format_table(
+            [ReportRow("Fig X", "empty-window metric", 2.0, float("nan"))]
+        )
+        assert "n/a" in table
+        assert "nan" not in table
+
+    def test_render_markdown_shows_na(self):
+        from repro.core.experiments import render_markdown
+
+        sections = {
+            "Fig X": [ReportRow("Fig X", "empty", 2.0, float("nan"))]
+        }
+        text = render_markdown(sections)
+        assert "| n/a |" in text
+        assert "nan" not in text

@@ -1,0 +1,151 @@
+"""The parallel figure pipeline: full_report fanned over a process pool.
+
+The contract under test is bit-identity: the report assembled from any
+worker count — including the zero-copy archive-path fan-out and the
+sharded window synthesis — must equal the serial report row for row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.experiments import (
+    FIG12_TITLE,
+    FIG13_TITLE,
+    SECTION_BUILDERS,
+    _chunk_bounds,
+    _result_spec,
+    full_report,
+)
+from repro.simulation.windows import WindowSynthesizer
+
+
+def _assert_windows_equal(a, b):
+    assert a.rack_id == b.rack_id
+    assert a.end_epoch_s == b.end_epoch_s
+    assert a.is_positive == b.is_positive
+    assert np.array_equal(a.epoch_s, b.epoch_s)
+    assert set(a.channels) == set(b.channels)
+    for channel, values in a.channels.items():
+        assert np.array_equal(values, b.channels[channel], equal_nan=True), channel
+
+
+def _rows_equal(a, b):
+    # Bit-identity with NaN treated as equal to itself (a NaN
+    # measurement must stay NaN at every worker count).
+    values_match = a.measured_value == b.measured_value or (
+        np.isnan(a.measured_value) and np.isnan(b.measured_value)
+    )
+    return (
+        values_match
+        and a.figure == b.figure
+        and a.metric == b.metric
+        and a.paper_value == b.paper_value
+        and a.unit == b.unit
+    )
+
+
+def _assert_reports_equal(reference, other):
+    assert list(reference) == list(other)
+    for title in reference:
+        ref_rows, got_rows = reference[title], other[title]
+        assert len(ref_rows) == len(got_rows), title
+        for ref, got in zip(ref_rows, got_rows):
+            assert _rows_equal(ref, got), f"{title}: {ref} != {got}"
+
+
+class TestParallelEqualsSerial:
+    def test_sections_identical_across_worker_counts(self, demo_result):
+        serial = full_report(demo_result, workers=1)
+        for workers in (2, 4):
+            _assert_reports_equal(serial, full_report(demo_result, workers=workers))
+
+    def test_synthesized_windows_identical(self, demo_result):
+        serial = full_report(demo_result, workers=1, synthesize_windows=True)
+        assert FIG12_TITLE in serial and FIG13_TITLE in serial
+        parallel = full_report(demo_result, workers=4, synthesize_windows=True)
+        _assert_reports_equal(serial, parallel)
+
+    def test_faulted_result_falls_back_inline(self, faulted_result):
+        # Fault-injected runs cannot be archived (quality masks are not
+        # part of the format); the spec must degrade to inline pickling
+        # and the report must still be worker-count invariant.
+        assert _result_spec(faulted_result, workers=4)[0] == "inline"
+        serial = full_report(faulted_result, workers=1)
+        _assert_reports_equal(serial, full_report(faulted_result, workers=4))
+
+    def test_section_order_is_canonical(self, demo_result):
+        sections = full_report(demo_result, workers=2)
+        assert list(sections) == [title for title, _ in SECTION_BUILDERS]
+
+    def test_prebuilt_windows_still_accepted(self, year_result, year_windows):
+        positives, negatives = year_windows
+        serial = full_report(year_result, positives, negatives, workers=1)
+        parallel = full_report(year_result, positives, negatives, workers=2)
+        _assert_reports_equal(serial, parallel)
+
+
+class TestResultSpec:
+    def test_single_worker_is_inline(self, demo_result):
+        kind, payload = _result_spec(demo_result, workers=1)
+        assert kind == "inline"
+        assert payload is demo_result
+
+    def test_pool_gets_archive_path(self, demo_result):
+        # small_dataset is disk-cached, so its telemetry already lives
+        # in an archive directory — the spec carries the path, not the
+        # matrices.
+        spec = _result_spec(demo_result, workers=4)
+        assert spec[0] == "archive"
+        assert isinstance(spec[2], str)
+
+
+class TestChunkBounds:
+    def test_covers_range_without_overlap(self):
+        for total, chunks in ((10, 3), (7, 7), (5, 16), (361, 8)):
+            bounds = _chunk_bounds(total, chunks)
+            flat = [i for lo, hi in bounds for i in range(lo, hi)]
+            assert flat == list(range(total))
+
+    def test_empty_range(self):
+        assert _chunk_bounds(0, 4) == []
+
+    def test_chunks_capped_at_total(self):
+        assert len(_chunk_bounds(3, 100)) == 3
+
+
+class TestSlicedSynthesis:
+    """Window i's noise depends only on its index, so any sharding of
+    the synthesis concatenates to the exact full-list output."""
+
+    def test_positive_slices_concatenate(self, demo_result):
+        synthesizer = WindowSynthesizer(demo_result)
+        full = synthesizer.positive_windows()
+        assert full, "demo dataset should have eligible CMFs"
+        split = len(full) // 2
+        halves = synthesizer.positive_windows(0, split) + synthesizer.positive_windows(
+            split
+        )
+        assert len(halves) == len(full)
+        for a, b in zip(full, halves):
+            _assert_windows_equal(a, b)
+
+    def test_negative_slices_concatenate(self, demo_result):
+        synthesizer = WindowSynthesizer(demo_result)
+        count = len(synthesizer.positive_windows())
+        full = synthesizer.negative_windows(count)
+        split = count // 2
+        halves = synthesizer.negative_windows(
+            count, lo=0, hi=split
+        ) + synthesizer.negative_windows(count, lo=split)
+        assert len(halves) == len(full)
+        for a, b in zip(full, halves):
+            _assert_windows_equal(a, b)
+
+    def test_resynthesis_is_deterministic(self, demo_result):
+        synthesizer = WindowSynthesizer(demo_result)
+        first = synthesizer.positive_windows()
+        second = WindowSynthesizer(demo_result).positive_windows()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            _assert_windows_equal(a, b)

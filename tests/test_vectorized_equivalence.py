@@ -1,0 +1,223 @@
+"""Vectorized analysis paths vs straightforward loop references.
+
+The report-pipeline optimisation rewrote the per-rack / per-day /
+per-event loops in the core analyses as group-by reductions and
+searchsorted passes.  Each test here re-implements the original loop
+in the most obvious way and checks the library path against it within
+1e-12 relative (the reduceat summation order may differ from Python's
+left-to-right accumulation by a few ULPs, never more).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import timeutil
+from repro.core.aftermath import (
+    analyze_aftermath,
+    deduplicate_cmf_events,
+    deduplicate_noncmf_events,
+)
+from repro.core.environment import ambient_spatial
+from repro.core.leadup import (
+    _AGGREGATE_CHANNELS,
+    _summed_changes_batch,
+    _summed_changes_loop,
+)
+from repro.core.spatial import row_means
+from repro.core.trends import monthly_profiles, weekday_profiles
+from repro.telemetry import nanstats
+from repro.telemetry.series import _reduce_by_key, reduce_by_calendar
+
+RTOL = 1e-12
+
+
+def _loop_reduce(keys, values, reducer):
+    """The pre-refactor per-key boolean-mask scan."""
+    fn = {
+        "mean": nanstats.nanmean,
+        "median": nanstats.nanmedian,
+        "sum": nanstats.nansum,
+        "min": nanstats.nanmin,
+        "max": nanstats.nanmax,
+    }[reducer]
+    out = {}
+    for key in np.unique(keys):
+        out[int(key)] = fn(values[keys == key], axis=0)
+    return out
+
+
+class TestGroupReduce:
+    @pytest.fixture(scope="class")
+    def noisy_matrix(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 9, size=400)
+        values = rng.normal(50.0, 5.0, size=(400, 3))
+        values[rng.random(values.shape) < 0.15] = np.nan
+        values[keys == 7] = np.nan  # an all-NaN group
+        return keys, values
+
+    @pytest.mark.parametrize("reducer", ["mean", "median", "sum", "min", "max"])
+    def test_matches_mask_scan(self, noisy_matrix, reducer):
+        keys, values = noisy_matrix
+        unique_keys, reduced = _reduce_by_key(keys, values, reducer)
+        reference = _loop_reduce(keys, values, reducer)
+        assert list(unique_keys) == sorted(reference)
+        for i, key in enumerate(unique_keys):
+            np.testing.assert_allclose(
+                reduced[i], reference[int(key)], rtol=RTOL, equal_nan=True
+            )
+
+    def test_unknown_reducer_rejected(self, noisy_matrix):
+        with pytest.raises(KeyError):
+            _reduce_by_key(*noisy_matrix, reducer="mode")
+
+    def test_unsorted_keys(self):
+        keys = np.array([3, 1, 3, 2, 1, 3])
+        values = np.arange(6, dtype="float64")
+        unique_keys, reduced = _reduce_by_key(keys, values, "sum")
+        assert list(unique_keys) == [1, 2, 3]
+        np.testing.assert_allclose(reduced, [5.0, 3.0, 7.0])
+
+
+class TestCalendarProfiles:
+    def test_reduce_by_calendar_matches_loop(self, demo_result):
+        series = demo_result.database.system_power_mw()
+        by_month = reduce_by_calendar(series.epoch_s, series.values, "month", "median")
+        months = np.array(
+            [timeutil.from_epoch(t).month for t in series.epoch_s]
+        )
+        reference = _loop_reduce(months, series.values, "median")
+        assert set(by_month) == set(reference)
+        for key, value in by_month.items():
+            np.testing.assert_allclose(value, reference[key], rtol=RTOL)
+
+    def test_batched_profiles_match_single_channel(self, demo_result):
+        from repro.telemetry.records import Channel
+
+        channels = (None, Channel.UTILIZATION, Channel.FLOW)
+        monthly = monthly_profiles(demo_result.database, channels)
+        weekday = weekday_profiles(demo_result.database, channels)
+        for j, channel in enumerate(channels):
+            solo_m = monthly_profiles(demo_result.database, (channel,))[0]
+            solo_w = weekday_profiles(demo_result.database, (channel,))[0]
+            assert monthly[j].by_month == solo_m.by_month
+            assert weekday[j].by_weekday == solo_w.by_weekday
+
+
+class TestSpatial:
+    def test_row_means_matches_loop(self):
+        from repro import constants
+
+        rng = np.random.default_rng(3)
+        profile = rng.normal(90.0, 4.0, constants.NUM_RACKS)
+        expected = []
+        for row in range(constants.NUM_ROWS):
+            lo = row * constants.RACKS_PER_ROW
+            expected.append(float(np.mean(profile[lo : lo + constants.RACKS_PER_ROW])))
+        np.testing.assert_allclose(row_means(profile), expected, rtol=RTOL)
+
+
+class TestEnvironment:
+    def test_row_end_effect_matches_loop(self, demo_result):
+        from repro import constants
+        from repro.facility.topology import RackId
+
+        spatial = ambient_spatial(demo_result.database)
+        edge_racks = 3
+
+        def _delta(per_rack):
+            end_vals, center_vals = [], []
+            for flat, value in enumerate(per_rack):
+                col = RackId.from_flat_index(flat).col
+                is_end = (
+                    col < edge_racks
+                    or col >= constants.RACKS_PER_ROW - edge_racks
+                )
+                (end_vals if is_end else center_vals).append(value)
+            return np.mean(end_vals) - np.mean(center_vals)
+
+        got_temp, got_humidity = spatial.row_end_effect(edge_racks)
+        np.testing.assert_allclose(got_temp, _delta(spatial.temperature_f), rtol=RTOL)
+        np.testing.assert_allclose(
+            got_humidity, _delta(spatial.humidity_rh), rtol=RTOL
+        )
+
+    def test_hotspots_match_loop(self, demo_result):
+        from repro import constants
+        from repro.facility.topology import RackId
+
+        spatial = ambient_spatial(demo_result.database)
+        threshold = 0.10
+        grid = np.asarray(spatial.humidity_rh).reshape(
+            constants.NUM_ROWS, constants.RACKS_PER_ROW
+        )
+        expected = []
+        for row in range(constants.NUM_ROWS):
+            center = grid[row, 4 : constants.RACKS_PER_ROW - 4]
+            median = float(np.median(center))
+            for j, value in enumerate(center):
+                if value < median * (1.0 - threshold):
+                    expected.append(RackId(row, j + 4))
+        assert list(spatial.hotspots(threshold)) == expected
+
+
+class TestAftermath:
+    def test_matches_event_loop(self, year_result):
+        ras_log = year_result.ras_log
+        analysis = analyze_aftermath(ras_log)
+
+        # The original event-at-a-time reference.
+        cmfs = deduplicate_cmf_events(ras_log)
+        noncmfs = deduplicate_noncmf_events(ras_log)
+        cmf_times = cmfs.times()
+        buckets = sorted(analysis.relative_rates)
+        max_window_h = max(buckets)
+        lags, categories = [], {}
+        for event in noncmfs.events:
+            i = int(np.searchsorted(cmf_times, event.epoch_s, side="right")) - 1
+            if i < 0:
+                continue
+            lag_h = (event.epoch_s - cmf_times[i]) / timeutil.HOUR_S
+            if lag_h <= 0 or lag_h > max_window_h:
+                continue
+            lags.append(lag_h)
+            categories[event.category] = categories.get(event.category, 0) + 1
+
+        previous = 0.0
+        raw_rates = []
+        for window_h in buckets:
+            in_bucket = sum(1 for lag in lags if previous < lag <= window_h)
+            raw_rates.append(in_bucket / (window_h - previous))
+            previous = window_h
+        base = raw_rates[0] if raw_rates[0] > 0 else 1.0
+        for window_h, raw in zip(buckets, raw_rates):
+            np.testing.assert_allclose(
+                analysis.relative_rates[window_h], raw / base, rtol=RTOL
+            )
+
+        total = max(1, sum(categories.values()))
+        assert set(analysis.category_mix) == set(categories)
+        for name, count in categories.items():
+            np.testing.assert_allclose(
+                analysis.category_mix[name], count / total, rtol=RTOL
+            )
+
+
+class TestLeadupBatch:
+    def test_batch_matches_loop(self, year_windows):
+        from repro.core.prediction import stack_windows
+
+        positives, _ = year_windows
+        leads_h = (12.0, 6.0, 3.0, 1.0, 0.5, 0.25, 0.0)
+        baseline_lead_h = 12.0
+        stack = stack_windows(positives)
+        assert stack is not None
+        batch = _summed_changes_batch(stack, leads_h, baseline_lead_h)
+        loop = _summed_changes_loop(positives, leads_h, baseline_lead_h)
+        assert set(batch) == set(_AGGREGATE_CHANNELS)
+        for channel in _AGGREGATE_CHANNELS:
+            np.testing.assert_allclose(
+                batch[channel], loop[channel], rtol=1e-9, equal_nan=True
+            )
