@@ -5,7 +5,10 @@ Times the two hot paths of the live operations stack over a one-year,
 
 * **streaming** — an unpaced :class:`~repro.service.ReplayBus` replay
   with the rollup store subscribed (the ingest path every live sample
-  takes), and
+  takes), measured twice: once with per-sample delivery (the
+  compatibility shim, one callback per snapshot) and once with
+  columnar chunked delivery (the live default, one vectorized
+  ``add_block`` per chunk), and
 * **queries** — a dashboard-shaped workload against the
   :class:`~repro.service.QueryEngine` on the hourly rollup level:
   per-day windows across the year, mixed statistics and scopes,
@@ -17,15 +20,18 @@ throughput regressions are visible in CI diffs.  The assertion floors
 are far below measured throughput on a development machine; they catch
 order-of-magnitude regressions (e.g. the cache being bypassed or the
 rollup update degenerating to per-cell work), not scheduler jitter.
+The chunked-over-per-sample speedup is gated only on machines with
+enough cores to make the comparison stable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro import __version__, timeutil
 from repro.service import (
@@ -46,15 +52,54 @@ _OUTPUT = _REPO_ROOT / "BENCH_service.json"
 #: path is a dict hit (~1 us); even the cold path reduces only a
 #: 24 x 48 window.  Measured: well over 100k queries/s.
 MIN_QUERIES_PER_SEC = 10_000.0
-#: Floor on unpaced replay with the rollup subscriber attached.
+#: Floor on unpaced per-sample replay with the rollup subscriber.
 MIN_SAMPLES_PER_SEC = 500.0
+#: Required chunked-over-per-sample streaming speedup ...
+MIN_CHUNKED_SPEEDUP = 50.0
+#: ... gated on machines with at least this many cores.
+CHUNK_GATE_CORES = 4
 
 _DAYS = 365
+_CHUNK_SIZE = 2048
 
 
 def _year_result():
     config = MiraScenario.demo(days=_DAYS, seed=17, dt_s=3600.0)
     return FacilityEngine(config).run()
+
+
+def _stream_once(database, chunk_size: int, delivery: str) -> Tuple[object, object]:
+    """One unpaced replay with rollups + counter; returns (report, store)."""
+    store = RollupStore(num_racks=database.num_racks)
+    bus = ReplayBus(database, chunk_size=chunk_size)
+    bus.subscribe(
+        "rollups", RollupSubscriber(store), policy="block", delivery=delivery
+    )
+    counter = CountingSubscriber()
+    bus.subscribe("counter", counter, policy="block", delivery=delivery)
+    report = bus.run()
+    assert report.published == database.num_samples
+    assert counter.received == database.num_samples
+    assert counter.gaps == 0 and counter.missing == 0
+    return report, store
+
+
+def _stream_best(
+    database, chunk_size: int, delivery: str, trials: int
+) -> Tuple[object, object]:
+    """Best of ``trials`` replays: rides out scheduler noise.
+
+    Streaming a year takes a fraction of a second chunked; on busy or
+    single-core runners a single trial can land in a throttled slice
+    and under-report by several-fold.  Every trial replays the same
+    rows into a fresh store, so keeping the fastest is sound.
+    """
+    best = None
+    for _ in range(trials):
+        report, store = _stream_once(database, chunk_size, delivery)
+        if best is None or report.rows_per_sec > best[0].rows_per_sec:
+            best = (report, store)
+    return best
 
 
 def _dashboard_workload(start_epoch_s: float) -> List[Query]:
@@ -107,15 +152,18 @@ def test_service_throughput():
     result = _year_result()
     database = result.database
 
-    # -- streaming: unpaced replay with the rollup store riding along --
-    store = RollupStore(num_racks=database.num_racks)
-    bus = ReplayBus(database)
-    bus.subscribe("rollups", RollupSubscriber(store), policy="block")
-    counter = CountingSubscriber()
-    bus.subscribe("counter", counter, policy="block")
-    bus_report = bus.run()
-    assert bus_report.published == database.num_samples
-    assert counter.received == database.num_samples
+    # -- streaming: per-sample shim vs chunked columnar delivery --
+    sample_report, _ = _stream_best(
+        database, chunk_size=1, delivery="samples", trials=2
+    )
+    chunked_report, store = _stream_best(
+        database, chunk_size=_CHUNK_SIZE, delivery="chunks", trials=3
+    )
+    chunked_speedup = (
+        chunked_report.rows_per_sec / sample_report.rows_per_sec
+        if sample_report.rows_per_sec > 0
+        else float("inf")
+    )
 
     # -- queries: cold, warm, and concurrent over the hourly level --
     engine = QueryEngine(store, cache_size=2048)
@@ -148,10 +196,17 @@ def test_service_throughput():
         "python": platform.python_version(),
         "scenario": f"demo(days={_DAYS}, seed=17, dt_s=3600)",
         "streaming": {
-            "samples": bus_report.published,
-            "seconds": round(bus_report.duration_s, 4),
-            "samples_per_sec": round(bus_report.rows_per_sec, 1),
-            "achieved_speedup": round(bus_report.achieved_speedup, 1),
+            "samples": chunked_report.published,
+            # The live default: chunked columnar delivery.
+            "seconds": round(chunked_report.duration_s, 4),
+            "samples_per_sec": round(chunked_report.rows_per_sec, 1),
+            "achieved_speedup": round(chunked_report.achieved_speedup, 1),
+            "chunk_size": _CHUNK_SIZE,
+            "chunks": chunked_report.published_chunks,
+            # The compatibility shim, kept for trajectory comparison.
+            "per_sample_seconds": round(sample_report.duration_s, 4),
+            "per_sample_samples_per_sec": round(sample_report.rows_per_sec, 1),
+            "chunked_over_per_sample": round(chunked_speedup, 1),
         },
         "queries": {
             "workload": len(workload),
@@ -166,14 +221,25 @@ def test_service_throughput():
 
     print("\nservice throughput (1-year hourly, 48 racks):")
     print(
-        f"  streaming: {bus_report.published} samples in"
-        f" {bus_report.duration_s:.3f}s"
-        f" -> {bus_report.rows_per_sec:.0f} samples/s"
+        f"  streaming (per-sample): {sample_report.published} samples in"
+        f" {sample_report.duration_s:.3f}s"
+        f" -> {sample_report.rows_per_sec:.0f} samples/s"
+    )
+    print(
+        f"  streaming (chunk={_CHUNK_SIZE}): {chunked_report.published} samples in"
+        f" {chunked_report.duration_s:.3f}s"
+        f" -> {chunked_report.rows_per_sec:.0f} samples/s"
+        f" ({chunked_speedup:.0f}x)"
     )
     print(
         f"  queries: cold {_qps(cold_s):.0f}/s, warm {_qps(warm_s):.0f}/s,"
         f" concurrent {_qps(concurrent_s):.0f}/s, mixed {mixed_qps:.0f}/s"
     )
 
-    assert bus_report.rows_per_sec > MIN_SAMPLES_PER_SEC
+    assert sample_report.rows_per_sec > MIN_SAMPLES_PER_SEC
+    assert chunked_report.rows_per_sec > MIN_SAMPLES_PER_SEC
     assert mixed_qps > MIN_QUERIES_PER_SEC
+    if (os.cpu_count() or 1) >= CHUNK_GATE_CORES:
+        assert chunked_speedup >= MIN_CHUNKED_SPEEDUP, (
+            f"chunked delivery only {chunked_speedup:.1f}x over per-sample"
+        )

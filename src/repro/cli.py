@@ -173,6 +173,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the CUSUM change-detector subscriber",
     )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=256,
+        help="snapshots per published chunk (1 = per-sample delivery)",
+    )
 
     query = commands.add_parser(
         "query", help="run one dashboard query against the rollup store"
@@ -380,6 +386,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             speedup=speedup,
             queue_capacity=args.queue_capacity,
             analytics_policy=args.policy,
+            chunk_size=args.chunk_size,
         ),
     )
     label = "unpaced" if speedup == float("inf") else f"{speedup:g}x"

@@ -69,43 +69,112 @@ class CusumAlarm:
 
 
 class CusumDetector:
-    """Per-rack, per-channel two-sided CUSUM over streaming telemetry."""
+    """Per-rack, per-channel two-sided CUSUM over streaming telemetry.
+
+    State lives in dense ``(racks, channels)`` arrays so whole
+    telemetry chunks advance the recurrence with one vectorized step
+    per timestep (:meth:`consume_block`); :meth:`consume` runs the
+    identical arithmetic on single cells, so the two paths produce the
+    same alarms bit for bit.
+    """
 
     def __init__(self, config: Optional[CusumConfig] = None) -> None:
         self.config = config if config is not None else CusumConfig()
-        self._state: Dict[Tuple[RackId, Channel], _ChannelState] = {}
+        self._racks = 0
+        self._allocate(0)
+
+    def _allocate(self, racks: int) -> None:
+        shape = (racks, len(PREDICTOR_CHANNELS))
+        self._mean = np.zeros(shape)
+        self._variance = np.zeros(shape)
+        self._positive = np.zeros(shape)
+        self._negative = np.zeros(shape)
+        self._samples = np.zeros(shape, dtype="int64")
+        self._active = np.zeros(shape, dtype=bool)
+        self._racks = racks
+
+    def _ensure_racks(self, racks: int) -> None:
+        if racks <= self._racks:
+            return
+        old = (
+            self._mean,
+            self._variance,
+            self._positive,
+            self._negative,
+            self._samples,
+            self._active,
+        )
+        size = self._racks
+        self._allocate(racks)
+        for new, previous in zip(
+            (
+                self._mean,
+                self._variance,
+                self._positive,
+                self._negative,
+                self._samples,
+                self._active,
+            ),
+            old,
+        ):
+            new[:size] = previous
+
+    @property
+    def _state(self) -> Dict[Tuple[RackId, Channel], _ChannelState]:
+        """Initialized cells as the historical dict view (tests only)."""
+        state = {}
+        for rack_index, channel_index in np.argwhere(self._active):
+            key = (
+                RackId.from_flat_index(int(rack_index)),
+                PREDICTOR_CHANNELS[channel_index],
+            )
+            state[key] = _ChannelState(
+                mean=float(self._mean[rack_index, channel_index]),
+                variance=float(self._variance[rack_index, channel_index]),
+                positive_sum=float(self._positive[rack_index, channel_index]),
+                negative_sum=float(self._negative[rack_index, channel_index]),
+                samples=int(self._samples[rack_index, channel_index]),
+            )
+        return state
 
     def _update_channel(
-        self, key: Tuple[RackId, Channel], value: float
+        self, rack_index: int, channel_index: int, value: float
     ) -> Optional[float]:
-        """Update one channel; return the alarm statistic if tripped."""
+        """Update one cell; return the alarm statistic if tripped."""
         cfg = self.config
-        state = self._state.get(key)
-        if state is None:
+        cell = (rack_index, channel_index)
+        if not self._active[cell]:
             # Start the variance estimate *high* (5 % of the level) so
             # early z-scores are conservative; the EWMA converges down
             # to the channel's true noise during warmup.
-            initial_variance = max((0.05 * abs(value)) ** 2, 1e-6)
-            state = _ChannelState(mean=value, variance=initial_variance)
-            self._state[key] = state
-        state.samples += 1
-        sigma = max(np.sqrt(state.variance), 1e-9)
-        z = (value - state.mean) / sigma
+            self._mean[cell] = value
+            self._variance[cell] = max((0.05 * abs(value)) ** 2, 1e-6)
+            self._positive[cell] = 0.0
+            self._negative[cell] = 0.0
+            self._samples[cell] = 0
+            self._active[cell] = True
+        self._samples[cell] += 1
+        mean = float(self._mean[cell])
+        variance = float(self._variance[cell])
+        sigma = max(np.sqrt(variance), 1e-9)
+        z = (value - mean) / sigma
         # Update the running statistics *after* scoring the sample.
-        delta = value - state.mean
-        state.mean += cfg.ewma_alpha * delta
-        state.variance = (1 - cfg.ewma_alpha) * (
-            state.variance + cfg.ewma_alpha * delta * delta
+        delta = value - mean
+        self._mean[cell] = mean + cfg.ewma_alpha * delta
+        self._variance[cell] = (1 - cfg.ewma_alpha) * (
+            variance + cfg.ewma_alpha * delta * delta
         )
-        if state.samples <= cfg.warmup_samples:
+        if self._samples[cell] <= cfg.warmup_samples:
             return None
-        state.positive_sum = max(0.0, state.positive_sum + z - cfg.drift)
-        state.negative_sum = max(0.0, state.negative_sum - z - cfg.drift)
-        statistic = max(state.positive_sum, state.negative_sum)
+        positive = max(0.0, float(self._positive[cell]) + z - cfg.drift)
+        negative = max(0.0, float(self._negative[cell]) - z - cfg.drift)
+        statistic = max(positive, negative)
         if statistic > cfg.decision:
-            state.positive_sum = 0.0
-            state.negative_sum = 0.0
+            self._positive[cell] = 0.0
+            self._negative[cell] = 0.0
             return statistic
+        self._positive[cell] = positive
+        self._negative[cell] = negative
         return None
 
     def consume(
@@ -115,12 +184,14 @@ class CusumDetector:
         channel_values: Dict[Channel, float],
     ) -> Tuple[CusumAlarm, ...]:
         """Feed one telemetry sample; returns any alarms raised."""
+        rack_index = rack_id.flat_index
+        self._ensure_racks(rack_index + 1)
         alarms = []
-        for channel in PREDICTOR_CHANNELS:
+        for channel_index, channel in enumerate(PREDICTOR_CHANNELS):
             if channel not in channel_values:
                 continue
             statistic = self._update_channel(
-                (rack_id, channel), float(channel_values[channel])
+                rack_index, channel_index, float(channel_values[channel])
             )
             if statistic is not None:
                 alarms.append(
@@ -133,10 +204,119 @@ class CusumDetector:
                 )
         return tuple(alarms)
 
+    def consume_block(
+        self,
+        epoch_s: np.ndarray,
+        values: "Dict[Channel, np.ndarray]",
+    ) -> Tuple[CusumAlarm, ...]:
+        """Advance every rack x channel recurrence over a whole block.
+
+        Equivalent to calling :meth:`consume` per timestep and rack
+        with each rack's *finite* channel values (non-finite cells do
+        not advance their recurrence, exactly like an absent dict key).
+        The recurrence is sequential in time but vectorized across all
+        ``racks x channels`` cells per step; alarms come back in the
+        per-sample order (time-major, then rack, then channel).
+
+        Args:
+            epoch_s: ``(timesteps,)`` sample timestamps.
+            values: Channel -> ``(timesteps, racks)`` block; channels
+                outside ``PREDICTOR_CHANNELS`` are ignored.
+        """
+        present = [ch for ch in PREDICTOR_CHANNELS if ch in values]
+        if not present:
+            return ()
+        if len(present) < len(PREDICTOR_CHANNELS):
+            # Partial channel sets take the scalar path (state columns
+            # must not be advanced for absent channels).
+            alarms: list = []
+            racks = next(iter(values.values())).shape[1]
+            for t, epoch in enumerate(epoch_s):
+                for rack_index in range(racks):
+                    sample = {
+                        ch: float(values[ch][t, rack_index]) for ch in present
+                    }
+                    sample = {
+                        ch: v for ch, v in sample.items() if np.isfinite(v)
+                    }
+                    if sample:
+                        alarms.extend(
+                            self.consume(
+                                float(epoch),
+                                RackId.from_flat_index(rack_index),
+                                sample,
+                            )
+                        )
+            return tuple(alarms)
+
+        cube = np.stack([values[ch] for ch in PREDICTOR_CHANNELS], axis=2)
+        steps, racks, _ = cube.shape
+        self._ensure_racks(racks)
+        finite = np.isfinite(cube)
+        cfg = self.config
+        alpha, drift, decision = cfg.ewma_alpha, cfg.drift, cfg.decision
+        mean = self._mean[:racks]
+        variance = self._variance[:racks]
+        positive = self._positive[:racks]
+        negative = self._negative[:racks]
+        samples = self._samples[:racks]
+        active = self._active[:racks]
+        rack_ids = [RackId.from_flat_index(r) for r in range(racks)]
+        alarms = []
+        for t in range(steps):
+            observed = finite[t]
+            if not observed.any():
+                continue
+            value = cube[t]
+            fresh = observed & ~active
+            if fresh.any():
+                mean[fresh] = value[fresh]
+                variance[fresh] = np.maximum(
+                    (0.05 * np.abs(value[fresh])) ** 2, 1e-6
+                )
+                positive[fresh] = 0.0
+                negative[fresh] = 0.0
+                samples[fresh] = 0
+                active[fresh] = True
+            samples += observed
+            sigma = np.maximum(np.sqrt(variance), 1e-9)
+            z = (value - mean) / sigma
+            delta = value - mean
+            mean[...] = np.where(observed, mean + alpha * delta, mean)
+            variance[...] = np.where(
+                observed,
+                (1 - alpha) * (variance + alpha * delta * delta),
+                variance,
+            )
+            warm = observed & (samples > cfg.warmup_samples)
+            if not warm.any():
+                continue
+            positive[...] = np.where(
+                warm, np.maximum(0.0, positive + z - drift), positive
+            )
+            negative[...] = np.where(
+                warm, np.maximum(0.0, negative - z - drift), negative
+            )
+            statistic = np.maximum(positive, negative)
+            tripped = warm & (statistic > decision)
+            if tripped.any():
+                epoch = float(epoch_s[t])
+                for rack_index, channel_index in np.argwhere(tripped):
+                    alarms.append(
+                        CusumAlarm(
+                            epoch_s=epoch,
+                            rack_id=rack_ids[rack_index],
+                            channel=PREDICTOR_CHANNELS[channel_index],
+                            statistic=float(statistic[rack_index, channel_index]),
+                        )
+                    )
+                positive[tripped] = 0.0
+                negative[tripped] = 0.0
+        return tuple(alarms)
+
     def reset(self, rack_id: Optional[RackId] = None) -> None:
         """Drop state for one rack (or all racks)."""
         if rack_id is None:
-            self._state.clear()
-        else:
-            for key in [k for k in self._state if k[0] == rack_id]:
-                del self._state[key]
+            self._active[...] = False
+        elif rack_id.flat_index < self._racks:
+            self._active[rack_id.flat_index] = False

@@ -150,6 +150,26 @@ class _RackHistory:
             self.start += 1
             self.size -= 1
 
+    def reserve(self, count: int) -> None:
+        """Guarantee ``count`` appends without compaction or realloc.
+
+        Called once before a block of appends so that ``(start, size)``
+        snapshots taken mid-block keep referencing the same arrays —
+        the batched feature pass reads them after the block completes.
+        """
+        needed = self.start + self.size + count
+        if needed <= len(self.times):
+            return
+        if self.start > 0:
+            end = self.start + self.size
+            self.times[: self.size] = self.times[self.start : end]
+            self.values[: self.size] = self.values[self.start : end]
+            self.start = 0
+            needed = self.size + count
+        while needed > len(self.times):
+            self.times = np.concatenate([self.times, np.empty_like(self.times)])
+            self.values = np.concatenate([self.values, np.empty_like(self.values)])
+
     @property
     def times_view(self) -> np.ndarray:
         return self.times[self.start : self.start + self.size]
@@ -347,6 +367,154 @@ class OnlineCmfPredictor:
         )
         self.counters.predictions += 1
         return Prediction(epoch_s=epoch_s, rack_id=rack_id, probability=probability)
+
+    def consume_block(
+        self,
+        epoch_s: np.ndarray,
+        rack_id: RackId,
+        values: np.ndarray,
+    ) -> List[Prediction]:
+        """Ingest a block of one rack's samples; return its predictions.
+
+        Equivalent to calling :meth:`consume` once per row with every
+        predictor channel present (missing measurements as NaN) — the
+        late/duplicate/gap/carry-forward state machine runs per row in
+        arrival order, so counters and emitted predictions are
+        *identical* to the per-sample path.  Only the expensive parts
+        are batched: lag interpolation and feature assembly happen in
+        one vectorized pass per block, and each emission still runs a
+        single-row ``predict_proba`` so probabilities match the scalar
+        path bit for bit.
+
+        Args:
+            epoch_s: ``(timesteps,)`` sample timestamps.
+            values: ``(timesteps, len(PREDICTOR_CHANNELS))`` rows in
+                :data:`~repro.telemetry.records.PREDICTOR_CHANNELS`
+                order.
+        """
+        epochs = np.asarray(epoch_s, dtype="float64")
+        block = np.asarray(values, dtype="float64")
+        n = len(epochs)
+        if block.shape != (n, len(PREDICTOR_CHANNELS)):
+            raise ValueError(
+                f"values must have shape ({n}, {len(PREDICTOR_CHANNELS)}), "
+                f"got {block.shape}"
+            )
+        counters = self.counters
+        history = self._rack(rack_id)
+        if history is not None:
+            history.reserve(n)
+        # (history, start, end, epoch) snapshots; feature extraction is
+        # deferred so it can run batched once the block is absorbed.
+        pending: List[tuple] = []
+        for i in range(n):
+            epoch = float(epochs[i])
+            counters.consumed += 1
+            row = block[i]
+            holes = ~np.isfinite(row)
+            if history is not None and history.size:
+                last = history.last_time
+                if epoch < last:
+                    if self.strict:
+                        raise ValueError(
+                            "samples must arrive in time order per rack"
+                        )
+                    counters.dropped_late += 1
+                    continue
+                if not self.strict and epoch == last:
+                    counters.dropped_duplicate += 1
+                    continue
+                if epoch - last > self.gap_reset_s:
+                    self.reset(rack_id)
+                    history = None
+                    counters.gap_resets += 1
+            if holes.any():
+                filled = False
+                if (
+                    history is not None
+                    and history.size
+                    and epoch - history.last_time <= self.locf_staleness_s
+                ):
+                    donor = history.last_row
+                    if np.isfinite(donor[holes]).all():
+                        row = np.where(holes, donor, row)
+                        counters.locf_fills += int(holes.sum())
+                        filled = True
+                if not filled:
+                    counters.dropped_incomplete += 1
+                    continue
+            if history is None:
+                history = _RackHistory(len(PREDICTOR_CHANNELS))
+                history.reserve(n - i)
+                self._history[rack_id] = history
+            history.append(epoch, row)
+            history.prune_before(epoch - self._span_s)
+            if self.ready(rack_id):
+                counters.predictions += 1
+                pending.append(
+                    (history, history.start, history.start + history.size, epoch)
+                )
+        if not pending:
+            return []
+        predictions: List[Prediction] = []
+        lo = 0
+        while lo < len(pending):  # contiguous runs share a history object
+            hi = lo
+            while hi < len(pending) and pending[hi][0] is pending[lo][0]:
+                hi += 1
+            group = pending[lo:hi]
+            features = self._batch_features(pending[lo][0], group)
+            for (_, _, _, epoch), feats in zip(group, features):
+                probability = float(self.model.predict_proba(feats[None, :])[0])
+                predictions.append(
+                    Prediction(
+                        epoch_s=epoch, rack_id=rack_id, probability=probability
+                    )
+                )
+            lo = hi
+        return predictions
+
+    def _batch_features(
+        self, history: _RackHistory, group: List[tuple]
+    ) -> np.ndarray:
+        """Features for a group of emission snapshots, one vector each.
+
+        Replicates :meth:`_values_at` per snapshot view exactly: the
+        "now" query is always an exact hit on the view's last row, and
+        lag queries interpolate with the same elementwise arithmetic
+        (exact hits and before-view clamps handled by mask, not by
+        re-deriving through the interpolation formula).
+        """
+        starts = np.array([g[1] for g in group], dtype=np.intp)
+        ends = np.array([g[2] for g in group], dtype=np.intp)
+        nows = np.array([g[3] for g in group], dtype="float64")
+        times, rows = history.times, history.values
+        now_values = rows[ends - 1]  # (E, C): exact hit on the newest row
+        queries = nows[:, None] - self._lag_offsets_s[None, :]  # (E, L)
+        upper = int(ends.max())
+        # Lag queries satisfy q < now == times[end-1] <= times[upper-1],
+        # so the global insertion point already respects each view's
+        # right edge; only the left edge needs clamping per view.
+        index = np.searchsorted(times[:upper], queries.ravel()).reshape(
+            queries.shape
+        )
+        before = index <= starts[:, None]
+        safe = np.clip(index, 1, upper - 1)
+        x0, x1 = times[safe - 1], times[safe]
+        exact = x1 == queries
+        weight = (queries - x0) / (x1 - x0)
+        v0, v1 = rows[safe - 1], rows[safe]
+        then_values = v0 + weight[:, :, None] * (v1 - v0)
+        then_values = np.where(exact[:, :, None], v1, then_values)
+        then_values = np.where(
+            before[:, :, None], rows[starts][:, None, :], then_values
+        )
+        denominator = np.where(
+            np.abs(then_values) > 1e-9, np.abs(then_values), 1.0
+        )
+        fractions = (now_values[:, None, :] - then_values) / denominator
+        # (E, lags, channels) -> channel-major/lag-minor per emission.
+        return np.transpose(fractions, (0, 2, 1)).reshape(len(group), -1)
 
     def consume_window(self, window: LeadupWindow) -> List[Prediction]:
         """Replay a synthesized window through the streaming path.

@@ -9,29 +9,45 @@ back into that stream: whole-floor snapshots are published in
 timestamp order, paced at a configurable speedup over simulated time
 (or as fast as the machine allows), through a pub/sub dispatcher.
 
+Delivery is **columnar and chunked**: the bus batches ``chunk_size``
+consecutive snapshots into a :class:`BusChunk` — one contiguous
+``(timesteps, racks)`` block per channel, built zero-copy from the
+environmental database's column matrices — and publishes whole chunks.
+Subscribers choose their delivery granularity:
+
+* ``delivery="chunks"`` — the callback receives :class:`BusChunk`
+  objects and is expected to do one vectorized update per chunk (the
+  fast path every first-class subscriber uses),
+* ``delivery="samples"`` — the compatibility shim: the subscription's
+  worker splits each chunk and invokes the callback once per
+  :class:`BusSample`, exactly as the pre-chunking bus did.
+
 Every subscriber gets its **own bounded queue and worker thread**, so
 one slow consumer cannot corrupt another's view of the stream.  What
 happens when a queue fills is the subscriber's declared
-**backpressure policy**:
+**backpressure policy** (queues hold whole chunks, so lossy policies
+evict whole chunks at a time):
 
 * ``"block"`` — the publisher waits for space.  Nothing is lost, but a
   slow subscriber throttles the whole bus (every other subscriber
   advances at the slow one's pace).  The right choice for consumers
   that must see every sample, e.g. the rollup store.
-* ``"drop_oldest"`` — the oldest queued sample is evicted to make
+* ``"drop_oldest"`` — the oldest queued chunk is evicted to make
   room.  The subscriber sees a gapped but *fresh* stream; the
   publisher never stalls.
-* ``"coalesce"`` — the newest queued sample is replaced by the
+* ``"coalesce"`` — the newest queued chunk is replaced by the
   incoming one.  The subscriber sees the latest state with intermediate
-  samples superseded — dashboard semantics.
+  chunks superseded — dashboard semantics.
 
 Every degraded decision is counted per subscriber
-(:class:`SubscriberCounters`), including the maximum observed queue
-depth and *lag* (samples published but not yet processed), so tests
-and operators can see exactly what each consumer missed.
+(:class:`SubscriberCounters`) in **both sample and chunk units**,
+including the maximum observed queue depth (chunks) and *lag* (samples
+published but not yet processed), so tests and operators can see
+exactly what each consumer missed.
 
-Payload vectors in a :class:`BusSample` are read-only views into the
-source store; subscribers that retain them across callbacks must copy.
+Payload blocks in a :class:`BusChunk` (and the per-sample vectors the
+shim slices from them) are read-only views into the source store;
+subscribers that retain them across callbacks must copy.
 """
 
 from __future__ import annotations
@@ -49,6 +65,9 @@ from repro.telemetry.records import Channel
 
 #: Accepted backpressure policies.
 BACKPRESSURE_POLICIES = ("block", "drop_oldest", "coalesce")
+
+#: Accepted delivery granularities for :meth:`ReplayBus.subscribe`.
+DELIVERY_MODES = ("samples", "chunks")
 
 #: A source row: (epoch_s, channel -> values, channel -> quality).
 SourceRow = Tuple[float, Mapping[Channel, np.ndarray], Mapping[Channel, np.ndarray]]
@@ -72,9 +91,56 @@ class BusSample:
     quality: Mapping[Channel, np.ndarray]
 
 
+@dataclasses.dataclass(frozen=True)
+class BusChunk:
+    """A contiguous block of published snapshots, columnar per channel.
+
+    Attributes:
+        seq: Chunk sequence number (0-based, gap-free at the bus).
+        start_seq: Sample sequence number of the chunk's first row.
+        epoch_s: ``(timesteps,)`` sample timestamps (read-only view).
+        values: Channel -> ``(timesteps, racks)`` block (read-only
+            view into the source store — zero-copy for database
+            replays).
+        quality: Channel -> parallel quality-flag block.
+    """
+
+    seq: int
+    start_seq: int
+    epoch_s: np.ndarray
+    values: Mapping[Channel, np.ndarray]
+    quality: Mapping[Channel, np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.epoch_s)
+
+    @property
+    def end_seq(self) -> int:
+        """Sample sequence number of the chunk's last row."""
+        return self.start_seq + len(self.epoch_s) - 1
+
+    def samples(self) -> Iterator[BusSample]:
+        """Split into per-sample views (the compatibility shim)."""
+        for i in range(len(self.epoch_s)):
+            yield BusSample(
+                seq=self.start_seq + i,
+                epoch_s=float(self.epoch_s[i]),
+                values={ch: block[i] for ch, block in self.values.items()},
+                quality={ch: block[i] for ch, block in self.quality.items()},
+            )
+
+
 @dataclasses.dataclass
 class SubscriberCounters:
-    """Observability counters for one subscription."""
+    """Observability counters for one subscription.
+
+    The historical counters (``enqueued``/``delivered``/``dropped``/
+    ``coalesced``) stay in **sample units** so dashboards and tests
+    written against per-sample delivery keep reading correctly; their
+    ``*_chunks`` twins count the same events in whole-chunk units.
+    ``enqueued == delivered + dropped + coalesced`` holds in both
+    units once a replay drains.
+    """
 
     #: Samples appended to the subscriber's queue.
     enqueued: int = 0
@@ -84,9 +150,17 @@ class SubscriberCounters:
     dropped: int = 0
     #: Samples superseded under ``coalesce``.
     coalesced: int = 0
+    #: Chunks appended to the subscriber's queue.
+    enqueued_chunks: int = 0
+    #: Chunks fully processed by the consumer.
+    delivered_chunks: int = 0
+    #: Whole chunks evicted under ``drop_oldest``.
+    dropped_chunks: int = 0
+    #: Whole chunks superseded under ``coalesce``.
+    coalesced_chunks: int = 0
     #: Callback exceptions (swallowed; the stream continues).
     errors: int = 0
-    #: Deepest queue backlog observed at publish time.
+    #: Deepest queue backlog observed at publish time, in chunks.
     max_queue_depth: int = 0
     #: Largest published-but-unprocessed sample count observed.
     max_lag: int = 0
@@ -96,14 +170,21 @@ class SubscriberCounters:
 
 
 class Subscription:
-    """One subscriber's queue, worker thread, and counters."""
+    """One subscriber's queue, worker thread, and counters.
+
+    The queue holds whole :class:`BusChunk` objects.  ``delivery``
+    decides what the callback sees: ``"chunks"`` hands each chunk over
+    verbatim; ``"samples"`` (the compatibility shim) splits every chunk
+    and invokes the callback once per :class:`BusSample`.
+    """
 
     def __init__(
         self,
         name: str,
-        callback: Callable[[BusSample], None],
+        callback: Callable[..., None],
         capacity: int,
         policy: str,
+        delivery: str = "samples",
     ) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -111,10 +192,15 @@ class Subscription:
             raise ValueError(
                 f"policy must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
             )
+        if delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"delivery must be one of {DELIVERY_MODES}, got {delivery!r}"
+            )
         self.name = name
         self.callback = callback
         self.capacity = capacity
         self.policy = policy
+        self.delivery = delivery
         self.counters = SubscriberCounters()
         self._queue: collections.deque = collections.deque()
         self._cond = threading.Condition()
@@ -126,27 +212,31 @@ class Subscription:
 
     # -- publisher side -----------------------------------------------------------
 
-    def _offer(self, sample: BusSample) -> None:
-        """Enqueue one sample per the backpressure policy."""
+    def _offer(self, chunk: BusChunk) -> None:
+        """Enqueue one chunk per the backpressure policy."""
         counters = self.counters
+        size = len(chunk)
         with self._cond:
             if self.policy == "block":
                 while len(self._queue) >= self.capacity and not self._closed:
                     self._cond.wait(timeout=0.2)
             elif len(self._queue) >= self.capacity:
                 if self.policy == "drop_oldest":
-                    self._queue.popleft()
-                    counters.dropped += 1
-                else:  # coalesce: the incoming sample supersedes the newest
-                    self._queue.pop()
-                    counters.coalesced += 1
-            self._queue.append(sample)
-            counters.enqueued += 1
+                    evicted = self._queue.popleft()
+                    counters.dropped += len(evicted)
+                    counters.dropped_chunks += 1
+                else:  # coalesce: the incoming chunk supersedes the newest
+                    evicted = self._queue.pop()
+                    counters.coalesced += len(evicted)
+                    counters.coalesced_chunks += 1
+            self._queue.append(chunk)
+            counters.enqueued += size
+            counters.enqueued_chunks += 1
             depth = len(self._queue)
             if depth > counters.max_queue_depth:
                 counters.max_queue_depth = depth
             processed = counters.delivered + counters.dropped + counters.coalesced
-            lag = sample.seq + 1 - processed
+            lag = chunk.end_seq + 1 - processed
             if lag > counters.max_lag:
                 counters.max_lag = lag
             self._cond.notify()
@@ -167,28 +257,41 @@ class Subscription:
                 while not self._queue and not self._closed:
                     self._cond.wait(timeout=0.2)
                 if self._queue:
-                    sample = self._queue.popleft()
+                    chunk = self._queue.popleft()
                     # Wake a publisher waiting for space (block policy).
                     self._cond.notify_all()
                 elif self._closed:
                     return
                 else:
                     continue
-            try:
-                self.callback(sample)
-            except Exception:
+            if self.delivery == "chunks":
+                try:
+                    self.callback(chunk)
+                except Exception:
+                    with self._cond:
+                        self.counters.errors += 1
                 with self._cond:
-                    self.counters.errors += 1
-                    self.counters.delivered += 1
-                continue
-            with self._cond:
-                self.counters.delivered += 1
+                    self.counters.delivered += len(chunk)
+                    self.counters.delivered_chunks += 1
+            else:
+                for sample in chunk.samples():
+                    try:
+                        self.callback(sample)
+                    except Exception:
+                        with self._cond:
+                            self.counters.errors += 1
+                            self.counters.delivered += 1
+                        continue
+                    with self._cond:
+                        self.counters.delivered += 1
+                with self._cond:
+                    self.counters.delivered_chunks += 1
 
     @property
     def backlog(self) -> int:
         """Samples currently queued and unprocessed."""
         with self._cond:
-            return len(self._queue)
+            return sum(len(chunk) for chunk in self._queue)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -203,6 +306,8 @@ class BusReport:
     simulated_span_s: float
     #: Final per-subscriber counters, by subscriber name.
     subscribers: Dict[str, SubscriberCounters]
+    #: Chunks published (== ``published`` when ``chunk_size == 1``).
+    published_chunks: int = 0
 
     @property
     def rows_per_sec(self) -> float:
@@ -221,14 +326,18 @@ class ReplayBus:
 
     Args:
         source: An :class:`EnvironmentalDatabase` (replayed via
-            :meth:`~EnvironmentalDatabase.iter_snapshots`) or any
-            iterable of ``(epoch_s, values, quality)`` rows in
-            ascending timestamp order.
+            zero-copy column-block slices) or any iterable of
+            ``(epoch_s, values, quality)`` rows in ascending timestamp
+            order.
         speedup: Simulated seconds streamed per wall-clock second.
             ``inf`` (the default) paces not at all — every row is
             published as fast as subscribers' policies allow.
         start_epoch_s / end_epoch_s: Restrict a database source to a
             replay window ``[start, end)``.
+        chunk_size: Snapshots batched per published :class:`BusChunk`.
+            The default of 1 reproduces per-sample publishing exactly
+            (one chunk per snapshot, pacing and drop accounting
+            included); live deployments should use hundreds.
     """
 
     def __init__(
@@ -237,39 +346,88 @@ class ReplayBus:
         speedup: float = float("inf"),
         start_epoch_s: float = -np.inf,
         end_epoch_s: float = np.inf,
+        chunk_size: int = 1,
     ) -> None:
         if speedup <= 0:
             raise ValueError(f"speedup must be positive, got {speedup}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self._source = source
         self.speedup = float(speedup)
         self._start = start_epoch_s
         self._end = end_epoch_s
+        self.chunk_size = int(chunk_size)
         self._subscriptions: List[Subscription] = []
         self.published = 0
+        self.published_chunks = 0
 
     def subscribe(
         self,
         name: str,
-        callback: Callable[[BusSample], None],
+        callback: Callable[..., None],
         capacity: int = 256,
         policy: str = "block",
+        delivery: str = "samples",
     ) -> Subscription:
         """Register a consumer; its worker thread starts immediately.
 
+        Args:
+            delivery: ``"samples"`` (default) invokes ``callback`` once
+                per :class:`BusSample` — the pre-chunking contract,
+                served by splitting each queued chunk.  ``"chunks"``
+                invokes it once per :class:`BusChunk` for vectorized
+                consumers.
+
         Raises:
-            ValueError: on a duplicate name, non-positive capacity, or
-                unknown policy.
+            ValueError: on a duplicate name, non-positive capacity,
+                unknown policy, or unknown delivery mode.
         """
         if any(s.name == name for s in self._subscriptions):
             raise ValueError(f"duplicate subscriber name: {name!r}")
-        subscription = Subscription(name, callback, capacity, policy)
+        subscription = Subscription(name, callback, capacity, policy, delivery)
         self._subscriptions.append(subscription)
         return subscription
 
-    def _rows(self) -> Iterator[SourceRow]:
+    def _chunks(self) -> Iterator[Tuple[np.ndarray, Mapping, Mapping]]:
+        """Yield ``(epoch_s, values, quality)`` column blocks.
+
+        Database sources slice their column matrices directly —
+        zero-copy read-only views.  Generic row iterables are batched
+        by stacking up to ``chunk_size`` consecutive rows (flushing
+        early if the channel set changes mid-batch).
+        """
         if isinstance(self._source, EnvironmentalDatabase):
-            return self._source.iter_snapshots(self._start, self._end)
-        return iter(self._source)
+            yield from self._source.iter_blocks(
+                self.chunk_size, self._start, self._end
+            )
+            return
+        pending: List[SourceRow] = []
+        pending_key: Optional[Tuple] = None
+        for row in iter(self._source):
+            key = (tuple(row[1].keys()), tuple(row[2].keys()))
+            if pending and (key != pending_key or len(pending) >= self.chunk_size):
+                yield self._stack_rows(pending)
+                pending = []
+            pending.append(row)
+            pending_key = key
+        if pending:
+            yield self._stack_rows(pending)
+
+    @staticmethod
+    def _stack_rows(rows: List[SourceRow]) -> Tuple[np.ndarray, Mapping, Mapping]:
+        epochs = np.array([row[0] for row in rows], dtype=np.float64)
+        epochs.flags.writeable = False
+        values: Dict[Channel, np.ndarray] = {}
+        quality: Dict[Channel, np.ndarray] = {}
+        for channel in rows[0][1]:
+            block = np.stack([row[1][channel] for row in rows])
+            block.flags.writeable = False
+            values[channel] = block
+        for channel in rows[0][2]:
+            block = np.stack([row[2][channel] for row in rows])
+            block.flags.writeable = False
+            quality[channel] = block
+        return epochs, values, quality
 
     def run(self, join_timeout_s: float = 60.0) -> BusReport:
         """Publish every source row, drain all queues, and report.
@@ -283,21 +441,28 @@ class ReplayBus:
         next_wall = started
         previous_epoch: Optional[float] = None
         first_epoch = last_epoch = 0.0
-        for epoch_s, values, quality in self._rows():
+        for epochs, values, quality in self._chunks():
+            if len(epochs) == 0:
+                continue
             if previous_epoch is None:
-                first_epoch = epoch_s
+                first_epoch = float(epochs[0])
             elif pace:
-                next_wall += (epoch_s - previous_epoch) / self.speedup
+                next_wall += (float(epochs[0]) - previous_epoch) / self.speedup
                 delay = next_wall - time.perf_counter()
                 if delay > 0:
                     time.sleep(delay)
-            previous_epoch = last_epoch = epoch_s
-            sample = BusSample(
-                seq=self.published, epoch_s=epoch_s, values=values, quality=quality
+            previous_epoch = last_epoch = float(epochs[-1])
+            chunk = BusChunk(
+                seq=self.published_chunks,
+                start_seq=self.published,
+                epoch_s=epochs,
+                values=values,
+                quality=quality,
             )
             for subscription in self._subscriptions:
-                subscription._offer(sample)
-            self.published += 1
+                subscription._offer(chunk)
+            self.published += len(epochs)
+            self.published_chunks += 1
         for subscription in self._subscriptions:
             subscription._close()
         for subscription in self._subscriptions:
@@ -310,4 +475,5 @@ class ReplayBus:
             subscribers={
                 s.name: dataclasses.replace(s.counters) for s in self._subscriptions
             },
+            published_chunks=self.published_chunks,
         )

@@ -11,7 +11,10 @@ after it.
 The rollup subscriber uses the ``block`` policy (the store must see
 every sample for streaming/batch equivalence); the analytics
 subscribers default to ``drop_oldest`` so a slow model can never stall
-ingest.
+ingest.  All first-class subscribers take chunked delivery
+(``ServiceConfig.chunk_size`` snapshots per vectorized update); ad-hoc
+subscribers added to :attr:`LiveOperationsService.bus` default to the
+per-sample shim and see the exact historical stream.
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ class ServiceConfig:
     resolutions_s: Tuple[float, ...] = DEFAULT_RESOLUTIONS_S
     #: Query-cache capacity.
     cache_size: int = 1024
+    #: Snapshots per published chunk.  The service subscribers consume
+    #: whole chunks vectorized; results are identical at any chunk
+    #: size (1 reproduces per-sample delivery exactly).
+    chunk_size: int = 256
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,6 +103,7 @@ class LiveOperationsService:
             speedup=self.config.speedup,
             start_epoch_s=start_epoch_s,
             end_epoch_s=end_epoch_s,
+            chunk_size=self.config.chunk_size,
         )
         self.rollups = RollupStore(
             num_racks=database.num_racks, resolutions_s=self.config.resolutions_s
@@ -106,6 +114,7 @@ class LiveOperationsService:
             RollupSubscriber(self.rollups),
             capacity=self.config.queue_capacity,
             policy="block",
+            delivery="chunks",
         )
         self.predictor_subscriber: Optional[PredictorSubscriber] = None
         if model is not None:
@@ -120,6 +129,7 @@ class LiveOperationsService:
                 self.predictor_subscriber,
                 capacity=self.config.queue_capacity,
                 policy=self.config.analytics_policy,
+                delivery="chunks",
             )
         self.cusum_subscriber: Optional[CusumSubscriber] = None
         if cusum:
@@ -129,6 +139,7 @@ class LiveOperationsService:
                 self.cusum_subscriber,
                 capacity=self.config.queue_capacity,
                 policy=self.config.analytics_policy,
+                delivery="chunks",
             )
 
     def run(self) -> ServiceReport:

@@ -239,6 +239,12 @@ class QueryEngine:
             collections.OrderedDict()
         )
         self._lock = threading.Lock()
+        # Memoized earliest-mutation answers for the current store
+        # version: chunked ingest bumps the version once per chunk, so
+        # validating many cached entries against one new chunk costs a
+        # single mutation-history scan per distinct entry version.
+        self._mutation_memo: Dict[int, float] = {}
+        self._mutation_memo_version = -1
 
     # -- cache machinery ----------------------------------------------------------
 
@@ -258,7 +264,7 @@ class QueryEngine:
                 return None
             current = self.store.version
             if entry.version != current:
-                earliest = self.store.earliest_mutation_since(entry.version)
+                earliest = self._earliest_since(entry.version, current)
                 if earliest < self._window_end(query):
                     # New data landed inside the window: recompute.
                     del self._cache[query]
@@ -270,6 +276,17 @@ class QueryEngine:
             self._cache.move_to_end(query)
             self.counters.hits += 1
             return entry.result
+
+    def _earliest_since(self, version: int, current: int) -> float:
+        """Memoized ``store.earliest_mutation_since`` (lock held)."""
+        if self._mutation_memo_version != current:
+            self._mutation_memo.clear()
+            self._mutation_memo_version = current
+        earliest = self._mutation_memo.get(version)
+        if earliest is None:
+            earliest = self.store.earliest_mutation_since(version)
+            self._mutation_memo[version] = earliest
+        return earliest
 
     def _store_entry(self, query: Query, result: QueryResult, version: int) -> None:
         with self._lock:

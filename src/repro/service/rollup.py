@@ -62,15 +62,38 @@ _MUTATION_HISTORY = 4096
 _USABLE_FLAGS = (int(Quality.OK), int(Quality.SUSPECT))
 
 
+@dataclasses.dataclass(frozen=True)
+class _PreparedBlock:
+    """Per-channel block derivatives shared by every level's fold.
+
+    Computed once per ingested block (isfinite / zero-fill / usable
+    masks are identical at every resolution) so the per-level work is
+    only the segment reduction and the bucket writes.  Fully-finite /
+    fully-usable blocks — the overwhelmingly common case — carry
+    ``None`` masks, letting the fold skip the mask reductions and
+    write bucket tallies as broadcast fills.
+    """
+
+    zeroed: np.ndarray  # non-finite cells as 0.0 (the block itself when clean)
+    finite: Optional[np.ndarray]  # bool mask; None = every cell finite
+    usable: Optional[np.ndarray]  # bool mask; None = every cell usable
+
+
 @dataclasses.dataclass
 class _ChannelBuckets:
-    """Growable per-channel accumulator matrices for one level."""
+    """Growable per-channel accumulator matrices for one level.
 
-    minimum: np.ndarray  # (cap, racks) float64, NaN-initialized
-    maximum: np.ndarray  # (cap, racks) float64, NaN-initialized
-    total: np.ndarray  # (cap, racks) float64, zero-initialized
-    count: np.ndarray  # (cap, racks) int64
-    usable: np.ndarray  # (cap, racks) int64
+    Rows at or beyond the level's ``size`` are uninitialized — every
+    bucket row is explicitly written when it is created (``locate`` for
+    row-at-a-time ingest, the tail writes of ``add_block`` for blocks),
+    so fresh capacity is allocated with ``np.empty`` and never padded.
+    """
+
+    minimum: np.ndarray  # (cap, racks) float64
+    maximum: np.ndarray  # (cap, racks) float64
+    total: np.ndarray  # (cap, racks) float64
+    count: np.ndarray  # (cap, racks) int32
+    usable: np.ndarray  # (cap, racks) int32
 
 
 class _Level:
@@ -90,18 +113,22 @@ class _Level:
     def _new_buckets(self, capacity: int) -> _ChannelBuckets:
         shape = (capacity, self.num_racks)
         return _ChannelBuckets(
-            minimum=np.full(shape, np.nan),
-            maximum=np.full(shape, np.nan),
-            total=np.zeros(shape),
-            count=np.zeros(shape, dtype="int64"),
-            usable=np.zeros(shape, dtype="int64"),
+            minimum=np.empty(shape),
+            maximum=np.empty(shape),
+            total=np.empty(shape),
+            count=np.empty(shape, dtype="int32"),
+            usable=np.empty(shape, dtype="int32"),
         )
 
-    def _grow(self) -> None:
+    def _grow(self, needed: Optional[int] = None) -> None:
+        """Reallocate to at least ``needed`` (default: double) in one go."""
         new_capacity = self.capacity * 2
-        self.epoch = np.concatenate([self.epoch, np.empty(self.capacity)])
+        while new_capacity < (needed or 0):
+            new_capacity *= 2
+        grown = new_capacity - self.capacity
+        self.epoch = np.concatenate([self.epoch, np.empty(grown)])
         self.samples = np.concatenate(
-            [self.samples, np.zeros(self.capacity, dtype="int64")]
+            [self.samples, np.empty(grown, dtype=self.samples.dtype)]
         )
         for channel, buckets in self.channels.items():
             fresh = self._new_buckets(new_capacity)
@@ -166,6 +193,148 @@ class _Level:
                 )
             else:
                 buckets.usable[index] += finite
+
+    def _ensure_capacity(self, needed: int) -> None:
+        # Block ingest over-allocates (2x the requirement) so a steady
+        # stream of chunks reallocates O(log n) times with geometric
+        # copy cost, not once per chunk batch.
+        if self.capacity < needed:
+            self._grow(2 * needed)
+
+    def add_block(
+        self,
+        epochs: np.ndarray,
+        values: Mapping[Channel, np.ndarray],
+        prepared: Mapping[Channel, "_PreparedBlock"],
+    ) -> None:
+        """Fold a block of rows (non-decreasing epochs) in one pass.
+
+        Rows are grouped into per-bucket segments, each segment reduced
+        with ``np.{fmin,fmax,add}.reduceat`` (sequential in-segment
+        application — the same fold order as row-at-a-time :meth:`add`,
+        so min/max/count/usable are exact and totals differ from the
+        sequential path only by one re-association per merged bucket).
+
+        Two structural fast paths keep the in-order streaming case at
+        memory-copy speed: when every row lands in its own bucket (a
+        stream cadence at or above the level resolution) the reduceats
+        collapse to the block itself, and brand-new tail buckets are
+        written directly — no NaN/zero reset pass, no fold against the
+        freshly reset rows.  Only a bucket merged with the previous
+        block's tail folds against existing state.  A block reaching
+        behind the newest bucket falls back to per-segment
+        :meth:`locate` plus a full fold.
+        """
+        n = len(epochs)
+        starts = np.floor(epochs / self.resolution_s) * self.resolution_s
+        if n == 1:
+            seg_idx = np.zeros(1, dtype=np.intp)
+        else:
+            seg_idx = np.concatenate(
+                [[0], np.flatnonzero(starts[1:] != starts[:-1]) + 1]
+            ).astype(np.intp)
+        ustarts = starts[seg_idx]  # strictly increasing
+        singles = len(ustarts) == n  # every row is its own bucket
+        seg_rows = np.diff(np.append(seg_idx, n))
+        # Per-bucket tallies when every cell counts: a (nseg, 1) column
+        # broadcast across racks (scalar 1 in the singles case), so the
+        # bucket writes are fills with no mask reduction at all.
+        full_tally = 1 if singles else seg_rows[:, None].astype(np.int32)
+
+        def reduce_segments(channel):
+            block = values[channel]
+            ready = prepared[channel]
+            if singles:
+                count = 1 if ready.finite is None else ready.finite
+                usable = 1 if ready.usable is None else ready.usable
+                return block, block, ready.zeroed, count, usable
+            count = (
+                full_tally
+                if ready.finite is None
+                else np.add.reduceat(
+                    ready.finite, seg_idx, axis=0, dtype=np.int32
+                )
+            )
+            usable = (
+                full_tally
+                if ready.usable is None
+                else np.add.reduceat(
+                    ready.usable, seg_idx, axis=0, dtype=np.int32
+                )
+            )
+            return (
+                np.fmin.reduceat(block, seg_idx, axis=0),
+                np.fmax.reduceat(block, seg_idx, axis=0),
+                np.add.reduceat(ready.zeroed, seg_idx, axis=0),
+                count,
+                usable,
+            )
+
+        def head(segments):
+            """Row 0 of a per-segment tally (or its scalar broadcast)."""
+            return segments if np.isscalar(segments) else segments[0]
+
+        def tail(segments, skip):
+            return segments if np.isscalar(segments) else segments[skip:]
+
+        if self.size == 0 or ustarts[0] >= self.epoch[self.size - 1]:
+            merge_first = bool(self.size) and ustarts[0] == self.epoch[self.size - 1]
+            skip = int(merge_first)
+            lo = self.size
+            hi = lo + len(ustarts) - skip
+            self._ensure_capacity(hi)
+            self.epoch[lo:hi] = ustarts[skip:]
+            if merge_first:
+                self.samples[lo - 1] += seg_rows[0]
+            self.samples[lo:hi] = seg_rows[skip:]
+            for channel, buckets in self.channels.items():
+                if channel not in values:
+                    # Untouched channel: its fresh tail rows stay clean.
+                    buckets.minimum[lo:hi] = np.nan
+                    buckets.maximum[lo:hi] = np.nan
+                    buckets.total[lo:hi] = 0.0
+                    buckets.count[lo:hi] = 0
+                    buckets.usable[lo:hi] = 0
+                    continue
+                seg_min, seg_max, seg_sum, seg_count, seg_usable = (
+                    reduce_segments(channel)
+                )
+                if merge_first:
+                    prev = lo - 1
+                    buckets.minimum[prev] = np.fmin(
+                        buckets.minimum[prev], seg_min[0]
+                    )
+                    buckets.maximum[prev] = np.fmax(
+                        buckets.maximum[prev], seg_max[0]
+                    )
+                    buckets.total[prev] += seg_sum[0]
+                    buckets.count[prev] += head(seg_count)
+                    buckets.usable[prev] += head(seg_usable)
+                # New tail buckets: direct writes, nothing to fold with.
+                buckets.minimum[lo:hi] = seg_min[skip:]
+                buckets.maximum[lo:hi] = seg_max[skip:]
+                buckets.total[lo:hi] = seg_sum[skip:]
+                buckets.count[lo:hi] = tail(seg_count, skip)
+                buckets.usable[lo:hi] = tail(seg_usable, skip)
+            self.size = hi
+            return
+
+        # Late block: locate (and possibly insert) per segment.
+        # Inserts happen at strictly increasing positions, so
+        # earlier indices stay valid.
+        index = np.array([self.locate(float(s)) for s in ustarts], dtype=np.intp)
+        self.samples[index] += seg_rows
+        for channel in values:
+            buckets = self.channels[channel]
+            seg_min, seg_max, seg_sum, seg_count, seg_usable = (
+                reduce_segments(channel)
+            )
+            buckets.minimum[index] = np.fmin(buckets.minimum[index], seg_min)
+            buckets.maximum[index] = np.fmax(buckets.maximum[index], seg_max)
+            buckets.total[index] += seg_sum
+            # Scalar/column tallies broadcast across the fancy index.
+            buckets.count[index] += seg_count
+            buckets.usable[index] += seg_usable
 
 
 @dataclasses.dataclass(frozen=True)
@@ -246,6 +415,68 @@ class RollupStore:
             self._mutations.append((self._version, float(epoch_s)))
             self.ingested_rows += 1
 
+    def add_block(
+        self,
+        epoch_s: np.ndarray,
+        values: Mapping[Channel, np.ndarray],
+        quality: Optional[Mapping[Channel, np.ndarray]] = None,
+    ) -> None:
+        """Fold a whole block of samples into every level at once.
+
+        Args:
+            epoch_s: ``(timesteps,)`` sample timestamps.
+            values: Channel -> ``(timesteps, racks)`` block.
+            quality: Optional parallel quality-flag blocks.
+
+        The store version bumps **once per block** (one mutation-
+        history entry stamped at the block's earliest timestamp), so
+        downstream cache invalidation scales with chunks rather than
+        samples.  Blocks with internally decreasing timestamps fall
+        back to row-at-a-time folding to keep the out-of-order
+        semantics of :meth:`add` exactly.
+        """
+        epochs = np.asarray(epoch_s, dtype=np.float64)
+        if epochs.ndim != 1:
+            raise ValueError(f"epoch_s must be 1-D, got shape {epochs.shape}")
+        n = len(epochs)
+        if n == 0:
+            return
+        with self._lock:
+            if n > 1 and np.any(epochs[1:] < epochs[:-1]):
+                for i in range(n):
+                    row_values = {ch: block[i] for ch, block in values.items()}
+                    row_quality = (
+                        {ch: block[i] for ch, block in quality.items()}
+                        if quality is not None
+                        else None
+                    )
+                    for level in self._levels:
+                        level.add(float(epochs[i]), row_values, row_quality)
+            else:
+                prepared = {}
+                for channel, block in values.items():
+                    finite = np.isfinite(block)
+                    clean = bool(finite.all())
+                    if quality is not None and channel in quality:
+                        flags = quality[channel]
+                        usable = (flags == _USABLE_FLAGS[0]) | (
+                            flags == _USABLE_FLAGS[1]
+                        )
+                        if usable.all():
+                            usable = None
+                    else:
+                        usable = None if clean else finite
+                    prepared[channel] = _PreparedBlock(
+                        zeroed=block if clean else np.where(finite, block, 0.0),
+                        finite=None if clean else finite,
+                        usable=usable,
+                    )
+                for level in self._levels:
+                    level.add_block(epochs, values, prepared)
+            self._version += 1
+            self._mutations.append((self._version, float(epochs.min())))
+            self.ingested_rows += n
+
     def ingest_database(
         self,
         database: EnvironmentalDatabase,
@@ -276,7 +507,8 @@ class RollupStore:
 
     @property
     def version(self) -> int:
-        """Monotonic ingest counter (one bump per :meth:`add`)."""
+        """Monotonic ingest counter (one bump per :meth:`add` or
+        :meth:`add_block` call)."""
         with self._lock:
             return self._version
 

@@ -29,7 +29,7 @@ from repro.facility.topology import RackId
 from repro.monitoring.alerts import Alert, AlertEngine, AlertLog
 from repro.monitoring.anomaly import CusumAlarm, CusumDetector
 from repro.monitoring.online import OnlineCmfPredictor, Prediction
-from repro.service.bus import BusSample
+from repro.service.bus import BusChunk, BusSample
 from repro.service.rollup import RollupStore
 from repro.telemetry.records import PREDICTOR_CHANNELS, Channel
 
@@ -40,13 +40,21 @@ _RACK_IDS = tuple(
 
 
 class RollupSubscriber:
-    """Folds every sample into a :class:`RollupStore` as it arrives."""
+    """Folds every sample into a :class:`RollupStore` as it arrives.
+
+    Accepts either delivery granularity: per-sample rows go through
+    :meth:`RollupStore.add`, whole :class:`BusChunk` blocks through the
+    vectorized :meth:`RollupStore.add_block`.
+    """
 
     def __init__(self, store: RollupStore) -> None:
         self.store = store
 
-    def __call__(self, sample: BusSample) -> None:
-        self.store.add(sample.epoch_s, sample.values, sample.quality)
+    def __call__(self, item: "BusSample | BusChunk") -> None:
+        if isinstance(item, BusChunk):
+            self.store.add_block(item.epoch_s, item.values, item.quality)
+        else:
+            self.store.add(item.epoch_s, item.values, item.quality)
 
 
 class PredictorSubscriber:
@@ -70,7 +78,11 @@ class PredictorSubscriber:
         self.alert_log = alert_log if alert_log is not None else AlertLog()
         self.predictions: List[Prediction] = []
 
-    def __call__(self, sample: BusSample) -> None:
+    def __call__(self, item: "BusSample | BusChunk") -> None:
+        if isinstance(item, BusChunk):
+            self._consume_chunk(item)
+            return
+        sample = item
         columns = [sample.values[ch] for ch in PREDICTOR_CHANNELS]
         finite_any = np.isfinite(columns[0])
         for column in columns[1:]:
@@ -85,11 +97,42 @@ class PredictorSubscriber:
             )
             if prediction is None:
                 continue
-            self.predictions.append(prediction)
-            if self.alert_engine is not None:
-                alert = self.alert_engine.process(prediction)
-                if alert is not None:
-                    self.alert_log.record(alert)
+            self._emit(prediction)
+
+    def _consume_chunk(self, chunk: BusChunk) -> None:
+        """One vectorized predictor pass per rack, then ordered emit.
+
+        Per-sample delivery offers each rack only the samples where at
+        least one predictor channel is finite; the chunk path feeds
+        each rack exactly that row subset through
+        :meth:`~repro.monitoring.online.OnlineCmfPredictor.consume_block`,
+        then merges per-rack predictions back into the per-sample
+        emission order (time-major, rack ascending) so recorded
+        predictions and downstream alerts are identical.
+        """
+        cube = np.stack(
+            [chunk.values[ch] for ch in PREDICTOR_CHANNELS], axis=2
+        )  # (timesteps, racks, channels)
+        finite_any = np.isfinite(cube).any(axis=2)
+        epochs = np.asarray(chunk.epoch_s, dtype="float64")
+        merged: List[Prediction] = []
+        for rack in np.flatnonzero(finite_any.any(axis=0)):
+            mask = finite_any[:, rack]
+            merged.extend(
+                self.predictor.consume_block(
+                    epochs[mask], _RACK_IDS[rack], cube[mask, rack, :]
+                )
+            )
+        merged.sort(key=lambda p: (p.epoch_s, p.rack_id.flat_index))
+        for prediction in merged:
+            self._emit(prediction)
+
+    def _emit(self, prediction: Prediction) -> None:
+        self.predictions.append(prediction)
+        if self.alert_engine is not None:
+            alert = self.alert_engine.process(prediction)
+            if alert is not None:
+                self.alert_log.record(alert)
 
     @property
     def alerts(self) -> List[Alert]:
@@ -103,7 +146,13 @@ class CusumSubscriber:
         self.detector = detector if detector is not None else CusumDetector()
         self.alarms: List[CusumAlarm] = []
 
-    def __call__(self, sample: BusSample) -> None:
+    def __call__(self, item: "BusSample | BusChunk") -> None:
+        if isinstance(item, BusChunk):
+            self.alarms.extend(
+                self.detector.consume_block(item.epoch_s, item.values)
+            )
+            return
+        sample = item
         for rack in range(len(_RACK_IDS)):
             channel_values: Dict[Channel, float] = {}
             for channel in PREDICTOR_CHANNELS:
@@ -122,10 +171,19 @@ class CountingSubscriber:
     """Test/benchmark consumer: counts samples, optionally slowly.
 
     Attributes:
-        delay_s: Artificial per-sample processing time (simulates a
+        delay_s: Artificial processing time per delivery — one
+            callback invocation, i.e. per sample under ``"samples"``
+            delivery and per chunk under ``"chunks"`` (simulates a
             slow consumer to exercise backpressure policies).
         keep_seqs: Record every delivered sequence number (ordering
             and gap assertions).
+        gaps: Observed discontinuities — deliveries whose first
+            sequence number skipped past ``last_seq + 1`` (each lossy
+            eviction burst counts once, however many samples it ate).
+            Bus sequence numbers start at 0, so samples evicted before
+            the first delivery count as the opening gap.
+        missing: Total sample sequence numbers never delivered (the
+            sum of all gap widths).
     """
 
     delay_s: float = 0.0
@@ -135,14 +193,27 @@ class CountingSubscriber:
     last_epoch_s: float = float("nan")
     seqs: List[int] = dataclasses.field(default_factory=list)
     monotonic: bool = True
+    gaps: int = 0
+    missing: int = 0
 
-    def __call__(self, sample: BusSample) -> None:
+    def __call__(self, item: "BusSample | BusChunk") -> None:
         if self.delay_s > 0:
             time.sleep(self.delay_s)
-        if sample.seq <= self.last_seq:
+        if isinstance(item, BusChunk):
+            first_seq, last_seq = item.start_seq, item.end_seq
+            count = len(item)
+            last_epoch = float(item.epoch_s[-1])
+        else:
+            first_seq = last_seq = item.seq
+            count = 1
+            last_epoch = item.epoch_s
+        if first_seq <= self.last_seq:
             self.monotonic = False
-        self.received += 1
-        self.last_seq = sample.seq
-        self.last_epoch_s = sample.epoch_s
+        elif first_seq > self.last_seq + 1:
+            self.gaps += 1
+            self.missing += first_seq - self.last_seq - 1
+        self.received += count
+        self.last_seq = last_seq
+        self.last_epoch_s = last_epoch
         if self.keep_seqs:
-            self.seqs.append(sample.seq)
+            self.seqs.extend(range(first_seq, last_seq + 1))

@@ -515,6 +515,41 @@ class EnvironmentalDatabase:
             quality = {ch: _readonly(qualities[ch][i]) for ch in CHANNELS}
             yield float(epochs[i]), values, quality
 
+    def iter_blocks(
+        self,
+        block_size: int,
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+    ) -> Iterator[
+        Tuple[np.ndarray, Dict[Channel, np.ndarray], Dict[Channel, np.ndarray]]
+    ]:
+        """Yield committed rows as contiguous columnar blocks.
+
+        Each item is ``(epoch_s, values, quality)`` where ``epoch_s``
+        is a ``(timesteps,)`` slice of the timestamp column and
+        ``values``/``quality`` map every channel to the matching
+        ``(timesteps, num_racks)`` slice of its column matrix.  All
+        arrays are zero-copy read-only views into the store — no row
+        materialization, no dict-per-sample allocation.
+
+        This is the chunked replay surface used by
+        :class:`repro.service.ReplayBus`;
+        :meth:`iter_snapshots` remains the per-row equivalent.
+        """
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.flush()
+        epochs = self._epoch[: self._size]
+        lo = int(np.searchsorted(epochs, start_epoch_s, side="left"))
+        hi = int(np.searchsorted(epochs, end_epoch_s, side="left"))
+        columns = {ch: self._columns[ch] for ch in CHANNELS}
+        qualities = {ch: self._quality_matrix(ch) for ch in CHANNELS}
+        for i in range(lo, hi, block_size):
+            j = min(i + block_size, hi)
+            values = {ch: _readonly(columns[ch][i:j]) for ch in CHANNELS}
+            quality = {ch: _readonly(qualities[ch][i:j]) for ch in CHANNELS}
+            yield _readonly(epochs[i:j]), values, quality
+
     # -- quality ---------------------------------------------------------------
 
     def _quality_matrix(self, channel: Channel) -> np.ndarray:

@@ -32,6 +32,8 @@ class TestPublishing:
         assert counter.received == 50
         assert counter.seqs == list(range(50))
         assert counter.monotonic
+        assert counter.gaps == 0
+        assert counter.missing == 0
 
     def test_database_replay_window(self, demo_result):
         db = demo_result.database
@@ -118,6 +120,8 @@ class TestBackpressure:
         assert counters.dropped == 0
         assert counters.coalesced == 0
         assert slow.seqs == list(range(self.N))
+        assert slow.gaps == 0
+        assert slow.missing == 0
         assert counters.max_queue_depth <= 4
         assert subscription.backlog == 0
 
@@ -130,6 +134,9 @@ class TestBackpressure:
         # Gapped but ordered, and the freshest sample always survives.
         assert slow.monotonic
         assert slow.last_seq == self.N - 1
+        # Every dropped sample shows up as an observed sequence gap.
+        assert slow.gaps > 0
+        assert slow.missing == counters.dropped
         assert counters.max_queue_depth <= 4
         # The publisher never waited on the slow consumer.
         assert report.duration_s < 0.5 * self.N * 0.004
@@ -142,6 +149,9 @@ class TestBackpressure:
         assert counters.dropped == 0
         assert slow.monotonic
         assert slow.last_seq == self.N - 1
+        # Superseded samples are exactly the missing sequence numbers.
+        assert slow.gaps > 0
+        assert slow.missing == counters.coalesced
         assert report.duration_s < 0.5 * self.N * 0.004
 
     @pytest.mark.parametrize("policy", ["drop_oldest", "coalesce"])
