@@ -16,7 +16,10 @@ Subcommands, mirroring how the package is used:
   telemetry stream through the service layer (bus -> rollups ->
   query engine) and print the operational summary,
 * ``query`` — run one dashboard-style query against the rollup store
-  built from a simulation.
+  built from a simulation,
+* ``chaos`` — run the crash/hang/kill chaos matrix against the
+  supervised service and verify recovery equivalence (exit 1 on any
+  mismatch); this is the CI chaos-smoke entry point.
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -178,6 +181,37 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="snapshots per published chunk (1 = per-sample delivery)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the chaos matrix (crash/hang/kill) and verify recovery",
+    )
+    chaos.add_argument("--days", type=int, default=4, help="simulated days")
+    chaos.add_argument("--seed", type=int, default=7, help="master seed")
+    chaos.add_argument(
+        "--dt", type=float, default=1800.0, help="engine step in seconds"
+    )
+    chaos.add_argument(
+        "--chunk-sizes",
+        type=int,
+        nargs="+",
+        default=[1, 64],
+        metavar="N",
+        help="chunk sizes to exercise (1 = per-sample delivery)",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=("crash", "hang", "kill"),
+        default=["crash", "hang", "kill"],
+        help="failure modes to inject",
+    )
+    chaos.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the JSON summary to this file",
     )
 
     query = commands.add_parser(
@@ -414,6 +448,33 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import run_chaos_matrix
+
+    print(
+        f"chaos matrix: {args.days} days (seed {args.seed}), "
+        f"chunk sizes {args.chunk_sizes}, scenarios {args.scenarios} ..."
+    )
+    summary = run_chaos_matrix(
+        days=args.days,
+        seed=args.seed,
+        dt_s=args.dt,
+        chunk_sizes=args.chunk_sizes,
+        scenarios=args.scenarios,
+    )
+    payload = json.dumps(summary, indent=2, default=str)
+    print(payload)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+        print(f"wrote {args.out}")
+    ok = bool(summary["ok"])
+    print("chaos matrix: OK" if ok else "chaos matrix: FAILED")
+    return 0 if ok else 1
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro import timeutil
     from repro.service import Query, QueryEngine, RollupStore
@@ -463,6 +524,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "validate": _cmd_validate,
     "serve-replay": _cmd_serve_replay,
+    "chaos": _cmd_chaos,
     "query": _cmd_query,
 }
 

@@ -100,6 +100,20 @@ class AlertEngine:
                 alerts.append(alert)
         return alerts
 
+    # -- durability ---------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, Dict]:
+        """A picklable copy of the streak/cooldown state machine."""
+        return {
+            "streak": dict(self._streak),
+            "last_alert": dict(self._last_alert),
+        }
+
+    def set_state(self, state: Dict[str, Dict]) -> None:
+        """Restore a :meth:`get_state` copy."""
+        self._streak = dict(state["streak"])
+        self._last_alert = dict(state["last_alert"])
+
 
 @dataclasses.dataclass(frozen=True)
 class MatchReport:
@@ -137,6 +151,10 @@ class AlertLog:
 
     def record(self, alert: Alert) -> None:
         self._alerts.append(alert)
+
+    def restore(self, alerts: Sequence[Alert]) -> None:
+        """Replace the log's contents (recovery from a snapshot)."""
+        self._alerts = list(alerts)
 
     @property
     def alerts(self) -> Tuple[Alert, ...]:

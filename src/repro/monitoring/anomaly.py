@@ -320,3 +320,27 @@ class CusumDetector:
             self._active[...] = False
         elif rack_id.flat_index < self._racks:
             self._active[rack_id.flat_index] = False
+
+    # -- durability ---------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        """A picklable deep copy of the recurrence state."""
+        return {
+            "racks": self._racks,
+            "mean": self._mean.copy(),
+            "variance": self._variance.copy(),
+            "positive": self._positive.copy(),
+            "negative": self._negative.copy(),
+            "samples": self._samples.copy(),
+            "active": self._active.copy(),
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`get_state` copy bit for bit."""
+        self._allocate(int(state["racks"]))
+        self._mean[...] = state["mean"]
+        self._variance[...] = state["variance"]
+        self._positive[...] = state["positive"]
+        self._negative[...] = state["negative"]
+        self._samples[...] = state["samples"]
+        self._active[...] = state["active"]

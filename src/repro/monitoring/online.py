@@ -539,3 +539,38 @@ class OnlineCmfPredictor:
             self._history.clear()
         else:
             self._history.pop(rack_id, None)
+
+    # -- durability ---------------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        """Picklable per-rack history windows plus counters.
+
+        The trained model is deliberately **excluded**: recovery
+        constructs the predictor with the same model object and
+        restores only the streaming state around it.
+        """
+        return {
+            "counters": dataclasses.replace(self.counters),
+            "history": {
+                rack_id: (history.times_view.copy(), history.values_view.copy())
+                for rack_id, history in self._history.items()
+            },
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`get_state` copy.
+
+        Feature interpolation reads only the live ``(times, values)``
+        window, so rebuilding each ring buffer front-aligned is
+        bit-identical to the pre-crash layout.
+        """
+        self.counters = dataclasses.replace(state["counters"])
+        self._history = {}
+        for rack_id, (times, values) in state["history"].items():
+            n = len(times)
+            history = _RackHistory(values.shape[1], capacity=max(128, n))
+            history.times[:n] = times
+            history.values[:n] = values
+            history.start = 0
+            history.size = n
+            self._history[rack_id] = history

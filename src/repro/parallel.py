@@ -21,6 +21,18 @@ This module centralizes the three things every call site needs:
 Workers are separate processes (``fork`` where available), so mapped
 functions and their payloads must be picklable: module-level functions
 and plain data, not closures.
+
+The map is hardened against the two ways a pool dies in practice:
+
+* a **killed worker** (OOM killer, SIGKILL, segfault) breaks the whole
+  ``ProcessPoolExecutor``; :func:`pmap` harvests the chunks that
+  completed, resubmits the rest to a fresh pool up to
+  ``pool_retries`` times, and past that budget finishes the remaining
+  chunks in-process — the caller sees complete, in-order results (or
+  the task's own first exception, which still propagates);
+* a **wedged task**: pass ``timeout_s`` (a per-task deadline) and the
+  gather raises :class:`TimeoutError` instead of hanging forever,
+  after abandoning the pool without waiting on the stuck worker.
 """
 
 from __future__ import annotations
@@ -28,6 +40,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import numpy as np
@@ -124,11 +138,18 @@ def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     return None
 
 
+def _run_chunk(fn: Callable[[_T], _R], chunk: Sequence[_T]) -> List[_R]:
+    """One dispatched unit of work: a contiguous slice of the items."""
+    return [fn(item) for item in chunk]
+
+
 def pmap(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    pool_retries: int = 2,
 ) -> List[_R]:
     """Map ``fn`` over ``items`` on a process pool, preserving order.
 
@@ -138,26 +159,97 @@ def pmap(
     exception raised by any task propagates to the caller and cancels
     the pool.
 
+    Killed workers don't lose the batch: when the pool breaks (a
+    worker was OOM-killed or segfaulted), completed chunks are
+    harvested, the unfinished ones are resubmitted to a fresh pool up
+    to ``pool_retries`` times, and past that budget they finish
+    in-process — a lone bad worker degrades throughput, not
+    correctness.  Note a chunk whose worker died mid-task is *re-run*
+    on retry; tasks should be idempotent (every mapped task in this
+    codebase is a pure function).
+
     Args:
         fn: A picklable (module-level) single-argument callable.
         items: Task payloads; must be picklable for ``workers > 1``.
         workers: See :func:`resolve_workers`.
         chunksize: Tasks per worker dispatch; defaults to roughly four
             dispatches per worker to amortize IPC on long task lists.
+        timeout_s: Per-task deadline, seconds.  Waiting on a dispatched
+            chunk is bounded by ``timeout_s * len(chunk)``; on expiry
+            the pool is abandoned (without waiting on the stuck
+            worker) and :class:`TimeoutError` is raised.  ``None``
+            (the default) waits forever, and the serial path never
+            times out.
+        pool_retries: Fresh-pool resubmissions allowed after broken
+            pools before falling back to in-process execution.
 
     Returns:
         ``[fn(item) for item in items]``, in input order.
+
+    Raises:
+        TimeoutError: when ``timeout_s`` expires for any chunk.
     """
     items = list(items)
     count = resolve_workers(workers, max_tasks=len(items))
     if count <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if pool_retries < 0:
+        raise ValueError(f"pool_retries cannot be negative, got {pool_retries}")
     if chunksize is None:
         chunksize = max(1, len(items) // (count * 4))
-    with ProcessPoolExecutor(
-        max_workers=count, mp_context=_fork_context()
-    ) as pool:
-        return list(pool.map(fn, items, chunksize=chunksize))
+    chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
+    results: List[Optional[List[_R]]] = [None] * len(chunks)
+    pending = list(range(len(chunks)))
+    broken_pools = 0
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(count, len(pending)), mp_context=_fork_context()
+        )
+        futures = {
+            index: pool.submit(_run_chunk, fn, chunks[index]) for index in pending
+        }
+        broken = False
+        try:
+            for index in list(pending):
+                future = futures[index]
+                deadline = (
+                    None if timeout_s is None else timeout_s * len(chunks[index])
+                )
+                try:
+                    results[index] = future.result(timeout=deadline)
+                except BrokenProcessPool:
+                    broken = True
+                    break
+                except _FuturesTimeout:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise TimeoutError(
+                        f"parallel chunk of {len(chunks[index])} task(s) "
+                        f"exceeded its deadline ({timeout_s:g}s per task)"
+                    ) from None
+                pending.remove(index)
+        finally:
+            # A broken pool cannot be waited on; otherwise let queued
+            # work cancel and running work finish.
+            pool.shutdown(wait=not broken, cancel_futures=True)
+        if not broken:
+            break
+        # Harvest whatever finished before the crash, then retry the rest.
+        for index in list(pending):
+            future = futures[index]
+            if not future.done():
+                continue
+            exc = future.exception()
+            if exc is None:
+                results[index] = future.result()
+                pending.remove(index)
+            elif not isinstance(exc, BrokenProcessPool):
+                raise exc  # the task's own failure still propagates
+        broken_pools += 1
+        if broken_pools > pool_retries and pending:
+            for index in pending:
+                results[index] = _run_chunk(fn, chunks[index])
+            pending = []
+    return [value for chunk_results in results for value in chunk_results]
 
 
 def pstarmap(
@@ -165,10 +257,17 @@ def pstarmap(
     items: Iterable[Sequence[Any]],
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    pool_retries: int = 2,
 ) -> List[_R]:
     """:func:`pmap` for multi-argument callables (payloads are tuples)."""
     return pmap(
-        _StarCall(fn), [tuple(item) for item in items], workers, chunksize
+        _StarCall(fn),
+        [tuple(item) for item in items],
+        workers,
+        chunksize,
+        timeout_s=timeout_s,
+        pool_retries=pool_retries,
     )
 
 

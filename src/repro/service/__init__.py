@@ -17,8 +17,15 @@ it, and an aggregated store answering dashboard queries.
   thread-pool batch path,
 * :mod:`repro.service.subscribers` — adapters wiring the online CMF
   predictor, CUSUM detector, and alert engine onto the bus,
+* :mod:`repro.service.resilience` — :class:`Supervisor` and the
+  per-subscriber wrappers: crash isolation, bounded-backoff restarts,
+  hang watchdog with policy degradation, source-replay gap repair,
+* :mod:`repro.service.durability` — :class:`WriteAheadLog` +
+  :class:`SnapshotStore`, the crash-safe persistence behind
+  :meth:`LiveOperationsService.recover`,
 * :mod:`repro.service.live` — :class:`LiveOperationsService`, the
-  assembled bus -> rollups -> query-engine stack.
+  assembled bus -> rollups -> query-engine stack with supervision,
+  durability, and chaos hooks.
 """
 
 from repro.service.bus import (
@@ -31,12 +38,29 @@ from repro.service.bus import (
     SubscriberCounters,
     Subscription,
 )
+from repro.service.durability import (
+    ComponentRecovery,
+    DurabilityConfig,
+    RecoveryError,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+)
 from repro.service.live import LiveOperationsService, ServiceConfig, ServiceReport
 from repro.service.query import (
     CacheCounters,
     Query,
     QueryEngine,
     QueryResult,
+    ServeCounters,
+)
+from repro.service.resilience import (
+    ServiceEvent,
+    SourceReplayer,
+    SupervisedSubscriber,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorCounters,
 )
 from repro.service.rollup import (
     DEFAULT_RESOLUTIONS_S,
@@ -59,6 +83,12 @@ __all__ = [
     "ReplayBus",
     "SubscriberCounters",
     "Subscription",
+    "ComponentRecovery",
+    "DurabilityConfig",
+    "RecoveryError",
+    "RecoveryReport",
+    "SnapshotStore",
+    "WriteAheadLog",
     "LiveOperationsService",
     "ServiceConfig",
     "ServiceReport",
@@ -66,6 +96,13 @@ __all__ = [
     "Query",
     "QueryEngine",
     "QueryResult",
+    "ServeCounters",
+    "ServiceEvent",
+    "SourceReplayer",
+    "SupervisedSubscriber",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorCounters",
     "DEFAULT_RESOLUTIONS_S",
     "BucketWindow",
     "RollupStore",

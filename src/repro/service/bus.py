@@ -213,14 +213,22 @@ class Subscription:
     # -- publisher side -----------------------------------------------------------
 
     def _offer(self, chunk: BusChunk) -> None:
-        """Enqueue one chunk per the backpressure policy."""
+        """Enqueue one chunk per the backpressure policy.
+
+        The policy is re-read on every wait iteration so a supervisor
+        can degrade a blocked subscription to ``drop_oldest`` mid-wait
+        (see :meth:`set_policy`) and unwedge the publisher.
+        """
         counters = self.counters
         size = len(chunk)
         with self._cond:
-            if self.policy == "block":
-                while len(self._queue) >= self.capacity and not self._closed:
-                    self._cond.wait(timeout=0.2)
-            elif len(self._queue) >= self.capacity:
+            while (
+                self.policy == "block"
+                and len(self._queue) >= self.capacity
+                and not self._closed
+            ):
+                self._cond.wait(timeout=0.2)
+            if len(self._queue) >= self.capacity and self.policy != "block":
                 if self.policy == "drop_oldest":
                     evicted = self._queue.popleft()
                     counters.dropped += len(evicted)
@@ -241,8 +249,31 @@ class Subscription:
                 counters.max_lag = lag
             self._cond.notify()
 
+    def set_policy(self, policy: str) -> None:
+        """Swap the backpressure policy at runtime (thread-safe).
+
+        Used by the supervisor's watchdog to degrade a hung blocking
+        subscriber to ``drop_oldest`` (and restore it afterwards); a
+        publisher blocked in :meth:`_offer` re-checks the policy and
+        unwedges immediately.
+        """
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {BACKPRESSURE_POLICIES}, got {policy!r}"
+            )
+        with self._cond:
+            self.policy = policy
+            self._cond.notify_all()
+
     def _close(self) -> None:
         with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def _abort(self) -> None:
+        """Close *discarding* the backlog (simulated process death)."""
+        with self._cond:
+            self._queue.clear()
             self._closed = True
             self._cond.notify_all()
 
@@ -338,6 +369,16 @@ class ReplayBus:
             The default of 1 reproduces per-sample publishing exactly
             (one chunk per snapshot, pacing and drop accounting
             included); live deployments should use hundreds.
+        base_seq: Sample sequence number of the first published row.
+            A recovered service resumes its replay mid-stream with the
+            sequence numbering of the original run, so write-ahead-log
+            records and subscriber ack positions stay aligned.
+        on_publish: Optional hook invoked with each :class:`BusChunk`
+            *before* it is offered to any subscriber — the write-ahead
+            ordering point (the durability layer appends the chunk to
+            its log here, and the chaos injector raises its simulated
+            process kill here).  An exception from the hook aborts the
+            replay without publishing the chunk.
     """
 
     def __init__(
@@ -347,16 +388,22 @@ class ReplayBus:
         start_epoch_s: float = -np.inf,
         end_epoch_s: float = np.inf,
         chunk_size: int = 1,
+        base_seq: int = 0,
+        on_publish: Optional[Callable[[BusChunk], None]] = None,
     ) -> None:
         if speedup <= 0:
             raise ValueError(f"speedup must be positive, got {speedup}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if base_seq < 0:
+            raise ValueError(f"base_seq must be >= 0, got {base_seq}")
         self._source = source
         self.speedup = float(speedup)
         self._start = start_epoch_s
         self._end = end_epoch_s
         self.chunk_size = int(chunk_size)
+        self.base_seq = int(base_seq)
+        self.on_publish = on_publish
         self._subscriptions: List[Subscription] = []
         self.published = 0
         self.published_chunks = 0
@@ -429,6 +476,20 @@ class ReplayBus:
             quality[channel] = block
         return epochs, values, quality
 
+    def abort(self, join_timeout_s: float = 10.0) -> None:
+        """Tear the bus down *discarding* every subscriber backlog.
+
+        Models the process dying mid-replay: queued-but-unprocessed
+        chunks are lost (exactly what a kill loses), worker threads
+        exit, and no further state mutation happens.  Used by the
+        chaos harness after :class:`ChaosProcessKill` escapes
+        :meth:`run`.
+        """
+        for subscription in self._subscriptions:
+            subscription._abort()
+        for subscription in self._subscriptions:
+            subscription._join(join_timeout_s)
+
     def run(self, join_timeout_s: float = 60.0) -> BusReport:
         """Publish every source row, drain all queues, and report.
 
@@ -454,11 +515,13 @@ class ReplayBus:
             previous_epoch = last_epoch = float(epochs[-1])
             chunk = BusChunk(
                 seq=self.published_chunks,
-                start_seq=self.published,
+                start_seq=self.base_seq + self.published,
                 epoch_s=epochs,
                 values=values,
                 quality=quality,
             )
+            if self.on_publish is not None:
+                self.on_publish(chunk)
             for subscription in self._subscriptions:
                 subscription._offer(chunk)
             self.published += len(epochs)

@@ -15,20 +15,46 @@ ingest.  All first-class subscribers take chunked delivery
 (``ServiceConfig.chunk_size`` snapshots per vectorized update); ad-hoc
 subscribers added to :attr:`LiveOperationsService.bus` default to the
 per-sample shim and see the exact historical stream.
+
+Resilience (see :mod:`repro.service.resilience` and
+:mod:`repro.service.durability`): every first-class subscriber is
+wrapped by a supervisor that isolates crashes, restarts with bounded
+backoff, degrades hung blocking consumers, and repairs sequence gaps
+from the source database.  With ``ServiceConfig.durability`` set, a
+write-ahead log records every published chunk before fan-out and each
+subscriber snapshots its component state periodically;
+:meth:`LiveOperationsService.recover` rebuilds a killed service —
+snapshot load + idempotent WAL replay — bit-identical to an
+uninterrupted run, and resumes the stream where the log ends.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.chaos import ChaosCounters, ChaosInjector, ChaosProcessKill
 from repro.monitoring.alerts import Alert, AlertEngine, AlertLog, AlertPolicy
 from repro.monitoring.anomaly import CusumAlarm, CusumDetector
 from repro.monitoring.online import OnlineCmfPredictor
-from repro.service.bus import BusReport, ReplayBus
+from repro.service.bus import BusChunk, BusReport, ReplayBus
+from repro.service.durability import (
+    DurabilityConfig,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+    replay_component,
+)
 from repro.service.query import QueryEngine
+from repro.service.resilience import (
+    ServiceEvent,
+    SourceReplayer,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorCounters,
+)
 from repro.service.rollup import DEFAULT_RESOLUTIONS_S, RollupStore
 from repro.service.subscribers import (
     CusumSubscriber,
@@ -57,6 +83,15 @@ class ServiceConfig:
     #: whole chunks vectorized; results are identical at any chunk
     #: size (1 reproduces per-sample delivery exactly).
     chunk_size: int = 256
+    #: Delivery granularity for the first-class subscribers:
+    #: ``"chunks"`` (vectorized, the default) or ``"samples"`` (the
+    #: per-sample shim; results are identical, throughput is not).
+    delivery: str = "chunks"
+    #: Supervision policy applied to every first-class subscriber.
+    supervision: SupervisorConfig = SupervisorConfig()
+    #: Crash durability (WAL + snapshots).  ``None`` = volatile, the
+    #: historical behavior.
+    durability: Optional[DurabilityConfig] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -69,6 +104,16 @@ class ServiceReport:
     predictions: int
     rollup_buckets: Dict[float, int]
     cache: Dict[str, int]
+    #: Per-subscriber supervision counters.
+    supervision: Dict[str, SupervisorCounters] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Time-ordered supervision event log.
+    events: Tuple[ServiceEvent, ...] = ()
+    #: Per-subscriber chaos-injection counters (chaos runs only).
+    chaos: Dict[str, ChaosCounters] = dataclasses.field(default_factory=dict)
+    #: How this service instance was recovered (``None`` = fresh start).
+    recovery: Optional[RecoveryReport] = None
 
 
 class LiveOperationsService:
@@ -84,7 +129,12 @@ class LiveOperationsService:
         cusum: Attach the classical CUSUM detector as a subscriber.
         config: Service tunables.
         start_epoch_s / end_epoch_s: Replay window ``[start, end)``.
+        chaos: Optional :class:`~repro.chaos.ChaosInjector` whose
+            schedule is applied at the supervision and publish hooks.
     """
+
+    #: Supervised first-class subscriber names, in wiring order.
+    _COMPONENTS = ("rollups", "predictor", "cusum")
 
     def __init__(
         self,
@@ -95,27 +145,37 @@ class LiveOperationsService:
         config: Optional[ServiceConfig] = None,
         start_epoch_s: float = -np.inf,
         end_epoch_s: float = np.inf,
+        chaos: Optional[ChaosInjector] = None,
     ) -> None:
+        self._init_components(
+            database, model, alert_policy, cusum, config, start_epoch_s,
+            end_epoch_s, chaos,
+        )
+        self._build_runtime(base_seq=0, wal_resume=False)
+
+    def _init_components(
+        self,
+        database: EnvironmentalDatabase,
+        model,
+        alert_policy: Optional[AlertPolicy],
+        cusum: bool,
+        config: Optional[ServiceConfig],
+        start_epoch_s: float,
+        end_epoch_s: float,
+        chaos: Optional[ChaosInjector],
+    ) -> None:
+        """Build the stateful components (everything but bus/supervisor)."""
         self.config = config if config is not None else ServiceConfig()
         self.database = database
-        self.bus = ReplayBus(
-            database,
-            speedup=self.config.speedup,
-            start_epoch_s=start_epoch_s,
-            end_epoch_s=end_epoch_s,
-            chunk_size=self.config.chunk_size,
-        )
+        self.chaos = chaos
+        self._start_epoch_s = start_epoch_s
+        self._end_epoch_s = end_epoch_s
+        self.recovery: Optional[RecoveryReport] = None
         self.rollups = RollupStore(
             num_racks=database.num_racks, resolutions_s=self.config.resolutions_s
         )
         self.engine = QueryEngine(self.rollups, cache_size=self.config.cache_size)
-        self.bus.subscribe(
-            "rollups",
-            RollupSubscriber(self.rollups),
-            capacity=self.config.queue_capacity,
-            policy="block",
-            delivery="chunks",
-        )
+        self.rollup_subscriber = RollupSubscriber(self.rollups)
         self.predictor_subscriber: Optional[PredictorSubscriber] = None
         if model is not None:
             predictor = OnlineCmfPredictor(model)
@@ -124,27 +184,132 @@ class LiveOperationsService:
                 alert_engine=AlertEngine(alert_policy),
                 alert_log=AlertLog(),
             )
-            self.bus.subscribe(
-                "predictor",
-                self.predictor_subscriber,
-                capacity=self.config.queue_capacity,
-                policy=self.config.analytics_policy,
-                delivery="chunks",
-            )
         self.cusum_subscriber: Optional[CusumSubscriber] = None
         if cusum:
             self.cusum_subscriber = CusumSubscriber(CusumDetector())
-            self.bus.subscribe(
-                "cusum",
-                self.cusum_subscriber,
-                capacity=self.config.queue_capacity,
-                policy=self.config.analytics_policy,
-                delivery="chunks",
+
+    def _component_items(self):
+        """(name, consumer) pairs for every attached component."""
+        items = [("rollups", self.rollup_subscriber)]
+        if self.predictor_subscriber is not None:
+            items.append(("predictor", self.predictor_subscriber))
+        if self.cusum_subscriber is not None:
+            items.append(("cusum", self.cusum_subscriber))
+        return items
+
+    def _snapshotter(
+        self, name: str, component
+    ) -> Optional[Callable[[int], None]]:
+        if self._snapshots is None:
+            return None
+
+        def snapshot(acked_seq: int) -> None:
+            self._snapshots.save(name, acked_seq, component.get_state())
+
+        return snapshot
+
+    def _build_runtime(
+        self,
+        base_seq: int,
+        wal_resume: bool,
+        start_epoch_s: Optional[float] = None,
+    ) -> None:
+        """Wire bus, durability hooks, and supervision around the
+        (possibly recovered) components."""
+        config = self.config
+        start = self._start_epoch_s if start_epoch_s is None else start_epoch_s
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshots: Optional[SnapshotStore] = None
+        durability = config.durability
+        if durability is not None:
+            self._snapshots = SnapshotStore(durability.root)
+            self._wal = WriteAheadLog(
+                durability.wal_path, fsync=durability.fsync, resume=wal_resume
             )
 
+        on_publish = None
+        if self.chaos is not None or self._wal is not None:
+            chaos, wal = self.chaos, self._wal
+
+            def on_publish(chunk: BusChunk) -> None:
+                # The kill fires before the log append: a killed chunk
+                # is lost entirely, exactly like a real process death
+                # between read and write.
+                if chaos is not None:
+                    chaos.on_publish(chunk)
+                if wal is not None:
+                    wal.append(chunk)
+
+        self.bus = ReplayBus(
+            self.database,
+            speedup=config.speedup,
+            start_epoch_s=start,
+            end_epoch_s=self._end_epoch_s,
+            chunk_size=config.chunk_size,
+            base_seq=base_seq,
+            on_publish=on_publish,
+        )
+        replayer = SourceReplayer(
+            self.database,
+            start_epoch_s=start,
+            end_epoch_s=self._end_epoch_s,
+            base_seq=base_seq,
+            chunk_size=config.chunk_size,
+        )
+        self.supervisor = Supervisor(
+            config.supervision, chaos=self.chaos, replayer=replayer
+        )
+        snapshot_every = (
+            durability.snapshot_every_samples if durability is not None else 0
+        )
+        for name, consumer in self._component_items():
+            wrapper = self.supervisor.supervise(
+                name,
+                consumer,
+                base_seq=base_seq,
+                snapshotter=self._snapshotter(name, consumer),
+                snapshot_every=snapshot_every,
+            )
+            subscription = self.bus.subscribe(
+                name,
+                wrapper,
+                capacity=config.queue_capacity,
+                policy="block" if name == "rollups" else config.analytics_policy,
+                delivery=config.delivery,
+            )
+            wrapper.attach(subscription)
+
+    # -- lifecycle ----------------------------------------------------------------
+
     def run(self) -> ServiceReport:
-        """Replay the stream to completion and summarize."""
-        bus_report = self.bus.run()
+        """Replay the stream to completion and summarize.
+
+        Raises:
+            ChaosProcessKill: when the chaos schedule kills the
+                "process" mid-stream.  The service is torn down first
+                (queues discarded, WAL closed) — exactly the state a
+                real death leaves on disk — so the caller can
+                :meth:`recover`.
+        """
+        self.supervisor.start()
+        try:
+            bus_report = self.bus.run()
+        except ChaosProcessKill as exc:
+            self.supervisor.record("kill", "__bus__", seq=None, detail=repr(exc))
+            self.abort()
+            raise
+        finally:
+            self.supervisor.stop()
+        durability = self.config.durability
+        if (
+            self._snapshots is not None
+            and durability is not None
+            and durability.snapshot_every_samples > 0
+        ):
+            for wrapper in self.supervisor.subscribers.values():
+                wrapper.snapshot_now()
+        if self._wal is not None:
+            self._wal.close()
         alerts: List[Alert] = []
         predictions = 0
         if self.predictor_subscriber is not None:
@@ -160,4 +325,97 @@ class LiveOperationsService:
             predictions=predictions,
             rollup_buckets=self.rollups.bucket_counts(),
             cache=self.engine.cache_info(),
+            supervision=self.supervisor.counters,
+            events=self.supervisor.events,
+            chaos=(
+                {k: dataclasses.replace(v) for k, v in self.chaos.counters.items()}
+                if self.chaos is not None
+                else {}
+            ),
+            recovery=self.recovery,
         )
+
+    def abort(self, join_timeout_s: float = 10.0) -> None:
+        """Tear down after a (simulated) process death.
+
+        Discards every subscriber backlog — a killed process loses its
+        in-memory queues — stops the watchdog, and closes the WAL file
+        handle without final snapshots.  On-disk state is exactly what
+        :meth:`recover` expects to find.
+        """
+        self.supervisor.stop()
+        self.bus.abort(join_timeout_s)
+        if self._wal is not None and not self._wal.closed:
+            self._wal.close()
+
+    @classmethod
+    def recover(
+        cls,
+        database: EnvironmentalDatabase,
+        model=None,
+        alert_policy: Optional[AlertPolicy] = None,
+        cusum: bool = False,
+        config: Optional[ServiceConfig] = None,
+        start_epoch_s: float = -np.inf,
+        end_epoch_s: float = np.inf,
+        chaos: Optional[ChaosInjector] = None,
+    ) -> "LiveOperationsService":
+        """Rebuild a killed service from its durability directory.
+
+        Each component loads its latest snapshot (if any), then
+        replays the write-ahead log idempotently past its acked
+        sequence — restoring rollup buckets, predictor history and
+        emissions, CUSUM statistics, and alert state exactly as the
+        uninterrupted run would have them at the log's end.  The
+        returned service's bus resumes the source stream at the first
+        unlogged sample with the original sequence numbering;
+        :meth:`run` then finishes the replay.
+
+        Raises:
+            ValueError: when ``config.durability`` is unset.
+            RecoveryError: on a corrupt WAL or a snapshot/WAL gap.
+        """
+        config = config if config is not None else ServiceConfig()
+        if config.durability is None:
+            raise ValueError("recover() needs config.durability to locate state")
+        service = cls.__new__(cls)
+        service._init_components(
+            database, model, alert_policy, cusum, config, start_epoch_s,
+            end_epoch_s, chaos,
+        )
+        durability = config.durability
+        records, _, torn = WriteAheadLog.scan(durability.wal_path)
+        snapshots = SnapshotStore(durability.root)
+        wal_start = records[0].start_seq if records else 0
+        recovered = []
+        for name, consumer in service._component_items():
+            snapshot = snapshots.load(name)
+            if snapshot is not None:
+                consumer.set_state(snapshot.state)
+                acked = snapshot.acked_seq
+                snapshot_seq: Optional[int] = snapshot.acked_seq
+            else:
+                acked = wal_start - 1
+                snapshot_seq = None
+            recovered.append(
+                replay_component(
+                    name, records, acked, consumer, snapshot_seq=snapshot_seq
+                )
+            )
+        resume_seq = records[-1].end_seq + 1 if records else 0
+        service.recovery = RecoveryReport(
+            wal_records=len(records),
+            wal_samples=sum(r.num_samples for r in records),
+            wal_torn_tail=torn,
+            resume_seq=resume_seq,
+            components=tuple(recovered),
+        )
+        if records:
+            # Resume strictly after the last logged timestamp.
+            resume_start = float(np.nextafter(records[-1].epoch_s[-1], np.inf))
+        else:
+            resume_start = None
+        service._build_runtime(
+            base_seq=resume_seq, wal_resume=True, start_epoch_s=resume_start
+        )
+        return service

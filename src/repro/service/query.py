@@ -48,6 +48,7 @@ import collections
 import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -121,6 +122,14 @@ class QueryResult:
     value: float = np.nan
     epoch_s: Optional[np.ndarray] = None
     values: Optional[np.ndarray] = None
+    #: Structured failure from the guarded batch path (``serve_many``):
+    #: ``None`` for a served result, otherwise the error description.
+    #: Failed results carry ``value = NaN`` and no series payload.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclasses.dataclass
@@ -142,6 +151,21 @@ class CacheCounters:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+@dataclasses.dataclass
+class ServeCounters:
+    """Batch-path (``serve_many``) observability."""
+
+    #: Queries answered successfully.
+    served: int = 0
+    #: Queries that raised (returned as structured-error results).
+    errors: int = 0
+    #: Queries cut off by the per-query deadline.
+    timeouts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
 
 
 @dataclasses.dataclass
@@ -235,6 +259,7 @@ class QueryEngine:
         self.store = store
         self.cache_size = cache_size
         self.counters = CacheCounters()
+        self.serve_counters = ServeCounters()
         self._cache: "collections.OrderedDict[Query, _CacheEntry]" = (
             collections.OrderedDict()
         )
@@ -350,10 +375,38 @@ class QueryEngine:
         self._store_entry(query, result, version)
         return result
 
+    def _execute_guarded(self, query: Query) -> QueryResult:
+        """:meth:`execute` that never raises.
+
+        A failing query comes back as a structured-error
+        :class:`QueryResult` in its batch position instead of
+        poisoning the whole ``serve_many`` call (``pool.map`` re-raises
+        the first worker exception and discards every other result).
+        Direct :meth:`execute` callers still get the exception.
+        """
+        try:
+            result = self.execute(query)
+        except Exception as exc:  # noqa: BLE001 - the batch isolation boundary
+            with self._lock:
+                self.serve_counters.errors += 1
+            return QueryResult(
+                query=query,
+                resolution_s=float("nan"),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        with self._lock:
+            self.serve_counters.served += 1
+        return result
+
+    def serve_info(self) -> Dict[str, int]:
+        with self._lock:
+            return self.serve_counters.as_dict()
+
     def serve_many(
         self,
         queries: Sequence[Query],
         workers: Optional[int] = None,
+        timeout_s: Optional[float] = None,
     ) -> List[QueryResult]:
         """Execute a batch concurrently; results keep request order.
 
@@ -361,11 +414,42 @@ class QueryEngine:
         :func:`repro.parallel.resolve_workers` rule (explicit argument,
         else ``REPRO_WORKERS``, else the core count, capped at the
         batch size) — the same rule the predictor's process pools use.
+
+        Failures are **isolated**: a query that raises yields a
+        :class:`QueryResult` with :attr:`QueryResult.error` set, in
+        its request position, and the rest of the batch still serves.
+        With ``timeout_s``, waiting on any one query is bounded;
+        overrunning queries yield timeout errors (counted in
+        :attr:`serve_counters`) while their threads finish in the
+        background — a completion after abandonment still lands in the
+        cache and the served/error counters.
         """
         if not queries:
             return []
         workers = resolve_workers(workers, max_tasks=len(queries))
-        if workers <= 1:
-            return [self.execute(q) for q in queries]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(self.execute, queries))
+        if workers <= 1 and timeout_s is None:
+            return [self._execute_guarded(q) for q in queries]
+        pool = ThreadPoolExecutor(max_workers=max(workers, 1))
+        abandoned = False
+        try:
+            futures = [pool.submit(self._execute_guarded, q) for q in queries]
+            results: List[QueryResult] = []
+            for query, future in zip(queries, futures):
+                try:
+                    results.append(future.result(timeout=timeout_s))
+                except _FuturesTimeout:
+                    abandoned = True
+                    with self._lock:
+                        self.serve_counters.timeouts += 1
+                    results.append(
+                        QueryResult(
+                            query=query,
+                            resolution_s=float("nan"),
+                            error=f"timeout after {timeout_s:g}s",
+                        )
+                    )
+            return results
+        finally:
+            # Don't block the caller on abandoned queries; their
+            # threads drain in the background.
+            pool.shutdown(wait=not abandoned)

@@ -503,6 +503,77 @@ class RollupStore:
         store.ingest_database(database)
         return store
 
+    # -- durability ---------------------------------------------------------------
+
+    def get_state(self) -> Dict:
+        """A picklable deep copy of every level (see :meth:`set_state`).
+
+        Taken under the store lock, so a snapshot observed mid-stream
+        is always a consistent whole-store state at some ingest
+        boundary.
+        """
+        with self._lock:
+            levels = []
+            for level in self._levels:
+                channels = {}
+                for channel, buckets in level.channels.items():
+                    channels[channel] = {
+                        field.name: getattr(buckets, field.name)[: level.size].copy()
+                        for field in dataclasses.fields(_ChannelBuckets)
+                    }
+                levels.append(
+                    {
+                        "resolution_s": level.resolution_s,
+                        "epoch": level.epoch[: level.size].copy(),
+                        "samples": level.samples[: level.size].copy(),
+                        "channels": channels,
+                    }
+                )
+            return {
+                "num_racks": self.num_racks,
+                "resolutions_s": self.resolutions_s,
+                "levels": levels,
+                "version": self._version,
+                "mutations": list(self._mutations),
+                "ingested_rows": self.ingested_rows,
+            }
+
+    def set_state(self, state: Mapping) -> None:
+        """Restore a :meth:`get_state` copy bit for bit.
+
+        Version and mutation history are restored too, so query-cache
+        stamps taken before a crash stay coherent after recovery.
+
+        Raises:
+            ValueError: when the saved shape (racks / resolution
+                ladder) does not match this store.
+        """
+        if (
+            tuple(state["resolutions_s"]) != self.resolutions_s
+            or int(state["num_racks"]) != self.num_racks
+        ):
+            raise ValueError(
+                "rollup state does not match this store: saved "
+                f"({state['num_racks']} racks, {tuple(state['resolutions_s'])}), "
+                f"store ({self.num_racks} racks, {self.resolutions_s})"
+            )
+        with self._lock:
+            for level, saved in zip(self._levels, state["levels"]):
+                size = len(saved["epoch"])
+                level._ensure_capacity(size)
+                level.size = size
+                level.epoch[:size] = saved["epoch"]
+                level.samples[:size] = saved["samples"]
+                for channel, fields in saved["channels"].items():
+                    buckets = level.channels[channel]
+                    for name, matrix in fields.items():
+                        getattr(buckets, name)[:size] = matrix
+            self._version = int(state["version"])
+            self._mutations = collections.deque(
+                state["mutations"], maxlen=_MUTATION_HISTORY
+            )
+            self.ingested_rows = int(state["ingested_rows"])
+
     # -- versioning / invalidation ------------------------------------------------
 
     @property

@@ -56,6 +56,13 @@ class RollupSubscriber:
         else:
             self.store.add(item.epoch_s, item.values, item.quality)
 
+    def get_state(self) -> dict:
+        """Picklable snapshot payload (see the durability layer)."""
+        return {"store": self.store.get_state()}
+
+    def set_state(self, state: dict) -> None:
+        self.store.set_state(state["store"])
+
 
 class PredictorSubscriber:
     """Fans whole-floor samples into the streaming CMF predictor.
@@ -138,6 +145,28 @@ class PredictorSubscriber:
     def alerts(self) -> List[Alert]:
         return list(self.alert_log.alerts)
 
+    def get_state(self) -> dict:
+        """Predictor history, alert state machine, and emission logs.
+
+        The trained model is excluded (recovery reconstructs the
+        subscriber around the same model object).
+        """
+        state = {
+            "predictor": self.predictor.get_state(),
+            "predictions": list(self.predictions),
+            "alerts": list(self.alert_log.alerts),
+        }
+        if self.alert_engine is not None:
+            state["alert_engine"] = self.alert_engine.get_state()
+        return state
+
+    def set_state(self, state: dict) -> None:
+        self.predictor.set_state(state["predictor"])
+        self.predictions = list(state["predictions"])
+        self.alert_log.restore(state["alerts"])
+        if self.alert_engine is not None and "alert_engine" in state:
+            self.alert_engine.set_state(state["alert_engine"])
+
 
 class CusumSubscriber:
     """Feeds the classical change detector from the stream."""
@@ -164,6 +193,17 @@ class CusumSubscriber:
             self.alarms.extend(
                 self.detector.consume(sample.epoch_s, _RACK_IDS[rack], channel_values)
             )
+
+    def get_state(self) -> dict:
+        """Picklable detector recurrence plus the alarm log."""
+        return {
+            "detector": self.detector.get_state(),
+            "alarms": list(self.alarms),
+        }
+
+    def set_state(self, state: dict) -> None:
+        self.detector.set_state(state["detector"])
+        self.alarms = list(state["alarms"])
 
 
 @dataclasses.dataclass

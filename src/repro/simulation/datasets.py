@@ -17,6 +17,13 @@ serves stale telemetry.  Only the environmental database and the job
 counters are persisted; the failure schedule, RAS log, machine, and
 weather models are rebuilt from the (cheap, deterministic) engine
 constructor.  Set ``REPRO_DATASET_CACHE=0`` to disable the disk layer.
+
+Entries carry a per-file SHA-256 manifest written at store time and
+verified at load time: a flipped bit or truncated column (the cache
+lives for months on scratch filesystems) quarantines the entry aside
+and the dataset is rematerialized from the simulation — corruption
+costs a rebuild, never a silently wrong analysis.  Entries written by
+older versions (no manifest) still load, unverified.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import os
 import shutil
 import tempfile
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro import __version__
 from repro.simulation.config import SimulationConfig
@@ -67,10 +74,49 @@ def _config_digest(config: SimulationConfig) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
+def _file_digest(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _manifest(entry: Path) -> Dict[str, str]:
+    """Per-file SHA-256 digests of the entry's telemetry columns."""
+    telemetry = entry / _TELEMETRY_DIR
+    return {
+        path.relative_to(entry).as_posix(): _file_digest(path)
+        for path in sorted(telemetry.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _quarantine(entry: Path) -> None:
+    """Move a failed-verification entry aside (best effort).
+
+    Renaming (rather than deleting) keeps the corrupt bytes around for
+    a post-mortem while immediately freeing the entry path so the next
+    :func:`build_dataset` call rematerializes into a clean directory;
+    ``clear_cache`` sweeps quarantined entries away.
+    """
+    target = entry.parent / f".quarantine-{entry.name}-{os.getpid()}"
+    try:
+        os.replace(entry, target)
+    except OSError:
+        shutil.rmtree(entry, ignore_errors=True)
+
+
 def _load_from_disk(
     config: SimulationConfig, entry: Path
 ) -> Optional[SimulationResult]:
-    """Reassemble a cached result, or ``None`` if absent/corrupt."""
+    """Reassemble a cached result, or ``None`` if absent/corrupt.
+
+    A corrupt entry — checksum mismatch against the stored manifest,
+    unreadable metadata, or an archive that fails to open — is
+    quarantined before returning ``None``, so the caller's rebuild
+    cannot collide with the bad directory.
+    """
     # Imported lazily so importing this module never costs archive I/O.
     from repro.telemetry.archive import TelemetryArchive
 
@@ -79,8 +125,13 @@ def _load_from_disk(
         return None
     try:
         meta = json.loads(meta_path.read_text())
+        expected = meta.get("files")
+        if expected is not None and _manifest(entry) != expected:
+            _quarantine(entry)
+            return None
         database = TelemetryArchive.load(entry / _TELEMETRY_DIR)
     except (OSError, ValueError, KeyError):
+        _quarantine(entry)
         return None
     # The engine constructor is deterministic and cheap relative to a
     # run: it regenerates the failure schedule, RAS log, machine, and
@@ -121,6 +172,7 @@ def _store_to_disk(result: SimulationResult, entry: Path) -> None:
                     "version": __version__,
                     "jobs_completed": result.jobs_completed,
                     "jobs_killed": result.jobs_killed,
+                    "files": _manifest(tmp),
                 }
             )
         )
@@ -245,6 +297,8 @@ def cache_entries() -> List[CacheEntry]:
         return []
     entries: List[CacheEntry] = []
     for child in sorted(root.iterdir()):
+        if child.name.startswith("."):  # temp or quarantined, not an entry
+            continue
         meta_path = child / _META_FILE
         if not meta_path.is_file():
             continue
@@ -263,7 +317,8 @@ def cache_entries() -> List[CacheEntry]:
 
 
 def clear_cache() -> int:
-    """Remove every dataset-cache entry (and stale temp dirs).
+    """Remove every dataset-cache entry (plus stale temp and
+    quarantined dirs).
 
     Returns:
         The number of entries removed.
@@ -275,8 +330,9 @@ def clear_cache() -> int:
     for child in root.iterdir():
         if not child.is_dir():
             continue
-        is_entry = (child / _META_FILE).is_file()
-        if is_entry or child.name.startswith(".tmp-"):
+        stale = child.name.startswith((".tmp-", ".quarantine-"))
+        is_entry = not stale and (child / _META_FILE).is_file()
+        if is_entry or stale:
             shutil.rmtree(child, ignore_errors=True)
             removed += int(is_entry)
     return removed

@@ -1,0 +1,155 @@
+"""The chaos injector: deterministic schedules, hooks, and the matrix."""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_SCENARIOS,
+    ChaosConfig,
+    ChaosCrash,
+    ChaosInjector,
+    ChaosProcessKill,
+    WorkerCrasher,
+    run_chaos_matrix,
+)
+from repro.service.bus import BusChunk
+
+import numpy as np
+
+
+def _chunk(start_seq, n):
+    return BusChunk(
+        seq=start_seq,
+        start_seq=start_seq,
+        epoch_s=np.arange(n, dtype="float64"),
+        values={},
+        quality={},
+    )
+
+
+def _crash_pattern(injector, name, deliveries=200):
+    """Which delivery indices crash, for a fixed per-subscriber stream."""
+    crashed = []
+    for i in range(deliveries):
+        try:
+            injector.before_delivery(name, i)
+        except ChaosCrash:
+            crashed.append(i)
+    return crashed
+
+
+class TestChaosConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="crash_rate"):
+            ChaosConfig(crash_rate=1.5)
+        with pytest.raises(ValueError, match="hang_rate"):
+            ChaosConfig(hang_rate=-0.1)
+        with pytest.raises(ValueError, match="negative"):
+            ChaosConfig(hang_s=-1.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        config = ChaosConfig(seed=42, crash_rate=0.2)
+        a = _crash_pattern(ChaosInjector(config), "rollups")
+        b = _crash_pattern(ChaosInjector(config), "rollups")
+        assert a == b and a  # identical and non-empty at this rate
+
+    def test_streams_independent_per_subscriber(self):
+        config = ChaosConfig(seed=42, crash_rate=0.2)
+        injector = ChaosInjector(config)
+        rollups = _crash_pattern(injector, "rollups")
+        cusum = _crash_pattern(injector, "cusum")
+        # Each name has its own generator: interleaving order does not
+        # matter, and the two schedules differ.
+        fresh = ChaosInjector(config)
+        assert _crash_pattern(fresh, "cusum", 200) == cusum
+        assert rollups != cusum
+
+    def test_seed_changes_schedule(self):
+        a = _crash_pattern(ChaosInjector(ChaosConfig(seed=1, crash_rate=0.2)), "x")
+        b = _crash_pattern(ChaosInjector(ChaosConfig(seed=2, crash_rate=0.2)), "x")
+        assert a != b
+
+    def test_worker_crash_indices_deterministic(self):
+        config = ChaosConfig(seed=9)
+        a = ChaosInjector(config).worker_crash_indices(100, 0.1)
+        b = ChaosInjector(config).worker_crash_indices(100, 0.1)
+        assert a == b
+        assert all(0 <= i < 100 for i in a)
+        assert ChaosInjector(config).worker_crash_indices(100, 0.0) == ()
+        with pytest.raises(ValueError, match="rate"):
+            ChaosInjector(config).worker_crash_indices(100, 2.0)
+
+
+class TestSchedules:
+    def test_explicit_crash_fires_once(self):
+        injector = ChaosInjector(ChaosConfig(crash_at=(("rollups", 32),)))
+        injector.before_delivery("rollups", 0)
+        with pytest.raises(ChaosCrash):
+            injector.before_delivery("rollups", 32)
+        injector.before_delivery("rollups", 32)  # retry passes
+        assert injector.counters["rollups"].crashes_injected == 1
+
+    def test_subscriber_filter_scopes_rate_injection(self):
+        config = ChaosConfig(seed=3, crash_rate=1.0, subscribers=("rollups",))
+        injector = ChaosInjector(config)
+        injector.before_delivery("cusum", 0)  # not targeted: no crash
+        with pytest.raises(ChaosCrash):
+            injector.before_delivery("rollups", 0)
+
+    def test_kill_fires_once_at_covering_chunk(self):
+        injector = ChaosInjector(ChaosConfig(kill_at_seq=10))
+        injector.on_publish(_chunk(0, 8))  # ends at 7: too early
+        with pytest.raises(ChaosProcessKill):
+            injector.on_publish(_chunk(8, 8))  # covers seq 10
+        injector.on_publish(_chunk(16, 8))  # already dead once: no-op
+        assert injector.counters["__bus__"].kills_injected == 1
+
+
+class TestWorkerCrasher:
+    def test_picklable_and_suppressed_after_marker(self, tmp_path):
+        import pickle
+
+        crasher = WorkerCrasher(len, (2,), tmp_path)
+        clone = pickle.loads(pickle.dumps(crasher))
+        assert clone.crash_indices == (2,)
+        (tmp_path / "crashed-2").touch()  # marker: crash already spent
+        assert clone(2, "abcd") == 4  # survives in-process
+
+
+class TestChaosMatrix:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_chaos_matrix(scenarios=("meteor",))
+
+    def test_crash_cell_passes(self, tmp_path):
+        summary = run_chaos_matrix(
+            days=2,
+            seed=7,
+            dt_s=3600.0,
+            chunk_sizes=(8,),
+            scenarios=("crash",),
+            workdir=tmp_path,
+        )
+        assert summary["ok"] is True
+        (cell,) = summary["cells"]
+        assert cell["scenario"] == "crash"
+        assert cell["rollups_match"] and cell["alarms_match"]
+        assert ("crash", "rollups") in cell["events"]
+
+    def test_kill_cell_recovers(self, tmp_path):
+        summary = run_chaos_matrix(
+            days=2,
+            seed=7,
+            dt_s=3600.0,
+            chunk_sizes=(8,),
+            scenarios=("kill",),
+            workdir=tmp_path,
+        )
+        assert summary["ok"] is True
+        (cell,) = summary["cells"]
+        assert cell["killed"] is True
+        assert cell["wal_records_replayed"] > 0
+
+    def test_scenario_registry(self):
+        assert CHAOS_SCENARIOS == ("crash", "hang", "kill")

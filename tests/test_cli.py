@@ -147,6 +147,29 @@ class TestQuery:
         assert code == 1
         assert "unknown channel" in capsys.readouterr().out
 
+class TestChaos:
+    def test_matrix_reports_ok_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--days", "2",
+                "--dt", "3600",
+                "--chunk-sizes", "8",
+                "--scenarios", "crash",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "chaos matrix: OK" in output
+        import json
+
+        summary = json.loads(out.read_text())
+        assert summary["ok"] is True
+        assert summary["cells"][0]["scenario"] == "crash"
+
+
 class TestCache:
     @pytest.fixture
     def cache_dir(self, tmp_path, monkeypatch):

@@ -99,6 +99,57 @@ class TestDiskCache:
         # demo() runs at 30-minute cadence: 48 samples per day.
         assert rebuilt.database.num_samples == 3 * 48
 
+    def test_manifest_written_with_entry(self, cache_dir, tiny_config):
+        build_dataset(tiny_config)
+        entry = cache_dir / _config_digest(tiny_config)
+        meta = json.loads((entry / "result.json").read_text())
+        files = meta["files"]
+        assert files  # every telemetry column is covered
+        for rel, digest in files.items():
+            assert (entry / rel).is_file()
+            assert len(digest) == 64  # sha256 hex
+
+    def test_corrupt_column_quarantined_and_rematerialized(
+        self, cache_dir, tiny_config
+    ):
+        first = build_dataset(tiny_config)
+        entry = cache_dir / _config_digest(tiny_config)
+        meta = json.loads((entry / "result.json").read_text())
+        victim = entry / sorted(meta["files"])[0]
+        victim.write_bytes(victim.read_bytes()[:-4] + b"\xde\xad\xbe\xef")
+        rebuilt = build_dataset(tiny_config)
+        # The bad entry moved aside; a clean one took its place.
+        quarantined = [
+            c for c in cache_dir.iterdir() if c.name.startswith(".quarantine-")
+        ]
+        assert len(quarantined) == 1
+        assert (entry / "result.json").exists()
+        assert np.array_equal(
+            rebuilt.database.epoch_s, first.database.epoch_s
+        )
+        for channel in CHANNELS:
+            assert np.array_equal(
+                rebuilt.database.channel(channel).values,
+                first.database.channel(channel).values,
+                equal_nan=True,
+            )
+
+    def test_legacy_entry_without_manifest_still_loads(
+        self, cache_dir, tiny_config
+    ):
+        first = build_dataset(tiny_config)
+        entry = cache_dir / _config_digest(tiny_config)
+        meta = json.loads((entry / "result.json").read_text())
+        del meta["files"]  # what a pre-1.5 release wrote
+        (entry / "result.json").write_text(json.dumps(meta))
+        second = build_dataset(tiny_config)
+        assert not any(
+            c.name.startswith(".quarantine-") for c in cache_dir.iterdir()
+        )
+        assert np.array_equal(
+            second.database.epoch_s, first.database.epoch_s
+        )
+
     def test_digest_separates_configs_and_versions(self, tiny_config, monkeypatch):
         other = MiraScenario.demo(days=3, seed=6)
         before = _config_digest(tiny_config)
@@ -154,6 +205,16 @@ class TestCacheManagement:
         build_dataset(MiraScenario.demo(days=3, seed=6))
         assert clear_cache() == 2
         assert cache_entries() == []
+
+    def test_quarantined_entries_hidden_and_swept(self, cache_dir):
+        config = MiraScenario.demo(days=3, seed=5)
+        build_dataset(config)
+        entry = cache_dir / _config_digest(config)
+        entry.rename(cache_dir / f".quarantine-{entry.name}-test")
+        # Not listed as a live entry, but clear_cache sweeps it.
+        assert cache_entries() == []
+        assert clear_cache() == 0
+        assert not any(cache_dir.iterdir())
 
     def test_materialize_archive_spills_and_reuses(self, cache_dir):
         result = build_dataset(MiraScenario.demo(days=3, seed=5))

@@ -1,10 +1,12 @@
 """The process-pool helpers: worker resolution, seeding, pmap."""
 
 import os
+import time
 
 import numpy as np
 import pytest
 
+from repro.chaos import WorkerCrasher
 from repro.parallel import (
     WORKERS_ENV,
     pmap,
@@ -28,6 +30,11 @@ def _fail_on_seven(x):
 
 def _add(a, b):
     return a + b
+
+
+def _sleepy(x):
+    time.sleep(1.2)
+    return x
 
 
 class TestResolveWorkers:
@@ -120,3 +127,59 @@ class TestPmap:
 
     def test_pstarmap(self):
         assert pstarmap(_add, [(1, 2), (3, 4)], workers=2) == [3, 7]
+
+    def test_negative_pool_retries_rejected(self):
+        with pytest.raises(ValueError, match="pool_retries"):
+            pmap(_square, range(4), workers=2, pool_retries=-1)
+
+
+class TestPmapHardening:
+    """Killed workers and wedged tasks degrade, not corrupt."""
+
+    def test_killed_worker_resubmitted_to_fresh_pool(self, tmp_path):
+        """A SIGKILLed worker breaks the pool; the retry completes the
+        batch in order, including the chunk the dead worker held."""
+        crasher = WorkerCrasher(_square, (3,), tmp_path)
+        items = list(enumerate(range(12)))
+        out = pstarmap(crasher, items, workers=3, chunksize=2)
+        assert out == [x * x for x in range(12)]
+        assert (tmp_path / "crashed-3").exists()
+
+    def test_retry_budget_exhausted_falls_back_to_serial(self, tmp_path):
+        """With zero pool retries the surviving chunks finish
+        in-process (the marker makes the re-run side-effect free)."""
+        crasher = WorkerCrasher(_square, (1,), tmp_path)
+        items = list(enumerate(range(8)))
+        out = pstarmap(
+            crasher, items, workers=2, chunksize=1, pool_retries=0
+        )
+        assert out == [x * x for x in range(8)]
+
+    def test_task_exception_beats_broken_pool(self, tmp_path):
+        """A task that *raised* before a peer died still propagates —
+        retries are for infrastructure failures, not bad inputs."""
+        crasher = WorkerCrasher(_fail_on_seven, (2,), tmp_path)
+        with pytest.raises(ValueError, match="seven"):
+            pstarmap(
+                crasher,
+                list(enumerate(range(10))),
+                workers=2,
+                chunksize=1,
+                pool_retries=2,
+            )
+
+    def test_timeout_raises_instead_of_hanging(self):
+        start = time.monotonic()
+        with pytest.raises(TimeoutError, match="deadline"):
+            pmap(_sleepy, range(4), workers=2, chunksize=1, timeout_s=0.1)
+        # The pool was abandoned, not awaited: well under the 1.2s nap.
+        assert time.monotonic() - start < 1.0
+
+    def test_deadline_above_task_cost_passes(self):
+        # 1.5s/task deadline comfortably covers the 1.2s nap, so the
+        # same shape that times out above completes when given room.
+        out = pmap(_sleepy, [1, 2], workers=2, chunksize=1, timeout_s=1.5)
+        assert out == [1, 2]
+
+    def test_serial_path_ignores_timeout(self):
+        assert pmap(_sleepy, [5], workers=1, timeout_s=0.01) == [5]
