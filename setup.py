@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.3.0",
+    version="1.6.0",
     description=(
         "Reproduction of 'Operating Liquid-Cooled Large-Scale Systems' "
         "(HPCA 2021): synthetic Mira facility simulator, telemetry store, "

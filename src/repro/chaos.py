@@ -29,6 +29,11 @@ Injection points:
 * :class:`WorkerCrasher` — a picklable wrapper that SIGKILLs a
   process-pool worker the first time it sees a scheduled task index,
   exercising the :func:`repro.parallel.pmap` broken-pool retry path.
+* :meth:`ChaosInjector.on_http_request` — called by the
+  :mod:`repro.service.http` server per arriving request; it injects
+  structured 500s or connection resets on a seeded (or explicit)
+  schedule, exercising the collector adapters' retry/backoff paths
+  deterministically.
 
 :func:`run_chaos_matrix` drives the full crash/hang/kill x chunk-size
 grid against :class:`~repro.service.live.LiveOperationsService` and
@@ -88,6 +93,14 @@ class ChaosConfig:
             neither logged nor delivered).
         subscribers: Restrict rate-based injection to these subscriber
             names (``None`` = all supervised subscribers).
+        http_error_rate: Probability an HTTP request is answered with
+            a structured 500 instead of being served (the
+            :mod:`repro.service.http` server's fault hook).
+        http_reset_rate: Probability an HTTP request's connection is
+            dropped without any response (a mid-flight reset).
+        http_error_at / http_reset_at: Explicit request indices (the
+            server's arrival counter) that fire exactly once each —
+            the deterministic schedule collector retry tests use.
     """
 
     seed: int = 0
@@ -100,12 +113,18 @@ class ChaosConfig:
     hang_at: Tuple[Tuple[str, int], ...] = ()
     kill_at_seq: Optional[int] = None
     subscribers: Optional[Tuple[str, ...]] = None
+    http_error_rate: float = 0.0
+    http_reset_rate: float = 0.0
+    http_error_at: Tuple[int, ...] = ()
+    http_reset_at: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         for name, rate in (
             ("crash_rate", self.crash_rate),
             ("hang_rate", self.hang_rate),
             ("slow_rate", self.slow_rate),
+            ("http_error_rate", self.http_error_rate),
+            ("http_reset_rate", self.http_reset_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -121,6 +140,8 @@ class ChaosCounters:
     hangs_injected: int = 0
     slowdowns_injected: int = 0
     kills_injected: int = 0
+    http_errors_injected: int = 0
+    http_resets_injected: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -213,6 +234,45 @@ class ChaosInjector:
                 f"injected process kill at chunk seqs "
                 f"[{chunk.start_seq}, {chunk.end_seq}]"
             )
+
+    # -- HTTP-server chaos --------------------------------------------------------
+
+    def on_http_request(self, index: int) -> Optional[str]:
+        """Fault decision for the ``index``-th HTTP request to arrive.
+
+        Called by the :mod:`repro.service.http` server with its
+        monotonically increasing arrival counter.  Returns ``"error"``
+        (answer with a structured 500), ``"reset"`` (drop the
+        connection without a response), or ``None`` (serve normally).
+
+        Explicit ``http_error_at`` / ``http_reset_at`` indices fire
+        exactly once each and take priority; rate-based decisions draw
+        from the dedicated ``__http__`` stream in a fixed order
+        (error, then reset), so a given seed produces the same fault
+        schedule for the same request arrival order regardless of what
+        the subscriber-side chaos streams consumed.
+        """
+        cfg = self.config
+        key = ("__http__", index)
+        if index in cfg.http_error_at and key not in self._fired:
+            self._fired.add(key)
+            self._counters("__http__").http_errors_injected += 1
+            return "error"
+        if index in cfg.http_reset_at and (key, "reset") not in self._fired:
+            self._fired.add((key, "reset"))
+            self._counters("__http__").http_resets_injected += 1
+            return "reset"
+        if cfg.http_error_rate > 0.0 and (
+            self._rng("__http__").random() < cfg.http_error_rate
+        ):
+            self._counters("__http__").http_errors_injected += 1
+            return "error"
+        if cfg.http_reset_rate > 0.0 and (
+            self._rng("__http__").random() < cfg.http_reset_rate
+        ):
+            self._counters("__http__").http_resets_injected += 1
+            return "reset"
+        return None
 
     # -- parallel-worker chaos ----------------------------------------------------
 

@@ -19,7 +19,12 @@ Subcommands, mirroring how the package is used:
   built from a simulation,
 * ``chaos`` — run the crash/hang/kill chaos matrix against the
   supervised service and verify recovery equivalence (exit 1 on any
-  mismatch); this is the CI chaos-smoke entry point.
+  mismatch); this is the CI chaos-smoke entry point,
+* ``serve-http`` — expose a simulated (or archived) dataset over the
+  operations HTTP API: versioned query routes, ``/healthz`` and
+  ``/metrics``, optional collector ingest, threaded or pre-forked,
+* ``http-load`` — aim the deterministic load generator at a running
+  ``serve-http`` instance and print/write the throughput report.
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -257,6 +262,92 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="explicit rollup resolution in seconds (default: snap)",
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the full cache statistics snapshot",
+    )
+
+    serve_http = commands.add_parser(
+        "serve-http",
+        help="serve a dataset over the operations HTTP API",
+    )
+    serve_http.add_argument("--days", type=int, default=7, help="simulated days")
+    serve_http.add_argument("--seed", type=int, default=7, help="master seed")
+    serve_http.add_argument(
+        "--dt", type=float, default=1800.0, help="engine step in seconds"
+    )
+    serve_http.add_argument(
+        "--archive",
+        type=Path,
+        default=None,
+        help="serve this saved telemetry archive instead of simulating",
+    )
+    serve_http.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_http.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0 picks a free one)"
+    )
+    serve_http.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "1 = threaded single process (ingest supported); >1 = that "
+            "many pre-forked read-only workers over a memory-mapped "
+            "archive"
+        ),
+    )
+    serve_http.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (CI smoke mode)",
+    )
+    serve_http.add_argument(
+        "--ingest-token",
+        action="append",
+        default=[],
+        metavar="COLLECTOR=TOKEN",
+        help=(
+            "enable ingest auth for COLLECTOR with TOKEN (repeatable; "
+            "threaded mode only; no tokens = open ingest)"
+        ),
+    )
+    serve_http.add_argument(
+        "--no-ingest",
+        action="store_true",
+        help="serve read-only (POST /v1/ingest answers 503)",
+    )
+    serve_http.add_argument(
+        "--cache-size", type=int, default=1024, help="query-cache capacity"
+    )
+
+    http_load = commands.add_parser(
+        "http-load",
+        help="run the deterministic load generator against serve-http",
+    )
+    http_load.add_argument(
+        "--url", required=True, help="server base URL, e.g. http://127.0.0.1:8080"
+    )
+    http_load.add_argument(
+        "--requests", type=int, default=500, help="total queries to issue"
+    )
+    http_load.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="client processes (default: REPRO_WORKERS or all cores)",
+    )
+    http_load.add_argument("--seed", type=int, default=0, help="query-mix seed")
+    http_load.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="passes over the same path list (pass 2+ hits a warm cache)",
+    )
+    http_load.add_argument(
+        "--out", type=Path, default=None, help="also write the JSON report here"
+    )
     return parser
 
 
@@ -444,7 +535,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             Query("aggregate", Channel.POWER, start, end, stat=stat)
         )
         print(f"  power {stat} over replay: {answer.value:.3f} {unit}".rstrip())
-    print(f"query cache: {service.engine.cache_info()}")
+    print(f"query cache: {service.engine.cache_info().as_dict()}")
     return 0
 
 
@@ -512,8 +603,139 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"  {when:%Y-%m-%d %H:%M}  {value:.4f}")
     else:
         print(f"{args.stat}({channel.column}) [{args.scope}] = {answer.value:.6f}")
-    print(f"cache: {engine.cache_info()}")
+    info = engine.cache_info()
+    if args.stats:
+        print("cache statistics:")
+        for key, value in info.as_dict().items():
+            formatted = f"{value:.3f}" if key == "hit_rate" else f"{value}"
+            print(f"  {key:<14} {formatted}")
+    else:
+        print(f"cache: {info.as_dict()}")
     return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.service.http import (
+        IngestServerConfig,
+        OperationsApp,
+        OperationsHttpServer,
+        serve_prefork,
+    )
+    from repro.telemetry.archive import TelemetryArchive
+
+    tokens = {}
+    for pair in args.ingest_token:
+        collector, sep, token = pair.partition("=")
+        if not sep or not collector or not token:
+            print(f"--ingest-token wants COLLECTOR=TOKEN, got {pair!r}")
+            return 1
+        tokens[collector] = token
+
+    if args.workers > 1:
+        # Pre-forked read-only workers need an on-disk archive every
+        # child can reopen memory-mapped.
+        if args.archive is not None:
+            archive_dir = args.archive
+            cleanup = None
+        else:
+            result = _simulated_database(args.days, args.seed, args.dt)
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-http-")
+            archive_dir = Path(cleanup.name) / "archive"
+            TelemetryArchive.save(result.database, archive_dir)
+        try:
+            def announce(host: str, port: int) -> None:
+                print(
+                    f"serving {archive_dir} read-only on http://{host}:{port} "
+                    f"with {args.workers} workers (Ctrl-C to stop)",
+                    flush=True,
+                )
+
+            failures = serve_prefork(
+                archive_dir,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                duration_s=args.duration,
+                cache_size=args.cache_size,
+                ready_callback=announce,
+            )
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()
+        return 0 if failures == 0 else 1
+
+    if args.archive is not None:
+        database = TelemetryArchive.load(args.archive, mmap=True)
+    else:
+        database = _simulated_database(args.days, args.seed, args.dt).database
+    ingest = None if args.no_ingest else IngestServerConfig(tokens=tokens)
+    app = OperationsApp.from_database(
+        database, cache_size=args.cache_size, ingest=ingest
+    )
+    server = OperationsHttpServer(app, host=args.host, port=args.port)
+    host, port = server.address
+    mode = "read-only" if args.no_ingest else (
+        "authenticated ingest" if tokens else "open ingest"
+    )
+    print(
+        f"serving {database.num_samples} samples on http://{host}:{port} "
+        f"({mode}; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        if args.duration is not None:
+            import time as _time
+
+            server.start()
+            _time.sleep(args.duration)
+        else:
+            server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nstopping ...")
+    finally:
+        if app.gateway is not None:
+            app.gateway.finalize()
+        server.stop()
+    counters = app.counters
+    print(
+        f"served {counters.requests} requests "
+        f"({counters.client_errors} client errors, "
+        f"{counters.server_errors} server errors)"
+    )
+    return 0
+
+
+def _cmd_http_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.http import generate_query_paths, probe_bounds, run_load
+
+    bounds = probe_bounds(args.url)
+    paths = generate_query_paths(
+        bounds.start_epoch_s,
+        bounds.end_epoch_s,
+        bounds.num_racks,
+        bounds.resolutions_s,
+        args.requests,
+        seed=args.seed,
+    )
+    report = None
+    for iteration in range(max(1, args.repeat)):
+        report = run_load(args.url, paths, clients=args.clients)
+        label = "cold" if iteration == 0 else f"warm pass {iteration}"
+        print(
+            f"{label}: {report.requests} requests in {report.elapsed_s:.2f}s "
+            f"= {report.requests_per_s:.0f} req/s "
+            f"(p50 {report.p50_ms:.2f}ms, p99 {report.p99_ms:.2f}ms, "
+            f"{report.errors} errors)"
+        )
+    if args.out is not None and report is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if report is not None and report.errors == 0 else 1
 
 
 _COMMANDS = {
@@ -526,6 +748,8 @@ _COMMANDS = {
     "serve-replay": _cmd_serve_replay,
     "chaos": _cmd_chaos,
     "query": _cmd_query,
+    "serve-http": _cmd_serve_http,
+    "http-load": _cmd_http_load,
 }
 
 

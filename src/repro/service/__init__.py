@@ -25,7 +25,10 @@ it, and an aggregated store answering dashboard queries.
   :meth:`LiveOperationsService.recover`,
 * :mod:`repro.service.live` — :class:`LiveOperationsService`, the
   assembled bus -> rollups -> query-engine stack with supervision,
-  durability, and chaos hooks.
+  durability, and chaos hooks,
+* :mod:`repro.service.http` — the operations HTTP API: versioned
+  query routes, ``/healthz``/``/metrics``, the collector ingest
+  gateway, and the pre-forked read-only server.
 """
 
 from repro.service.bus import (
@@ -38,6 +41,13 @@ from repro.service.bus import (
     SubscriberCounters,
     Subscription,
 )
+from repro.service.http import (
+    IngestClient,
+    IngestGateway,
+    IngestServerConfig,
+    OperationsApp,
+    OperationsHttpServer,
+)
 from repro.service.durability import (
     ComponentRecovery,
     DurabilityConfig,
@@ -49,6 +59,7 @@ from repro.service.durability import (
 from repro.service.live import LiveOperationsService, ServiceConfig, ServiceReport
 from repro.service.query import (
     CacheCounters,
+    CacheInfo,
     Query,
     QueryEngine,
     QueryResult,
@@ -93,6 +104,12 @@ __all__ = [
     "ServiceConfig",
     "ServiceReport",
     "CacheCounters",
+    "CacheInfo",
+    "IngestClient",
+    "IngestGateway",
+    "IngestServerConfig",
+    "OperationsApp",
+    "OperationsHttpServer",
     "Query",
     "QueryEngine",
     "QueryResult",

@@ -1,0 +1,219 @@
+"""Load generator for the operations HTTP API.
+
+Builds a **deterministic** query mix (seeded generator over channels,
+stats, scopes, and windows inside the dataset's advertised
+``epoch_bounds``) and hammers a running server from parallel client
+*processes* — process-level so a GIL-bound client can't masquerade as
+a server bottleneck when the benchmark measures worker scaling.  Each
+client process keeps one persistent HTTP/1.1 connection and walks its
+shard of the path list serially, recording per-request latency.
+
+Entry points: :func:`generate_query_paths` (the mix),
+:func:`run_load` (the hammer), and the ``repro http-load`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.parallel import pstarmap, resolve_workers
+from repro.service.http.protocol import query_path
+from repro.service.query import Query
+from repro.telemetry.records import CHANNELS
+
+#: Default kind mix: dashboards poll points far more than they redraw.
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("point", 0.6),
+    ("aggregate", 0.25),
+    ("series", 0.15),
+)
+
+_STATS = ("mean", "min", "max")
+
+
+def generate_query_paths(
+    start_epoch_s: float,
+    end_epoch_s: float,
+    num_racks: int,
+    resolutions_s: Sequence[float],
+    num_queries: int,
+    seed: int = 0,
+    mix: Sequence[Tuple[str, float]] = DEFAULT_MIX,
+) -> List[str]:
+    """A reproducible list of GET paths aimed inside the dataset.
+
+    Windows and instants are snapped to the finest resolution so every
+    query lands on real buckets; scopes rotate across facility, row,
+    and rack.  Identical arguments produce identical paths, which is
+    what lets cold-vs-warm cache passes replay the same traffic.
+    """
+    if end_epoch_s <= start_epoch_s:
+        raise ValueError("end_epoch_s must exceed start_epoch_s")
+    rng = np.random.default_rng(seed)
+    finest = float(min(resolutions_s))
+    span_buckets = max(1, int((end_epoch_s - start_epoch_s) / finest))
+    kinds = [kind for kind, _ in mix]
+    weights = np.array([weight for _, weight in mix], dtype="float64")
+    weights /= weights.sum()
+    paths: List[str] = []
+    for _ in range(num_queries):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        channel = CHANNELS[int(rng.integers(len(CHANNELS)))]
+        scope_draw = rng.random()
+        if scope_draw < 0.5:
+            scope, rack, row = "facility", None, None
+        elif scope_draw < 0.75:
+            scope, rack, row = "rack", int(rng.integers(num_racks)), None
+        else:
+            scope, rack, row = "row", None, int(rng.integers(max(1, num_racks // 16)))
+        stat = _STATS[int(rng.integers(len(_STATS)))]
+        if kind == "point":
+            bucket = int(rng.integers(span_buckets))
+            query = Query(
+                "point",
+                channel,
+                start_epoch_s + bucket * finest,
+                0.0,
+                stat=stat,
+                scope=scope,
+                rack=rack,
+                row=row,
+            )
+        else:
+            lo = int(rng.integers(span_buckets))
+            width = int(rng.integers(1, max(2, span_buckets - lo + 1)))
+            query = Query(
+                kind,
+                channel,
+                start_epoch_s + lo * finest,
+                start_epoch_s + min(span_buckets, lo + width) * finest,
+                stat=stat,
+                scope=scope,
+                rack=rack,
+                row=row,
+            )
+        paths.append(query_path(kind, query))
+    return paths
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """One load pass, summarized."""
+
+    requests: int
+    errors: int
+    elapsed_s: float
+    requests_per_s: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+def _fetch_shard(base_url: str, paths: List[str]) -> List[Tuple[float, int]]:
+    """One client process: fetch its shard over a kept-alive connection.
+
+    Module-level (picklable) for :func:`repro.parallel.pstarmap`.
+    Returns ``(latency_s, status)`` per request; a transport failure
+    records status 0 and reconnects.
+    """
+    split = urlsplit(base_url)
+    conn = http.client.HTTPConnection(split.hostname, split.port, timeout=30)
+    samples: List[Tuple[float, int]] = []
+    for path in paths:
+        begin = time.perf_counter()
+        try:
+            conn.request("GET", path)
+            reply = conn.getresponse()
+            payload = reply.read()
+            status = reply.status
+            if status == 200:
+                json.loads(payload)  # clients parse what they fetch
+        except (OSError, http.client.HTTPException):
+            status = 0
+            conn.close()
+            conn = http.client.HTTPConnection(
+                split.hostname, split.port, timeout=30
+            )
+        samples.append((time.perf_counter() - begin, status))
+    conn.close()
+    return samples
+
+
+def run_load(
+    base_url: str,
+    paths: Sequence[str],
+    clients: Optional[int] = None,
+) -> LoadReport:
+    """Hammer ``base_url`` with ``paths`` from parallel client processes.
+
+    The path list is split into ``clients`` contiguous shards, one per
+    process; throughput is total requests over the whole pass's wall
+    clock (fork and join included — the honest number).
+    """
+    paths = list(paths)
+    clients = resolve_workers(clients, max_tasks=len(paths))
+    shards = [list(shard) for shard in np.array_split(np.array(paths), clients)]
+    shards = [shard for shard in shards if shard]
+    begin = time.perf_counter()
+    shard_samples = pstarmap(
+        _fetch_shard,
+        [(base_url, shard) for shard in shards],
+        workers=len(shards),
+        chunksize=1,
+    )
+    elapsed = time.perf_counter() - begin
+    latencies = np.array(
+        [latency for samples in shard_samples for latency, _ in samples]
+    )
+    statuses = [status for samples in shard_samples for _, status in samples]
+    errors = sum(1 for status in statuses if status != 200)
+    return LoadReport(
+        requests=len(statuses),
+        errors=errors,
+        elapsed_s=elapsed,
+        requests_per_s=len(statuses) / elapsed if elapsed > 0 else 0.0,
+        p50_ms=float(np.percentile(latencies, 50) * 1e3) if latencies.size else 0.0,
+        p99_ms=float(np.percentile(latencies, 99) * 1e3) if latencies.size else 0.0,
+        mean_ms=float(latencies.mean() * 1e3) if latencies.size else 0.0,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerBounds:
+    """What ``/healthz`` advertises about the served dataset."""
+
+    start_epoch_s: float
+    end_epoch_s: float
+    resolutions_s: Tuple[float, ...]
+    num_racks: int
+
+
+def probe_bounds(base_url: str, timeout_s: float = 10.0) -> ServerBounds:
+    """Ask a running server what data it holds (via ``/healthz``)."""
+    split = urlsplit(base_url)
+    conn = http.client.HTTPConnection(split.hostname, split.port, timeout=timeout_s)
+    try:
+        conn.request("GET", "/healthz")
+        reply = conn.getresponse()
+        health = json.loads(reply.read())
+    finally:
+        conn.close()
+    bounds = health.get("epoch_bounds")
+    if not bounds:
+        raise RuntimeError("server reports an empty store; nothing to load-test")
+    return ServerBounds(
+        start_epoch_s=float(bounds[0]),
+        end_epoch_s=float(bounds[1]),
+        resolutions_s=tuple(float(r) for r in health["resolutions_s"]),
+        num_racks=int(health["num_racks"]),
+    )

@@ -103,7 +103,7 @@ class ServiceReport:
     alarms: Tuple[CusumAlarm, ...]
     predictions: int
     rollup_buckets: Dict[float, int]
-    cache: Dict[str, int]
+    cache: Dict[str, float]
     #: Per-subscriber supervision counters.
     supervision: Dict[str, SupervisorCounters] = dataclasses.field(
         default_factory=dict
@@ -324,7 +324,7 @@ class LiveOperationsService:
             alarms=tuple(alarms),
             predictions=predictions,
             rollup_buckets=self.rollups.bucket_counts(),
-            cache=self.engine.cache_info(),
+            cache=self.engine.cache_info().as_dict(),
             supervision=self.supervisor.counters,
             events=self.supervisor.events,
             chaos=(

@@ -168,6 +168,41 @@ class ServeCounters:
         return dataclasses.asdict(self)
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheInfo:
+    """One consistent snapshot of the query-cache counters.
+
+    Returned by :meth:`QueryEngine.cache_info` so external reporters —
+    the HTTP ``/metrics`` endpoint, ``repro query --stats`` — get the
+    counters, occupancy, and derived hit rate as one immutable value
+    instead of reaching into engine internals.  Subscriptable for
+    backward compatibility with the dict it replaced.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    revalidations: int
+    #: Entries currently cached.
+    entries: int
+    #: Maximum entries (the LRU bound).
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        info = dataclasses.asdict(self)
+        info["hit_rate"] = self.hit_rate
+        return info
+
+    def __getitem__(self, key: str):
+        return self.as_dict()[key]
+
+
 @dataclasses.dataclass
 class _CacheEntry:
     result: QueryResult
@@ -281,7 +316,7 @@ class QueryEngine:
             )
         return query.end_epoch_s
 
-    def _lookup(self, query: Query) -> Optional[QueryResult]:
+    def _lookup(self, query: Query) -> Optional[Tuple[QueryResult, int]]:
         with self._lock:
             entry = self._cache.get(query)
             if entry is None:
@@ -300,7 +335,7 @@ class QueryEngine:
                 self.counters.revalidations += 1
             self._cache.move_to_end(query)
             self.counters.hits += 1
-            return entry.result
+            return entry.result, entry.version
 
     def _earliest_since(self, version: int, current: int) -> float:
         """Memoized ``store.earliest_mutation_since`` (lock held)."""
@@ -321,11 +356,18 @@ class QueryEngine:
                 self._cache.popitem(last=False)
                 self.counters.evictions += 1
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> CacheInfo:
+        """A consistent :class:`CacheInfo` snapshot (taken under the lock)."""
         with self._lock:
-            info = self.counters.as_dict()
-            info["entries"] = len(self._cache)
-            return info
+            return CacheInfo(
+                hits=self.counters.hits,
+                misses=self.counters.misses,
+                evictions=self.counters.evictions,
+                invalidations=self.counters.invalidations,
+                revalidations=self.counters.revalidations,
+                entries=len(self._cache),
+                capacity=self.cache_size,
+            )
 
     # -- execution ----------------------------------------------------------------
 
@@ -368,12 +410,23 @@ class QueryEngine:
         Raises:
             KeyError: when an explicit ``resolution_s`` names no level.
         """
+        return self.execute_versioned(query)[0]
+
+    def execute_versioned(self, query: Query) -> Tuple[QueryResult, int]:
+        """:meth:`execute`, plus the store version the answer is valid at.
+
+        The version is the stamp of the cache entry that served (or
+        now holds) the result — the rollup-store version whose data
+        the answer reflects.  The HTTP API returns it with every
+        response so concurrent clients can correlate answers with
+        ingest progress.
+        """
         cached = self._lookup(query)
         if cached is not None:
             return cached
         result, version = self._compute(query)
         self._store_entry(query, result, version)
-        return result
+        return result, version
 
     def _execute_guarded(self, query: Query) -> QueryResult:
         """:meth:`execute` that never raises.

@@ -611,6 +611,24 @@ class RollupStore:
     def level_resolutions(self) -> Tuple[float, ...]:
         return self.resolutions_s
 
+    def epoch_bounds(self) -> Optional[Tuple[float, float]]:
+        """Covered time range ``(first, last)`` on the finest level.
+
+        ``first`` is the start of the earliest bucket and ``last`` the
+        end of the latest, so ``[first, last)`` tiles exactly onto
+        finest-level buckets; ``None`` while the store is empty.  The
+        HTTP ``/healthz`` route advertises this so remote clients (the
+        load generator in particular) can aim queries at real data.
+        """
+        with self._lock:
+            level = self._levels[0]
+            if level.size == 0:
+                return None
+            return (
+                float(level.epoch[0]),
+                float(level.epoch[level.size - 1] + level.resolution_s),
+            )
+
     def snap_resolution(self, start_epoch_s: float, end_epoch_s: float) -> float:
         """The coarsest resolution whose buckets tile ``[start, end)``.
 

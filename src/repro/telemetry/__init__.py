@@ -12,6 +12,9 @@ RAS log of real Mira:
   event log with severity and category taxonomies,
 * :mod:`repro.telemetry.quality` — the data-quality scrubber (stuck
   runs, spikes, gaps) writing per-channel quality masks,
+* :mod:`repro.telemetry.schema` — the canonical channel-column/units
+  mapping shared by every serializer (CSV export, HTTP JSON API,
+  collector adapters),
 * :mod:`repro.telemetry.nanstats` — NaN-aware reductions that stay
   silent on all-NaN slices.
 """
@@ -30,6 +33,15 @@ from repro.telemetry.quality import (
     scrub_database,
     spike_mask,
     stuck_mask,
+)
+from repro.telemetry.schema import (
+    CHANNEL_BY_COLUMN,
+    CHANNEL_UNITS,
+    QUALITY_SUFFIX,
+    TELEMETRY_COLUMNS,
+    channel_for_column,
+    quality_column,
+    telemetry_header,
 )
 from repro.telemetry.series import TimeSeries, linear_fit
 from repro.telemetry.ras import RasEvent, RasLog, Severity
@@ -55,6 +67,13 @@ __all__ = [
     "scrub_database",
     "spike_mask",
     "stuck_mask",
+    "CHANNEL_BY_COLUMN",
+    "CHANNEL_UNITS",
+    "QUALITY_SUFFIX",
+    "TELEMETRY_COLUMNS",
+    "channel_for_column",
+    "quality_column",
+    "telemetry_header",
     "TimeSeries",
     "linear_fit",
     "RasEvent",

@@ -444,6 +444,44 @@ class EnvironmentalDatabase:
         return self._size
 
     @property
+    def committed_samples(self) -> int:
+        """Rows committed so far, **without** flushing the reorder buffer.
+
+        :attr:`num_samples` force-commits pending rows first, which is
+        right for end-of-stream queries but wrong for a live ingest
+        path that must let the reorder window keep doing its job.  The
+        HTTP ingest gateway polls this to learn how many rows are
+        final and safe to fold into downstream rollups.
+        """
+        return self._size
+
+    def committed_rows(
+        self, start: int, stop: int
+    ) -> Tuple[np.ndarray, Dict[Channel, np.ndarray], Dict[Channel, np.ndarray]]:
+        """Read-only views of committed rows ``[start, stop)``, no flush.
+
+        Returns ``(epoch_s, values, quality)`` shaped like one
+        :meth:`iter_blocks` item.  Unlike the query accessors this does
+        not force-commit the lenient reorder buffer, so a live ingest
+        path can hand finalized rows to rollups while late samples are
+        still in flight.
+
+        Raises:
+            IndexError: when the range reaches past the committed rows.
+        """
+        if not 0 <= start <= stop <= self._size:
+            raise IndexError(
+                f"committed rows [{start}, {stop}) out of range "
+                f"(committed: {self._size})"
+            )
+        epochs = _readonly(self._epoch[start:stop])
+        values = {ch: _readonly(self._columns[ch][start:stop]) for ch in CHANNELS}
+        quality = {
+            ch: _readonly(self._quality_matrix(ch)[start:stop]) for ch in CHANNELS
+        }
+        return epochs, values, quality
+
+    @property
     def num_racks(self) -> int:
         return self._num_racks
 
@@ -608,6 +646,38 @@ class EnvironmentalDatabase:
             mask = mask & (matrix == int(Quality.OK))
         matrix[mask] = int(quality)
         return int(mask.sum())
+
+    def overwrite_quality(
+        self, channel: Channel, start_row: int, flags: np.ndarray
+    ) -> None:
+        """Replace quality flags for committed rows starting at ``start_row``.
+
+        Unlike :meth:`update_quality` this neither flushes the reorder
+        buffer nor masks by current flag — it is the ingest gateway's
+        path for applying a collector's explicit per-cell verdicts to
+        rows it just committed (e.g. re-posting a scrubbed export with
+        its SUSPECT/SCRUBBED cells intact).
+
+        Raises:
+            IndexError: when the block reaches past the committed rows.
+            ValueError: on a wrong-width block.
+        """
+        block = np.asarray(flags, dtype=np.uint8)
+        if block.ndim != 2 or block.shape[1] != self._num_racks:
+            raise ValueError(
+                f"flags must be (rows, {self._num_racks}), got {block.shape}"
+            )
+        stop = start_row + block.shape[0]
+        if not 0 <= start_row <= stop <= self._size:
+            raise IndexError(
+                f"quality rows [{start_row}, {stop}) out of range "
+                f"(committed: {self._size})"
+            )
+        if self._quality is not None:
+            self._quality[channel][start_row:stop] = block
+        else:
+            # Archived store: annotate the derived-quality cache.
+            self._quality_matrix(channel)[start_row:stop] = block
 
     def missing_cells(self, channel: Channel) -> int:
         """Number of cells flagged ``MISSING`` for one channel."""

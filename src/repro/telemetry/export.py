@@ -34,12 +34,14 @@ from repro.facility.topology import RackId
 from repro.telemetry.database import EnvironmentalDatabase
 from repro.telemetry.ras import RasEvent, RasLog, Severity
 from repro.telemetry.records import CHANNELS, Channel, Quality
+from repro.telemetry.schema import telemetry_header
 
 PathLike = Union[str, Path]
 
-_TELEMETRY_HEADER = ["epoch_s", "rack"] + [ch.column for ch in CHANNELS]
-_QUALITY_COLUMNS = [ch.column + "_q" for ch in CHANNELS]
-_QUALITY_HEADER = _TELEMETRY_HEADER + _QUALITY_COLUMNS
+# Both headers come from the canonical schema (shared with the HTTP
+# JSON serializer and the collector adapters).
+_TELEMETRY_HEADER = telemetry_header(include_quality=False)
+_QUALITY_HEADER = telemetry_header(include_quality=True)
 
 #: Samples per export chunk; bounds peak memory at
 #: ``chunk x racks x channels`` cells regardless of dataset length.

@@ -1,0 +1,58 @@
+"""The canonical wire/file schema for telemetry channels.
+
+Every serializer that leaves the process — the CSV exporter, the HTTP
+JSON API, the collector adapters — must agree on channel column names,
+quality-column naming, and units.  This module is the single source of
+truth they all import; nothing here is derived independently anywhere
+else.
+
+The schema is generated from :data:`repro.telemetry.records.CHANNELS`
+(canonical storage order), so adding a channel to the enum propagates
+to every exporter and parser automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.telemetry.records import CHANNELS, Channel
+
+#: Suffix appended to a channel column to name its quality column.
+QUALITY_SUFFIX = "_q"
+
+#: Channel value columns in canonical storage order.
+TELEMETRY_COLUMNS: Tuple[str, ...] = tuple(ch.column for ch in CHANNELS)
+
+#: Column name -> :class:`Channel`, for parsers.
+CHANNEL_BY_COLUMN: Dict[str, Channel] = {ch.column: ch for ch in CHANNELS}
+
+#: Column name -> human-readable unit string, for serializers.
+CHANNEL_UNITS: Dict[str, str] = {ch.column: ch.unit for ch in CHANNELS}
+
+
+def quality_column(channel: Channel) -> str:
+    """The quality-flag column paired with ``channel``'s value column."""
+    return channel.column + QUALITY_SUFFIX
+
+
+def telemetry_header(include_quality: bool = True) -> List[str]:
+    """The canonical flat-file header: epoch, rack, values[, qualities]."""
+    header = ["epoch_s", "rack"] + list(TELEMETRY_COLUMNS)
+    if include_quality:
+        header += [quality_column(ch) for ch in CHANNELS]
+    return header
+
+
+def channel_for_column(column: str) -> Channel:
+    """Resolve a wire/file column name to its :class:`Channel`.
+
+    Raises:
+        ValueError: naming the unknown column and listing the valid
+            ones, so API error payloads can forward the message
+            verbatim.
+    """
+    channel = CHANNEL_BY_COLUMN.get(column)
+    if channel is None:
+        valid = ", ".join(TELEMETRY_COLUMNS)
+        raise ValueError(f"unknown channel {column!r}; choose one of: {valid}")
+    return channel

@@ -1,0 +1,344 @@
+"""Adversarial/regression tests for the operations HTTP API.
+
+Every malformed or hostile request must come back as a **structured
+JSON error** — never a traceback — and the serving thread must stay
+alive.  Most cases drive :meth:`OperationsApp.handle` directly (the
+dispatcher is socket-free by design); a socket-level section then
+repeats the nastiest ones over a real connection, including raw bytes
+the JSON layer never sees.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    OperationsApp,
+    OperationsHttpServer,
+    IngestServerConfig,
+)
+from repro.telemetry.database import EnvironmentalDatabase
+from repro.telemetry.records import CHANNELS
+
+NUM_RACKS = 8
+NUM_SAMPLES = 48
+CADENCE_S = 300.0
+
+
+def _database() -> EnvironmentalDatabase:
+    rng = np.random.default_rng(42)
+    db = EnvironmentalDatabase(num_racks=NUM_RACKS)
+    epochs = np.arange(NUM_SAMPLES) * CADENCE_S
+    db.append_block(
+        epochs,
+        {ch: rng.normal(50.0, 5.0, size=(NUM_SAMPLES, NUM_RACKS)) for ch in CHANNELS},
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def app() -> OperationsApp:
+    return OperationsApp.from_database(_database(), ingest=IngestServerConfig())
+
+
+def _assert_error(status, payload, expected_status, expected_type):
+    assert status == expected_status
+    assert payload["api_version"] == 1
+    error = payload["error"]
+    assert error["status"] == expected_status
+    assert error["type"] == expected_type
+    # Structured means structured: a message, not a traceback dump.
+    assert "Traceback" not in error["message"]
+
+
+class TestQueryRouteErrors:
+    def test_unknown_route(self, app):
+        status, payload, _ = app.handle("GET", "/nope", {})
+        _assert_error(status, payload, 404, "unknown_route")
+
+    def test_unknown_query_kind(self, app):
+        status, payload, _ = app.handle("GET", "/v1/query/median", {})
+        _assert_error(status, payload, 404, "unknown_route")
+        assert "point" in payload["error"]["message"]
+
+    def test_unsupported_version_prefix(self, app):
+        status, payload, _ = app.handle(
+            "GET", "/v2/query/point", {"channel": "power_kw", "epoch_s": "0"}
+        )
+        _assert_error(status, payload, 404, "unsupported_version")
+        assert "v1" in payload["error"]["message"]
+
+    def test_unknown_channel(self, app):
+        status, payload, _ = app.handle(
+            "GET", "/v1/query/point", {"channel": "bogus", "epoch_s": "0"}
+        )
+        _assert_error(status, payload, 400, "unknown_channel")
+        assert "power_kw" in payload["error"]["message"]
+
+    def test_missing_required_parameter(self, app):
+        status, payload, _ = app.handle(
+            "GET", "/v1/query/series", {"channel": "power_kw", "start_s": "0"}
+        )
+        _assert_error(status, payload, 400, "bad_request")
+        assert "end_s" in payload["error"]["message"]
+
+    def test_non_numeric_window(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {"channel": "power_kw", "start_s": "zero", "end_s": "3600"},
+        )
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_non_finite_window(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {"channel": "power_kw", "start_s": "nan", "end_s": "inf"},
+        )
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_inverted_window(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {"channel": "power_kw", "start_s": "3600", "end_s": "0"},
+        )
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_bad_stat_and_scope(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/point",
+            {"channel": "power_kw", "epoch_s": "0", "stat": "median"},
+        )
+        _assert_error(status, payload, 400, "bad_request")
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/point",
+            {"channel": "power_kw", "epoch_s": "0", "scope": "rack"},
+        )
+        _assert_error(status, payload, 400, "bad_request")  # rack index missing
+
+    def test_unknown_resolution(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {
+                "channel": "power_kw",
+                "start_s": "0",
+                "end_s": "3600",
+                "resolution_s": "7.0",
+            },
+        )
+        _assert_error(status, payload, 400, "bad_request")
+        assert "rollup level" in payload["error"]["message"]
+
+    def test_window_too_large_refused(self, app):
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/series",
+            {
+                "channel": "power_kw",
+                "start_s": "0",
+                "end_s": repr(300.0 * 200_000),
+                "resolution_s": "300.0",
+            },
+        )
+        _assert_error(status, payload, 422, "window_too_large")
+
+    def test_out_of_range_window_is_served_not_crashed(self, app):
+        # A window entirely outside the data is a valid (empty) answer.
+        status, payload, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {"channel": "power_kw", "start_s": "9000000", "end_s": "9003600"},
+        )
+        assert status == 200
+        assert payload["value"] is None  # NaN encodes as null
+
+    def test_method_mismatch(self, app):
+        status, payload, _ = app.handle("POST", "/v1/query/point", {})
+        _assert_error(status, payload, 404, "unknown_route")
+        status, payload, _ = app.handle("GET", "/v1/ingest", {})
+        _assert_error(status, payload, 405, "method_not_allowed")
+
+
+class TestIngestBodyErrors:
+    def _base_body(self, n=2):
+        return {
+            "api_version": 1,
+            "collector": "c1",
+            "epoch_s": [NUM_SAMPLES * CADENCE_S + i * CADENCE_S for i in range(n)],
+            "channels": {
+                "power_kw": [[1.0] * NUM_RACKS for _ in range(n)],
+            },
+        }
+
+    def test_missing_body(self, app):
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=None)
+        _assert_error(status, payload, 400, "bad_json")
+
+    def test_wrong_version_payload(self, app):
+        body = self._base_body()
+        body["api_version"] = 99
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "unsupported_version")
+
+    def test_oversized_batch(self, app):
+        limit = app.gateway.config.max_batch_samples
+        body = self._base_body()
+        body["epoch_s"] = list(range(limit + 1))
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 413, "payload_too_large")
+
+    def test_unknown_channel_block(self, app):
+        body = self._base_body()
+        body["channels"]["voltage_v"] = body["channels"].pop("power_kw")
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "unknown_channel")
+
+    def test_ragged_rows(self, app):
+        body = self._base_body()
+        body["channels"]["power_kw"][1] = [1.0]  # wrong width
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_row_count_mismatch(self, app):
+        body = self._base_body()
+        body["channels"]["power_kw"].append([1.0] * NUM_RACKS)
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_non_numeric_cells(self, app):
+        body = self._base_body()
+        body["channels"]["power_kw"][0][0] = "hot"
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_bad_quality_flags(self, app):
+        body = self._base_body()
+        body["quality"] = {"power_kw": [[7] * NUM_RACKS, [0] * NUM_RACKS]}
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_quality_without_channel(self, app):
+        body = self._base_body()
+        body["quality"] = {"flow_gpm": [[0] * NUM_RACKS, [0] * NUM_RACKS]}
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+    def test_out_of_order_rejected_by_strict_policy(self, app):
+        body = self._base_body()
+        body["epoch_s"] = [0.0, CADENCE_S]  # far behind the stored tail
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "rejected_by_policy")
+
+    def test_non_finite_epochs(self, app):
+        body = self._base_body()
+        body["epoch_s"] = [float("1e308") * 10, 0.0]  # inf
+        status, payload, _ = app.handle("POST", "/v1/ingest", {}, body=body)
+        _assert_error(status, payload, 400, "bad_request")
+
+
+class TestDispatcherNeverRaises:
+    def test_internal_errors_become_structured_500s(self, app, monkeypatch):
+        def boom(query):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(app.engine, "execute_versioned", boom)
+        status, payload, _ = app.handle(
+            "GET", "/v1/query/point", {"channel": "power_kw", "epoch_s": "0"}
+        )
+        _assert_error(status, payload, 500, "internal")
+        assert "kaboom" in payload["error"]["message"]
+
+    def test_counters_classify_outcomes(self):
+        app = OperationsApp.from_database(_database())
+        app.handle("GET", "/healthz", {})
+        app.handle("GET", "/bogus", {})
+        counters = app.counters
+        assert counters.requests == 2
+        assert counters.served == 1
+        assert counters.client_errors == 1
+        assert counters.server_errors == 0
+
+
+class TestOverSocket:
+    """The nastiest cases again, through a real HTTP connection."""
+
+    @pytest.fixture()
+    def server(self, app):
+        with OperationsHttpServer(app) as server:
+            yield server
+
+    def _request(self, server, method, path, body=None, raw=None):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            payload = raw if raw is not None else (
+                json.dumps(body).encode() if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=payload, headers=headers)
+            reply = conn.getresponse()
+            return reply.status, json.loads(reply.read())
+        finally:
+            conn.close()
+
+    def test_malformed_json_body(self, server):
+        status, payload = self._request(
+            server, "POST", "/v1/ingest", raw=b"{not json"
+        )
+        _assert_error(status, payload, 400, "bad_json")
+
+    def test_non_object_json_body(self, server):
+        status, payload = self._request(server, "POST", "/v1/ingest", raw=b"[1,2]")
+        _assert_error(status, payload, 400, "bad_json")
+
+    def test_declared_oversize_body_refused(self, server):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.putrequest("POST", "/v1/ingest")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            # Refused on the declared length alone; no body ever sent.
+            reply = conn.getresponse()
+            payload = json.loads(reply.read())
+            _assert_error(reply.status, payload, 413, "payload_too_large")
+        finally:
+            conn.close()
+
+    def test_server_survives_a_barrage(self, server):
+        """No handler death: hostile requests then a clean health check."""
+        cases = [
+            ("GET", "/v1/query/point?channel=bogus&epoch_s=0", None, None),
+            ("GET", "/v1/query/series?channel=power_kw", None, None),
+            ("POST", "/v1/ingest", None, b"\xff\xfe garbage"),
+            ("GET", "/v9/query/point", None, None),
+            ("POST", "/v1/ingest", {"api_version": 1}, None),
+        ]
+        for method, path, body, raw in cases:
+            status, payload = self._request(server, method, path, body, raw)
+            assert status >= 400
+            assert "error" in payload
+        status, payload = self._request(server, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_query_over_socket_matches_direct_dispatch(self, server, app):
+        path = "/v1/query/aggregate?channel=power_kw&start_s=0&end_s=3600"
+        status, over_socket = self._request(server, "GET", path)
+        direct_status, direct, _ = app.handle(
+            "GET",
+            "/v1/query/aggregate",
+            {"channel": "power_kw", "start_s": "0", "end_s": "3600"},
+        )
+        assert status == direct_status == 200
+        assert over_socket == direct

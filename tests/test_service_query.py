@@ -274,14 +274,36 @@ class TestCaching:
 
     def test_cache_info_shape(self, engine):
         info = engine.cache_info()
-        assert set(info) == {
+        assert set(info.as_dict()) == {
             "hits",
             "misses",
             "evictions",
             "invalidations",
             "revalidations",
             "entries",
+            "capacity",
+            "hit_rate",
         }
+        # The legacy mapping-style read keeps working.
+        assert info["hits"] == info.hits
+        assert info.capacity == engine.cache_size
+
+    def test_cache_info_hit_rate(self, faulted_result, engine):
+        start, end = _span(faulted_result)
+        query = Query("aggregate", Channel.POWER, start, end)
+        engine.execute(query)
+        engine.execute(query)
+        info = engine.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        assert info.hit_rate == pytest.approx(0.5)
+
+    def test_execute_versioned_stamps_store_version(self, faulted_result, engine):
+        start, end = _span(faulted_result)
+        query = Query("aggregate", Channel.POWER, start, end)
+        result, version = engine.execute_versioned(query)
+        assert version == engine.store.version
+        again, version_again = engine.execute_versioned(query)
+        assert again is result and version_again == version
 
 
 class TestConcurrency:
