@@ -21,6 +21,6 @@ Quickstart::
 
 from repro import constants, timeutil, units
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = ["constants", "timeutil", "units", "__version__"]

@@ -1,0 +1,7 @@
+"""Analytics infrastructure layered on top of the core analyses.
+
+:mod:`repro.analytics.incremental` is the first member: a
+content-addressed section memo store plus append-only reducers that
+let :func:`repro.core.experiments.full_report` skip or fold work when
+the underlying telemetry has not changed (or has only grown).
+"""

@@ -1,0 +1,63 @@
+"""Content-addressed section memoization and append-only recompute.
+
+Two cooperating pieces:
+
+* :mod:`~repro.analytics.incremental.memo` — the on-disk section memo
+  store, keyed by ``(root_digest, section_id, config_digest,
+  code_epoch)`` with atomic writes, verified loads, and
+  quarantine-on-corruption;
+* :mod:`~repro.analytics.incremental.sections` — append-only reducers
+  for the pure time-fold sections, pinned bit-identical (exact
+  discrete values, <= 1e-12 floats) to the from-scratch builders.
+
+:func:`repro.core.experiments.full_report` wires both into its section
+fan-out: finished rows are served from the memo before any worker task
+is dispatched, incremental sections fold only rows past their cached
+watermark, and everything else falls back to whole-section
+memoization.  Disable with ``REPRO_SECTION_CACHE=0`` or
+``full_report(..., section_cache=False)``.
+"""
+
+from repro.analytics.incremental.memo import (
+    CONFIG_ONLY_ROOT,
+    SECTION_CACHE_ENV,
+    SectionCacheCounters,
+    SectionCacheEntry,
+    SectionKey,
+    SectionMemoStore,
+    config_digest,
+    default_store,
+    reset_default_store,
+)
+from repro.analytics.incremental.sections import (
+    INCREMENTAL_SECTIONS,
+    RACK_PROFILE_STATE,
+    SERIES_COLUMNS,
+    STATE_BUILDERS,
+    SYSTEM_SERIES_STATE,
+    TELEMETRY_INDEPENDENT_SECTIONS,
+    IncrementalSection,
+    SectionState,
+    advance_state,
+)
+
+__all__ = [
+    "CONFIG_ONLY_ROOT",
+    "SECTION_CACHE_ENV",
+    "SectionCacheCounters",
+    "SectionCacheEntry",
+    "SectionKey",
+    "SectionMemoStore",
+    "config_digest",
+    "default_store",
+    "reset_default_store",
+    "INCREMENTAL_SECTIONS",
+    "RACK_PROFILE_STATE",
+    "SERIES_COLUMNS",
+    "STATE_BUILDERS",
+    "SYSTEM_SERIES_STATE",
+    "TELEMETRY_INDEPENDENT_SECTIONS",
+    "IncrementalSection",
+    "SectionState",
+    "advance_state",
+]

@@ -100,6 +100,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also synthesize the 300 s windows and report Figs 12-13",
     )
+    report.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print the dataset digest and section-cache hit/miss "
+            "counters after the tables"
+        ),
+    )
+    report.add_argument(
+        "--no-section-cache",
+        action="store_true",
+        help=(
+            "bypass the on-disk section memo store and rebuild every "
+            "section from scratch"
+        ),
+    )
 
     predict = commands.add_parser(
         "predict", help="train and evaluate the CMF predictor (Fig 13)"
@@ -386,6 +402,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import time
+
     from repro.core.experiments import full_report
     from repro.core.report import format_table
     from repro.parallel import resolve_workers
@@ -402,11 +420,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
         ).run()
     workers = resolve_workers(args.workers)
     print(f"building the report on {workers} worker{'s' if workers != 1 else ''} ...")
+    section_cache = False if args.no_section_cache else None
+    started = time.perf_counter()
     sections = full_report(
-        result, workers=workers, synthesize_windows=args.windows
+        result,
+        workers=workers,
+        synthesize_windows=args.windows,
+        section_cache=section_cache,
     )
+    elapsed = time.perf_counter() - started
     for title, rows in sections.items():
         print("\n" + format_table(rows, title))
+    if args.stats:
+        from repro.analytics.incremental import default_store
+
+        info = result.database.digest_info()
+        store = default_store()
+        print(f"\nreport built in {elapsed:.3f}s")
+        print(
+            f"dataset digest: {info.root[:16]} "
+            f"({info.rows} rows, {info.num_chunks} chunks of "
+            f"{info.chunk_rows}; hashed {info.hashed_chunks}, "
+            f"reused {info.reused_chunks})"
+        )
+        if store.enabled and section_cache is not False:
+            counters = store.counters.as_dict()
+            print(f"section cache at {store.root}:")
+            print("  " + ", ".join(f"{k}={v}" for k, v in counters.items()))
+        else:
+            print("section cache: disabled")
     return 0
 
 
@@ -449,25 +491,54 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.analytics.incremental import SectionMemoStore
     from repro.simulation.datasets import cache_entries, cache_root, clear_cache
 
     root = cache_root()
+    store = SectionMemoStore(enabled=True)
     if args.cache_command == "clear":
         removed = clear_cache()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} from {root}")
+        swept = store.clear()
+        print(
+            f"removed {swept} section-memo entr{'y' if swept == 1 else 'ies'} "
+            f"from {store.root}"
+        )
         return 0
     entries = cache_entries()
-    if not entries:
+    sections = store.entries()
+    if entries:
+        print(f"dataset cache at {root}:")
+        print(f"{'digest':<18} {'version':<10} {'size':>10}")
+        total = 0
+        for entry in entries:
+            total += entry.size_bytes
+            print(f"{entry.digest:<18} {entry.version:<10} {entry.size_mb:>8.1f}MB")
+        print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+              f"{total / 1e6:.1f}MB total")
+    else:
         print(f"no dataset-cache entries under {root}")
-        return 0
-    print(f"dataset cache at {root}:")
-    print(f"{'digest':<18} {'version':<10} {'size':>10}")
-    total = 0
-    for entry in entries:
-        total += entry.size_bytes
-        print(f"{entry.digest:<18} {entry.version:<10} {entry.size_mb:>8.1f}MB")
-    print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
-          f"{total / 1e6:.1f}MB total")
+    if sections:
+        print(f"\nsection memos at {store.root}:")
+        print(f"{'section':<22} {'kind':<6} {'key':<26} {'size':>9} {'age':>9}")
+        total = 0
+        for entry in sections:
+            total += entry.size_bytes
+            age = (
+                f"{entry.age_s:.0f}s"
+                if entry.age_s < 120
+                else f"{entry.age_s / 60:.0f}m"
+            )
+            print(
+                f"{entry.section:<22} {entry.kind:<6} {entry.key_digest:<26} "
+                f"{entry.size_bytes / 1e3:>7.1f}kB {age:>9}"
+            )
+        print(
+            f"{len(sections)} entr{'y' if len(sections) == 1 else 'ies'}, "
+            f"{total / 1e3:.1f}kB total"
+        )
+    else:
+        print(f"\nno section-memo entries under {store.root}")
     return 0
 
 
@@ -515,6 +586,8 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         ),
     )
     label = "unpaced" if speedup == float("inf") else f"{speedup:g}x"
+    digest = result.database.dataset_digest()
+    print(f"dataset digest: {digest[:16]}")
     print(f"replaying {result.database.num_samples} snapshots ({label}) ...")
     report = service.run()
     print(

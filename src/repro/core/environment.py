@@ -66,10 +66,15 @@ class AmbientTrends:
         return summer > winter
 
 
-def ambient_trends(database: EnvironmentalDatabase) -> AmbientTrends:
-    """Reproduce Fig 8 from a telemetry database."""
-    temperature = database.channel(Channel.DC_TEMPERATURE).across_racks()
-    humidity = database.channel(Channel.DC_HUMIDITY).across_racks()
+def ambient_trends_from_series(
+    temperature: TimeSeries, humidity: TimeSeries
+) -> AmbientTrends:
+    """Fig 8 statistics from pre-extracted system-level series.
+
+    The series-level half of :func:`ambient_trends`; the incremental
+    report reducer calls it on series reconstructed from its state
+    blob so both paths share the exact statistic code.
+    """
     return AmbientTrends(
         temperature=temperature,
         humidity=humidity,
@@ -80,6 +85,14 @@ def ambient_trends(database: EnvironmentalDatabase) -> AmbientTrends:
         humidity_min_rh=float(np.nanmin(humidity.values)),
         humidity_max_rh=float(np.nanmax(humidity.values)),
         humidity_by_month=humidity.groupby_calendar("month", "median"),
+    )
+
+
+def ambient_trends(database: EnvironmentalDatabase) -> AmbientTrends:
+    """Reproduce Fig 8 from a telemetry database."""
+    return ambient_trends_from_series(
+        database.channel(Channel.DC_TEMPERATURE).across_racks(),
+        database.channel(Channel.DC_HUMIDITY).across_racks(),
     )
 
 

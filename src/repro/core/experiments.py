@@ -10,7 +10,7 @@ the same rows — one source of truth for what "reproduced" means.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,8 +34,9 @@ from repro.simulation.windows import LeadupWindow, WindowSynthesizer
 from repro.telemetry.records import Channel
 
 
-def fig2_rows(result: SimulationResult) -> List[ReportRow]:
-    trends = yearly_trends(result.database)
+def rows_from_yearly_trends(trends) -> List[ReportRow]:
+    """Fig 2 rows from finished statistics (shared with the
+    incremental reducer, so both paths assemble identical rows)."""
     return [
         ReportRow("Fig 2a", "system power at start of 2014",
                   constants.POWER_2014_MW, trends.power_start_mw, "MW"),
@@ -48,8 +49,11 @@ def fig2_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig3_rows(result: SimulationResult) -> List[ReportRow]:
-    trends = coolant_trends(result.database)
+def fig2_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_yearly_trends(yearly_trends(result.database))
+
+
+def rows_from_coolant_trends(trends) -> List[ReportRow]:
     return [
         ReportRow("Fig 3a", "total flow before Theta",
                   constants.FLOW_PRE_THETA_GPM, trends.flow_pre_theta_gpm, "GPM"),
@@ -68,14 +72,12 @@ def fig3_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig4_rows(result: SimulationResult) -> List[ReportRow]:
-    # All five monthly profiles share one group-by pass over the
-    # database's common timestamp grid (see trends.monthly_profiles).
-    power, util, flow, inlet, outlet = monthly_profiles(
-        result.database,
-        (None, Channel.UTILIZATION, Channel.FLOW,
-         Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE),
-    )
+def fig3_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_coolant_trends(coolant_trends(result.database))
+
+
+def rows_from_monthly_profiles(profiles) -> List[ReportRow]:
+    power, util, flow, inlet, outlet = profiles
     return [
         ReportRow("Fig 4a", "power H2/H1 median ratio", 1.04,
                   power.second_half_ratio),
@@ -93,12 +95,18 @@ def fig4_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig5_rows(result: SimulationResult) -> List[ReportRow]:
-    power, util, flow, inlet, outlet = weekday_profiles(
+def fig4_rows(result: SimulationResult) -> List[ReportRow]:
+    # All five monthly profiles share one group-by pass over the
+    # database's common timestamp grid (see trends.monthly_profiles).
+    return rows_from_monthly_profiles(monthly_profiles(
         result.database,
         (None, Channel.UTILIZATION, Channel.FLOW,
          Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE),
-    )
+    ))
+
+
+def rows_from_weekday_profiles(profiles) -> List[ReportRow]:
+    power, util, flow, inlet, outlet = profiles
     return [
         ReportRow("Fig 5a", "non-Monday power increase",
                   constants.NON_MONDAY_POWER_INCREASE,
@@ -116,8 +124,15 @@ def fig5_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig6_rows(result: SimulationResult) -> List[ReportRow]:
-    profile = rack_power_profile(result.database)
+def fig5_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_weekday_profiles(weekday_profiles(
+        result.database,
+        (None, Channel.UTILIZATION, Channel.FLOW,
+         Channel.INLET_TEMPERATURE, Channel.OUTLET_TEMPERATURE),
+    ))
+
+
+def rows_from_rack_power(profile) -> List[ReportRow]:
     return [
         ReportRow("Fig 6a", "rack power spread",
                   constants.RACK_POWER_SPREAD, profile.power_spread),
@@ -135,8 +150,11 @@ def fig6_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig7_rows(result: SimulationResult) -> List[ReportRow]:
-    profile = rack_coolant_profile(result.database)
+def fig6_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_rack_power(rack_power_profile(result.database))
+
+
+def rows_from_rack_coolant(profile) -> List[ReportRow]:
     return [
         ReportRow("Fig 7a", "rack flow spread",
                   constants.RACK_FLOW_SPREAD, profile.flow_spread),
@@ -149,8 +167,11 @@ def fig7_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig8_rows(result: SimulationResult) -> List[ReportRow]:
-    trends = ambient_trends(result.database)
+def fig7_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_rack_coolant(rack_coolant_profile(result.database))
+
+
+def rows_from_ambient_trends(trends) -> List[ReportRow]:
     return [
         ReportRow("Fig 8a", "DC temperature min", constants.DC_TEMP_MIN_F,
                   trends.temperature_min_f, "F"),
@@ -169,8 +190,11 @@ def fig8_rows(result: SimulationResult) -> List[ReportRow]:
     ]
 
 
-def fig9_rows(result: SimulationResult) -> List[ReportRow]:
-    spatial = ambient_spatial(result.database)
+def fig8_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_ambient_trends(ambient_trends(result.database))
+
+
+def rows_from_ambient_spatial(spatial) -> List[ReportRow]:
     temp_delta, humidity_delta = spatial.row_end_effect()
     return [
         ReportRow("Fig 9a", "rack DC-temperature spread",
@@ -182,6 +206,10 @@ def fig9_rows(result: SimulationResult) -> List[ReportRow]:
         ReportRow("Sec V", "row-end temperature excess", 2.0, temp_delta, "F"),
         ReportRow("Sec V", "row-end humidity deficit", -3.0, humidity_delta, "%RH"),
     ]
+
+
+def fig9_rows(result: SimulationResult) -> List[ReportRow]:
+    return rows_from_ambient_spatial(ambient_spatial(result.database))
 
 
 def fig10_11_rows(result: SimulationResult) -> List[ReportRow]:
@@ -388,12 +416,72 @@ def _chunk_bounds(total: int, chunks: int) -> List[Tuple[int, int]]:
     ]
 
 
+def _resolve_section_store(section_cache):
+    """Map the ``section_cache`` argument to an enabled store or None."""
+    if section_cache is False:
+        return None
+    if section_cache is None or section_cache is True:
+        from repro.analytics.incremental.memo import default_store
+
+        store = default_store()
+    else:
+        store = section_cache
+    return store if store.enabled else None
+
+
+def _compute_incremental_sections(
+    result: SimulationResult,
+    names: Sequence[str],
+    store,
+    digest_info,
+    cfg_digest: str,
+) -> Dict[str, List[ReportRow]]:
+    """Fold and finalize the incremental sections in-process.
+
+    Each needed state blob is loaded once, revalidated against the
+    store's chunk prefix, advanced (folding only appended rows when
+    the prefix held), re-published, and finalized per section.  Runs
+    in the parent: the folds are vectorized slices over (possibly
+    memory-mapped) columns, far cheaper than a worker round-trip.
+    """
+    from repro.analytics.incremental.sections import (
+        INCREMENTAL_SECTIONS,
+        advance_state,
+    )
+
+    database = result.database
+    payloads: Dict[str, Dict] = {}
+    for state_id in sorted({INCREMENTAL_SECTIONS[n].state_id for n in names}):
+        prior = store.load_state(state_id, cfg_digest) if store else None
+        state, outcome = advance_state(database, state_id, prior, digest_info)
+        if store is not None:
+            counters = store.counters
+            if outcome == "hit":
+                counters.state_hits += 1
+            elif outcome == "append":
+                counters.state_appends += 1
+            elif outcome == "invalidated":
+                counters.invalidations += 1
+            else:
+                counters.state_misses += 1
+            if outcome != "hit":
+                store.store_state(state_id, cfg_digest, state)
+        payloads[state_id] = state.payload
+    return {
+        name: INCREMENTAL_SECTIONS[name].finalize(
+            payloads[INCREMENTAL_SECTIONS[name].state_id], result
+        )
+        for name in names
+    }
+
+
 def full_report(
     result: SimulationResult,
     positive_windows: Optional[Sequence[LeadupWindow]] = None,
     negative_windows: Optional[Sequence[LeadupWindow]] = None,
     workers: Optional[int] = None,
     synthesize_windows: bool = False,
+    section_cache: Union[None, bool, object] = None,
 ) -> Dict[str, List[ReportRow]]:
     """All figures' comparisons, keyed by a section title.
 
@@ -407,13 +495,30 @@ def full_report(
     in which case the 300 s window synthesis (the dominant serial
     cost) is sharded across the pool too.
 
+    With the section memo store enabled (the default; see
+    :mod:`repro.analytics.incremental`), every section is looked up by
+    the dataset's content address *before* any task is dispatched:
+    memoized sections are served from disk, sections with an
+    incremental reducer fold only rows appended since their cached
+    watermark, and only genuinely new work reaches the pool.  Cached
+    and fresh builds are pinned equal (exact discrete values, <= 1e-12
+    floats) by ``tests/test_incremental_report.py``.
+
     Args:
         result: The simulation to report on.
         positive_windows: Pre-built CMF lead-up windows (optional).
+            When windows are passed explicitly their sections are
+            never memoized — their content is the caller's, not
+            derivable from the dataset address.
         negative_windows: Pre-built negative-class windows (optional).
         workers: Pool size (see :func:`repro.parallel.resolve_workers`).
         synthesize_windows: Build the Fig 12/13 windows in-report when
             none were passed.
+        section_cache: ``None`` (default) uses the process-wide memo
+            store unless ``REPRO_SECTION_CACHE=0``; ``False`` disables
+            memoization for this call; a
+            :class:`~repro.analytics.incremental.SectionMemoStore`
+            instance is used as-is.
     """
     synthesize = synthesize_windows and positive_windows is None
     positives_total = 0
@@ -421,10 +526,55 @@ def full_report(
         positives_total = len(WindowSynthesizer(result).eligible_events())
         synthesize = positives_total > 0
 
-    section_tasks = [("section", fn.__name__) for _, fn in SECTION_BUILDERS]
+    store = _resolve_section_store(section_cache)
+    memo_rows: Dict[str, List[ReportRow]] = {}
+    incremental_names: List[str] = []
+    keys: Dict[str, object] = {}
+    digest_info = None
+    cfg_digest = ""
+    if store is not None:
+        from repro.analytics.incremental.memo import (
+            CONFIG_ONLY_ROOT,
+            config_digest,
+        )
+        from repro.analytics.incremental.sections import (
+            INCREMENTAL_SECTIONS,
+            TELEMETRY_INDEPENDENT_SECTIONS,
+        )
+
+        digest_info = result.database.digest_info()
+        cfg_digest = config_digest(result.config)
+        section_ids = [fn.__name__ for _, fn in SECTION_BUILDERS]
+        if synthesize:
+            # Synthesized windows derive from the result alone, so
+            # their sections are addressable like any other.
+            section_ids += ["fig12_rows", "fig13_rows"]
+        for section_id in section_ids:
+            root = (
+                CONFIG_ONLY_ROOT
+                if section_id in TELEMETRY_INDEPENDENT_SECTIONS
+                else digest_info.root
+            )
+            key = store.key(root, section_id, cfg_digest)
+            keys[section_id] = key
+            rows = store.load_rows(key)
+            if rows is not None:
+                memo_rows[section_id] = rows
+            elif section_id in INCREMENTAL_SECTIONS:
+                incremental_names.append(section_id)
+
+    pool_section_names = [
+        fn.__name__
+        for _, fn in SECTION_BUILDERS
+        if fn.__name__ not in memo_rows and fn.__name__ not in incremental_names
+    ]
+    section_tasks = [("section", name) for name in pool_section_names]
     count = resolve_workers(workers, max_tasks=None)
+    need_windows = synthesize and not (
+        "fig12_rows" in memo_rows and "fig13_rows" in memo_rows
+    )
     window_tasks: List[Tuple] = []
-    if synthesize:
+    if need_windows:
         for lo, hi in _chunk_bounds(positives_total, count * 4):
             window_tasks.append(("positives", lo, hi))
         for lo, hi in _chunk_bounds(positives_total, count * 4):
@@ -432,18 +582,39 @@ def full_report(
     # Window chunks lead the task list: they are the long poles, so
     # they should hit the pool first.
     tasks = window_tasks + section_tasks
-    count = min(count, len(tasks))
-    spec = _result_spec(result, count)
-    outputs = pstarmap(
-        _report_task, [(spec, task) for task in tasks], workers=count, chunksize=1
-    )
+    if tasks:
+        count = min(count, len(tasks))
+        spec = _result_spec(result, count)
+        outputs = pstarmap(
+            _report_task,
+            [(spec, task) for task in tasks],
+            workers=count,
+            chunksize=1,
+        )
+    else:
+        outputs = []
 
     section_rows = outputs[len(window_tasks):]
-    sections: Dict[str, List[ReportRow]] = {
-        title: rows
-        for (title, _), rows in zip(SECTION_BUILDERS, section_rows)
-    }
-    if synthesize:
+    pool_by_name = dict(zip(pool_section_names, section_rows))
+    if store is not None:
+        for name, rows in pool_by_name.items():
+            store.store_rows(keys[name], rows)
+    if incremental_names:
+        memo_rows.update(
+            _compute_incremental_sections(
+                result, incremental_names, store, digest_info, cfg_digest
+            )
+        )
+        if store is not None:
+            for name in incremental_names:
+                store.store_rows(keys[name], memo_rows[name])
+
+    sections: Dict[str, List[ReportRow]] = {}
+    for title, fn in SECTION_BUILDERS:
+        name = fn.__name__
+        sections[title] = memo_rows[name] if name in memo_rows else pool_by_name[name]
+
+    if need_windows:
         n_pos_chunks = len(window_tasks) // 2
         positive_windows = [
             w for chunk in outputs[:n_pos_chunks] for w in chunk
@@ -451,12 +622,21 @@ def full_report(
         negative_windows = [
             w for chunk in outputs[n_pos_chunks : len(window_tasks)] for w in chunk
         ]
-    if positive_windows is not None:
-        sections[FIG12_TITLE] = fig12_rows(positive_windows)
-        if negative_windows is not None:
+    if positive_windows is not None or (synthesize and not need_windows):
+        if "fig12_rows" in memo_rows:
+            sections[FIG12_TITLE] = memo_rows["fig12_rows"]
+        else:
+            sections[FIG12_TITLE] = fig12_rows(positive_windows)
+            if store is not None and synthesize:
+                store.store_rows(keys["fig12_rows"], sections[FIG12_TITLE])
+        if "fig13_rows" in memo_rows and synthesize:
+            sections[FIG13_TITLE] = memo_rows["fig13_rows"]
+        elif negative_windows is not None:
             sections[FIG13_TITLE] = fig13_rows(
                 positive_windows, negative_windows, workers=count
             )
+            if store is not None and synthesize:
+                store.store_rows(keys["fig13_rows"], sections[FIG13_TITLE])
     return sections
 
 

@@ -47,6 +47,24 @@ class YearlyTrends:
         return float(self.utilization_fit.predict(self.utilization.epoch_s[-1:])[0])
 
 
+def yearly_trends_from_series(
+    power: TimeSeries, utilization: TimeSeries, smooth_window: int = 24 * 7
+) -> YearlyTrends:
+    """Fig 2 statistics from pre-extracted system-level series.
+
+    The series-level half of :func:`yearly_trends`; the incremental
+    report reducer calls it on series reconstructed from its state
+    blob, so cached and from-scratch builds share every statistic's
+    exact code path.
+    """
+    return YearlyTrends(
+        power_mw=power.rolling_mean(smooth_window),
+        utilization=utilization.rolling_mean(smooth_window),
+        power_fit=power.trend(),
+        utilization_fit=utilization.trend(),
+    )
+
+
 def yearly_trends(
     database: EnvironmentalDatabase, smooth_window: int = 24 * 7
 ) -> YearlyTrends:
@@ -57,13 +75,10 @@ def yearly_trends(
         smooth_window: Rolling-mean window (in samples) for the
             plotted series; the fits are computed on the raw series.
     """
-    power = database.system_power_mw()
-    utilization = database.system_utilization()
-    return YearlyTrends(
-        power_mw=power.rolling_mean(smooth_window),
-        utilization=utilization.rolling_mean(smooth_window),
-        power_fit=power.trend(),
-        utilization_fit=utilization.trend(),
+    return yearly_trends_from_series(
+        database.system_power_mw(),
+        database.system_utilization(),
+        smooth_window=smooth_window,
     )
 
 
@@ -87,12 +102,10 @@ class CoolantTrends:
     inlet_outside_theta_f: float
 
 
-def coolant_trends(database: EnvironmentalDatabase) -> CoolantTrends:
-    """Reproduce Fig 3 from a telemetry database."""
-    total_flow = database.total_flow_gpm()
-    inlet = database.channel(Channel.INLET_TEMPERATURE).across_racks()
-    outlet = database.channel(Channel.OUTLET_TEMPERATURE).across_racks()
-
+def coolant_trends_from_series(
+    total_flow: TimeSeries, inlet: TimeSeries, outlet: TimeSeries
+) -> CoolantTrends:
+    """Fig 3 statistics from pre-extracted system-level series."""
     theta = timeutil.to_epoch(constants.THETA_ADDITION_DATE)
     settled = timeutil.to_epoch(constants.THETA_SETTLED_DATE)
     epoch = total_flow.epoch_s
@@ -118,6 +131,15 @@ def coolant_trends(database: EnvironmentalDatabase) -> CoolantTrends:
         outlet_mean_f=outlet.overall_mean(),
         inlet_theta_window_f=_mean(inlet, theta_mask),
         inlet_outside_theta_f=_mean(inlet, ~theta_mask),
+    )
+
+
+def coolant_trends(database: EnvironmentalDatabase) -> CoolantTrends:
+    """Reproduce Fig 3 from a telemetry database."""
+    return coolant_trends_from_series(
+        database.total_flow_gpm(),
+        database.channel(Channel.INLET_TEMPERATURE).across_racks(),
+        database.channel(Channel.OUTLET_TEMPERATURE).across_racks(),
     )
 
 
@@ -177,26 +199,65 @@ def _system_series(
     return database.channel(channel).across_racks(), channel.column
 
 
+def _system_series_matrix(
+    database: EnvironmentalDatabase,
+    channels: Sequence[Optional[Channel]],
+) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+    """Several channels' system series as one ``(time, channel)`` matrix.
+
+    All system-level series of one database share the same timestamp
+    vector, so the calendar keys, the stable sort, and the group
+    boundaries of a calendar reduction can be computed once with every
+    channel as one matrix column.
+    """
+    extracted = [_system_series(database, ch) for ch in channels]
+    names = tuple(name for _, name in extracted)
+    matrix = np.column_stack([series.values for series, _ in extracted])
+    return names, extracted[0][0].epoch_s, matrix
+
+
 def _calendar_profiles_matrix(
     database: EnvironmentalDatabase,
     channels: Sequence[Optional[Channel]],
     field: str,
     reducer: str,
 ) -> Tuple[Tuple[str, ...], Dict[int, np.ndarray]]:
-    """One shared group-by pass over several channels' system series.
+    """One shared group-by pass over several channels' system series."""
+    names, epoch_s, matrix = _system_series_matrix(database, channels)
+    return names, reduce_by_calendar(epoch_s, matrix, field, reducer)
 
-    All system-level series of one database share the same timestamp
-    vector, so the calendar keys, the stable sort, and the group
-    boundaries are computed once and every channel is reduced as one
-    column of a single ``(time, channel)`` matrix.
+
+def monthly_profiles_from_matrix(
+    epoch_s: np.ndarray, names: Sequence[str], matrix: np.ndarray
+) -> List[MonthlyProfile]:
+    """Fig 4 profiles from a pre-extracted system-series matrix.
+
+    The matrix-level half of :func:`monthly_profiles` (one column per
+    channel); used by the incremental report reducer on series
+    reconstructed from its state blob.
     """
-    extracted = [_system_series(database, ch) for ch in channels]
-    names = tuple(name for _, name in extracted)
-    matrix = np.column_stack([series.values for series, _ in extracted])
-    by_key = reduce_by_calendar(
-        extracted[0][0].epoch_s, matrix, field, reducer
-    )
-    return names, by_key
+    by_month = reduce_by_calendar(epoch_s, matrix, "month", "median")
+    return [
+        MonthlyProfile(
+            channel_name=name,
+            by_month={k: float(row[j]) for k, row in by_month.items()},
+        )
+        for j, name in enumerate(names)
+    ]
+
+
+def weekday_profiles_from_matrix(
+    epoch_s: np.ndarray, names: Sequence[str], matrix: np.ndarray
+) -> List[WeekdayProfile]:
+    """Fig 5 profiles from a pre-extracted system-series matrix."""
+    by_weekday = reduce_by_calendar(epoch_s, matrix, "weekday", "mean")
+    return [
+        WeekdayProfile(
+            channel_name=name,
+            by_weekday={k: float(row[j]) for k, row in by_weekday.items()},
+        )
+        for j, name in enumerate(names)
+    ]
 
 
 def monthly_profile(

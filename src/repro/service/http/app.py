@@ -97,6 +97,10 @@ class OperationsApp:
         service: Optional live service whose supervision counters
             ``/metrics`` should include.
         max_series_points: Refusal bound for series payloads.
+        database: Optional backing telemetry database; when present,
+            ``/metrics`` reports its chunked content address so
+            operators can watch the digest watermark advance as
+            collector batches land.
     """
 
     def __init__(
@@ -106,12 +110,14 @@ class OperationsApp:
         chaos=None,
         service=None,
         max_series_points: int = MAX_SERIES_POINTS,
+        database: Optional[EnvironmentalDatabase] = None,
     ) -> None:
         self.engine = engine
         self.gateway = gateway
         self.chaos = chaos
         self.service = service
         self.max_series_points = max_series_points
+        self.database = database
         self.counters = RequestCounters()
         self._counter_lock = threading.Lock()
         self._request_index = -1
@@ -141,7 +147,7 @@ class OperationsApp:
             if ingest is not None
             else None
         )
-        return cls(engine, gateway=gateway, chaos=chaos)
+        return cls(engine, gateway=gateway, chaos=chaos, database=database)
 
     @classmethod
     def from_archive(
@@ -344,6 +350,29 @@ class OperationsApp:
                 },
             },
         }
+        if self.database is not None:
+            try:
+                # flush=False: hash committed rows only, so a metrics
+                # poll never forces partially-assembled batches in.
+                payload["dataset"] = self.database.digest_info(flush=False).as_dict()
+            except Exception:  # noqa: BLE001 - observability is best effort
+                pass
+        try:
+            from repro.analytics.incremental import default_store
+
+            store = default_store()
+            payload["section_cache"] = {
+                "enabled": store.enabled,
+                **store.counters.as_dict(),
+            }
+            if store.enabled:
+                entries = store.entries()
+                payload["section_cache"]["entries"] = len(entries)
+                payload["section_cache"]["bytes"] = sum(
+                    entry.size_bytes for entry in entries
+                )
+        except Exception:  # noqa: BLE001 - observability is best effort
+            pass
         if self.gateway is not None:
             payload["ingest"] = self.gateway.metrics()
         if self.service is not None:

@@ -44,6 +44,13 @@ import numpy as np
 from repro import constants
 from repro.facility.topology import RackId
 from repro.telemetry import nanstats
+from repro.telemetry.digest import (
+    DIGEST_CHUNK_ROWS,
+    DigestInfo,
+    chunk_count,
+    hash_block,
+    root_digest,
+)
 from repro.telemetry.records import CHANNELS, Channel, Quality
 from repro.telemetry.series import TimeSeries
 
@@ -324,6 +331,7 @@ class EnvironmentalDatabase:
                     int(Quality.OK),
                     int(Quality.MISSING),
                 )
+        self._invalidate_digest_rows(index, index + 1)
 
     def _commit_ready(self, force: bool = False) -> None:
         """Commit buffered rows that can no longer be reordered."""
@@ -645,6 +653,9 @@ class EnvironmentalDatabase:
         if only_ok:
             mask = mask & (matrix == int(Quality.OK))
         matrix[mask] = int(quality)
+        touched = np.flatnonzero(mask.any(axis=1))
+        if touched.size:
+            self._invalidate_digest_rows(int(touched[0]), int(touched[-1]) + 1)
         return int(mask.sum())
 
     def overwrite_quality(
@@ -678,6 +689,7 @@ class EnvironmentalDatabase:
         else:
             # Archived store: annotate the derived-quality cache.
             self._quality_matrix(channel)[start_row:stop] = block
+        self._invalidate_digest_rows(start_row, stop)
 
     def missing_cells(self, channel: Channel) -> int:
         """Number of cells flagged ``MISSING`` for one channel."""
@@ -753,6 +765,102 @@ class EnvironmentalDatabase:
         """
         flow, total = self._covered_sum(Channel.FLOW)
         return TimeSeries(flow.epoch_s, total, name="total_flow", unit="GPM")
+
+    # -- content addressing --------------------------------------------------------
+
+    def _digest_cache_for(self, chunk_rows: int) -> Dict[int, str]:
+        """The per-chunk digest cache, reset on a chunk-size change.
+
+        Lazily attached so subclasses that bypass ``__init__`` (the
+        memory-mapped archive view) get one too.
+        """
+        cache: Optional[Dict[int, str]] = getattr(self, "_digest_chunks", None)
+        if cache is None or getattr(self, "_digest_chunk_rows", None) != chunk_rows:
+            cache = {}
+            self._digest_chunks = cache
+            self._digest_chunk_rows = chunk_rows
+        return cache
+
+    def _invalidate_digest_rows(self, start: int, stop: int) -> None:
+        """Drop cached chunk digests overlapping rows ``[start, stop)``."""
+        cache: Optional[Dict[int, str]] = getattr(self, "_digest_chunks", None)
+        if not cache or stop <= start:
+            return
+        chunk_rows = self._digest_chunk_rows
+        for index in range(start // chunk_rows, (stop - 1) // chunk_rows + 1):
+            cache.pop(index, None)
+
+    def hash_row_range(self, start: int, stop: int) -> str:
+        """Content hash of committed rows ``[start, stop)`` (no flush).
+
+        The row-range primitive behind :meth:`digest_info`; the
+        incremental-analytics layer also calls it directly to validate
+        that a cached reducer state's fold watermark still addresses a
+        prefix of this store.
+
+        Raises:
+            IndexError: when the range reaches past the committed rows.
+        """
+        if not 0 <= start <= stop <= self._size:
+            raise IndexError(
+                f"hash rows [{start}, {stop}) out of range "
+                f"(committed: {self._size})"
+            )
+        values = {ch: self._columns[ch][start:stop] for ch in CHANNELS}
+        quality = {ch: self._quality_matrix(ch)[start:stop] for ch in CHANNELS}
+        return hash_block(self._epoch[start:stop], values, quality)
+
+    def digest_info(
+        self, flush: bool = True, chunk_rows: int = DIGEST_CHUNK_ROWS
+    ) -> DigestInfo:
+        """The store's Merkle-style content address, with chunk layout.
+
+        Chunks whose digests were computed before are answered from an
+        in-memory cache; only chunks never hashed — or invalidated by a
+        quality escalation or duplicate merge — are rehashed.  The
+        partial tail chunk is always rehashed, so appending rows costs
+        one tail chunk, never a full-store pass.
+
+        Args:
+            flush: Commit the lenient reorder buffer first (the right
+                call at a query boundary).  ``flush=False`` addresses
+                only the committed rows — what a live ingest path wants
+                while late samples are still in flight.
+            chunk_rows: Rows per chunk; changing it resets the cache.
+        """
+        if flush:
+            self.flush()
+        cache = self._digest_cache_for(chunk_rows)
+        rows = self._size
+        hashes: List[str] = []
+        hashed = reused = 0
+        for index in range(chunk_count(rows, chunk_rows)):
+            lo = index * chunk_rows
+            hi = min(rows, lo + chunk_rows)
+            full = hi - lo == chunk_rows
+            cached = cache.get(index) if full else None
+            if cached is not None:
+                hashes.append(cached)
+                reused += 1
+                continue
+            chunk = self.hash_row_range(lo, hi)
+            if full:
+                cache[index] = chunk
+            hashes.append(chunk)
+            hashed += 1
+        return DigestInfo(
+            root=root_digest(rows, self._num_racks, chunk_rows, hashes),
+            rows=rows,
+            num_racks=self._num_racks,
+            chunk_rows=chunk_rows,
+            chunk_hashes=tuple(hashes),
+            hashed_chunks=hashed,
+            reused_chunks=reused,
+        )
+
+    def dataset_digest(self, flush: bool = True) -> str:
+        """The root content address of the store (hex sha256)."""
+        return self.digest_info(flush=flush).root
 
     # -- maintenance ---------------------------------------------------------------
 

@@ -1,0 +1,125 @@
+"""Chunked content addressing for telemetry stores.
+
+The incremental-analytics layer needs a cheap, stable answer to "is
+this exact dataset the one my cached result was computed from?".  A
+single sha256 over every column would answer it, but would cost a full
+rehash after every append — the common case for a live store is *new
+rows at the tail, nothing else changed*.
+
+So the address is Merkle-style: the row axis is cut into fixed
+``DIGEST_CHUNK_ROWS`` ranges, each chunk is hashed over the timestamp
+vector plus every channel's values *and quality flags* for those rows,
+and the root digest hashes the ordered chunk digests plus the store
+geometry.  Full chunks are immutable under append-only growth, so
+their digests are cached on the database and appending N rows rehashes
+only the (partial) tail chunk.  Mutating an already-committed cell —
+a scrubber escalating quality, a lenient-ingest duplicate merge —
+invalidates exactly the chunks it touched.
+
+The functions here are pure (array slices in, hex digests out); the
+chunk cache and its invalidation live on
+:class:`~repro.telemetry.database.EnvironmentalDatabase`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.telemetry.records import CHANNELS, Channel
+
+#: Rows per digest chunk.  Hourly cadence makes this ~5.6 months per
+#: chunk; a six-year canonical run is 13 chunks.
+DIGEST_CHUNK_ROWS = 4096
+
+#: Bump when the hash layout changes: every digest becomes new, every
+#: cached section entry keyed by an old root silently misses.
+DIGEST_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class DigestInfo:
+    """One content address of a telemetry store, with its chunk layout.
+
+    Attributes:
+        root: The root digest (hex) — the dataset's content address.
+        rows: Committed rows covered by the digest.
+        num_racks: Width of the rack axis.
+        chunk_rows: Rows per chunk.
+        chunk_hashes: Per-chunk digests in row order; the last entry
+            covers the partial tail chunk when ``rows`` is not a
+            multiple of ``chunk_rows``.
+        hashed_chunks: Chunks actually rehashed by this call.
+        reused_chunks: Chunks answered from the database's chunk cache.
+    """
+
+    root: str
+    rows: int
+    num_racks: int
+    chunk_rows: int
+    chunk_hashes: Tuple[str, ...]
+    hashed_chunks: int
+    reused_chunks: int
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_hashes)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (for ``/metrics`` and ``--stats``)."""
+        return {
+            "root": self.root,
+            "rows": self.rows,
+            "chunk_rows": self.chunk_rows,
+            "chunks": self.num_chunks,
+            "hashed_chunks": self.hashed_chunks,
+            "reused_chunks": self.reused_chunks,
+        }
+
+
+def chunk_count(rows: int, chunk_rows: int) -> int:
+    """Number of chunks covering ``rows`` (0 rows -> 0 chunks)."""
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    return (rows + chunk_rows - 1) // chunk_rows
+
+
+def hash_block(
+    epoch_s: np.ndarray,
+    values: Dict[Channel, np.ndarray],
+    quality: Dict[Channel, np.ndarray],
+    ) -> str:
+    """sha256 over one contiguous row range of the whole store.
+
+    Hashes the raw little-endian bytes of the timestamp slice and, per
+    channel in canonical schema order, the value matrix slice and the
+    parallel quality-flag slice.  Quality is part of the address on
+    purpose: a scrubber pass changes what every coverage-aware
+    aggregate computes, so it must change the dataset identity even
+    though no float moved.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(epoch_s, dtype="<f8").tobytes())
+    for channel in CHANNELS:
+        digest.update(np.ascontiguousarray(values[channel], dtype="<f8").tobytes())
+        digest.update(np.ascontiguousarray(quality[channel], dtype=np.uint8).tobytes())
+    return digest.hexdigest()
+
+
+def root_digest(
+    rows: int, num_racks: int, chunk_rows: int, chunk_hashes: Sequence[str]
+) -> str:
+    """Combine ordered chunk digests and store geometry into the root."""
+    digest = hashlib.sha256()
+    header = (
+        f"repro-dataset-digest-v{DIGEST_VERSION}\n"
+        f"rows={rows}\nracks={num_racks}\nchunk_rows={chunk_rows}\n"
+        f"channels={','.join(ch.column for ch in CHANNELS)}\n"
+    )
+    digest.update(header.encode())
+    for chunk in chunk_hashes:
+        digest.update(bytes.fromhex(chunk))
+    return digest.hexdigest()

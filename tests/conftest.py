@@ -18,10 +18,31 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.analytics.incremental import SECTION_CACHE_ENV
 from repro.faults import FaultConfig
 from repro.simulation import FacilityEngine, MiraScenario, WindowSynthesizer
 from repro.simulation.datasets import canonical_dataset, small_dataset
 from repro.telemetry.quality import scrub_database
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _no_ambient_section_cache():
+    """Keep the suite's reports fresh-compute by default.
+
+    The section memo store would otherwise leak state between tests
+    (and into the user's real ``~/.cache/repro``).  Tests that exercise
+    the store pass an explicit ``SectionMemoStore(root=tmp_path,
+    enabled=True)``, which overrides this gate.
+    """
+    import os
+
+    previous = os.environ.get(SECTION_CACHE_ENV)
+    os.environ[SECTION_CACHE_ENV] = "0"
+    yield
+    if previous is None:
+        os.environ.pop(SECTION_CACHE_ENV, None)
+    else:
+        os.environ[SECTION_CACHE_ENV] = previous
 
 
 @pytest.fixture(scope="session")

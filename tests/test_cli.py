@@ -62,6 +62,26 @@ class TestReport:
         assert "paper=" in output
         assert "Fig 14" in output
 
+    def test_report_stats_flag(self, tmp_path, monkeypatch, capsys):
+        from repro.simulation.datasets import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        code = main(["report", "--days", "20", "--seed", "11", "--stats"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dataset digest:" in output
+        # The conftest env gate keeps the default store off in tests.
+        assert "section cache: disabled" in output
+
+    def test_report_no_section_cache_flag(self, capsys):
+        code = main(
+            ["report", "--days", "20", "--seed", "11",
+             "--no-section-cache", "--stats"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "section cache: disabled" in output
+
 
 class TestServeReplay:
     def test_unpaced_replay_prints_report(self, capsys):
@@ -201,6 +221,28 @@ class TestCache:
         assert main(["cache", "clear"]) == 0
         assert "removed 1 cache entry" in capsys.readouterr().out
         assert cache_entries() == []
+
+    def test_info_lists_section_memos(self, cache_dir, capsys):
+        from repro.analytics.incremental import SectionMemoStore
+
+        store = SectionMemoStore(enabled=True)
+        store.store_rows(store.key("a" * 64, "fig2_rows", "b" * 16), [("r",)])
+        assert main(["cache", "info"]) == 0
+        output = capsys.readouterr().out
+        assert "section memos at" in output
+        assert "fig2_rows" in output
+        assert "kB total" in output
+
+    def test_clear_sweeps_section_memos(self, cache_dir, capsys):
+        from repro.analytics.incremental import SectionMemoStore
+
+        store = SectionMemoStore(enabled=True)
+        store.store_rows(store.key("a" * 64, "fig2_rows", "b" * 16), [("r",)])
+        store.store_state("system-series", "b" * 16, {"rows": 1})
+        assert main(["cache", "clear"]) == 0
+        output = capsys.readouterr().out
+        assert "removed 2 section-memo entries" in output
+        assert store.entries() == []
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):

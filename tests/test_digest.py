@@ -1,0 +1,230 @@
+"""Chunked content addressing of the telemetry store.
+
+The digest is the cache key of the incremental-analytics layer, so the
+properties under test are exactly the ones memo correctness rests on:
+stability across storage representations, sensitivity to every cell
+(values *and* quality flags), and append-time incrementality (only the
+tail chunk is rehashed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.archive import TelemetryArchive
+from repro.telemetry.database import EnvironmentalDatabase, IngestPolicy
+from repro.telemetry.digest import (
+    DIGEST_CHUNK_ROWS,
+    chunk_count,
+    hash_block,
+    root_digest,
+)
+from repro.telemetry.records import CHANNELS, Channel, Quality
+
+RACKS = 4
+
+
+def _filled_database(rows: int, seed: int = 0) -> EnvironmentalDatabase:
+    rng = np.random.default_rng(seed)
+    database = EnvironmentalDatabase(num_racks=RACKS, capacity_hint=rows)
+    epoch = 1_600_000_000.0 + 60.0 * np.arange(rows)
+    database.append_block(
+        epoch,
+        {ch: rng.normal(70.0, 5.0, size=(rows, RACKS)) for ch in CHANNELS},
+    )
+    database.flush()
+    return database
+
+
+class TestDigestStability:
+    def test_recompute_is_stable(self):
+        database = _filled_database(100)
+        assert database.dataset_digest() == database.dataset_digest()
+
+    def test_identical_content_identical_digest(self):
+        assert (
+            _filled_database(100, seed=1).dataset_digest()
+            == _filled_database(100, seed=1).dataset_digest()
+        )
+
+    def test_mmap_and_in_memory_agree(self, tmp_path, demo_result):
+        """The address is content-only: storage representation is invisible."""
+        database = demo_result.database
+        TelemetryArchive.save(database, tmp_path / "arch")
+        mapped = TelemetryArchive.load(tmp_path / "arch", mmap=True)
+        in_memory = TelemetryArchive.load(tmp_path / "arch", mmap=False)
+        assert mapped.dataset_digest() == database.dataset_digest()
+        assert in_memory.dataset_digest() == database.dataset_digest()
+
+    def test_save_load_round_trip(self, tmp_path):
+        database = _filled_database(257, seed=2)
+        before = database.digest_info()
+        TelemetryArchive.save(database, tmp_path / "arch")
+        reloaded = TelemetryArchive.load(tmp_path / "arch")
+        after = reloaded.digest_info()
+        assert after.root == before.root
+        assert after.chunk_hashes == before.chunk_hashes
+
+    def test_chunk_size_is_part_of_the_address(self):
+        database = _filled_database(100)
+        assert (
+            database.digest_info(chunk_rows=32).root
+            != database.digest_info(chunk_rows=64).root
+        )
+
+
+class TestDigestSensitivity:
+    def test_single_cell_value_changes_root(self):
+        rng = np.random.default_rng(3)
+        rows = 50
+        epoch = 1_600_000_000.0 + 60.0 * np.arange(rows)
+        blocks = {ch: rng.normal(70.0, 5.0, size=(rows, RACKS)) for ch in CHANNELS}
+        reference = EnvironmentalDatabase(num_racks=RACKS)
+        reference.append_block(epoch, {ch: blocks[ch].copy() for ch in CHANNELS})
+        mutated_blocks = {ch: blocks[ch].copy() for ch in CHANNELS}
+        mutated_blocks[Channel.POWER][17, 2] += 1e-9
+        mutated = EnvironmentalDatabase(num_racks=RACKS)
+        mutated.append_block(epoch, mutated_blocks)
+        assert reference.dataset_digest() != mutated.dataset_digest()
+
+    def test_single_timestamp_changes_root(self):
+        rng = np.random.default_rng(4)
+        rows = 50
+        epoch = 1_600_000_000.0 + 60.0 * np.arange(rows)
+        blocks = {ch: rng.normal(70.0, 5.0, size=(rows, RACKS)) for ch in CHANNELS}
+        a = EnvironmentalDatabase(num_racks=RACKS)
+        a.append_block(epoch.copy(), {ch: blocks[ch].copy() for ch in CHANNELS})
+        shifted = epoch.copy()
+        shifted[-1] += 1.0
+        b = EnvironmentalDatabase(num_racks=RACKS)
+        b.append_block(shifted, blocks)
+        assert a.dataset_digest() != b.dataset_digest()
+
+    def test_update_quality_changes_root(self):
+        """A quality escalation is a content change — same values, new address."""
+        database = _filled_database(50, seed=5)
+        before = database.dataset_digest()
+        mask = np.zeros((50, RACKS), dtype=bool)
+        mask[10, 1] = True
+        assert database.update_quality(Channel.FLOW, mask, Quality.SUSPECT) == 1
+        assert database.dataset_digest() != before
+
+    def test_overwrite_quality_changes_root(self):
+        database = _filled_database(50, seed=6)
+        before = database.dataset_digest()
+        flags = np.full((2, RACKS), int(Quality.SCRUBBED), dtype=np.uint8)
+        database.overwrite_quality(Channel.POWER, 20, flags)
+        assert database.dataset_digest() != before
+
+    def test_quality_revert_restores_root(self):
+        """The address depends on content only, not mutation history."""
+        database = _filled_database(50, seed=7)
+        before = database.dataset_digest()
+        ok = np.asarray(database.quality(Channel.POWER)[20:22]).copy()
+        flags = np.full((2, RACKS), int(Quality.SUSPECT), dtype=np.uint8)
+        database.overwrite_quality(Channel.POWER, 20, flags)
+        assert database.dataset_digest() != before
+        database.overwrite_quality(Channel.POWER, 20, ok)
+        assert database.dataset_digest() == before
+
+
+class TestDigestIncrementality:
+    def test_append_rehashes_only_tail(self):
+        rng = np.random.default_rng(8)
+        chunk_rows = 64
+        database = _filled_database(chunk_rows * 10, seed=8)
+        first = database.digest_info(chunk_rows=chunk_rows)
+        assert first.hashed_chunks == 10 and first.reused_chunks == 0
+        # Steady state: everything is served from the chunk cache.
+        again = database.digest_info(chunk_rows=chunk_rows)
+        assert again.hashed_chunks == 0 and again.reused_chunks == 10
+        assert again.root == first.root
+        # Append half a chunk: one new partial tail, nothing rehashed.
+        extra = chunk_rows // 2
+        last = float(database.epoch_s[-1])
+        database.append_block(
+            last + 60.0 * (1.0 + np.arange(extra)),
+            {ch: rng.normal(70.0, 5.0, size=(extra, RACKS)) for ch in CHANNELS},
+        )
+        after = database.digest_info(chunk_rows=chunk_rows)
+        assert after.rows == chunk_rows * 10 + extra
+        assert after.hashed_chunks == 1
+        assert after.reused_chunks == 10
+        assert after.chunk_hashes[:10] == first.chunk_hashes
+        assert after.root != first.root
+
+    def test_append_digest_equals_from_scratch(self):
+        """Incremental maintenance must agree with a cold full pass."""
+        rng = np.random.default_rng(9)
+        rows, extra, chunk_rows = 200, 30, 64
+        epoch = 1_600_000_000.0 + 60.0 * np.arange(rows + extra)
+        blocks = {
+            ch: rng.normal(70.0, 5.0, size=(rows + extra, RACKS)) for ch in CHANNELS
+        }
+        grown = EnvironmentalDatabase(num_racks=RACKS)
+        grown.append_block(epoch[:rows], {ch: blocks[ch][:rows] for ch in CHANNELS})
+        grown.digest_info(chunk_rows=chunk_rows)  # warm the chunk cache
+        grown.append_block(epoch[rows:], {ch: blocks[ch][rows:] for ch in CHANNELS})
+        cold = EnvironmentalDatabase(num_racks=RACKS)
+        cold.append_block(epoch, blocks)
+        assert (
+            grown.digest_info(chunk_rows=chunk_rows).root
+            == cold.digest_info(chunk_rows=chunk_rows).root
+        )
+
+    def test_quality_mutation_invalidates_only_touched_chunks(self):
+        database = _filled_database(64 * 4, seed=10)
+        database.digest_info(chunk_rows=64)
+        mask = np.zeros((64 * 4, RACKS), dtype=bool)
+        mask[70, 0] = True  # chunk 1
+        database.update_quality(Channel.POWER, mask, Quality.SUSPECT)
+        info = database.digest_info(chunk_rows=64)
+        assert info.hashed_chunks == 1
+        assert info.reused_chunks == 3
+
+    def test_flush_false_addresses_committed_rows_only(self):
+        database = EnvironmentalDatabase(
+            num_racks=RACKS,
+            policy=IngestPolicy.lenient(reorder_window_s=3600.0),
+        )
+        values = {ch: np.full(RACKS, 70.0) for ch in CHANNELS}
+        for k in range(5):
+            database.append_snapshot(1_600_000_000.0 + 60.0 * k, values)
+        live = database.digest_info(flush=False)
+        assert live.rows < 5  # the reorder window still holds rows back
+        assert database.digest_info(flush=True).rows == 5
+
+
+class TestDigestHelpers:
+    def test_chunk_count(self):
+        assert chunk_count(0, 64) == 0
+        assert chunk_count(1, 64) == 1
+        assert chunk_count(64, 64) == 1
+        assert chunk_count(65, 64) == 2
+
+    def test_default_chunk_rows(self):
+        assert DIGEST_CHUNK_ROWS == 4096
+
+    def test_hash_block_channel_order_matters(self):
+        epoch = np.arange(3, dtype="float64")
+        values = {ch: np.zeros((3, 2)) for ch in CHANNELS}
+        quality = {ch: np.zeros((3, 2), dtype=np.uint8) for ch in CHANNELS}
+        values[CHANNELS[0]][0, 0] = 1.0
+        one = hash_block(epoch, values, quality)
+        values[CHANNELS[0]][0, 0] = 0.0
+        values[CHANNELS[1]][0, 0] = 1.0
+        other = hash_block(epoch, values, quality)
+        assert one != other
+
+    def test_root_digest_includes_geometry(self):
+        hashes = ["ab" * 32]
+        assert root_digest(10, 4, 64, hashes) != root_digest(10, 8, 64, hashes)
+        assert root_digest(10, 4, 64, hashes) != root_digest(11, 4, 64, hashes)
+
+    def test_hash_row_range_bounds(self):
+        database = _filled_database(10)
+        with pytest.raises(IndexError):
+            database.hash_row_range(0, 11)
+        with pytest.raises(IndexError):
+            database.hash_row_range(-1, 5)
